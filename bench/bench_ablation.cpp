@@ -1,0 +1,131 @@
+// §8 ablation — "GFW Countermeasures": the paper argues the arms race
+// continues because every hardening the censor could deploy kills some
+// strategies while leaving (or opening) others. This bench re-runs the
+// strategy suite against hypothetically hardened GFW variants and reports
+// the survival matrix:
+//
+//   * validate checksums   → bad-checksum insertion packets die;
+//   * reject MD5 options   → MD5-based insertion packets die;
+//   * strict RST sequences → loose teardown RSTs die;
+//   * require server ACK   → prefill/desync junk dies (the paper notes
+//     this "greatly complicates the GFW's design");
+//   * TTL-based insertion survives everything — the censor cannot learn
+//     the topology (§8: "GFW's agnostic nature to network topology").
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+struct Variant {
+  const char* label;
+  void (*apply)(Calibration&, ScenarioOptions&);
+};
+
+struct StrategyRow {
+  strategy::StrategyId id;
+  const char* label;
+};
+
+constexpr StrategyRow kStrategies[] = {
+    {strategy::StrategyId::kInOrderBadChecksum, "prefill (bad checksum)"},
+    {strategy::StrategyId::kImprovedInOrder, "prefill (MD5)"},
+    {strategy::StrategyId::kInOrderTtl, "prefill (TTL)"},
+    {strategy::StrategyId::kTeardownRstTtl, "teardown RST (TTL)"},
+    {strategy::StrategyId::kImprovedTeardown, "improved teardown (TTL)"},
+    {strategy::StrategyId::kCreationResyncDesync, "creation+resync/desync"},
+    {strategy::StrategyId::kTeardownReversal, "teardown+reversal"},
+};
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  const int trials = cfg.trials > 0 ? cfg.trials : 30;
+
+  print_banner("Section 8 ablation: hypothetical GFW countermeasures",
+               "Wang et al., IMC'17, section 8 (GFW Countermeasures)");
+  std::printf("success rate per strategy under each hardened variant; "
+              "%d clean-path trials per cell\n\n", trials);
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+
+  // Hardening is applied through a scenario hook: the variant mutates the
+  // device configs after the standard draw.
+  struct Harden {
+    const char* label;
+    bool checksum = false;
+    bool md5 = false;
+    bool strict_rst = false;
+    bool server_ack = false;
+  };
+  const Harden variants[] = {
+      {"measured GFW (baseline)"},
+      {"+ validate checksums", true, false, false, false},
+      {"+ reject MD5 options", false, true, false, false},
+      {"+ strict RST sequence", false, false, true, false},
+      {"+ require server ACK", false, false, false, true},
+  };
+
+  TextTable table({"Strategy", variants[0].label, variants[1].label,
+                   variants[2].label, variants[3].label, variants[4].label});
+
+  for (const StrategyRow& row : kStrategies) {
+    std::vector<std::string> cells{row.label};
+    for (const Harden& variant : variants) {
+      RateTally tally;
+      for (int t = 0; t < trials; ++t) {
+        ScenarioOptions opt;
+        opt.vp = china_vantage_points()[1];
+        opt.server.host = "target.example";
+        opt.server.ip = net::make_ip(93, 184, 216, 34);
+        opt.cal = Calibration::standard();
+        // Clean paths: isolate the countermeasure's effect.
+        opt.cal.detection_miss = 0.0;
+        opt.cal.per_link_loss = 0.0;
+        opt.cal.ttl_estimate_error_prob = 0.0;
+        opt.cal.old_model_fraction = 0.0;
+        // Resync-flavored devices: the desync building block is load-
+        // bearing, so the require-server-ACK countermeasure has teeth.
+        opt.cal.rst_resync_established = 1.0;
+        opt.cal.rst_resync_handshake = 1.0;
+        opt.cal.no_flag_accept = 1.0;
+        opt.cal.server_side_firewall_fraction = 0.0;
+        opt.cal.server_accepts_any_ack = 0.0;
+        opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(row.label),
+                                  Rng::hash_label(variant.label),
+                                  static_cast<u64>(t)});
+        opt.path_seed = Rng::mix_seed({cfg.seed, static_cast<u64>(t)});
+        opt.harden.validate_checksum = variant.checksum;
+        opt.harden.reject_md5 = variant.md5;
+        opt.harden.strict_rst = variant.strict_rst;
+        opt.harden.require_server_ack = variant.server_ack;
+
+        Scenario sc(&rules, opt);
+        HttpTrialOptions http;
+        http.with_keyword = true;
+        http.strategy = row.id;
+        tally.add(run_http_trial(sc, http).outcome);
+      }
+      cells.push_back(pct(tally.success_rate(), 0));
+    }
+    table.add_row(std::move(cells));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Reading: each hardened column zeroes out exactly the strategies\n"
+      "built on the corresponding laxness. Strict RST sequencing changes\n"
+      "nothing — a client-side evader knows its own exact sequence\n"
+      "numbers (only off-path attackers are stopped by it). Requiring a\n"
+      "server ACK kills the desync building block (the junk anchor is\n"
+      "never acknowledged), but prefill overlap still wins: the server's\n"
+      "ACK covers a byte RANGE, not its contents — the arms race of\n"
+      "section 8 continues.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -1,0 +1,57 @@
+// Shared plumbing for the table/figure reproduction binaries.
+//
+// Every binary accepts:
+//   --trials=N   repetitions per (vantage point, server) pair
+//                (the paper uses 50; defaults here are smaller so the whole
+//                 suite runs in seconds — pass --trials=50 for paper scale)
+//   --servers=N  size of the probed server population
+//   --seed=S     master seed (default 2017)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/calibration.h"
+#include "exp/scenario.h"
+#include "exp/stats.h"
+#include "exp/table.h"
+#include "exp/trial.h"
+#include "exp/vantage.h"
+
+namespace ys::bench {
+
+struct RunConfig {
+  int trials = 0;       // 0 = use the binary's default
+  int servers = 0;      // 0 = use the binary's default
+  u64 seed = 2017;
+};
+
+inline RunConfig parse_args(int argc, char** argv) {
+  RunConfig cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      cfg.trials = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--servers=", 10) == 0) {
+      cfg.servers = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      cfg.seed = static_cast<u64>(std::atoll(argv[i] + 7));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials=N] [--servers=N] [--seed=S]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+inline void print_banner(const char* what, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", what);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace ys::bench

@@ -1,0 +1,167 @@
+// §5.3 cross-validation — replay the candidate insertion packets against
+// every modeled Linux version and report where the ignore paths diverge.
+// The paper's three findings must reproduce:
+//   * Linux 3.14 ignores a SYN in ESTABLISHED (no challenge ACK);
+//   * Linux 2.6.34 / 2.4.37 accept data without the ACK flag;
+//   * Linux 2.4.37 accepts unsolicited MD5 options (pre-RFC 2385).
+#include "bench_common.h"
+#include "strategy/insertion.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+const net::FourTuple kTuple{net::make_ip(10, 0, 0, 1), 40000,
+                            net::make_ip(93, 184, 216, 34), 80};
+
+struct Server {
+  net::EventLoop loop;
+  std::vector<net::Packet> sent;
+  tcp::TcpEndpoint ep;
+  u32 client_seq = 1000;
+
+  tcp::TcpEndpoint::Callbacks make_callbacks() {
+    tcp::TcpEndpoint::Callbacks cb;
+    cb.send = [this](net::Packet p) { sent.push_back(std::move(p)); };
+    return cb;
+  }
+
+  explicit Server(tcp::LinuxVersion version)
+      : ep(loop, Rng(7), tcp::StackProfile::for_version(version),
+           kTuple.reversed(), make_callbacks()) {
+    ep.open_passive();
+    net::Packet syn =
+        net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), client_seq, 0);
+    syn.tcp->options.timestamps = net::TcpTimestamps{100'000, 0};
+    feed(std::move(syn));
+    ++client_seq;
+    net::Packet ack = net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(),
+                                           client_seq, ep.iss() + 1);
+    ack.tcp->options.timestamps = net::TcpTimestamps{100'001, 0};
+    feed(std::move(ack));
+  }
+
+  void feed(net::Packet pkt) {
+    net::finalize(pkt);
+    ep.on_segment(pkt);
+  }
+};
+
+std::string react(tcp::LinuxVersion version, const char* candidate) {
+  Server srv(version);
+  const u32 seq = srv.client_seq;
+  const u32 rcv_before = srv.ep.rcv_nxt();
+  const int challenges_before = srv.ep.challenge_acks_sent();
+  const std::string_view name(candidate);
+
+  net::Packet pkt = [&] {
+    if (name == "syn-in-window") {
+      return net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), seq, 0);
+    }
+    if (name == "data-no-ack-flag") {
+      net::Packet d = net::make_tcp_packet(kTuple, net::TcpFlags::none(), seq,
+                                           0, to_bytes("JUNKJUNK"));
+      return d;
+    }
+    if (name == "data-unsolicited-md5") {
+      net::Packet d = net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(),
+                                           seq, srv.ep.snd_nxt(),
+                                           to_bytes("JUNKJUNK"));
+      std::array<u8, 16> digest{};
+      d.tcp->options.md5_signature = digest;
+      return d;
+    }
+    if (name == "data-old-timestamp") {
+      net::Packet d = net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(),
+                                           seq, srv.ep.snd_nxt(),
+                                           to_bytes("JUNKJUNK"));
+      d.tcp->options.timestamps = net::TcpTimestamps{1, 0};
+      return d;
+    }
+    if (name == "data-bad-checksum") {
+      net::Packet d = net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(),
+                                           seq, srv.ep.snd_nxt(),
+                                           to_bytes("JUNKJUNK"));
+      net::finalize(d);
+      d.tcp->checksum = static_cast<u16>(d.tcp->checksum + 1);
+      return d;
+    }
+    // data-bad-ack
+    net::Packet d = net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(),
+                                         seq, srv.ep.snd_nxt() + 0x01000000,
+                                         to_bytes("JUNKJUNK"));
+    return d;
+  }();
+  srv.feed(std::move(pkt));
+
+  if (srv.ep.was_reset()) return "CONNECTION RESET";
+  if (srv.ep.rcv_nxt() != rcv_before) return "ACCEPTED (data ingested)";
+  if (srv.ep.challenge_acks_sent() > challenges_before) {
+    return "challenge ACK, ignored";
+  }
+  if (!srv.ep.ignore_log().empty()) {
+    return std::string("ignored: ") +
+           tcp::to_string(srv.ep.ignore_log().back().reason);
+  }
+  return "no effect";
+}
+
+int run(int argc, char** argv) {
+  (void)parse_args(argc, argv);
+  print_banner("Section 5.3: ignore-path cross-validation across Linux stacks",
+               "Wang et al., IMC'17, section 5.3");
+
+  const tcp::LinuxVersion versions[] = {
+      tcp::LinuxVersion::k4_4, tcp::LinuxVersion::k4_0,
+      tcp::LinuxVersion::k3_14, tcp::LinuxVersion::k2_6_34,
+      tcp::LinuxVersion::k2_4_37};
+  const char* candidates[] = {
+      "syn-in-window",       "data-no-ack-flag",   "data-unsolicited-md5",
+      "data-old-timestamp",  "data-bad-checksum",  "data-bad-ack",
+  };
+
+  TextTable table({"Candidate packet", "Linux 4.4", "Linux 4.0", "Linux 3.14",
+                   "Linux 2.6.34", "Linux 2.4.37"});
+  for (const char* candidate : candidates) {
+    std::vector<std::string> row{candidate};
+    for (tcp::LinuxVersion v : versions) {
+      row.push_back(react(v, candidate));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // The three §5.3 findings, asserted.
+  int failures = 0;
+  auto check = [&](bool ok, const char* what) {
+    if (!ok) ++failures;
+    std::printf("[%s] %s\n", ok ? "confirmed" : "REFUTED ", what);
+  };
+  check(react(tcp::LinuxVersion::k3_14, "syn-in-window")
+            .find("challenge") == std::string::npos,
+        "3.14 ignores a SYN in ESTABLISHED without a challenge ACK");
+  check(react(tcp::LinuxVersion::k4_4, "syn-in-window")
+            .find("challenge") != std::string::npos,
+        "4.4 answers the same SYN with a challenge ACK (RFC 5961)");
+  check(react(tcp::LinuxVersion::k2_6_34, "data-no-ack-flag") ==
+            "ACCEPTED (data ingested)",
+        "2.6.34 accepts data without the ACK flag");
+  check(react(tcp::LinuxVersion::k4_4, "data-no-ack-flag") !=
+            "ACCEPTED (data ingested)",
+        "4.4 ignores data without the ACK flag");
+  check(react(tcp::LinuxVersion::k2_4_37, "data-unsolicited-md5") ==
+            "ACCEPTED (data ingested)",
+        "2.4.37 accepts unsolicited MD5 options (pre-RFC 2385)");
+  check(react(tcp::LinuxVersion::k4_4, "data-unsolicited-md5") !=
+            "ACCEPTED (data ingested)",
+        "4.4 rejects unsolicited MD5 options");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

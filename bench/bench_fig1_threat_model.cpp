@@ -1,0 +1,56 @@
+// Figure 1 — the threat model: client → client-side middleboxes → GFW
+// (on-path tap that reads and injects, never drops) → server-side
+// middleboxes → server. This bench builds that exact topology, runs one
+// censored exchange, and prints the packet ladder showing the GFW's
+// injected resets racing the legitimate traffic.
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  print_banner("Figure 1: threat model topology and a censored exchange",
+               "Wang et al., IMC'17, Figure 1");
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[0];  // aliyun-bj
+  opt.server.host = "site-0.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.server.behind_stateful_fw = true;  // show the server-side middlebox
+  opt.cal = Calibration::standard();
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.seed = cfg.seed;
+  Scenario sc(&rules, opt);
+
+  std::printf("topology: client(%s) --[%d hops]--> server(%s)\n",
+              opt.vp.name.c_str(), sc.server_hops(),
+              opt.server.host.c_str());
+  std::printf("  hop  1: client-side middlebox (%s profile)\n",
+              opt.vp.name.c_str());
+  std::printf("  hop %2d: GFW tap (type-1 + type-2 devices, DNS poisoner)\n",
+              sc.gfw_position());
+  std::printf("  hop %2d: server-side stateful firewall\n\n",
+              sc.server_hops() - 1);
+
+  HttpTrialOptions http;
+  http.with_keyword = true;  // no evasion: the GFW wins this exchange
+  const TrialResult result = run_http_trial(sc, http);
+
+  std::printf("%s\n", sc.trace().render().c_str());
+  std::printf("outcome: %s (GFW resets seen: %s)\n", to_string(result.outcome),
+              result.gfw_reset_seen ? "yes" : "no");
+  std::printf("type-2 device: detections=%d reset volleys=%d\n",
+              sc.gfw_type2().detections(), sc.gfw_type2().reset_volleys());
+  return result.outcome == Outcome::kFailure2 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

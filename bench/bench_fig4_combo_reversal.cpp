@@ -1,0 +1,82 @@
+// Figure 4 — the combined "TCB Teardown + TCB Reversal" strategy's packet
+// sequence: the client-forged SYN/ACK precedes the real handshake (so an
+// evolved device creates a role-reversed TCB and ignores the handshake),
+// and the RST insertion packets ahead of the request tear the TCB down on
+// prior-model devices.
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+int run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[0];
+  opt.server.host = "site-0.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.cal = Calibration::standard();
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.cal.old_model_fraction = old_model ? 1.0 : 0.0;
+  opt.seed = seed;
+  Scenario sc(&rules, opt);
+
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = strategy::StrategyId::kTeardownReversal;
+  const TrialResult result = run_http_trial(sc, http);
+
+  if (!old_model) {
+    std::printf("%s\n", sc.trace().render().c_str());
+
+    int syn_acks_from_client = 0;
+    int rsts_from_client = 0;
+    for (const auto& e : sc.trace().events()) {
+      if (e.actor != "client" || e.kind != "send") continue;
+      if (e.detail.find("[S.]") != std::string::npos) ++syn_acks_from_client;
+      if (e.detail.find("[R]") != std::string::npos) ++rsts_from_client;
+    }
+    const gfw::GfwTcb* tcb =
+        sc.gfw_type2().find_tcb(net::FourTuple{opt.vp.address, 40001,
+                                               opt.server.ip, 80});
+    std::printf("client-forged SYN/ACKs: %d (expected >= 1)\n",
+                syn_acks_from_client);
+    std::printf("client RST insertions: %d (expected >= 3)\n",
+                rsts_from_client);
+    std::printf("evolved device TCB role-reversed: %s\n",
+                tcb != nullptr && tcb->reversed() ? "yes" : "no");
+    std::printf("outcome vs evolved model: %s\n\n", to_string(result.outcome));
+    if (result.outcome != Outcome::kSuccess || syn_acks_from_client < 1 ||
+        rsts_from_client < 3 || tcb == nullptr || !tcb->reversed()) {
+      return 1;
+    }
+    return 0;
+  }
+
+  std::printf("outcome vs prior model (RST teardown leg): %s\n",
+              to_string(result.outcome));
+  std::printf("prior-model device teardowns: %d (expected >= 1)\n",
+              sc.gfw_type2().teardowns());
+  return result.outcome == Outcome::kSuccess &&
+                 sc.gfw_type2().teardowns() >= 1
+             ? 0
+             : 1;
+}
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  print_banner("Figure 4: combined strategy TCB Teardown + TCB Reversal",
+               "Wang et al., IMC'17, Figure 4");
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const int evolved = run_one(cfg.seed, /*old_model=*/false, rules);
+  const int old = run_one(cfg.seed, /*old_model=*/true, rules);
+  return evolved == 0 && old == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

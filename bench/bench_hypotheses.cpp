@@ -1,0 +1,229 @@
+// §4 — the controlled probes that established the three Hypothesized New
+// Behaviors of the evolved GFW. Each probe feeds a crafted packet sequence
+// to a GFW device and checks the observable outcome (reset injection on a
+// later sensitive request), reproducing the paper's experiments verbatim:
+//
+//  B1: a TCB is created on a SYN/ACK alone (counters SYN loss);
+//  B2: multiple SYNs / multiple SYN-ACKs / a SYN-ACK with a wrong ack put
+//      the device into a resync state, re-anchored by the next client data
+//      packet or server SYN/ACK (and by nothing else);
+//  B3: a RST may drive the device into resync instead of tearing down.
+#include "bench_common.h"
+#include "gfw/gfw_device.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+const net::FourTuple kTuple{net::make_ip(10, 0, 0, 1), 40000,
+                            net::make_ip(93, 184, 216, 34), 80};
+
+struct NullForwarder final : public net::Forwarder {
+  explicit NullForwarder(Rng* rng) : rng_(rng) {}
+  void forward(net::Packet) override {}
+  void inject(net::Packet, net::Dir, SimTime) override { ++injected; }
+  void drop(const net::Packet&, std::string_view) override {}
+  SimTime now() const override { return SimTime::zero(); }
+  Rng& rng() override { return *rng_; }
+  int injected = 0;
+  Rng* rng_;
+};
+
+struct Probe {
+  gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  gfw::GfwConfig cfg;
+  std::unique_ptr<gfw::GfwDevice> dev;
+  Rng rng{5};
+  NullForwarder fwd{&rng};
+
+  explicit Probe(gfw::RstReaction rst_established =
+                     gfw::RstReaction::kTeardown,
+                 gfw::RstReaction rst_handshake = gfw::RstReaction::kResync) {
+    cfg.detection_miss_rate = 0.0;
+    cfg.rst_reaction_established = rst_established;
+    cfg.rst_reaction_handshake = rst_handshake;
+    dev = std::make_unique<gfw::GfwDevice>("gfw", cfg, &rules, Rng(9));
+  }
+
+  void c2s(net::Packet pkt) { feed(std::move(pkt), net::Dir::kC2S); }
+  void s2c(net::Packet pkt) { feed(std::move(pkt), net::Dir::kS2C); }
+  void feed(net::Packet pkt, net::Dir dir) {
+    net::finalize(pkt);
+    dev->process(std::move(pkt), dir, fwd);
+  }
+
+  void syn(u32 seq) {
+    c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), seq, 0));
+  }
+  void syn_ack(u32 seq, u32 ack) {
+    s2c(net::make_tcp_packet(kTuple.reversed(), net::TcpFlags::syn_ack(),
+                             seq, ack));
+  }
+  void data(u32 seq, std::string_view payload) {
+    c2s(net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(), seq, 0,
+                             to_bytes(payload)));
+  }
+  bool detected() const { return dev->detections() > 0; }
+};
+
+int checks = 0;
+int failures = 0;
+
+void expect(bool ok, const char* what) {
+  ++checks;
+  if (!ok) ++failures;
+  std::printf("  [%s] %s\n", ok ? "confirmed" : "REFUTED ", what);
+}
+
+void behavior1() {
+  std::printf("Hypothesized New Behavior 1: TCB on SYN or SYN/ACK\n");
+  {
+    Probe p;
+    p.data(2000, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(), "no handshake at all -> request not censored");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(), "SYN only (classic) -> TCB created, censored");
+  }
+  {
+    Probe p;  // the SYN is lost; only the SYN/ACK is observed
+    p.syn_ack(5000, 1001);
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(), "SYN/ACK alone -> TCB still created, censored");
+  }
+}
+
+void behavior2() {
+  std::printf("Hypothesized New Behavior 2: the resync state\n");
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);  // second SYN, different ISN
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(),
+           "multiple SYNs then request -> re-anchors on the request");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);
+    // Request at a sequence number out of window w.r.t. *both* SYNs:
+    // a per-SYN-TCB model would miss it; resync does not.
+    p.data(0x40000000, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(),
+           "out-of-window request still censored (refutes hypothesis 1: "
+           "one TCB per SYN)");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);
+    p.data(1001, "GET /?q=ultra");
+    p.data(1014, "surf HTTP/1.1\r\n");
+    expect(p.detected(),
+           "keyword split across packets still censored (refutes "
+           "hypothesis 2: stateless matching)");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);
+    p.data(0x70000000, "XXXXXXXX");  // random junk at a false seq
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");  // true seq
+    expect(!p.detected(),
+           "junk at a false seq re-anchors the TCB; true-seq request now "
+           "out of window (validates hypothesis 3: resynchronization)");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn_ack(5000, 1001);
+    p.syn_ack(5000, 1001);  // duplicate SYN/ACK from the server side
+    p.data(0x70000000, "XXXXXXXX");
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(), "multiple SYN/ACKs also enter the resync state");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn_ack(5000, 4242);  // wrong acknowledgment number
+    p.data(0x70000000, "XXXXXXXX");
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(),
+           "SYN/ACK with a wrong ack also enters the resync state");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);                // resync state
+    p.syn_ack(5000, 1001);      // server SYN/ACK resynchronizes correctly
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(),
+           "a server SYN/ACK is a resynchronization source: the true-seq "
+           "request is censored again");
+  }
+  {
+    Probe p;
+    p.syn(1000);
+    p.syn(7000);  // resync state
+    // A pure ACK must NOT resynchronize.
+    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(), 1001, 0));
+    p.data(0x70000000, "XXXXXXXX");
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(), "pure ACKs do not resynchronize the TCB");
+  }
+}
+
+void behavior3() {
+  std::printf("Hypothesized New Behavior 3: RST may resync, not tear down\n");
+  {
+    Probe p(gfw::RstReaction::kTeardown, gfw::RstReaction::kTeardown);
+    p.syn(1000);
+    p.syn_ack(5000, 1001);
+    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(), "teardown-flavored device: RST kills the TCB");
+  }
+  {
+    Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
+    p.syn(1000);
+    p.syn_ack(5000, 1001);
+    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(p.detected(),
+           "resync-flavored device: the RST only enters the resync state; "
+           "the request re-anchors it and is censored");
+  }
+  {
+    Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
+    p.syn(1000);
+    p.syn_ack(5000, 1001);
+    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
+    p.data(0x70000000, "X");  // the §5.1 desync building block
+    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+    expect(!p.detected(),
+           "a desync packet after the RST defeats the resync-flavored "
+           "device (the improved teardown strategy)");
+  }
+}
+
+int run(int argc, char** argv) {
+  (void)parse_args(argc, argv);
+  print_banner("Section 4: probing the evolved GFW behaviors",
+               "Wang et al., IMC'17, section 4 (Hypothesized Behaviors 1-3)");
+  behavior1();
+  behavior2();
+  behavior3();
+  std::printf("\n%d probes, %d refuted\n", checks, failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -1,0 +1,127 @@
+// Table 1 — effectiveness of *existing* evasion strategies against today's
+// GFW: Success / Failure 1 / Failure 2 with a sensitive keyword, and
+// Success / Failure 1 without one. 11 vantage points × 77 websites, paper
+// scale 50 repetitions per pair.
+//
+// Paper reference values (w/ keyword, Success/F1/F2):
+//   No Strategy                    2.8 /  0.4 / 96.8
+//   TCB creation SYN (TTL)         6.9 /  4.2 / 88.9
+//   TCB creation SYN (bad csum)    6.2 /  5.1 / 88.7
+//   OOO IP fragments               1.6 / 54.8 / 43.6
+//   OOO TCP segments              30.8 /  6.5 / 62.6
+//   In-order (TTL)                90.6 /  5.7 /  3.7
+//   In-order (bad ACK)            83.1 /  7.5 /  9.5
+//   In-order (bad csum)           87.2 /  1.9 / 10.8
+//   In-order (no flag)            48.3 /  3.3 / 48.4
+//   Teardown RST (TTL)            73.2 /  3.2 / 23.6
+//   Teardown RST (bad csum)       63.1 /  7.6 / 29.3
+//   Teardown RST/ACK (TTL)        73.1 /  3.2 / 23.7
+//   Teardown RST/ACK (bad csum)   68.9 /  1.9 / 29.2
+//   Teardown FIN (TTL)            11.1 /  1.0 / 87.9
+//   Teardown FIN (bad csum)        8.4 /  0.8 / 90.7
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::exp;
+using namespace ys::bench;
+
+struct Row {
+  strategy::StrategyId id;
+  const char* label;
+  const char* discrepancy;
+};
+
+constexpr Row kRows[] = {
+    {strategy::StrategyId::kNone, "No Strategy", "N/A"},
+    {strategy::StrategyId::kTcbCreationSynTtl, "TCB creation with SYN", "TTL"},
+    {strategy::StrategyId::kTcbCreationSynBadChecksum, "TCB creation with SYN",
+     "Bad checksum"},
+    {strategy::StrategyId::kOutOfOrderIpFragments,
+     "Reassembly out-of-order data", "IP fragments"},
+    {strategy::StrategyId::kOutOfOrderTcpSegments,
+     "Reassembly out-of-order data", "TCP segments"},
+    {strategy::StrategyId::kInOrderTtl, "Reassembly in-order data", "TTL"},
+    {strategy::StrategyId::kInOrderBadAck, "Reassembly in-order data",
+     "Bad ACK number"},
+    {strategy::StrategyId::kInOrderBadChecksum, "Reassembly in-order data",
+     "Bad checksum"},
+    {strategy::StrategyId::kInOrderNoFlags, "Reassembly in-order data",
+     "No TCP flag"},
+    {strategy::StrategyId::kTeardownRstTtl, "TCB teardown with RST", "TTL"},
+    {strategy::StrategyId::kTeardownRstBadChecksum, "TCB teardown with RST",
+     "Bad checksum"},
+    {strategy::StrategyId::kTeardownRstAckTtl, "TCB teardown with RST/ACK",
+     "TTL"},
+    {strategy::StrategyId::kTeardownRstAckBadChecksum,
+     "TCB teardown with RST/ACK", "Bad checksum"},
+    {strategy::StrategyId::kTeardownFinTtl, "TCB teardown with FIN", "TTL"},
+    {strategy::StrategyId::kTeardownFinBadChecksum, "TCB teardown with FIN",
+     "Bad checksum"},
+    // Extra row (not in Table 1): the West Chamber Project's tool, which
+    // §1/§9 report as no longer effective.
+    {strategy::StrategyId::kWestChamber, "West Chamber [25] (extra row)",
+     "TTL"},
+};
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  const int trials = cfg.trials > 0 ? cfg.trials : 6;
+  const int server_count = cfg.servers > 0 ? cfg.servers : 77;
+
+  print_banner("Table 1: existing evasion strategies vs. the evolved GFW",
+               "Wang et al., IMC'17, Table 1 (11 vantage points x 77 sites)");
+  std::printf("trials per pair: %d (paper: 50)\n\n", trials);
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const Calibration cal = Calibration::standard();
+  const auto vps = china_vantage_points();
+  const auto servers =
+      make_server_population(server_count, cfg.seed, cal, true);
+
+  TextTable table({"Strategy", "Discrepancy", "Success", "Failure 1",
+                   "Failure 2", "Success w/o kw", "Failure 1 w/o kw"});
+
+  for (const Row& row : kRows) {
+    RateTally with_kw;
+    RateTally without_kw;
+    for (const auto& vp : vps) {
+      for (const auto& srv : servers) {
+        for (int t = 0; t < trials; ++t) {
+          for (bool keyword : {true, false}) {
+            ScenarioOptions opt;
+            opt.vp = vp;
+            opt.server = srv;
+            opt.cal = cal;
+            opt.seed = Rng::mix_seed(
+                {cfg.seed, static_cast<u64>(row.id), Rng::hash_label(vp.name),
+                 srv.ip, static_cast<u64>(t), keyword ? 1u : 0u});
+            Scenario sc(&rules, opt);
+            HttpTrialOptions http;
+            http.with_keyword = keyword;
+            http.strategy = row.id;
+            const TrialResult result = run_http_trial(sc, http);
+            (keyword ? with_kw : without_kw).add(result.outcome);
+          }
+        }
+      }
+    }
+    // Without a keyword nothing is censored, so F2 folds into F1 (any
+    // stray reset is a strategy side effect, reported as Failure 1 in the
+    // paper's two-column layout).
+    const double wo_f1 = without_kw.failure1_rate() +
+                         without_kw.failure2_rate();
+    table.add_row({row.label, row.discrepancy, pct(with_kw.success_rate()),
+                   pct(with_kw.failure1_rate()), pct(with_kw.failure2_rate()),
+                   pct(without_kw.success_rate()), pct(wo_f1)});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

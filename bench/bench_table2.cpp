@@ -1,0 +1,164 @@
+// Table 2 — client-side middlebox behaviours per provider, measured by
+// probing each vantage-point profile with every packet class, exactly like
+// the paper probed its own servers through each client network.
+//
+// Paper reference:
+//                Aliyun      QCloud       Unicom SJZ   Unicom TJ
+//   IP fragments Discarded   Reassembled  Reassembled  Reassembled
+//   Wrong csum   Pass        Pass         Pass         Dropped
+//   No TCP flag  Pass        Pass         Pass         Dropped
+//   RST packets  Pass        Sometimes    Pass         Pass
+//   FIN packets  Sometimes   Pass         Dropped      Dropped
+#include <functional>
+
+#include "bench_common.h"
+#include "middlebox/profiles.h"
+#include "netsim/fragment.h"
+#include "strategy/insertion.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+/// Minimal forwarder capturing what a middlebox does with probes.
+class ProbeForwarder final : public net::Forwarder {
+ public:
+  explicit ProbeForwarder(Rng* rng) : rng_(rng) {}
+
+  void forward(net::Packet pkt) override { forwarded.push_back(std::move(pkt)); }
+  void inject(net::Packet, net::Dir, SimTime) override {}
+  void drop(const net::Packet&, std::string_view) override { ++dropped; }
+  SimTime now() const override { return SimTime::zero(); }
+  Rng& rng() override { return *rng_; }
+
+  std::vector<net::Packet> forwarded;
+  int dropped = 0;
+
+ private:
+  Rng* rng_;
+};
+
+net::Packet base_data_packet(Rng& rng) {
+  const net::FourTuple tuple{net::make_ip(10, 0, 0, 1), 40000,
+                             net::make_ip(93, 184, 216, 34), 80};
+  net::Packet pkt = strategy::craft_data(tuple, rng.next_u32(),
+                                         rng.next_u32(),
+                                         strategy::junk_payload(64, rng));
+  net::finalize(pkt);
+  return pkt;
+}
+
+/// Run `count` probes of one packet class through a fresh middlebox and
+/// classify the observed behaviour the way the paper's table does.
+std::string probe(const mbox::MiddleboxConfig& cfg, u64 seed,
+                  const std::function<std::vector<net::Packet>(Rng&)>& craft,
+                  bool fragments, int count) {
+  int passed = 0;
+  int reassembled = 0;
+  for (int i = 0; i < count; ++i) {
+    Rng rng(Rng::mix_seed({seed, Rng::hash_label(cfg.name),
+                           static_cast<u64>(i)}));
+    mbox::Middlebox box(cfg, rng.fork());
+    ProbeForwarder fwd(&rng);
+    for (auto& pkt : craft(rng)) {
+      box.process(std::move(pkt), net::Dir::kC2S, fwd);
+    }
+    if (fragments) {
+      if (fwd.forwarded.size() == 1 &&
+          !fwd.forwarded.front().ip.is_fragmented()) {
+        ++reassembled;
+      } else if (!fwd.forwarded.empty()) {
+        ++passed;
+      }
+    } else if (fwd.dropped == 0 && !fwd.forwarded.empty()) {
+      ++passed;
+    }
+  }
+  if (fragments) {
+    if (reassembled == count) return "Reassembled";
+    if (passed == count) return "Pass";
+    return "Discarded";
+  }
+  if (passed == count) return "Pass";
+  if (passed == 0) return "Dropped";
+  return "Sometimes dropped";
+}
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  const int count = cfg.trials > 0 ? cfg.trials : 40;
+
+  print_banner("Table 2: client-side middlebox behaviours",
+               "Wang et al., IMC'17, Table 2");
+
+  const strategy::InsertionTuning tuning;  // full-TTL probes
+
+  struct PacketClass {
+    const char* label;
+    bool fragments;
+    std::function<std::vector<net::Packet>(Rng&)> craft;
+  };
+  const PacketClass kClasses[] = {
+      {"IP fragments", true,
+       [](Rng& rng) { return net::fragment_packet(base_data_packet(rng), 32); }},
+      {"Wrong TCP checksum", false,
+       [&tuning](Rng& rng) {
+         net::Packet pkt = base_data_packet(rng);
+         strategy::apply_discrepancy(pkt, strategy::Discrepancy::kBadChecksum,
+                                     tuning);
+         return std::vector<net::Packet>{std::move(pkt)};
+       }},
+      {"No TCP flag", false,
+       [&tuning](Rng& rng) {
+         net::Packet pkt = base_data_packet(rng);
+         strategy::apply_discrepancy(pkt, strategy::Discrepancy::kNoFlags,
+                                     tuning);
+         return std::vector<net::Packet>{std::move(pkt)};
+       }},
+      {"RST packets", false,
+       [](Rng& rng) {
+         const net::FourTuple tuple{net::make_ip(10, 0, 0, 1), 40000,
+                                    net::make_ip(93, 184, 216, 34), 80};
+         net::Packet pkt = strategy::craft_rst(tuple, rng.next_u32());
+         net::finalize(pkt);
+         return std::vector<net::Packet>{std::move(pkt)};
+       }},
+      {"FIN packets", false,
+       [](Rng& rng) {
+         const net::FourTuple tuple{net::make_ip(10, 0, 0, 1), 40000,
+                                    net::make_ip(93, 184, 216, 34), 80};
+         net::Packet pkt =
+             strategy::craft_fin(tuple, rng.next_u32(), rng.next_u32());
+         net::finalize(pkt);
+         return std::vector<net::Packet>{std::move(pkt)};
+       }},
+  };
+
+  const std::pair<const char*, mbox::MiddleboxConfig> kProviders[] = {
+      {"Aliyun(6/11)", mbox::aliyun_profile()},
+      {"QCloud(3/11)", mbox::qcloud_profile()},
+      {"China Unicom SJZ(1/11)", mbox::unicom_sjz_profile()},
+      {"China Unicom TJ(1/11)", mbox::unicom_tj_profile()},
+  };
+
+  TextTable table({"Packet Type", kProviders[0].first, kProviders[1].first,
+                   kProviders[2].first, kProviders[3].first});
+  for (const auto& klass : kClasses) {
+    std::vector<std::string> row{klass.label};
+    for (const auto& [name, profile] : kProviders) {
+      row.push_back(
+          probe(profile, cfg.seed, klass.craft, klass.fragments, count));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -1,0 +1,246 @@
+// Table 3 — discrepancies between the GFW and a Linux 4.4 server on
+// *ignoring* packets: each row is a candidate insertion packet, validated
+// two ways, exactly like §5.3's ignore-path analysis:
+//   * fed to the server stack: the segment must be discarded with the
+//     expected ignore reason and without any state change;
+//   * fed to a GFW device tracking the same connection: the packet must be
+//     accepted (a censored keyword it carries is detected, or the control
+//     packet moves the shadow TCB).
+#include "bench_common.h"
+#include "gfw/gfw_device.h"
+#include "strategy/insertion.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+using tcp::TcpState;
+
+const net::FourTuple kClientTuple{net::make_ip(10, 0, 0, 1), 40000,
+                                  net::make_ip(93, 184, 216, 34), 80};
+
+// ------------------------------------------------------------ server side
+
+struct ServerHarness {
+  net::EventLoop loop;
+  std::vector<net::Packet> sent;
+  tcp::TcpEndpoint ep;
+  u32 client_seq = 1000;
+
+  tcp::TcpEndpoint::Callbacks make_callbacks() {
+    tcp::TcpEndpoint::Callbacks cb;
+    cb.send = [this](net::Packet p) { sent.push_back(std::move(p)); };
+    return cb;
+  }
+
+  explicit ServerHarness(TcpState target,
+                         tcp::LinuxVersion version = tcp::LinuxVersion::k4_4)
+      : ep(loop, Rng(7), tcp::StackProfile::for_version(version),
+           kClientTuple.reversed(), make_callbacks()) {
+    ep.open_passive();
+    // Negotiate timestamps in the handshake so the PAWS row is live.
+    net::Packet syn = net::make_tcp_packet(kClientTuple,
+                                           net::TcpFlags::only_syn(),
+                                           client_seq, 0);
+    syn.tcp->options.timestamps = net::TcpTimestamps{100'000, 0};
+    feed(std::move(syn));
+    ++client_seq;
+    if (target == TcpState::kEstablished) {
+      net::Packet ack = net::make_tcp_packet(kClientTuple,
+                                             net::TcpFlags::only_ack(),
+                                             client_seq, ep.iss() + 1);
+      ack.tcp->options.timestamps = net::TcpTimestamps{100'001, 0};
+      feed(std::move(ack));
+    }
+  }
+
+  void feed(net::Packet pkt) {
+    net::finalize(pkt);
+    ep.on_segment(pkt);
+  }
+
+  /// Feed a candidate and report whether it was ignored without state
+  /// change; returns the recorded ignore reason or a verdict string.
+  std::string verdict(net::Packet pkt) {
+    const TcpState before_state = ep.state();
+    const u32 before_rcv = ep.rcv_nxt();
+    const std::size_t before_log = ep.ignore_log().size();
+    feed(std::move(pkt));
+    if (ep.state() != before_state) {
+      return std::string("STATE CHANGED to ") + tcp::to_string(ep.state());
+    }
+    if (ep.rcv_nxt() != before_rcv) return "DATA ACCEPTED";
+    if (ep.ignore_log().size() > before_log) {
+      return std::string("ignored: ") +
+             tcp::to_string(ep.ignore_log().back().reason);
+    }
+    return "no effect";
+  }
+};
+
+// --------------------------------------------------------------- GFW side
+
+struct CollectingForwarder final : public net::Forwarder {
+  explicit CollectingForwarder(Rng* rng) : rng_(rng) {}
+  void forward(net::Packet) override {}
+  void inject(net::Packet pkt, net::Dir, SimTime) override {
+    injected.push_back(std::move(pkt));
+  }
+  void drop(const net::Packet&, std::string_view) override {}
+  SimTime now() const override { return SimTime::zero(); }
+  Rng& rng() override { return *rng_; }
+  std::vector<net::Packet> injected;
+  Rng* rng_;
+};
+
+struct GfwHarness {
+  Rng rng{11};
+  gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  gfw::GfwConfig cfg;
+  gfw::GfwDevice dev;
+  CollectingForwarder fwd{&rng};
+  u32 client_seq = 1000;
+  u32 server_seq = 5000;
+
+  explicit GfwHarness(bool complete_handshake) : dev(make_dev()) {
+    feed(net::make_tcp_packet(kClientTuple, net::TcpFlags::only_syn(),
+                              client_seq, 0),
+         net::Dir::kC2S);
+    ++client_seq;
+    feed(net::make_tcp_packet(kClientTuple.reversed(),
+                              net::TcpFlags::syn_ack(), server_seq,
+                              client_seq),
+         net::Dir::kS2C);
+    ++server_seq;
+    if (complete_handshake) {
+      feed(net::make_tcp_packet(kClientTuple, net::TcpFlags::only_ack(),
+                                client_seq, server_seq),
+           net::Dir::kC2S);
+    }
+  }
+
+  gfw::GfwDevice make_dev() {
+    cfg.detection_miss_rate = 0.0;
+    return gfw::GfwDevice("gfw", cfg, &rules, Rng(13));
+  }
+
+  void feed(net::Packet pkt, net::Dir dir) {
+    net::finalize(pkt);
+    dev.process(std::move(pkt), dir, fwd);
+  }
+
+  std::string verdict(net::Packet pkt) {
+    const auto* before = dev.find_tcb(kClientTuple);
+    const gfw::TcbState before_state =
+        before ? before->state : gfw::TcbState::kEstablished;
+    feed(std::move(pkt), net::Dir::kC2S);
+    if (dev.detections() > 0) return "ACCEPTED (keyword detected)";
+    const auto* after = dev.find_tcb(kClientTuple);
+    if (before != nullptr && after == nullptr) return "ACCEPTED (TCB torn down)";
+    if (after != nullptr && after->state != before_state) {
+      return "ACCEPTED (entered resync)";
+    }
+    return "no effect";
+  }
+};
+
+// -------------------------------------------------------------------- rows
+
+net::Packet keyword_data(u32 seq, u32 ack) {
+  return net::make_tcp_packet(kClientTuple, net::TcpFlags::psh_ack(), seq,
+                              ack, to_bytes("GET /?q=ultrasurf HTTP/1.1\r\n"));
+}
+
+int run(int argc, char** argv) {
+  (void)parse_args(argc, argv);
+  print_banner(
+      "Table 3: server ignore paths the GFW does not share (candidate "
+      "insertion packets)",
+      "Wang et al., IMC'17, Table 3 / section 5.3");
+
+  const strategy::InsertionTuning tuning{
+      .small_ttl = 8, .peer_snd_nxt = 0, .bad_ack_offset = 0x01000000,
+      .stale_ts_val = 1};
+
+  TextTable table({"TCP State", "TCP Flags", "Condition", "Server (Linux 4.4)",
+                   "GFW (evolved model)"});
+
+  struct Row {
+    const char* state_label;
+    TcpState server_state;
+    bool gfw_handshake_done;
+    const char* flags;
+    const char* condition;
+    strategy::Discrepancy discrepancy;
+    bool rst_ack_control;  // row 4: RST/ACK with wrong ack
+  };
+  const Row rows[] = {
+      {"Any", TcpState::kEstablished, true, "Any",
+       "IP total length > actual length", strategy::Discrepancy::kBadIpLength,
+       false},
+      {"Any", TcpState::kEstablished, true, "Any", "TCP Header Length < 20",
+       strategy::Discrepancy::kShortTcpHeader, false},
+      {"Any", TcpState::kEstablished, true, "Any", "TCP checksum incorrect",
+       strategy::Discrepancy::kBadChecksum, false},
+      {"SYN_RECV", TcpState::kSynRecv, false, "RST+ACK",
+       "Wrong acknowledgement number", strategy::Discrepancy::kNone, true},
+      {"SYN_RECV/ESTABLISHED", TcpState::kEstablished, true, "ACK",
+       "Wrong acknowledgement number", strategy::Discrepancy::kBadAckNumber,
+       false},
+      {"SYN_RECV/ESTABLISHED", TcpState::kEstablished, true, "Any",
+       "Has unsolicited MD5 Optional Header",
+       strategy::Discrepancy::kUnsolicitedMd5, false},
+      {"SYN_RECV/ESTABLISHED", TcpState::kEstablished, true, "No flag",
+       "TCP packet with no flag", strategy::Discrepancy::kNoFlags, false},
+      {"SYN_RECV/ESTABLISHED", TcpState::kEstablished, true, "FIN",
+       "TCP packet with only FIN flag", strategy::Discrepancy::kNone, false},
+      {"SYN_RECV/ESTABLISHED", TcpState::kEstablished, true, "ACK",
+       "Timestamps too old", strategy::Discrepancy::kOldTimestamp, false},
+  };
+
+  for (const Row& row : rows) {
+    ServerHarness server(row.server_state);
+    GfwHarness gfw_h(row.gfw_handshake_done);
+
+    auto craft = [&](u32 seq, u32 ack) {
+      if (row.rst_ack_control) {
+        // RST/ACK with a wrong acknowledgement number.
+        return net::make_tcp_packet(kClientTuple, net::TcpFlags::rst_ack(),
+                                    seq, ack + 0x01000000);
+      }
+      net::Packet pkt = keyword_data(seq, ack);
+      if (std::string_view(row.flags) == "FIN") {
+        pkt.tcp->flags = net::TcpFlags::only_fin();
+      }
+      strategy::InsertionTuning t = tuning;
+      t.peer_snd_nxt = ack;
+      strategy::apply_discrepancy(pkt, row.discrepancy, t);
+      if (row.discrepancy == strategy::Discrepancy::kSmallTtl) {
+        pkt.ip.ttl = 64;  // not used in this matrix
+      }
+      return pkt;
+    };
+
+    // The server's in-window expectation: next client seq / our last ack.
+    const std::string server_verdict =
+        server.verdict(craft(server.client_seq, server.ep.snd_nxt()));
+    const std::string gfw_verdict =
+        gfw_h.verdict(craft(gfw_h.client_seq, gfw_h.server_seq));
+
+    table.add_row({row.state_label, row.flags, row.condition, server_verdict,
+                   gfw_verdict});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Every row must read `ignored:` on the server side and `ACCEPTED` on\n"
+      "the GFW side — that asymmetry is what makes it an insertion packet.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

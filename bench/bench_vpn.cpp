@@ -1,0 +1,64 @@
+// §7.3 — OpenVPN-over-TCP under handshake DPI (the November 2016
+// observation): without INTANG the client receives a reset during the
+// handshake; with INTANG (improved TCB teardown) the tunnel comes up.
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+int run(int argc, char** argv) {
+  RunConfig cfg = parse_args(argc, argv);
+  const int repeats = cfg.trials > 0 ? cfg.trials : 20;
+
+  print_banner("Section 7.3: OpenVPN-over-TCP DPI and INTANG cover",
+               "Wang et al., IMC'17, section 7.3 (VPN)");
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const Calibration cal = Calibration::standard();
+
+  ServerSpec vpn_server;
+  vpn_server.host = "openvpn-server";
+  vpn_server.ip = net::make_ip(203, 0, 113, 5);
+  vpn_server.version = tcp::LinuxVersion::k4_4;
+
+  TextTable table({"Mode", "Success", "Failure 1", "Failure 2 (DPI reset)"});
+
+  for (bool use_intang : {false, true}) {
+    RateTally tally;
+    for (const auto& vp : china_vantage_points()) {
+      intang::StrategySelector selector{intang::StrategySelector::Config{}};
+      for (int t = use_intang ? -4 : 0; t < repeats; ++t) {
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = vpn_server;
+        opt.cal = cal;
+        opt.vpn_dpi = true;  // the Nov 2016 behaviour
+        opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name),
+                                  static_cast<u64>(t),
+                                  use_intang ? 1u : 0u});
+        Scenario sc(&rules, opt);
+        VpnTrialOptions vpn;
+        vpn.use_intang = use_intang;
+        vpn.strategy = use_intang ? strategy::StrategyId::kImprovedTeardown
+                                  : strategy::StrategyId::kNone;
+        vpn.shared_selector = use_intang ? &selector : nullptr;
+        const TrialResult r = run_vpn_trial(sc, vpn);
+        if (t >= 0) tally.add(r.outcome);  // warm-ups uncounted
+      }
+    }
+    table.add_row({use_intang ? "openvpn + INTANG" : "openvpn (bare)",
+                   pct(tally.success_rate()), pct(tally.failure1_rate()),
+                   pct(tally.failure2_rate())});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -1,0 +1,42 @@
+// Probe an unknown censored path and infer the GFW's model — the §4
+// methodology packaged as a tool. Ground truth is printed next to the
+// inference so you can see the prober working blind.
+#include <cstdio>
+
+#include "exp/prober.h"
+
+int main() {
+  using namespace ys;
+  using namespace ys::exp;
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+
+  struct Case {
+    const char* label;
+    double old_fraction;
+    double rst_resync;
+  };
+  const Case cases[] = {
+      {"typical 2017 path (evolved devices)", 0.0, 0.24},
+      {"legacy path (prior-model devices)", 1.0, 0.0},
+      {"resync-flavored evolved devices", 0.0, 1.0},
+  };
+
+  for (const Case& c : cases) {
+    ScenarioOptions opt;
+    opt.vp = china_vantage_points()[0];
+    opt.server.host = "probe-target.example";
+    opt.server.ip = net::make_ip(93, 184, 216, 34);
+    opt.cal = Calibration::standard();
+    opt.cal.old_model_fraction = c.old_fraction;
+    opt.cal.rst_resync_established = c.rst_resync;
+    opt.cal.rst_resync_handshake = c.rst_resync;
+    opt.cal.ttl_estimate_error_prob = 0.0;
+    opt.seed = 5;
+
+    std::printf("=== %s\n", c.label);
+    const GfwFindings findings = probe_gfw(&rules, opt);
+    std::printf("%s\n", findings.to_string().c_str());
+  }
+  return 0;
+}

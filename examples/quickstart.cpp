@@ -1,0 +1,69 @@
+// Quickstart: build a censored network path, watch a sensitive HTTP request
+// get reset by the simulated GFW, then fetch the same page through INTANG.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "exp/scenario.h"
+#include "exp/trial.h"
+
+int main() {
+  using namespace ys;
+  using namespace ys::exp;
+
+  // Shared detection rules: the GFW's keyword list and DNS blacklist.
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+
+  // A vantage point in Shanghai behind Aliyun's middleboxes, probing a
+  // foreign web server across a path with evolved GFW devices on it.
+  ScenarioOptions options;
+  options.vp = china_vantage_points()[1];  // aliyun-sh
+  options.server.host = "blocked-site.example";
+  options.server.ip = net::make_ip(93, 184, 216, 34);
+  options.server.version = tcp::LinuxVersion::k4_4;
+  options.cal = Calibration::standard();
+  options.seed = 42;
+
+  // --- 1. No evasion: the GET /?q=ultrasurf draws a reset volley.
+  {
+    Scenario scenario(&rules, options);
+    HttpTrialOptions http;
+    http.with_keyword = true;
+    const TrialResult result = run_http_trial(scenario, http);
+    std::printf("without evasion : %-9s (GFW resets seen: %s)\n",
+                to_string(result.outcome),
+                result.gfw_reset_seen ? "yes" : "no");
+  }
+
+  // --- 2. One fixed strategy: the Figure 4 combination.
+  {
+    Scenario scenario(&rules, options);
+    HttpTrialOptions http;
+    http.with_keyword = true;
+    http.strategy = strategy::StrategyId::kTeardownReversal;
+    const TrialResult result = run_http_trial(scenario, http);
+    std::printf("fixed strategy  : %-9s (%s)\n", to_string(result.outcome),
+                strategy::to_string(http.strategy));
+  }
+
+  // --- 3. INTANG: measurement-driven strategy selection with caching.
+  {
+    intang::StrategySelector selector{intang::StrategySelector::Config{}};
+    for (int fetch = 1; fetch <= 3; ++fetch) {
+      ScenarioOptions per_fetch = options;
+      per_fetch.seed = 42 + static_cast<u64>(fetch);
+      Scenario scenario(&rules, per_fetch);
+      HttpTrialOptions http;
+      http.with_keyword = true;
+      http.use_intang = true;
+      http.shared_selector = &selector;
+      const TrialResult result = run_http_trial(scenario, http);
+      std::printf("INTANG fetch %d  : %-9s (selector chose %s)\n", fetch,
+                  to_string(result.outcome),
+                  strategy::to_string(result.strategy_used));
+    }
+  }
+  return 0;
+}

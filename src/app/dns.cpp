@@ -1,0 +1,175 @@
+#include "app/dns.h"
+
+#include <cctype>
+
+#include "core/byte_io.h"
+
+namespace ys::app {
+namespace {
+
+Status write_name(BufWriter& w, const std::string& name) {
+  std::size_t start = 0;
+  while (start < name.size()) {
+    auto dot = name.find('.', start);
+    if (dot == std::string::npos) dot = name.size();
+    const std::size_t len = dot - start;
+    if (len == 0 || len > 63) return Error::make("bad DNS label length");
+    w.u8_(static_cast<u8>(len));
+    w.str(std::string_view(name).substr(start, len));
+    start = dot + 1;
+  }
+  w.u8_(0);
+  return Status::ok_status();
+}
+
+Result<std::string> read_name(BufReader& r) {
+  std::string name;
+  for (int guard = 0; guard < 128; ++guard) {
+    auto len = r.u8_();
+    if (!len.ok()) return len.error();
+    if (len.value() == 0) break;
+    if ((len.value() & 0xC0) != 0) {
+      // Compression pointers are never emitted by this codec; reject.
+      return Error::make("DNS compression not supported");
+    }
+    auto label = r.bytes(len.value());
+    if (!label.ok()) return label.error();
+    if (!name.empty()) name += '.';
+    for (u8 c : label.value()) {
+      name += static_cast<char>(std::tolower(c));
+    }
+  }
+  return name;
+}
+
+}  // namespace
+
+Bytes dns_encode(const DnsMessage& msg) {
+  Bytes out;
+  BufWriter w(out);
+  w.u16_(msg.id);
+  u16 flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  if (msg.recursion_desired) flags |= 0x0100;
+  if (msg.is_response) flags |= 0x0080;  // RA
+  flags |= msg.rcode & 0x0F;
+  w.u16_(flags);
+  w.u16_(static_cast<u16>(msg.questions.size()));
+  w.u16_(static_cast<u16>(msg.answers.size()));
+  w.u16_(0);  // NS
+  w.u16_(0);  // AR
+  for (const auto& q : msg.questions) {
+    (void)write_name(w, q.qname);
+    w.u16_(q.qtype);
+    w.u16_(q.qclass);
+  }
+  for (const auto& a : msg.answers) {
+    (void)write_name(w, a.name);
+    w.u16_(a.type);
+    w.u16_(1);  // IN
+    w.u32_(a.ttl);
+    w.u16_(4);  // RDLENGTH for A
+    w.u32_(a.address);
+  }
+  return out;
+}
+
+Result<DnsMessage> dns_parse(ByteView data) {
+  BufReader r(data);
+  DnsMessage msg;
+  auto id = r.u16_();
+  auto flags = r.u16_();
+  auto qd = r.u16_();
+  auto an = r.u16_();
+  auto ns = r.u16_();
+  auto ar = r.u16_();
+  if (!id.ok() || !flags.ok() || !qd.ok() || !an.ok() || !ns.ok() ||
+      !ar.ok()) {
+    return Error::make("truncated DNS header");
+  }
+  msg.id = id.value();
+  msg.is_response = (flags.value() & 0x8000) != 0;
+  msg.recursion_desired = (flags.value() & 0x0100) != 0;
+  msg.rcode = static_cast<u8>(flags.value() & 0x0F);
+
+  for (u16 i = 0; i < qd.value(); ++i) {
+    auto name = read_name(r);
+    if (!name.ok()) return name.error();
+    auto qtype = r.u16_();
+    auto qclass = r.u16_();
+    if (!qtype.ok() || !qclass.ok()) return Error::make("truncated question");
+    msg.questions.push_back(
+        DnsQuestion{std::move(name).take(), qtype.value(), qclass.value()});
+  }
+  for (u16 i = 0; i < an.value(); ++i) {
+    auto name = read_name(r);
+    if (!name.ok()) return name.error();
+    auto type = r.u16_();
+    auto klass = r.u16_();
+    auto ttl = r.u32_();
+    auto rdlen = r.u16_();
+    if (!type.ok() || !klass.ok() || !ttl.ok() || !rdlen.ok()) {
+      return Error::make("truncated answer");
+    }
+    DnsAnswer ans;
+    ans.name = std::move(name).take();
+    ans.type = type.value();
+    ans.ttl = ttl.value();
+    if (type.value() == static_cast<u16>(DnsType::kA) && rdlen.value() == 4) {
+      auto addr = r.u32_();
+      if (!addr.ok()) return addr.error();
+      ans.address = addr.value();
+    } else {
+      auto st = r.skip(rdlen.value());
+      if (!st.ok()) return Error::make("truncated rdata");
+    }
+    msg.answers.push_back(ans);
+  }
+  return msg;
+}
+
+DnsMessage make_query(u16 id, std::string qname) {
+  DnsMessage msg;
+  msg.id = id;
+  msg.questions.push_back(DnsQuestion{std::move(qname)});
+  return msg;
+}
+
+DnsMessage make_response(const DnsMessage& query, net::IpAddr address) {
+  DnsMessage msg;
+  msg.id = query.id;
+  msg.is_response = true;
+  msg.questions = query.questions;
+  if (!query.questions.empty()) {
+    msg.answers.push_back(DnsAnswer{query.questions.front().qname,
+                                    static_cast<u16>(DnsType::kA), 300,
+                                    address});
+  }
+  return msg;
+}
+
+Bytes dns_tcp_frame(const DnsMessage& msg) {
+  Bytes body = dns_encode(msg);
+  Bytes out;
+  out.reserve(body.size() + 2);
+  BufWriter w(out);
+  w.u16_(static_cast<u16>(body.size()));
+  w.bytes(body);
+  return out;
+}
+
+std::vector<DnsMessage> dns_tcp_extract(ByteView stream,
+                                        std::size_t* offset) {
+  std::vector<DnsMessage> out;
+  while (*offset + 2 <= stream.size()) {
+    const std::size_t len = (static_cast<std::size_t>(stream[*offset]) << 8) |
+                            stream[*offset + 1];
+    if (*offset + 2 + len > stream.size()) break;
+    auto msg = dns_parse(stream.subspan(*offset + 2, len));
+    *offset += 2 + len;
+    if (msg.ok()) out.push_back(std::move(msg).take());
+  }
+  return out;
+}
+
+}  // namespace ys::app

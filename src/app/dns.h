@@ -1,0 +1,68 @@
+// DNS wire codec (RFC 1035 subset) for UDP and length-prefixed TCP.
+//
+// Used three ways in the reproduction:
+//  * the GFW's UDP DNS poisoner parses queries and forges responses (§2.1);
+//  * the GFW's TCP stream inspector extracts QNAMEs from DNS-over-TCP to
+//    apply the same reset censorship as HTTP (§7.2);
+//  * INTANG's DNS forwarder converts UDP queries to TCP and back (§6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "core/types.h"
+#include "netsim/addr.h"
+
+namespace ys::app {
+
+enum class DnsType : u16 {
+  kA = 1,
+};
+
+struct DnsQuestion {
+  std::string qname;  // dotted, lowercase
+  u16 qtype = static_cast<u16>(DnsType::kA);
+  u16 qclass = 1;  // IN
+};
+
+struct DnsAnswer {
+  std::string name;
+  u16 type = static_cast<u16>(DnsType::kA);
+  u32 ttl = 300;
+  net::IpAddr address = 0;  // A record payload
+};
+
+struct DnsMessage {
+  u16 id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  u8 rcode = 0;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsAnswer> answers;
+};
+
+/// Encode to a raw DNS message (UDP payload).
+Bytes dns_encode(const DnsMessage& msg);
+
+/// Parse a raw DNS message.
+Result<DnsMessage> dns_parse(ByteView data);
+
+/// Build a standard A query.
+DnsMessage make_query(u16 id, std::string qname);
+
+/// Build a response answering `query` with `address`.
+DnsMessage make_response(const DnsMessage& query, net::IpAddr address);
+
+// --------------------------------------------------------- TCP transport
+
+/// RFC 1035 §4.2.2 framing: two-byte length prefix then the message.
+Bytes dns_tcp_frame(const DnsMessage& msg);
+
+/// Incrementally extract complete framed messages from a TCP stream,
+/// starting at *offset (advanced past consumed bytes). Malformed frames
+/// stop extraction.
+std::vector<DnsMessage> dns_tcp_extract(ByteView stream, std::size_t* offset);
+
+}  // namespace ys::app

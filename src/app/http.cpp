@@ -1,0 +1,107 @@
+#include "app/http.h"
+
+#include <algorithm>
+#include <charconv>
+
+namespace ys::app {
+namespace {
+
+std::string_view as_view(ByteView b) {
+  return std::string_view(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+std::size_t header_end(std::string_view s) {
+  const auto pos = s.find("\r\n\r\n");
+  return pos == std::string_view::npos ? std::string_view::npos : pos + 4;
+}
+
+std::optional<std::size_t> content_length(std::string_view headers) {
+  // Case-insensitive scan for the Content-Length header.
+  static constexpr std::string_view kName = "content-length:";
+  for (std::size_t pos = 0; pos < headers.size();) {
+    auto eol = headers.find("\r\n", pos);
+    if (eol == std::string_view::npos) eol = headers.size();
+    std::string_view line = headers.substr(pos, eol - pos);
+    if (line.size() > kName.size()) {
+      bool match = true;
+      for (std::size_t i = 0; i < kName.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(line[i])) != kName[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        std::string_view v = line.substr(kName.size());
+        while (!v.empty() && v.front() == ' ') v.remove_prefix(1);
+        std::size_t value = 0;
+        auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), value);
+        if (ec == std::errc()) return value;
+      }
+    }
+    pos = eol + 2;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Bytes build_http_get(std::string_view host, std::string_view path) {
+  std::string req = "GET ";
+  req += path;
+  req += " HTTP/1.1\r\nHost: ";
+  req += host;
+  req += "\r\nUser-Agent: yourstate-probe/1.0\r\nAccept: */*\r\n\r\n";
+  return to_bytes(req);
+}
+
+bool http_request_complete(ByteView stream) {
+  return header_end(as_view(stream)) != std::string_view::npos;
+}
+
+std::optional<std::string> http_request_path(ByteView stream) {
+  std::string_view s = as_view(stream);
+  if (header_end(s) == std::string_view::npos) return std::nullopt;
+  const auto sp1 = s.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const auto sp2 = s.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos) return std::nullopt;
+  return std::string(s.substr(sp1 + 1, sp2 - sp1 - 1));
+}
+
+Bytes build_http_response(std::string_view body) {
+  std::string resp = "HTTP/1.1 200 OK\r\nServer: yoursim/1.0\r\nContent-Type: "
+                     "text/html\r\nContent-Length: ";
+  resp += std::to_string(body.size());
+  resp += "\r\nConnection: keep-alive\r\n\r\n";
+  resp += body;
+  return to_bytes(resp);
+}
+
+Bytes build_http_redirect(std::string_view location) {
+  std::string resp = "HTTP/1.1 301 Moved Permanently\r\nLocation: ";
+  resp += location;
+  resp += "\r\nContent-Length: 0\r\n\r\n";
+  return to_bytes(resp);
+}
+
+bool http_response_complete(ByteView stream) {
+  std::string_view s = as_view(stream);
+  const std::size_t he = header_end(s);
+  if (he == std::string_view::npos) return false;
+  const auto len = content_length(s.substr(0, he));
+  if (!len) return true;  // no body expected
+  return s.size() >= he + *len;
+}
+
+std::optional<int> http_response_status(ByteView stream) {
+  std::string_view s = as_view(stream);
+  if (!s.starts_with("HTTP/1.1 ") && !s.starts_with("HTTP/1.0 ")) {
+    return std::nullopt;
+  }
+  int code = 0;
+  auto [ptr, ec] = std::from_chars(s.data() + 9, s.data() + s.size(), code);
+  if (ec != std::errc()) return std::nullopt;
+  return code;
+}
+
+}  // namespace ys::app

@@ -1,0 +1,43 @@
+// Minimal HTTP/1.1 request/response handling — the workload of Table 1/4.
+//
+// The paper's probes are plain HTTP GETs whose request line carries a
+// sensitive keyword (`ultrasurf`); servers answer 200 OK. Only the small
+// subset the experiments exercise is implemented, but framing is honest:
+// header/body split, Content-Length, and request completeness detection.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/types.h"
+
+namespace ys::app {
+
+/// Build "GET <path> HTTP/1.1" with a Host header. The censored probes pass
+/// a path like "/search?q=ultrasurf".
+Bytes build_http_get(std::string_view host, std::string_view path);
+
+/// True once `stream` holds at least one complete request (terminating
+/// CRLFCRLF). GET requests carry no body.
+bool http_request_complete(ByteView stream);
+
+/// Extract the request target (path) of the first request, if complete.
+std::optional<std::string> http_request_path(ByteView stream);
+
+/// Build a "200 OK" response with the given body and Content-Length.
+Bytes build_http_response(std::string_view body);
+
+/// Build a "301 Moved Permanently" whose Location echoes `location` — the
+/// HTTPS-redirect case of §3.3 where the keyword is copied into the
+/// response and caught by response-censoring GFW devices.
+Bytes build_http_redirect(std::string_view location);
+
+/// True once `stream` holds a complete response (headers plus
+/// Content-Length body bytes).
+bool http_response_complete(ByteView stream);
+
+/// Status code of the (complete) response at the head of the stream.
+std::optional<int> http_response_status(ByteView stream);
+
+}  // namespace ys::app

@@ -1,0 +1,52 @@
+#include "app/tor.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ys::app {
+namespace {
+
+// TLS record header: handshake(22), TLS 1.0, length; then ClientHello(1).
+// The cipher list below reproduces the historical Tor fingerprint the GFW
+// matched on (a distinctive ECDHE-heavy ordering).
+constexpr std::array<u8, 8> kTorCipherFingerprint = {
+    0xc0, 0x0a, 0xc0, 0x14, 0x00, 0x39, 0x00, 0x38};
+
+Bytes make_hello(u8 handshake_type) {
+  Bytes out = {0x16, 0x03, 0x01, 0x00, 0x2a, handshake_type};
+  // client_version + random (truncated model).
+  out.insert(out.end(), {0x03, 0x03});
+  out.insert(out.end(), 16, 0xA5);
+  // cipher suites: length + fingerprint.
+  out.push_back(0x00);
+  out.push_back(static_cast<u8>(kTorCipherFingerprint.size()));
+  out.insert(out.end(), kTorCipherFingerprint.begin(),
+             kTorCipherFingerprint.end());
+  return out;
+}
+
+bool contains_fingerprint(ByteView payload) {
+  return std::search(payload.begin(), payload.end(),
+                     kTorCipherFingerprint.begin(),
+                     kTorCipherFingerprint.end()) != payload.end();
+}
+
+}  // namespace
+
+Bytes build_tor_client_hello() { return make_hello(0x01); }
+
+Bytes build_tor_server_hello() { return make_hello(0x02); }
+
+bool is_tor_client_hello(ByteView payload) {
+  return payload.size() >= 6 && payload[0] == 0x16 && payload[5] == 0x01 &&
+         contains_fingerprint(payload);
+}
+
+Bytes build_probe_hello() { return build_tor_client_hello(); }
+
+bool is_tor_bridge_response(ByteView payload) {
+  return payload.size() >= 6 && payload[0] == 0x16 && payload[5] == 0x02 &&
+         contains_fingerprint(payload);
+}
+
+}  // namespace ys::app

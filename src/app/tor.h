@@ -1,0 +1,31 @@
+// Tor bridge traffic model (§7.3).
+//
+// The GFW identifies Tor by the distinctive TLS ClientHello its clients
+// send (cipher-suite fingerprint) and then *actively probes* the suspected
+// bridge; on confirmation it blocks the bridge IP wholesale. We model the
+// handshake at fingerprint fidelity: a ClientHello-shaped record whose
+// cipher list matches the classic Tor selection, plus the bridge's reply.
+#pragma once
+
+#include <string_view>
+
+#include "core/types.h"
+
+namespace ys::app {
+
+/// First flight a Tor client sends to a bridge (TLS ClientHello carrying
+/// the Tor cipher-suite fingerprint).
+Bytes build_tor_client_hello();
+
+/// Bridge's ServerHello-shaped reply.
+Bytes build_tor_server_hello();
+
+/// The DPI predicate the GFW applies to a client's first payload.
+bool is_tor_client_hello(ByteView payload);
+
+/// Probe payload the GFW's active prober sends, and the bridge's
+/// distinguishing reply predicate.
+Bytes build_probe_hello();
+bool is_tor_bridge_response(ByteView payload);
+
+}  // namespace ys::app

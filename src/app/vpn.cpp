@@ -1,0 +1,35 @@
+#include "app/vpn.h"
+
+namespace ys::app {
+namespace {
+
+Bytes make_control_packet(u8 opcode_keyid) {
+  // 2-byte length prefix, opcode/key-id byte, 8-byte session id, zero
+  // packet-id array length, 4-byte packet id.
+  Bytes body;
+  body.push_back(opcode_keyid);
+  body.insert(body.end(), 8, 0x5C);  // session id
+  body.push_back(0x00);              // acked packet-id array length
+  body.insert(body.end(), {0x00, 0x00, 0x00, 0x00});
+  Bytes out;
+  out.reserve(body.size() + 2);
+  out.push_back(static_cast<u8>(body.size() >> 8));
+  out.push_back(static_cast<u8>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+Bytes build_openvpn_client_reset() { return make_control_packet(0x38); }
+
+Bytes build_openvpn_server_reset() { return make_control_packet(0x40); }
+
+bool is_openvpn_client_reset(ByteView payload) {
+  if (payload.size() < 3) return false;
+  const std::size_t framed_len =
+      (static_cast<std::size_t>(payload[0]) << 8) | payload[1];
+  return framed_len >= 14 && payload[2] == 0x38;
+}
+
+}  // namespace ys::app

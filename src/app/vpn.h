@@ -1,0 +1,22 @@
+// OpenVPN-over-TCP handshake model (§7.3).
+//
+// The GFW was observed (Nov 2016) resetting OpenVPN TCP sessions during the
+// handshake via DPI. OpenVPN-over-TCP frames are length-prefixed; the first
+// client packet is P_CONTROL_HARD_RESET_CLIENT_V2 (opcode 7, key id 0 →
+// first byte 0x38), which is the fingerprint DPI keys on.
+#pragma once
+
+#include "core/types.h"
+
+namespace ys::app {
+
+/// Client's first OpenVPN-over-TCP flight (hard-reset control packet).
+Bytes build_openvpn_client_reset();
+
+/// Server's P_CONTROL_HARD_RESET_SERVER_V2 reply (opcode 8 → 0x40).
+Bytes build_openvpn_server_reset();
+
+/// DPI predicate for the client handshake fingerprint.
+bool is_openvpn_client_reset(ByteView payload);
+
+}  // namespace ys::app

@@ -1,0 +1,5 @@
+#include "core/byte_io.h"
+
+// Header-only today; the translation unit pins the library target and keeps
+// room for out-of-line growth without touching the build.
+namespace ys {}

@@ -1,0 +1,52 @@
+// Virtual time for the discrete-event simulator.
+//
+// All protocol timers (retransmission, the GFW's 90-second block period, the
+// INTANG cache TTLs) are expressed against this clock so experiments run in
+// microseconds of wall time while simulating minutes of network time, fully
+// deterministically.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.h"
+
+namespace ys {
+
+/// Simulated time since experiment start, in microseconds.
+struct SimTime {
+  i64 us = 0;
+
+  static constexpr SimTime zero() { return SimTime{0}; }
+  static constexpr SimTime from_us(i64 v) { return SimTime{v}; }
+  static constexpr SimTime from_ms(i64 v) { return SimTime{v * 1000}; }
+  static constexpr SimTime from_sec(i64 v) { return SimTime{v * 1'000'000}; }
+
+  constexpr double seconds() const { return static_cast<double>(us) / 1e6; }
+  constexpr i64 millis() const { return us / 1000; }
+
+  friend constexpr bool operator==(SimTime a, SimTime b) { return a.us == b.us; }
+  friend constexpr bool operator!=(SimTime a, SimTime b) { return a.us != b.us; }
+  friend constexpr bool operator<(SimTime a, SimTime b) { return a.us < b.us; }
+  friend constexpr bool operator<=(SimTime a, SimTime b) { return a.us <= b.us; }
+  friend constexpr bool operator>(SimTime a, SimTime b) { return a.us > b.us; }
+  friend constexpr bool operator>=(SimTime a, SimTime b) { return a.us >= b.us; }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.us + b.us}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.us - b.us}; }
+};
+
+/// A settable virtual clock owned by the event loop; components hold a
+/// pointer and read `now()`.
+class VirtualClock {
+ public:
+  SimTime now() const { return now_; }
+
+  /// Only the event loop advances time; monotonicity is enforced.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  SimTime now_ = SimTime::zero();
+};
+
+}  // namespace ys

@@ -1,0 +1,43 @@
+#include "core/hexdump.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ys {
+
+std::string hexdump(ByteView data) {
+  std::string out;
+  char line[24];
+  for (std::size_t i = 0; i < data.size(); i += 16) {
+    std::snprintf(line, sizeof(line), "%04zx  ", i);
+    out += line;
+    for (std::size_t j = 0; j < 16; ++j) {
+      if (i + j < data.size()) {
+        std::snprintf(line, sizeof(line), "%02x ", data[i + j]);
+        out += line;
+      } else {
+        out += "   ";
+      }
+      if (j == 7) out += ' ';
+    }
+    out += " |";
+    for (std::size_t j = 0; j < 16 && i + j < data.size(); ++j) {
+      const u8 c = data[i + j];
+      out += std::isprint(c) ? static_cast<char>(c) : '.';
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+std::string hex_line(ByteView data) {
+  std::string out;
+  char buf[4];
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), i ? " %02x" : "%02x", data[i]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace ys

@@ -1,0 +1,16 @@
+// Hexdump formatting for packet traces and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "core/types.h"
+
+namespace ys {
+
+/// Classic 16-bytes-per-line hexdump with ASCII gutter.
+std::string hexdump(ByteView data);
+
+/// Compact single-line hex string ("de ad be ef").
+std::string hex_line(ByteView data);
+
+}  // namespace ys

@@ -1,0 +1,60 @@
+#include "core/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace ys {
+namespace {
+
+struct LogState {
+  LogLevel level = LogLevel::kWarn;
+  Log::Sink sink;
+  std::mutex mu;
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Log::set_level(LogLevel level) { state().level = level; }
+LogLevel Log::level() { return state().level; }
+void Log::set_sink(Sink sink) { state().sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(state().mu);
+  if (state().sink) {
+    state().sink(level, msg);
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+std::string TraceRecorder::render() const {
+  std::string out;
+  char head[64];
+  for (const auto& e : events_) {
+    std::snprintf(head, sizeof(head), "%10.6fs  %-12s %-7s ",
+                  e.at.seconds(), e.actor.c_str(), e.kind.c_str());
+    out += head;
+    out += e.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ys

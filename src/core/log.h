@@ -1,0 +1,69 @@
+// Lightweight leveled logging plus a structured event trace.
+//
+// The figure benches (Fig 1-4) print the packet "ladder" of a strategy run;
+// that ladder is produced from TraceRecorder events rather than ad-hoc
+// printf, so tests can assert on the exact sequence the paper's figures
+// show.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide log configuration. Default sink writes to stderr; tests can
+/// silence or capture it.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static void set_level(LogLevel level);
+  static LogLevel level();
+  static void set_sink(Sink sink);
+  static void write(LogLevel level, const std::string& msg);
+
+  static bool enabled(LogLevel level) { return level >= Log::level(); }
+};
+
+#define YS_LOG(lvl, msg)                                   \
+  do {                                                     \
+    if (::ys::Log::enabled(lvl)) ::ys::Log::write(lvl, (msg)); \
+  } while (0)
+
+/// One structured event: where it happened, what happened, and a rendered
+/// description. `actor` is a short component name ("client", "gfw#1",
+/// "server", "mbox:nat", ...).
+struct TraceEvent {
+  SimTime at;
+  std::string actor;
+  std::string kind;    // e.g. "send", "recv", "inject", "drop", "state"
+  std::string detail;  // rendered packet summary or state transition
+};
+
+/// Collects TraceEvents during a simulation run. Components hold a pointer
+/// to the recorder owned by the simulation; a null recorder disables
+/// tracing with zero cost.
+class TraceRecorder {
+ public:
+  void record(SimTime at, std::string actor, std::string kind,
+              std::string detail) {
+    events_.push_back({at, std::move(actor), std::move(kind), std::move(detail)});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Render the whole trace as an aligned text ladder (one line per event).
+  std::string render() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ys

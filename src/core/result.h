@@ -1,0 +1,83 @@
+// Minimal Result<T> error-handling type.
+//
+// The simulator is exception-free on hot paths; parsing and protocol
+// operations return Result<T> with a human-readable error string. This is a
+// deliberately small subset of std::expected (which is C++23) sufficient for
+// our needs.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ys {
+
+/// Error payload: a message plus an optional machine-readable code.
+struct Error {
+  std::string message;
+
+  static Error make(std::string msg) { return Error{std::move(msg)}; }
+};
+
+/// Result<T>: either a value or an Error. Use ok()/error() to construct.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional value wrapping
+  Result(T value) : value_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Error err) : err_(std::move(err)) {}
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+  /// Value or a caller-provided fallback.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  std::optional<Error> err_;
+};
+
+/// Result<void> specialization-by-convention.
+class Status {
+ public:
+  Status() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Status(Error err) : err_(std::move(err)) {}
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return *err_;
+  }
+
+ private:
+  std::optional<Error> err_;
+};
+
+}  // namespace ys

@@ -1,0 +1,4 @@
+#include "core/rng.h"
+
+// Header-only today; translation unit pins the library target.
+namespace ys {}

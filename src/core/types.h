@@ -1,0 +1,40 @@
+// Core scalar and buffer type aliases shared by every module.
+//
+// The whole code base works on host-order structured headers plus
+// big-endian wire buffers; `Bytes` is the one owning buffer type and
+// `ByteView` the one non-owning view type, so conversions stay explicit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ys {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Owning byte buffer (wire images, payloads).
+using Bytes = std::vector<u8>;
+
+/// Non-owning read-only view over bytes.
+using ByteView = std::span<const u8>;
+
+/// Convert a string literal/payload to bytes (HTTP requests, DNS names...).
+inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Convert raw bytes back to a std::string (for payload inspection).
+inline std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace ys

@@ -1,0 +1,108 @@
+// Calibration constants for the simulated measurement ecosystem.
+//
+// Every constant is annotated with the paper statistic it is derived from.
+// The *mechanisms* (GFW state machines, server ignore paths, middlebox
+// behaviours) are implemented faithfully elsewhere; these constants set the
+// population mix the paper measured but could not control — how many paths
+// still run prior-model devices, how often a RST provokes the resync state,
+// and so on — so the benchmark tables reproduce the paper's shape.
+#pragma once
+
+#include "core/types.h"
+
+namespace ys::exp {
+
+struct Calibration {
+  // ------------------------------------------------------ GFW population
+
+  /// Fraction of paths whose devices still run the prior (Khattak'13)
+  /// model. Table 1: "TCB creation with SYN" succeeds 6-7 % (it only works
+  /// against prior-model devices) of which ~2.8 % is overload, leaving
+  /// ~4 % genuinely old paths.
+  double old_model_fraction = 0.045;
+
+  /// Behavior 3 (§4): probability a device resyncs instead of tearing down
+  /// on a RST seen *after* the handshake completes. Table 1: TCB teardown
+  /// with RST fails type-2 at ~24 %.
+  double rst_resync_established = 0.24;
+
+  /// Same, for RSTs during the handshake — "way more frequently" (§4; the
+  /// paper quotes ~80 % overall teardown success in that probe).
+  double rst_resync_handshake = 0.55;
+
+  /// Probability a device processes a no-flag segment as data. Table 1:
+  /// the no-flag insertion packet splits ~48 % success / ~48 % Failure 2.
+  double no_flag_accept = 0.52;
+
+  /// Probability a device kept the prior model's prefer-last TCP segment
+  /// overlap. Table 1: out-of-order TCP segments still succeed 30.8 %.
+  double segment_overlap_prefer_last = 0.27;
+
+  /// Detection miss (overload): Table 1 "No Strategy" succeeds 2.8 %.
+  double detection_miss = 0.028;
+
+  // ------------------------------------------------------------- network
+
+  /// Random loss per link crossing; with ~14 hops this yields the ~1 %
+  /// Failure 1 floor of the "No Strategy / w/o keyword" rows.
+  double per_link_loss = 0.0004;
+
+  /// Hop-count range from client to server (inside-China vantage points to
+  /// foreign Alexa servers).
+  int hop_min = 11;
+  int hop_max = 22;
+
+  /// Where the GFW sits along the path as a fraction of the hop count,
+  /// inside-China direction (border routers past the domestic segment).
+  double gfw_position_min = 0.30;
+  double gfw_position_max = 0.60;
+
+  /// Outside-China probes: the GFW sits this many hops before the server
+  /// ("usually within a few hops", §7.1) — close enough that a TTL
+  /// estimate error of ±2 swings between hitting the server and missing
+  /// the GFW.
+  int foreign_gfw_server_gap_min = 2;
+  int foreign_gfw_server_gap_max = 5;
+
+  /// Probability the client's tcptraceroute hop estimate is stale or wrong
+  /// (route dynamics, §3.4), and the error magnitude. Drives the ~5 %
+  /// Failure 1 of the TTL-based in-order row in Table 1.
+  double ttl_estimate_error_prob = 0.10;
+  int ttl_estimate_error_hops = 2;
+  /// Same for outside-China paths, where convergence is "extremely hard"
+  /// (§7.1): errors are more likely because GFW and server are adjacent.
+  double ttl_estimate_error_prob_foreign = 0.20;
+
+  // ----------------------------------------------------- server population
+
+  /// Linux version mix of the Alexa population (§5.3 notes Linux dominates
+  /// the server market; old kernels linger in the tail).
+  double server_linux_4_4 = 0.55;
+  double server_linux_4_0 = 0.16;
+  double server_linux_3_14 = 0.20;
+  double server_linux_2_6_34 = 0.06;
+  // remainder (3 %) → Linux 2.4.37
+
+  /// Fraction of servers behind a stateful server-side firewall/NAT whose
+  /// state an insertion packet can wedge (§3.4 "interference from
+  /// server-side middleboxes") — the Failure 1 source for full-TTL
+  /// insertion packets (e.g. bad-checksum teardown, Table 1: F1 7.6 %).
+  double server_side_firewall_fraction = 0.10;
+
+  /// Fraction of servers (or server-side boxes) that accept data
+  /// "regardless of the wrong ACK number" (§7.1) — the Failure 1 source of
+  /// the bad-ACK in-order row (Table 1: F1 7.5 %).
+  double server_accepts_any_ack = 0.10;
+
+  // ----------------------------------------------------------------- DNS
+
+  /// Tianjin's resolver paths show heavy interference (Table 6: 38 % / 24 %
+  /// success there vs > 99.5 % elsewhere).
+  double tianjin_dns_interference = 0.68;
+
+  // ------------------------------------------------------------- defaults
+
+  static Calibration standard() { return Calibration{}; }
+};
+
+}  // namespace ys::exp

@@ -1,0 +1,195 @@
+#include "exp/prober.h"
+
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+constexpr u32 kClientIsn = 1000;
+constexpr u32 kServerIsn = 5000;
+constexpr u16 kProbePort = 40900;
+
+/// One controlled probe exchange: raw packets scripted from both ends of a
+/// fresh scenario (the server cooperates, as in §4). Returns true if the
+/// client observed censor-looking resets afterwards.
+class ProbeRun {
+ public:
+  ProbeRun(const gfw::DetectionRules* rules, ScenarioOptions options,
+           u64 probe_index)
+      : options_(std::move(options)) {
+    options_.seed = Rng::mix_seed({options_.seed, 0xbeef00ULL + probe_index});
+    // Keep the probe deterministic: no loss, no overload misses. Both
+    // ends run in stealth mode so scripted flows draw no kernel RSTs.
+    options_.cal.per_link_loss = 0.0;
+    options_.cal.detection_miss = 0.0;
+    options_.stealth_hosts = true;
+    scenario_.emplace(rules, options_);
+    tuple_ = net::FourTuple{options_.vp.address, kProbePort,
+                            options_.server.ip, 80};
+  }
+
+  const net::FourTuple& tuple() const { return tuple_; }
+
+  void client_send(net::Packet pkt) {
+    scenario_->client().send_raw_unhooked(std::move(pkt));
+    step();
+  }
+  void server_send(net::Packet pkt) {
+    scenario_->server().send_raw_unhooked(std::move(pkt));
+    step();
+  }
+
+  void syn(u32 seq = kClientIsn) {
+    client_send(net::make_tcp_packet(tuple_, net::TcpFlags::only_syn(), seq,
+                                     0));
+  }
+  void syn_ack() {
+    server_send(net::make_tcp_packet(tuple_.reversed(),
+                                     net::TcpFlags::syn_ack(), kServerIsn,
+                                     kClientIsn + 1));
+  }
+  void ack() {
+    client_send(net::make_tcp_packet(tuple_, net::TcpFlags::only_ack(),
+                                     kClientIsn + 1, kServerIsn + 1));
+  }
+  void handshake() {
+    syn();
+    syn_ack();
+    ack();
+  }
+  /// Control insertion packets are fragile against "sometimes-drop"
+  /// middleboxes (Table 2); send three copies like the strategies do.
+  void client_send_x3(const net::Packet& pkt) {
+    for (int i = 0; i < 3; ++i) client_send(pkt);
+  }
+
+  void client_data(u32 seq, std::string_view payload,
+                   net::TcpFlags flags = net::TcpFlags::psh_ack()) {
+    client_send(net::make_tcp_packet(tuple_, flags, seq, kServerIsn + 1,
+                                     to_bytes(payload)));
+  }
+  void censored_request(u32 seq = kClientIsn + 1) {
+    client_data(seq, "GET /?q=ultrasurf HTTP/1.1\r\n\r\n");
+  }
+
+  /// Did the client receive censor-looking resets?
+  bool resets_seen() {
+    scenario_->run();
+    bool gfw = false;
+    bool other = false;
+    bool any_rst = false;
+    for (const auto& pkt : scenario_->client().received_log()) {
+      if (pkt.is_tcp() && pkt.tcp->flags.rst) any_rst = true;
+    }
+    // The probe server is scripted (no live endpoint), so every reset the
+    // client sees was injected mid-path.
+    (void)gfw;
+    (void)other;
+    return any_rst;
+  }
+
+ private:
+  void step() { scenario_->run(); }
+
+  ScenarioOptions options_;
+  std::optional<Scenario> scenario_;
+  net::FourTuple tuple_;
+};
+
+}  // namespace
+
+std::string GfwFindings::to_string() const {
+  std::string out;
+  auto line = [&out](const char* what, bool value) {
+    out += std::string("  ") + what + ": " + (value ? "yes" : "no") + "\n";
+  };
+  line("responsive (resets on censored request)", responsive);
+  line("TCB created from SYN/ACK alone (Behavior 1)", creates_tcb_on_synack);
+  line("resync state on duplicate SYN (Behavior 2a)", resyncs_on_second_syn);
+  line("RST resyncs instead of tearing down (Behavior 3)",
+       rst_resyncs_after_handshake);
+  line("FIN ignored", fin_ignored);
+  line("no-flag segments processed as data", accepts_no_flag_data);
+  out += std::string("  => verdict: ") +
+         (evolved_model() ? "EVOLVED model" : "PRIOR (Khattak'13) model") +
+         "\n";
+  return out;
+}
+
+GfwFindings probe_gfw(const gfw::DetectionRules* rules,
+                      ScenarioOptions options) {
+  GfwFindings findings;
+
+  // Probe 0 — responsiveness: classic handshake + censored request.
+  {
+    ProbeRun run(rules, options, 0);
+    run.handshake();
+    run.censored_request();
+    findings.responsive = run.resets_seen();
+  }
+  if (!findings.responsive) return findings;
+
+  // Probe 1 — Behavior 1: omit the SYN; only the server's SYN/ACK plus a
+  // censored request. Resets ⇒ a TCB existed ⇒ created from the SYN/ACK.
+  {
+    ProbeRun run(rules, options, 1);
+    run.syn_ack();
+    run.censored_request();
+    findings.creates_tcb_on_synack = run.resets_seen();
+  }
+
+  // Probe 2 — Behavior 2a: two SYNs, junk at a false sequence, then the
+  // censored request at the true sequence. NO resets ⇒ the device
+  // re-anchored on the junk (resync state); resets ⇒ it kept the first
+  // SYN's anchor (prior model).
+  {
+    ProbeRun run(rules, options, 2);
+    run.syn(kClientIsn);
+    run.syn(kClientIsn + 99'999);
+    run.client_data(0x40000000, "XXXXXXXXXXXX");
+    run.censored_request();
+    findings.resyncs_on_second_syn = !run.resets_seen();
+  }
+
+  // Probe 3 — Behavior 3: handshake, RST, censored request. Resets ⇒ the
+  // RST did not tear the TCB down.
+  {
+    ProbeRun run(rules, options, 3);
+    run.handshake();
+    run.client_send_x3(net::make_tcp_packet(run.tuple(),
+                                            net::TcpFlags::only_rst(),
+                                            kClientIsn + 1, 0));
+    run.censored_request();
+    findings.rst_resyncs_after_handshake = run.resets_seen();
+  }
+
+  // Probe 4 — FIN teardown: handshake, FIN insertion, censored request.
+  // The request reuses the FIN's sequence number, exactly like a teardown
+  // strategy whose FIN never reached the server. Resets ⇒ the FIN was
+  // ignored (evolved); silence ⇒ it tore the TCB down (prior model).
+  {
+    ProbeRun run(rules, options, 4);
+    run.handshake();
+    run.client_send_x3(net::make_tcp_packet(run.tuple(),
+                                            net::TcpFlags::fin_ack(),
+                                            kClientIsn + 1, kServerIsn + 1));
+    run.censored_request(kClientIsn + 1);
+    findings.fin_ignored = run.resets_seen();
+  }
+
+  // Probe 5 — no-flag acceptance: handshake, flagless junk prefill at the
+  // request's range, then the censored request. NO resets ⇒ the junk was
+  // processed as data and blinded the device.
+  {
+    ProbeRun run(rules, options, 5);
+    run.handshake();
+    run.client_data(kClientIsn + 1, "JUNKJUNKJUNKJUNKJUNKJUNKJUNKJU",
+                    net::TcpFlags::none());
+    run.censored_request();
+    findings.accepts_no_flag_data = !run.resets_seen();
+  }
+
+  return findings;
+}
+
+}  // namespace ys::exp

@@ -1,0 +1,59 @@
+// Automatic GFW model inference — the paper's "open-source tool to
+// automatically measure the GFW's responsiveness" (contribution 6).
+//
+// The prober replays the §4 controlled experiments against a path: partial
+// handshakes, duplicate SYNs, RST-then-request, FIN-then-request, and
+// no-flag prefills, each against a cooperating server (raw sends from both
+// ends, as the paper did with client/server pairs under its control). The
+// only observable is whether the censor injects resets at the client —
+// exactly the blackbox feedback the paper had — yet that suffices to
+// recover the device generation and its quirks.
+#pragma once
+
+#include <string>
+
+#include "exp/scenario.h"
+
+namespace ys::exp {
+
+/// What the probes inferred about the censor on one path.
+struct GfwFindings {
+  /// Resets observed for a plain censored request (the baseline probe).
+  bool responsive = false;
+  /// Behavior 1: a TCB is created from a SYN/ACK alone.
+  bool creates_tcb_on_synack = false;
+  /// Behavior 2a: a duplicate SYN desynchronizes the true-sequence stream
+  /// (the device re-anchored on later junk → evolved resync state).
+  bool resyncs_on_second_syn = false;
+  /// Behavior 3: a post-handshake RST fails to blind the device (it
+  /// resynced instead of tearing down).
+  bool rst_resyncs_after_handshake = false;
+  /// FIN insertion fails to blind the device (evolved marker; the prior
+  /// model tears down on FIN).
+  bool fin_ignored = false;
+  /// A no-flag junk prefill blinded the device (it processes flagless
+  /// segments as data).
+  bool accepts_no_flag_data = false;
+
+  /// Summary verdict: does the path behave like the evolved model?
+  /// Majority vote over the three model markers — any single probe can be
+  /// confounded by client-side middleboxes eating its insertion packets
+  /// (e.g. the Unicom profiles drop FINs outright, which makes the FIN
+  /// probe read "ignored" on any path), exactly the measurement noise the
+  /// paper wrestles with in §3.4.
+  bool evolved_model() const {
+    const int votes = (creates_tcb_on_synack ? 1 : 0) +
+                      (resyncs_on_second_syn ? 1 : 0) + (fin_ignored ? 1 : 0);
+    return votes >= 2;
+  }
+
+  std::string to_string() const;
+};
+
+/// Run the full probe battery. Each probe uses a fresh Scenario built from
+/// `options` (same path_seed → same devices) with its dynamic seed offset
+/// per probe. `rules` must outlive the call.
+GfwFindings probe_gfw(const gfw::DetectionRules* rules,
+                      ScenarioOptions options);
+
+}  // namespace ys::exp

@@ -1,0 +1,204 @@
+#include "exp/scenario.h"
+
+#include <algorithm>
+
+#include "middlebox/profiles.h"
+
+namespace ys::exp {
+
+std::vector<ServerSpec> make_server_population(int count, u64 seed,
+                                               const Calibration& cal,
+                                               bool inside_china) {
+  Rng rng(Rng::mix_seed({seed, 0x5e17ULL, inside_china ? 1u : 2u}));
+  std::vector<ServerSpec> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    ServerSpec spec;
+    spec.host = (inside_china ? "site-" : "cn-site-") + std::to_string(i) +
+                ".example";
+    spec.ip = inside_china ? net::make_ip(93, 184, static_cast<u8>(i / 250),
+                                          static_cast<u8>(i % 250 + 1))
+                           : net::make_ip(101, 6, static_cast<u8>(i / 250),
+                                          static_cast<u8>(i % 250 + 1));
+    spec.alexa_rank = 41 + i * 26;  // ranks 41..2091, as in §3.3
+
+    const double draw = rng.uniform01();
+    double acc = cal.server_linux_4_4;
+    if (draw < acc) {
+      spec.version = tcp::LinuxVersion::k4_4;
+    } else if (draw < (acc += cal.server_linux_4_0)) {
+      spec.version = tcp::LinuxVersion::k4_0;
+    } else if (draw < (acc += cal.server_linux_3_14)) {
+      spec.version = tcp::LinuxVersion::k3_14;
+    } else if (draw < (acc += cal.server_linux_2_6_34)) {
+      spec.version = tcp::LinuxVersion::k2_6_34;
+    } else {
+      spec.version = tcp::LinuxVersion::k2_4_37;
+    }
+    spec.behind_stateful_fw = rng.chance(cal.server_side_firewall_fraction);
+    spec.lenient_ack_validation = rng.chance(cal.server_accepts_any_ack);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+namespace {
+
+mbox::MiddleboxConfig client_mbox_for(Provider provider) {
+  switch (provider) {
+    case Provider::kAliyun: return mbox::aliyun_profile();
+    case Provider::kQCloud: return mbox::qcloud_profile();
+    case Provider::kUnicomSjz: return mbox::unicom_sjz_profile();
+    case Provider::kUnicomTj: return mbox::unicom_tj_profile();
+    case Provider::kForeign: break;
+  }
+  mbox::MiddleboxConfig none;
+  none.name = "mbox:none";
+  return none;
+}
+
+}  // namespace
+
+Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
+    : opt_(std::move(opt)),
+      path_rng_(opt_.path_seed != 0
+                    ? opt_.path_seed
+                    : Rng::mix_seed({0xA117ULL, Rng::hash_label(opt_.vp.name),
+                                     opt_.server.ip})),
+      rng_(Rng::mix_seed({opt_.seed, Rng::hash_label(opt_.vp.name),
+                          opt_.server.ip})) {
+  const Calibration& cal = opt_.cal;
+  const bool inside = opt_.vp.inside_china;
+
+  // ------------------------------------------- systematic per-path draws
+  server_hops_ =
+      static_cast<int>(path_rng_.uniform_range(cal.hop_min, cal.hop_max));
+  if (inside) {
+    const double frac =
+        cal.gfw_position_min +
+        path_rng_.uniform01() *
+            (cal.gfw_position_max - cal.gfw_position_min);
+    gfw_position_ = std::clamp(static_cast<int>(server_hops_ * frac), 2,
+                               server_hops_ - 2);
+  } else {
+    // Outside-China probes: the GFW sits within a few hops of the
+    // (Chinese) server (§7.1).
+    gfw_position_ =
+        server_hops_ - static_cast<int>(path_rng_.uniform_range(
+                           cal.foreign_gfw_server_gap_min,
+                           cal.foreign_gfw_server_gap_max));
+    gfw_position_ = std::clamp(gfw_position_, 2, server_hops_ - 1);
+  }
+  old_model_ = path_rng_.chance(cal.old_model_fraction);
+
+  // The client's path knowledge (tcptraceroute estimate, §7.1), possibly
+  // stale per the calibrated route-dynamics error. The error is a property
+  // of the path measurement, so it persists across repeated probes.
+  knowledge_.hop_estimate = server_hops_;
+  knowledge_.ttl_delta = 2;
+  const double err_prob = inside ? cal.ttl_estimate_error_prob
+                                 : cal.ttl_estimate_error_prob_foreign;
+  if (path_rng_.chance(err_prob)) {
+    knowledge_.hop_estimate += path_rng_.chance(0.5)
+                                   ? cal.ttl_estimate_error_hops
+                                   : -cal.ttl_estimate_error_hops;
+  }
+
+  // ----------------------------------------------------------------- path
+  net::PathConfig path_cfg;
+  path_cfg.server_hops = server_hops_;
+  path_cfg.per_link_loss = cal.per_link_loss;
+  path_ = std::make_unique<net::Path>(loop_, rng_.fork(), path_cfg, &trace_);
+
+  // ----------------------------------------------------------- middleboxes
+  mbox::MiddleboxConfig client_box = client_mbox_for(opt_.vp.provider);
+  if (opt_.extra_stateful_client_box) {
+    client_box.stateful = true;
+    client_box.seq_checking = true;
+  }
+  client_mbox_ = std::make_unique<mbox::Middlebox>(std::move(client_box),
+                                                   rng_.fork());
+  path_->attach(1, client_mbox_.get());
+
+  if (opt_.server.behind_stateful_fw) {
+    server_mbox_ = std::make_unique<mbox::Middlebox>(
+        mbox::server_side_firewall_profile(), rng_.fork());
+    path_->attach(server_hops_ - 1, server_mbox_.get());
+  }
+
+  // ---------------------------------------------------------- GFW devices
+  const bool tor_filtering =
+      opt_.tor_filtering_override.value_or(!opt_.vp.tor_unfiltered_path);
+
+  gfw::GfwConfig base;
+  base.evolved = !old_model_;
+  // Overload is a property of the moment, not of a device: when the GFW is
+  // overloaded both co-deployed device types miss together (otherwise the
+  // paper's 2.8 % no-strategy success could never be observed — one of the
+  // two devices would always fire).
+  base.detection_miss_rate = rng_.chance(cal.detection_miss) ? 1.0 : 0.0;
+  base.rst_reaction_handshake = path_rng_.chance(cal.rst_resync_handshake)
+                                    ? gfw::RstReaction::kResync
+                                    : gfw::RstReaction::kTeardown;
+  base.rst_reaction_established =
+      path_rng_.chance(cal.rst_resync_established)
+          ? gfw::RstReaction::kResync
+          : gfw::RstReaction::kTeardown;
+  base.accepts_no_flag_data = path_rng_.chance(cal.no_flag_accept);
+  base.tcp_segment_overlap = path_rng_.chance(cal.segment_overlap_prefer_last)
+                                 ? net::OverlapPolicy::kPreferLast
+                                 : net::OverlapPolicy::kPreferFirst;
+  if (old_model_) {
+    // The prior model preferred the latter copy of overlapping segments.
+    base.tcp_segment_overlap = net::OverlapPolicy::kPreferLast;
+  }
+  base.tor_filtering = tor_filtering;
+  base.vpn_dpi = opt_.vpn_dpi;
+  base.harden_validate_checksum = opt_.harden.validate_checksum;
+  base.harden_reject_md5 = opt_.harden.reject_md5;
+  base.harden_strict_rst = opt_.harden.strict_rst;
+  base.harden_require_server_ack = opt_.harden.require_server_ack;
+
+  gfw::GfwConfig cfg1 = base;
+  cfg1.device_type = gfw::DeviceType::kType1;
+  cfg1.enforce_block_period = false;  // §2.1: only type-2 enforces it
+  gfw::GfwConfig cfg2 = base;
+  cfg2.device_type = gfw::DeviceType::kType2;
+  cfg2.enforce_block_period = true;
+
+  type1_ = std::make_unique<gfw::GfwDevice>("gfw-1", cfg1, rules,
+                                            rng_.fork());
+  type2_ = std::make_unique<gfw::GfwDevice>("gfw-2", cfg2, rules,
+                                            rng_.fork());
+  poisoner_ =
+      std::make_unique<gfw::DnsPoisoner>("gfw-dns", rules, rng_.fork());
+  path_->attach(gfw_position_, type1_.get());
+  path_->attach(gfw_position_, type2_.get());
+  path_->attach(gfw_position_, poisoner_.get());
+
+  // ----------------------------------------------------------------- hosts
+  tcp::Host::Config client_cfg;
+  client_cfg.name = opt_.vp.name;
+  client_cfg.address = opt_.vp.address;
+  client_cfg.profile = tcp::StackProfile::for_version(tcp::LinuxVersion::k4_4);
+  client_cfg.side = tcp::HostSide::kClient;
+  client_cfg.suppress_kernel_resets = opt_.stealth_hosts;
+  client_ = std::make_unique<tcp::Host>(client_cfg, *path_, loop_,
+                                        rng_.fork());
+  client_->attach();
+
+  tcp::Host::Config server_cfg;
+  server_cfg.name = opt_.server.host;
+  server_cfg.address = opt_.server.ip;
+  server_cfg.profile = tcp::StackProfile::for_version(opt_.server.version);
+  if (opt_.server.lenient_ack_validation) {
+    server_cfg.profile.validates_ack_field = false;
+  }
+  server_cfg.side = tcp::HostSide::kServer;
+  server_cfg.suppress_kernel_resets = opt_.stealth_hosts;
+  server_ = std::make_unique<tcp::Host>(server_cfg, *path_, loop_,
+                                        rng_.fork());
+  server_->attach();
+}
+
+}  // namespace ys::exp

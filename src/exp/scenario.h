@@ -1,0 +1,126 @@
+// Per-trial world builder: wires a client (vantage point), the path with
+// its middleboxes and GFW devices, and a server into one simulation whose
+// random draws follow the calibrated population of `calibration.h`.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/calibration.h"
+#include "exp/vantage.h"
+#include "gfw/dns_poisoner.h"
+#include "gfw/gfw_device.h"
+#include "middlebox/middlebox.h"
+#include "strategy/strategy.h"
+#include "tcpstack/host.h"
+
+namespace ys::exp {
+
+/// One target server of the probe population (§3.3's Alexa-derived set).
+struct ServerSpec {
+  std::string host;
+  net::IpAddr ip = 0;
+  tcp::LinuxVersion version = tcp::LinuxVersion::k4_4;
+  bool behind_stateful_fw = false;
+  /// Accepts data regardless of a wrong ACK number (§7.1 failure source).
+  bool lenient_ack_validation = false;
+  int alexa_rank = 0;
+};
+
+/// Deterministic server population: version mix and firewall presence
+/// drawn from the calibration (77 foreign sites for §3/§7.1 inside-China
+/// probes; 33 Chinese sites for the outside-China direction).
+std::vector<ServerSpec> make_server_population(int count, u64 seed,
+                                               const Calibration& cal,
+                                               bool inside_china);
+
+struct ScenarioOptions {
+  VantagePoint vp;
+  ServerSpec server;
+  Calibration cal;
+  /// Per-trial seed: drives the *dynamic* randomness (jitter, loss,
+  /// overload, ISNs, probabilistic middlebox drops).
+  u64 seed = 1;
+  /// Per-path seed: drives the *systematic* draws that stay fixed across
+  /// repeated probes of one (vantage point, server) pair — hop count, GFW
+  /// position, device model coins, the stale hop estimate. The paper
+  /// observed exactly this stability ("for a specific client-server pair,
+  /// the GFW's behavior is usually consistent"), and INTANG's convergence
+  /// depends on it. 0 = derive from (vp, server) automatically.
+  u64 path_seed = 0;
+  /// Force Tor filtering off regardless of path draw (for controlled
+  /// experiments); by default it follows the vantage point (§7.3).
+  std::optional<bool> tor_filtering_override;
+  bool vpn_dpi = false;
+  /// Add a stateful, sequence-checking client-side box (Table 6's Tianjin
+  /// DNS-path interference).
+  bool extra_stateful_client_box = false;
+  /// Build both hosts as measurement tools: raw scripted flows only, no
+  /// kernel RSTs for unknown segments (the GFW prober uses this).
+  bool stealth_hosts = false;
+
+  /// §8 countermeasure ablations applied to both GFW devices.
+  struct HardenOptions {
+    bool validate_checksum = false;
+    bool reject_md5 = false;
+    bool strict_rst = false;
+    bool require_server_ack = false;
+  } harden;
+};
+
+/// Owns every object of one simulated trial. Build, wire application
+/// handlers via client()/server(), then run the loop.
+class Scenario {
+ public:
+  Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt);
+
+  net::EventLoop& loop() { return loop_; }
+  net::Path& path() { return *path_; }
+  tcp::Host& client() { return *client_; }
+  tcp::Host& server() { return *server_; }
+  gfw::GfwDevice& gfw_type1() { return *type1_; }
+  gfw::GfwDevice& gfw_type2() { return *type2_; }
+  gfw::DnsPoisoner& dns_poisoner() { return *poisoner_; }
+  TraceRecorder& trace() { return trace_; }
+  const ScenarioOptions& options() const { return opt_; }
+
+  /// What the client measured about the path before the trial (possibly
+  /// stale — the calibrated estimate-error models route dynamics).
+  strategy::PathKnowledge knowledge() const { return knowledge_; }
+
+  /// Draws made for this path (exposed for tests and diagnostics).
+  int server_hops() const { return server_hops_; }
+  int gfw_position() const { return gfw_position_; }
+  bool path_runs_old_model() const { return old_model_; }
+
+  /// Drive the simulation until quiescent (bounded).
+  void run(std::size_t max_events = 500'000) { loop_.run(max_events); }
+
+  /// Independent random stream for trial-level draws.
+  Rng fork_rng() { return rng_.fork(); }
+
+ private:
+  ScenarioOptions opt_;
+  net::EventLoop loop_;
+  TraceRecorder trace_;
+  Rng path_rng_;
+  Rng rng_;
+
+  int server_hops_ = 0;
+  int gfw_position_ = 0;
+  bool old_model_ = false;
+  strategy::PathKnowledge knowledge_;
+
+  std::unique_ptr<net::Path> path_;
+  std::unique_ptr<mbox::Middlebox> client_mbox_;
+  std::unique_ptr<mbox::Middlebox> server_mbox_;
+  std::unique_ptr<gfw::GfwDevice> type1_;
+  std::unique_ptr<gfw::GfwDevice> type2_;
+  std::unique_ptr<gfw::DnsPoisoner> poisoner_;
+  std::unique_ptr<tcp::Host> client_;
+  std::unique_ptr<tcp::Host> server_;
+};
+
+}  // namespace ys::exp

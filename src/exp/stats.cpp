@@ -1,0 +1,18 @@
+#include "exp/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ys::exp {
+
+MinMaxAvg aggregate(const std::vector<double>& rates) {
+  MinMaxAvg out;
+  if (rates.empty()) return out;
+  out.min = *std::min_element(rates.begin(), rates.end());
+  out.max = *std::max_element(rates.begin(), rates.end());
+  out.avg = std::accumulate(rates.begin(), rates.end(), 0.0) /
+            static_cast<double>(rates.size());
+  return out;
+}
+
+}  // namespace ys::exp

@@ -1,0 +1,49 @@
+// Outcome tallies and cross-vantage-point aggregation (min/max/avg, as
+// Table 4 reports).
+#pragma once
+
+#include <vector>
+
+#include "exp/trial.h"
+
+namespace ys::exp {
+
+struct RateTally {
+  int success = 0;
+  int failure1 = 0;
+  int failure2 = 0;
+
+  void add(Outcome o) {
+    switch (o) {
+      case Outcome::kSuccess: ++success; break;
+      case Outcome::kFailure1: ++failure1; break;
+      case Outcome::kFailure2: ++failure2; break;
+    }
+  }
+  void merge(const RateTally& other) {
+    success += other.success;
+    failure1 += other.failure1;
+    failure2 += other.failure2;
+  }
+  int total() const { return success + failure1 + failure2; }
+  double success_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(success) / total();
+  }
+  double failure1_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(failure1) / total();
+  }
+  double failure2_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(failure2) / total();
+  }
+};
+
+struct MinMaxAvg {
+  double min = 0.0;
+  double max = 0.0;
+  double avg = 0.0;
+};
+
+/// Aggregate one rate across per-vantage-point tallies.
+MinMaxAvg aggregate(const std::vector<double>& rates);
+
+}  // namespace ys::exp

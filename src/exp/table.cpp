@@ -1,0 +1,47 @@
+#include "exp/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ys::exp {
+
+std::string pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += c == 0 ? "| " : " | ";
+      line += cell;
+      line.append(widths[c] - cell.size(), ' ');
+    }
+    line += " |\n";
+    return line;
+  };
+
+  std::string out = render_row(headers_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    sep += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += sep + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace ys::exp

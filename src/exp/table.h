@@ -1,0 +1,30 @@
+// Fixed-width text tables: the bench binaries print the paper's tables in
+// the same row/column layout so paper-vs-measured comparison is direct.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ys::exp {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Aligned rendering with a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "93.7%" formatting used across all tables.
+std::string pct(double fraction, int decimals = 1);
+
+}  // namespace ys::exp

@@ -1,0 +1,39 @@
+#include "exp/vantage.h"
+
+namespace ys::exp {
+
+std::vector<VantagePoint> china_vantage_points() {
+  using P = Provider;
+  auto ip = [](u8 last) { return net::make_ip(10, 40, 0, last); };
+  std::vector<VantagePoint> vps = {
+      // 6 Aliyun cloud nodes.
+      {"aliyun-bj", "Beijing", P::kAliyun, ip(1), true, true, false},
+      {"aliyun-sh", "Shanghai", P::kAliyun, ip(2), true, false, false},
+      {"aliyun-hz", "Hangzhou", P::kAliyun, ip(3), true, false, false},
+      {"aliyun-sz", "Shenzhen", P::kAliyun, ip(4), true, false, false},
+      {"aliyun-qd", "Qingdao", P::kAliyun, ip(5), true, true, false},
+      {"aliyun-zjk", "Zhangjiakou", P::kAliyun, ip(6), true, true, false},
+      // 3 QCloud nodes.
+      {"qcloud-gz", "Guangzhou", P::kQCloud, ip(7), true, false, false},
+      {"qcloud-bj", "Beijing", P::kQCloud, ip(8), true, true, false},
+      {"qcloud-sh", "Shanghai", P::kQCloud, ip(9), true, false, false},
+      // 2 China Unicom home networks.
+      {"unicom-sjz", "Shijiazhuang", P::kUnicomSjz, ip(10), true, false,
+       false},
+      {"unicom-tj", "Tianjin", P::kUnicomTj, ip(11), true, false, true},
+  };
+  return vps;
+}
+
+std::vector<VantagePoint> foreign_vantage_points() {
+  using P = Provider;
+  auto ip = [](u8 last) { return net::make_ip(172, 31, 0, last); };
+  return {
+      {"ec2-us", "N. Virginia", P::kForeign, ip(1), false, false, false},
+      {"ec2-uk", "London", P::kForeign, ip(2), false, false, false},
+      {"ec2-de", "Frankfurt", P::kForeign, ip(3), false, false, false},
+      {"ec2-jp", "Tokyo", P::kForeign, ip(4), false, false, false},
+  };
+}
+
+}  // namespace ys::exp

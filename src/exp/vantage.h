@@ -1,0 +1,38 @@
+// Vantage points (§3.3): 11 clients inside China across 9 cities and 3
+// providers, plus 4 foreign clients (§7) probing servers inside China.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/addr.h"
+
+namespace ys::exp {
+
+enum class Provider {
+  kAliyun,     // 6 vantage points; Table 2 column 1
+  kQCloud,     // 3 vantage points; Table 2 column 2
+  kUnicomSjz,  // home network, Shijiazhuang
+  kUnicomTj,   // home network, Tianjin
+  kForeign,    // EC2 instances outside China (§7: US, UK, DE, JP)
+};
+
+struct VantagePoint {
+  std::string name;
+  std::string city;
+  Provider provider = Provider::kAliyun;
+  net::IpAddr address = 0;
+  bool inside_china = true;
+  /// §7.3: paths from Northern China carried no Tor-filtering devices.
+  bool tor_unfiltered_path = false;
+  /// Table 6: Tianjin's DNS resolver paths suffer heavy interference.
+  bool dns_path_interference = false;
+};
+
+/// The 11 inside-China vantage points of §3.3.
+std::vector<VantagePoint> china_vantage_points();
+
+/// The 4 outside-China vantage points of §7 (bi-directional evaluation).
+std::vector<VantagePoint> foreign_vantage_points();
+
+}  // namespace ys::exp

@@ -1,0 +1,88 @@
+#include "gfw/aho_corasick.h"
+
+#include <cassert>
+#include <cctype>
+#include <queue>
+
+namespace ys::gfw {
+
+namespace {
+u8 normalize(u8 c) { return static_cast<u8>(std::tolower(c)); }
+}  // namespace
+
+void AhoCorasick::add_pattern(std::string_view pattern) {
+  assert(!built_);
+  if (pattern.empty()) return;
+  i32 node = 0;
+  for (char raw : pattern) {
+    const u8 c = normalize(static_cast<u8>(raw));
+    if (nodes_[static_cast<std::size_t>(node)].next[c] < 0) {
+      nodes_[static_cast<std::size_t>(node)].next[c] =
+          static_cast<i32>(nodes_.size());
+      nodes_.emplace_back();
+    }
+    node = nodes_[static_cast<std::size_t>(node)].next[c];
+  }
+  nodes_[static_cast<std::size_t>(node)].match =
+      static_cast<i32>(patterns_.size());
+  std::string lowered(pattern);
+  for (char& c : lowered) c = static_cast<char>(normalize(static_cast<u8>(c)));
+  patterns_.push_back(std::move(lowered));
+}
+
+void AhoCorasick::build() {
+  assert(!built_);
+  std::queue<i32> bfs;
+  for (int c = 0; c < kAlphabet; ++c) {
+    i32& child = nodes_[0].next[static_cast<std::size_t>(c)];
+    if (child < 0) {
+      child = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(child)].fail = 0;
+      bfs.push(child);
+    }
+  }
+  while (!bfs.empty()) {
+    const i32 u = bfs.front();
+    bfs.pop();
+    Node& nu = nodes_[static_cast<std::size_t>(u)];
+    if (nu.match < 0) {
+      nu.match = nodes_[static_cast<std::size_t>(nu.fail)].match;
+    }
+    for (int c = 0; c < kAlphabet; ++c) {
+      i32& child = nu.next[static_cast<std::size_t>(c)];
+      const i32 fail_next =
+          nodes_[static_cast<std::size_t>(nu.fail)].next[static_cast<std::size_t>(c)];
+      if (child < 0) {
+        child = fail_next;
+      } else {
+        nodes_[static_cast<std::size_t>(child)].fail = fail_next;
+        bfs.push(child);
+      }
+    }
+  }
+  built_ = true;
+}
+
+i32 AhoCorasick::scan(ByteView chunk, Cursor& cursor) const {
+  assert(built_);
+  i32 node = cursor.node;
+  for (u8 raw : chunk) {
+    node = nodes_[static_cast<std::size_t>(node)].next[normalize(raw)];
+    const i32 match = nodes_[static_cast<std::size_t>(node)].match;
+    if (match >= 0) {
+      cursor.node = node;
+      return match;
+    }
+  }
+  cursor.node = node;
+  return -1;
+}
+
+bool AhoCorasick::contains(std::string_view text) const {
+  Cursor cur;
+  return scan(ByteView(reinterpret_cast<const u8*>(text.data()), text.size()),
+              cur) >= 0;
+}
+
+}  // namespace ys::gfw

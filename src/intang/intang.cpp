@@ -1,0 +1,80 @@
+#include "intang/intang.h"
+
+namespace ys::intang {
+
+Intang::Intang(tcp::Host& client, Config cfg, Rng rng,
+               StrategySelector* shared_selector)
+    : client_(client), cfg_(cfg) {
+  if (shared_selector != nullptr) {
+    selector_ = shared_selector;
+  } else {
+    owned_selector_ = std::make_unique<StrategySelector>(cfg_.selector);
+    selector_ = owned_selector_.get();
+  }
+  engine_ = std::make_unique<strategy::StrategyEngine>(
+      client,
+      [this](const net::FourTuple& tuple) {
+        const strategy::StrategyId id =
+            selector_->choose(tuple.dst_ip, client_.loop().now());
+        conns_[tuple] = ConnRecord{id, false};
+        return strategy::make_strategy(id);
+      },
+      cfg.knowledge, std::move(rng));
+
+  if (cfg_.tcp_dns_resolver != 0) {
+    forwarder_.emplace(client, DnsForwarder::Config{
+                                   cfg_.tcp_dns_resolver,
+                                   cfg_.tcp_dns_resolver_port});
+  }
+
+  client_.set_egress_hook(
+      [this](net::Packet& pkt) { return egress(pkt); });
+  client_.set_ingress_hook(
+      [this](net::Packet& pkt) { return ingress(pkt); });
+}
+
+std::optional<strategy::StrategyId> Intang::strategy_for(
+    const net::FourTuple& tuple) const {
+  auto it = conns_.find(tuple);
+  if (it == conns_.end()) return std::nullopt;
+  return it->second.id;
+}
+
+tcp::Host::Verdict Intang::egress(net::Packet& pkt) {
+  if (forwarder_ &&
+      forwarder_->intercept(pkt) == tcp::Host::Verdict::kDrop) {
+    return tcp::Host::Verdict::kDrop;
+  }
+  return engine_->egress(pkt);
+}
+
+tcp::Host::Verdict Intang::ingress(net::Packet& pkt) {
+  if (pkt.is_tcp()) {
+    // Automatic feedback: server payload = the strategy worked; a reset =
+    // it did not. One verdict per connection.
+    auto it = conns_.find(pkt.tuple().reversed());
+    if (it != conns_.end() && !it->second.reported) {
+      if (pkt.tcp->flags.rst) {
+        it->second.reported = true;
+        ++failures_;
+        selector_->report(it->first.dst_ip, it->second.id, /*success=*/false,
+                         client_.loop().now());
+        // Loss adaptation (§7.1): repeated failures toward one server
+        // suggest insertion packets are not surviving the path — double
+        // down on redundancy for future connections.
+        if (++consecutive_failures_[it->first.dst_ip] >= 2) {
+          engine_->set_insertion_redundancy(5);
+        }
+      } else if (!pkt.payload.empty()) {
+        it->second.reported = true;
+        ++successes_;
+        consecutive_failures_[it->first.dst_ip] = 0;
+        selector_->report(it->first.dst_ip, it->second.id, /*success=*/true,
+                         client_.loop().now());
+      }
+    }
+  }
+  return engine_->ingress(pkt);
+}
+
+}  // namespace ys::intang

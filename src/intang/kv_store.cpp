@@ -1,0 +1,66 @@
+#include "intang/kv_store.h"
+
+#include <charconv>
+
+namespace ys::intang {
+
+void KvStore::set(const std::string& key, std::string value, SimTime now,
+                  SimTime ttl) {
+  Entry e;
+  e.value = std::move(value);
+  if (ttl.us > 0) {
+    e.expires = true;
+    e.expiry = now + ttl;
+  }
+  map_[key] = std::move(e);
+}
+
+std::optional<std::string> KvStore::get(const std::string& key, SimTime now) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  if (expired(it->second, now)) {
+    map_.erase(it);
+    return std::nullopt;
+  }
+  return it->second.value;
+}
+
+i64 KvStore::incr(const std::string& key, SimTime now, i64 delta) {
+  auto it = map_.find(key);
+  i64 current = 0;
+  SimTime expiry = SimTime::zero();
+  bool expires = false;
+  if (it != map_.end() && !expired(it->second, now)) {
+    const std::string& v = it->second.value;
+    std::from_chars(v.data(), v.data() + v.size(), current);
+    expiry = it->second.expiry;
+    expires = it->second.expires;
+  }
+  current += delta;
+  Entry e;
+  e.value = std::to_string(current);
+  e.expiry = expiry;
+  e.expires = expires;
+  map_[key] = std::move(e);
+  return current;
+}
+
+bool KvStore::erase(const std::string& key) { return map_.erase(key) > 0; }
+
+std::optional<SimTime> KvStore::ttl_remaining(const std::string& key,
+                                              SimTime now) {
+  auto it = map_.find(key);
+  if (it == map_.end() || expired(it->second, now) || !it->second.expires) {
+    return std::nullopt;
+  }
+  return it->second.expiry - now;
+}
+
+std::size_t KvStore::size(SimTime now) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    it = expired(it->second, now) ? map_.erase(it) : std::next(it);
+  }
+  return map_.size();
+}
+
+}  // namespace ys::intang

@@ -1,0 +1,51 @@
+// In-memory key-value store with per-key TTL expiry — the reproduction's
+// stand-in for the Redis instance INTANG uses to persist per-server
+// strategy measurements (§6). Same semantics the tool relies on: get/set,
+// key expiration, and atomic counters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys::intang {
+
+class KvStore {
+ public:
+  /// Set (or overwrite) a key. ttl of zero means "no expiry".
+  void set(const std::string& key, std::string value, SimTime now,
+           SimTime ttl = SimTime::zero());
+
+  /// Get a live value; expired keys read as absent (and are reaped).
+  std::optional<std::string> get(const std::string& key, SimTime now);
+
+  /// Atomic increment of an integer value (absent/expired counts as 0);
+  /// returns the new value. Preserves the key's remaining TTL.
+  i64 incr(const std::string& key, SimTime now, i64 delta = 1);
+
+  bool erase(const std::string& key);
+
+  /// Remaining TTL, if the key exists and has one.
+  std::optional<SimTime> ttl_remaining(const std::string& key, SimTime now);
+
+  /// Number of live keys (sweeps expired entries).
+  std::size_t size(SimTime now);
+
+ private:
+  struct Entry {
+    std::string value;
+    SimTime expiry = SimTime::zero();  // zero = never
+    bool expires = false;
+  };
+
+  bool expired(const Entry& e, SimTime now) const {
+    return e.expires && now >= e.expiry;
+  }
+
+  std::unordered_map<std::string, Entry> map_;
+};
+
+}  // namespace ys::intang

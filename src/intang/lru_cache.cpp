@@ -1,0 +1,4 @@
+#include "intang/lru_cache.h"
+
+// Header-only template; translation unit pins the library target.
+namespace ys::intang {}

@@ -1,0 +1,83 @@
+#include "intang/selector.h"
+
+#include <charconv>
+
+namespace ys::intang {
+
+namespace {
+
+std::string ip_key(net::IpAddr server) { return net::ip_to_string(server); }
+
+}  // namespace
+
+std::string StrategySelector::good_key(net::IpAddr server) const {
+  return "good:" + ip_key(server);
+}
+
+std::string StrategySelector::tally_key(net::IpAddr server,
+                                        strategy::StrategyId id,
+                                        bool success) const {
+  return std::string(success ? "ok:" : "bad:") + ip_key(server) + ":" +
+         std::to_string(static_cast<int>(id));
+}
+
+strategy::StrategyId StrategySelector::choose(net::IpAddr server,
+                                              SimTime now) {
+  // Fast path: LRU-cached known-good strategy.
+  if (auto cached = cache_.get(server)) return *cached;
+  // Store path: a persisted known-good record.
+  if (auto good = store_.get(good_key(server), now)) {
+    int id = 0;
+    std::from_chars(good->data(), good->data() + good->size(), id);
+    const auto sid = static_cast<strategy::StrategyId>(id);
+    cache_.put(server, sid);
+    return sid;
+  }
+  // Cold path: prefer untried candidates in order, then the best success
+  // ratio (Laplace-smoothed so sparse data doesn't pin a loser).
+  strategy::StrategyId best = cfg_.candidates.front();
+  double best_score = -1.0;
+  for (auto id : cfg_.candidates) {
+    auto [ok, bad] = tallies(server, id, now);
+    if (ok + bad == 0) return id;  // untried: measure it
+    const double score =
+        (static_cast<double>(ok) + 1.0) / (static_cast<double>(ok + bad) + 2.0);
+    if (score > best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  return best;
+}
+
+void StrategySelector::report(net::IpAddr server, strategy::StrategyId id,
+                              bool success, SimTime now) {
+  store_.incr(tally_key(server, id, success), now);
+  if (success) {
+    store_.set(good_key(server), std::to_string(static_cast<int>(id)), now,
+               cfg_.record_ttl);
+    cache_.put(server, id);
+  } else {
+    // A failed known-good record must not keep winning the fast path.
+    if (auto cached = cache_.get(server); cached && *cached == id) {
+      cache_.erase(server);
+      store_.erase(good_key(server));
+    }
+  }
+}
+
+std::pair<i64, i64> StrategySelector::tallies(net::IpAddr server,
+                                              strategy::StrategyId id,
+                                              SimTime now) {
+  i64 ok = 0;
+  i64 bad = 0;
+  if (auto v = store_.get(tally_key(server, id, true), now)) {
+    std::from_chars(v->data(), v->data() + v->size(), ok);
+  }
+  if (auto v = store_.get(tally_key(server, id, false), now)) {
+    std::from_chars(v->data(), v->data() + v->size(), bad);
+  }
+  return {ok, bad};
+}
+
+}  // namespace ys::intang

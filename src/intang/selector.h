@@ -1,0 +1,55 @@
+// Measurement-driven strategy selection (§6): INTANG caches, per server,
+// which strategy last worked, and falls back to the historically
+// best-performing candidate otherwise. Records persist in the KvStore with
+// an expiry so stale knowledge ages out as networks and servers change.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "intang/kv_store.h"
+#include "intang/lru_cache.h"
+#include "netsim/addr.h"
+#include "strategy/strategy.h"
+
+namespace ys::intang {
+
+class StrategySelector {
+ public:
+  struct Config {
+    std::vector<strategy::StrategyId> candidates =
+        strategy::intang_candidate_strategies();
+    /// How long a "known good" verdict stays authoritative.
+    SimTime record_ttl = SimTime::from_sec(3600);
+    std::size_t lru_capacity = 1024;
+  };
+
+  explicit StrategySelector(Config cfg)
+      : cfg_(std::move(cfg)), cache_(cfg_.lru_capacity) {}
+
+  /// Pick the strategy for a new connection to `server`.
+  strategy::StrategyId choose(net::IpAddr server, SimTime now);
+
+  /// Feed back one trial result.
+  void report(net::IpAddr server, strategy::StrategyId id, bool success,
+              SimTime now);
+
+  const Config& config() const { return cfg_; }
+  KvStore& store() { return store_; }
+
+  /// Success/failure tallies for one (server, strategy) pair.
+  std::pair<i64, i64> tallies(net::IpAddr server, strategy::StrategyId id,
+                              SimTime now);
+
+ private:
+  std::string good_key(net::IpAddr server) const;
+  std::string tally_key(net::IpAddr server, strategy::StrategyId id,
+                        bool success) const;
+
+  Config cfg_;
+  KvStore store_;
+  /// Front cache: server → last known good strategy.
+  LruCache<net::IpAddr, strategy::StrategyId> cache_;
+};
+
+}  // namespace ys::intang

@@ -1,0 +1,93 @@
+// In-path middleboxes (§3.4, Table 2).
+//
+// Middleboxes are the second big reason evasion strategies fail in the
+// wild: client-side boxes drop the crafted insertion packets (voiding the
+// strategy → Failure 2), while stateful boxes *accept* them, desynchronize
+// their own connection state, and then blackhole the legitimate packets
+// that follow (→ Failure 1). Unlike the GFW these are in-path devices: they
+// may drop, hold, and rewrite traffic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "netsim/fragment.h"
+#include "netsim/path.h"
+
+namespace ys::mbox {
+
+/// What a box does with IP fragments (Table 2 row 1).
+enum class FragPolicy {
+  kPass,        // forward fragments untouched
+  kDrop,        // discard fragments outright (Aliyun egress)
+  kReassemble,  // buffer and forward the reassembled datagram
+};
+
+/// Drop behaviour for a packet class (Table 2 rows 2-5).
+enum class DropMode {
+  kPass,
+  kDrop,
+  kSometimes,  // probabilistic per packet (the paper's "sometimes dropped")
+};
+
+struct MiddleboxConfig {
+  std::string name = "mbox";
+
+  FragPolicy fragments = FragPolicy::kPass;
+  net::OverlapPolicy reassembly_overlap = net::OverlapPolicy::kPreferLast;
+
+  DropMode wrong_checksum = DropMode::kPass;
+  DropMode no_tcp_flags = DropMode::kPass;
+  DropMode rst_packets = DropMode::kPass;
+  DropMode fin_packets = DropMode::kPass;
+  /// Drop packets whose claimed IP total length exceeds the actual size.
+  bool validates_ip_length = false;
+  double sometimes_probability = 0.35;
+
+  /// Connection tracking (NAT / stateful firewall). A RST or FIN passing
+  /// through tears the tracked state down; every later packet of that
+  /// connection is dropped — the Failure 1 mechanism of §3.4.
+  bool stateful = false;
+  /// Additionally check sequence numbers against a tracked window and drop
+  /// out-of-window segments (kills out-of-window desync packets too).
+  bool seq_checking = false;
+  u32 tracked_window = 1 << 20;
+};
+
+class Middlebox final : public net::PathElement {
+ public:
+  Middlebox(MiddleboxConfig cfg, Rng rng)
+      : cfg_(std::move(cfg)), rng_(std::move(rng)),
+        reassembler_(cfg_.reassembly_overlap) {}
+
+  std::string name() const override { return cfg_.name; }
+  void process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) override;
+
+  const MiddleboxConfig& config() const { return cfg_; }
+  int dropped() const { return dropped_; }
+  int torn_connections() const { return torn_; }
+
+ private:
+  bool should_drop(DropMode mode);
+  /// Returns false if the packet must be dropped by connection tracking.
+  bool track(const net::Packet& pkt);
+
+  struct ConnState {
+    bool torn_down = false;
+    bool syn_seen = false;
+    u32 client_isn = 0;
+    u32 server_isn = 0;
+    bool server_isn_known = false;
+  };
+
+  MiddleboxConfig cfg_;
+  Rng rng_;
+  net::FragmentReassembler reassembler_;
+  std::unordered_map<net::FourTuple, ConnState, net::FourTupleHash> conns_;
+  int dropped_ = 0;
+  int torn_ = 0;
+};
+
+}  // namespace ys::mbox

@@ -1,0 +1,46 @@
+#include "middlebox/profiles.h"
+
+namespace ys::mbox {
+
+MiddleboxConfig aliyun_profile() {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:aliyun";
+  cfg.fragments = FragPolicy::kDrop;
+  cfg.fin_packets = DropMode::kSometimes;
+  return cfg;
+}
+
+MiddleboxConfig qcloud_profile() {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:qcloud";
+  cfg.fragments = FragPolicy::kReassemble;
+  cfg.rst_packets = DropMode::kSometimes;
+  return cfg;
+}
+
+MiddleboxConfig unicom_sjz_profile() {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:unicom-sjz";
+  cfg.fragments = FragPolicy::kReassemble;
+  cfg.fin_packets = DropMode::kDrop;
+  return cfg;
+}
+
+MiddleboxConfig unicom_tj_profile() {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:unicom-tj";
+  cfg.fragments = FragPolicy::kReassemble;
+  cfg.wrong_checksum = DropMode::kDrop;
+  cfg.no_tcp_flags = DropMode::kDrop;
+  cfg.fin_packets = DropMode::kDrop;
+  return cfg;
+}
+
+MiddleboxConfig server_side_firewall_profile() {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:server-fw";
+  cfg.stateful = true;
+  return cfg;
+}
+
+}  // namespace ys::mbox

@@ -1,0 +1,30 @@
+// The four client-side middlebox behaviour profiles measured in Table 2,
+// plus a generic server-side stateful firewall.
+#pragma once
+
+#include "middlebox/middlebox.h"
+
+namespace ys::mbox {
+
+/// Aliyun (6 of 11 vantage points): discards outgoing IP fragments;
+/// sometimes drops FIN insertion packets; everything else passes.
+MiddleboxConfig aliyun_profile();
+
+/// QCloud (3 of 11): reassembles IP fragments (the GFW then sees the whole
+/// request); sometimes drops RST insertion packets.
+MiddleboxConfig qcloud_profile();
+
+/// China Unicom Shijiazhuang (1 of 11): reassembles fragments; drops FIN
+/// insertion packets.
+MiddleboxConfig unicom_sjz_profile();
+
+/// China Unicom Tianjin (1 of 11): reassembles fragments; drops packets
+/// with wrong TCP checksums or no TCP flags; drops FINs.
+MiddleboxConfig unicom_tj_profile();
+
+/// A server-side NAT/stateful firewall: tracks connection state and
+/// blackholes a connection after any RST/FIN passes through — the
+/// Failure 1 mechanism when insertion packets overshoot the GFW.
+MiddleboxConfig server_side_firewall_profile();
+
+}  // namespace ys::mbox

@@ -1,0 +1,87 @@
+// IPv4 addressing and connection four-tuples.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "core/types.h"
+
+namespace ys::net {
+
+/// IPv4 address in host byte order.
+using IpAddr = u32;
+
+constexpr IpAddr make_ip(u8 a, u8 b, u8 c, u8 d) {
+  return (static_cast<u32>(a) << 24) | (static_cast<u32>(b) << 16) |
+         (static_cast<u32>(c) << 8) | static_cast<u32>(d);
+}
+
+inline std::string ip_to_string(IpAddr ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return buf;
+}
+
+/// Connection identifier as seen from the client side:
+/// (client ip:port, server ip:port).
+struct FourTuple {
+  IpAddr src_ip = 0;
+  u16 src_port = 0;
+  IpAddr dst_ip = 0;
+  u16 dst_port = 0;
+
+  /// The same connection keyed from the opposite direction.
+  FourTuple reversed() const {
+    return FourTuple{dst_ip, dst_port, src_ip, src_port};
+  }
+
+  /// Canonical key: identical for both directions of one connection.
+  FourTuple canonical() const {
+    if (src_ip < dst_ip || (src_ip == dst_ip && src_port <= dst_port)) {
+      return *this;
+    }
+    return reversed();
+  }
+
+  friend bool operator==(const FourTuple&, const FourTuple&) = default;
+
+  std::string to_string() const {
+    return ip_to_string(src_ip) + ":" + std::to_string(src_port) + "->" +
+           ip_to_string(dst_ip) + ":" + std::to_string(dst_port);
+  }
+};
+
+struct FourTupleHash {
+  std::size_t operator()(const FourTuple& t) const {
+    u64 h = t.src_ip;
+    h = h * 0x100000001b3ULL ^ t.dst_ip;
+    h = h * 0x100000001b3ULL ^ (static_cast<u64>(t.src_port) << 16 | t.dst_port);
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Host pair key (ignores ports) — the GFW's 90-second blocklist is per
+/// (client, server) host pair, not per connection.
+struct HostPair {
+  IpAddr a = 0;
+  IpAddr b = 0;
+
+  static HostPair of(IpAddr x, IpAddr y) {
+    return x <= y ? HostPair{x, y} : HostPair{y, x};
+  }
+  friend bool operator==(const HostPair&, const HostPair&) = default;
+};
+
+struct HostPairHash {
+  std::size_t operator()(const HostPair& p) const {
+    u64 h = (static_cast<u64>(p.a) << 32) | p.b;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace ys::net

@@ -1,0 +1,81 @@
+// Discrete-event scheduler driving all simulations on virtual time.
+#pragma once
+
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys::net {
+
+/// Min-heap event loop. Events scheduled for the same instant run in
+/// scheduling order (a monotonically increasing tiebreaker guarantees
+/// determinism).
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  SimTime now() const { return clock_.now(); }
+  const VirtualClock& clock() const { return clock_; }
+
+  void schedule_at(SimTime when, Action action) {
+    queue_.push(Event{when, next_seq_++, std::move(action)});
+  }
+
+  void schedule_after(SimTime delay, Action action) {
+    schedule_at(now() + delay, std::move(action));
+  }
+
+  /// Run until the queue drains or `max_events` fire. Returns the number of
+  /// events executed (a bound guards against accidental livelock in tests).
+  std::size_t run(std::size_t max_events = 1'000'000) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && executed < max_events) {
+      Event ev = queue_.top();
+      queue_.pop();
+      clock_.advance_to(ev.when);
+      ev.action();
+      ++executed;
+    }
+    return executed;
+  }
+
+  /// Run events with timestamps <= deadline, then set the clock there.
+  std::size_t run_until(SimTime deadline, std::size_t max_events = 1'000'000) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.top().when <= deadline &&
+           executed < max_events) {
+      Event ev = queue_.top();
+      queue_.pop();
+      clock_.advance_to(ev.when);
+      ev.action();
+      ++executed;
+    }
+    clock_.advance_to(deadline);
+    return executed;
+  }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    u64 seq;
+    Action action;
+
+    bool operator>(const Event& other) const {
+      if (when != other.when) return other.when < when;
+      return seq > other.seq;
+    }
+  };
+
+  VirtualClock clock_;
+  u64 next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+};
+
+}  // namespace ys::net

@@ -1,0 +1,164 @@
+#include "netsim/path.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ys::net {
+
+// Forwarder implementation bound to one (element, packet, direction) visit.
+class Path::ForwarderImpl final : public Forwarder {
+ public:
+  ForwarderImpl(Path& path, Dir dir, int index, int position, u64 trace_id)
+      : path_(path), dir_(dir), index_(index), position_(position),
+        trace_id_(trace_id) {}
+
+  void forward(Packet pkt) override {
+    pkt.trace_id = trace_id_;
+    path_.transit(std::move(pkt), dir_, position_, index_);
+  }
+
+  void inject(Packet pkt, Dir dir, SimTime delay) override {
+    finalize(pkt);
+    pkt.trace_id = path_.next_trace_id_++;
+    const std::string actor = path_.elements_[static_cast<std::size_t>(index_)]
+                                  .element->name();
+    const int position = position_;
+    const int index = index_;
+    Path* path = &path_;
+    path_.loop_.schedule_after(delay, [path, actor, position, index, dir,
+                                       pkt = std::move(pkt)]() mutable {
+      path->record(actor, "inject", pkt.summary());
+      path->transit(std::move(pkt), dir, position, index);
+    });
+  }
+
+  void drop(const Packet& pkt, std::string_view reason) override {
+    const std::string actor =
+        path_.elements_[static_cast<std::size_t>(index_)].element->name();
+    path_.record(actor, "drop", pkt.summary() + "  (" + std::string(reason) + ")");
+  }
+
+  SimTime now() const override { return path_.loop_.now(); }
+  Rng& rng() override { return path_.rng_; }
+
+ private:
+  Path& path_;
+  Dir dir_;
+  int index_;
+  int position_;
+  u64 trace_id_;
+};
+
+Path::Path(EventLoop& loop, Rng rng, PathConfig cfg, TraceRecorder* trace)
+    : loop_(loop), rng_(rng), cfg_(cfg), trace_(trace) {}
+
+void Path::attach(int position, PathElement* element) {
+  auto it = std::upper_bound(
+      elements_.begin(), elements_.end(), position,
+      [](int pos, const Attachment& a) { return pos < a.position; });
+  elements_.insert(it, Attachment{position, element});
+}
+
+void Path::send_from_client(Packet pkt) {
+  finalize(pkt);
+  pkt.trace_id = next_trace_id_++;
+  record("client", "send", pkt.summary());
+  if (client_capture_) client_capture_(pkt, loop_.now());
+  transit(std::move(pkt), Dir::kC2S, 0, -1);
+}
+
+void Path::send_from_server(Packet pkt) {
+  finalize(pkt);
+  pkt.trace_id = next_trace_id_++;
+  record("server", "send", pkt.summary());
+  transit(std::move(pkt), Dir::kS2C, endpoint_position(Dir::kC2S),
+          static_cast<int>(elements_.size()));
+}
+
+void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
+  // Find the next stop in the travel direction.
+  int next_index = -1;
+  int next_pos = endpoint_position(dir);
+  if (dir == Dir::kC2S) {
+    if (after_index + 1 < static_cast<int>(elements_.size())) {
+      next_index = after_index + 1;
+      next_pos = elements_[static_cast<std::size_t>(next_index)].position;
+    }
+  } else {
+    if (after_index - 1 >= 0) {
+      next_index = after_index - 1;
+      next_pos = elements_[static_cast<std::size_t>(next_index)].position;
+    }
+  }
+
+  const int distance = std::max(0, dir == Dir::kC2S ? next_pos - from_pos
+                                                    : from_pos - next_pos);
+
+  // TTL: each link crossing decrements; a packet with insufficient TTL dies
+  // on the link and nothing downstream ever sees it.
+  if (distance > 0) {
+    if (pkt.ip.ttl < distance) {
+      record("path", "expire",
+             pkt.summary() + "  (ttl expired " +
+                 std::to_string(from_pos + pkt.ip.ttl) + " hops from client)");
+      return;
+    }
+    pkt.ip.ttl = static_cast<u8>(pkt.ip.ttl - distance);
+
+    if (cfg_.per_link_loss > 0.0) {
+      const double survive = std::pow(1.0 - cfg_.per_link_loss, distance);
+      if (!rng_.chance(survive)) {
+        record("path", "loss", pkt.summary());
+        return;
+      }
+    }
+  }
+
+  const SimTime delay = SimTime::from_us(
+      distance * cfg_.per_hop_latency_us +
+      (cfg_.jitter_us > 0
+           ? rng_.uniform_range(0, cfg_.jitter_us)
+           : 0));
+
+  // Enforce FIFO per (stop, direction): a packet entering this segment
+  // later never arrives earlier (router queues don't reorder a flow).
+  const u64 fifo_key =
+      (static_cast<u64>(next_index + 2) << 1) |
+      (dir == Dir::kC2S ? 0u : 1u);
+  SimTime deliver_at = loop_.now() + delay;
+  SimTime& floor = fifo_floor_[fifo_key];
+  if (deliver_at < floor) deliver_at = floor;
+  floor = deliver_at;
+
+  if (next_index >= 0) {
+    loop_.schedule_at(deliver_at,
+                      [this, pkt = std::move(pkt), dir, next_index]() mutable {
+                        deliver_to_element(std::move(pkt), dir, next_index);
+                      });
+  } else {
+    loop_.schedule_at(deliver_at, [this, pkt = std::move(pkt), dir]() mutable {
+      deliver_to_endpoint(std::move(pkt), dir);
+    });
+  }
+}
+
+void Path::deliver_to_element(Packet pkt, Dir dir, int index) {
+  const Attachment& at = elements_[static_cast<std::size_t>(index)];
+  ForwarderImpl fwd(*this, dir, index, at.position, pkt.trace_id);
+  at.element->process(std::move(pkt), dir, fwd);
+}
+
+void Path::deliver_to_endpoint(Packet pkt, Dir dir) {
+  if (dir == Dir::kC2S) {
+    ++to_server_count_;
+    record("server", "recv", pkt.summary());
+    if (server_sink_) server_sink_(std::move(pkt));
+  } else {
+    ++to_client_count_;
+    record("client", "recv", pkt.summary());
+    if (client_capture_) client_capture_(pkt, loop_.now());
+    if (client_sink_) client_sink_(std::move(pkt));
+  }
+}
+
+}  // namespace ys::net

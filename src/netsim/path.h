@@ -1,0 +1,159 @@
+// The simulated network path: client — middleboxes — GFW tap — middleboxes
+// — server (Figure 1 of the paper).
+//
+// Hop positions are explicit so TTL-limited insertion packets behave like
+// the real thing: a packet with TTL k crosses exactly k links, so it is seen
+// by every element at position <= k and never by anything beyond. The GFW is
+// an on-path *tap*: its element always forwards the original packet
+// unchanged and can only inject new packets at its own position.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/log.h"
+#include "core/rng.h"
+#include "netsim/event_loop.h"
+#include "netsim/packet.h"
+
+namespace ys::net {
+
+enum class Dir {
+  kC2S,  // client to server
+  kS2C,  // server to client
+};
+
+constexpr Dir opposite(Dir d) { return d == Dir::kC2S ? Dir::kS2C : Dir::kC2S; }
+inline const char* dir_name(Dir d) { return d == Dir::kC2S ? "c2s" : "s2c"; }
+
+/// Interface handed to a PathElement while it processes one packet.
+class Forwarder {
+ public:
+  virtual ~Forwarder() = default;
+
+  /// Continue the packet along its current direction from this element.
+  /// May be called zero times (drop) or once; middleboxes that reassemble
+  /// fragments may forward a different packet than they received.
+  virtual void forward(Packet pkt) = 0;
+
+  /// Emit a brand-new packet from this element's position traveling `dir`
+  /// after `delay` (models device reaction time). Injection is the only
+  /// write primitive an on-path device has.
+  virtual void inject(Packet pkt, Dir dir, SimTime delay) = 0;
+
+  /// Record an intentional drop (in-path devices only).
+  virtual void drop(const Packet& pkt, std::string_view reason) = 0;
+
+  virtual SimTime now() const = 0;
+  virtual Rng& rng() = 0;
+};
+
+/// An in-path or on-path device attached at a hop position.
+class PathElement {
+ public:
+  virtual ~PathElement() = default;
+  virtual std::string name() const = 0;
+  virtual void process(Packet pkt, Dir dir, Forwarder& fwd) = 0;
+};
+
+/// Per-path link characteristics.
+struct PathConfig {
+  /// Server sits this many links from the client (positions 1..hops-1 hold
+  /// intermediate devices).
+  int server_hops = 14;
+  i64 per_hop_latency_us = 800;
+  i64 jitter_us = 300;
+  /// Loss probability per link crossing.
+  double per_link_loss = 0.0;
+};
+
+/// Linear bidirectional path with TTL, latency, jitter, and loss semantics.
+class Path {
+ public:
+  using PacketSink = std::function<void(Packet)>;
+  /// Client-side capture tap: sees every packet the client sends or
+  /// receives, with the virtual timestamp (pcap-style observation point).
+  using CaptureFn = std::function<void(const Packet&, SimTime)>;
+
+  Path(EventLoop& loop, Rng rng, PathConfig cfg,
+       TraceRecorder* trace = nullptr);
+
+  /// Attach an element at `position` (0 < position < server_hops). Elements
+  /// sharing a position process packets in attachment order (C2S) and the
+  /// reverse order (S2C), like devices stacked at one router.
+  void attach(int position, PathElement* element);
+
+  void set_client_sink(PacketSink sink) { client_sink_ = std::move(sink); }
+  void set_server_sink(PacketSink sink) { server_sink_ = std::move(sink); }
+  void set_client_capture(CaptureFn fn) { client_capture_ = std::move(fn); }
+
+  /// Endpoint send APIs. The packet is finalized (lengths/checksums
+  /// autofilled) unless fields were pre-set.
+  void send_from_client(Packet pkt);
+  void send_from_server(Packet pkt);
+
+  const PathConfig& config() const { return cfg_; }
+  EventLoop& loop() { return loop_; }
+  TraceRecorder* trace() { return trace_; }
+
+  /// Live hop-count estimate from client to server, as a tcptraceroute-like
+  /// probe would measure it right now (reflects route changes).
+  int current_server_hops() const { return cfg_.server_hops + hop_shift_; }
+
+  /// Simulate a route change of `delta` hops (positive = path grew). The
+  /// GFW and middlebox positions shift with the route tail; TTL estimates
+  /// made earlier become stale, exactly the paper's "network dynamics"
+  /// failure cause.
+  void shift_route(int delta) { hop_shift_ += delta; }
+
+  /// Statistics for tests.
+  std::size_t packets_delivered_to_server() const { return to_server_count_; }
+  std::size_t packets_delivered_to_client() const { return to_client_count_; }
+
+ private:
+  struct Attachment {
+    int position;
+    PathElement* element;
+  };
+
+  class ForwarderImpl;
+
+  int endpoint_position(Dir dir) const {
+    return dir == Dir::kC2S ? cfg_.server_hops + hop_shift_ : 0;
+  }
+
+  /// Move `pkt` from `from_pos` (exclusive) to the next element or endpoint
+  /// in `dir`, applying TTL, loss, and latency. `after_index` is the index
+  /// in elements_ the packet last visited (-1 when leaving an endpoint).
+  void transit(Packet pkt, Dir dir, int from_pos, int after_index);
+
+  void deliver_to_element(Packet pkt, Dir dir, int index);
+  void deliver_to_endpoint(Packet pkt, Dir dir);
+
+  void record(const std::string& actor, const std::string& kind,
+              const std::string& detail) {
+    if (trace_ != nullptr) trace_->record(loop_.now(), actor, kind, detail);
+  }
+
+  EventLoop& loop_;
+  Rng rng_;
+  PathConfig cfg_;
+  TraceRecorder* trace_;
+  std::vector<Attachment> elements_;  // sorted by position (stable)
+  PacketSink client_sink_;
+  PacketSink server_sink_;
+  CaptureFn client_capture_;
+  int hop_shift_ = 0;
+  u64 next_trace_id_ = 1;
+  /// FIFO floor per (next stop, direction): jitter may stretch latency but
+  /// packets on one path segment never overtake each other, like real
+  /// router queues.
+  std::unordered_map<u64, SimTime> fifo_floor_;
+  std::size_t to_server_count_ = 0;
+  std::size_t to_client_count_ = 0;
+};
+
+}  // namespace ys::net

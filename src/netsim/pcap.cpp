@@ -1,0 +1,71 @@
+#include "netsim/pcap.h"
+
+#include "netsim/wire.h"
+
+namespace ys::net {
+namespace {
+
+// Little-endian scalar writers (pcap headers are host-order by magic; we
+// always emit little-endian with the standard magic).
+void put_u16(std::FILE* f, u16 v) {
+  const u8 b[2] = {static_cast<u8>(v), static_cast<u8>(v >> 8)};
+  std::fwrite(b, 1, 2, f);
+}
+void put_u32(std::FILE* f, u32 v) {
+  const u8 b[4] = {static_cast<u8>(v), static_cast<u8>(v >> 8),
+                   static_cast<u8>(v >> 16), static_cast<u8>(v >> 24)};
+  std::fwrite(b, 1, 4, f);
+}
+
+constexpr u32 kMagicMicroseconds = 0xA1B2C3D4;
+constexpr u32 kLinktypeRaw = 101;  // LINKTYPE_RAW: starts at the IP header
+
+}  // namespace
+
+Status PcapWriter::open(const std::string& path) {
+  close();
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Error::make("cannot open pcap file: " + path);
+  }
+  put_u32(file_, kMagicMicroseconds);
+  put_u16(file_, 2);   // version major
+  put_u16(file_, 4);   // version minor
+  put_u32(file_, 0);   // thiszone
+  put_u32(file_, 0);   // sigfigs
+  put_u32(file_, 65535);  // snaplen
+  put_u32(file_, kLinktypeRaw);
+  packets_ = 0;
+  return Status::ok_status();
+}
+
+Status PcapWriter::write(const Packet& pkt, SimTime at) {
+  if (file_ == nullptr) return Error::make("pcap writer not open");
+  const Bytes image = serialize(pkt);
+  put_u32(file_, static_cast<u32>(at.us / 1'000'000));
+  put_u32(file_, static_cast<u32>(at.us % 1'000'000));
+  put_u32(file_, static_cast<u32>(image.size()));  // captured length
+  put_u32(file_, static_cast<u32>(image.size()));  // original length
+  std::fwrite(image.data(), 1, image.size(), file_);
+  ++packets_;
+  return Status::ok_status();
+}
+
+void PcapWriter::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+Status write_pcap(const std::string& path,
+                  const std::vector<TimedPacket>& packets) {
+  PcapWriter writer;
+  if (Status st = writer.open(path); !st.ok()) return st;
+  for (const auto& tp : packets) {
+    if (Status st = writer.write(tp.packet, tp.at); !st.ok()) return st;
+  }
+  return Status::ok_status();
+}
+
+}  // namespace ys::net

@@ -1,0 +1,57 @@
+// Classic libpcap-format capture writer.
+//
+// Any packet the simulator handles can be serialized to its real wire image
+// (netsim/wire.h), so simulations can be dumped to `.pcap` files and opened
+// in Wireshark/tcpdump — insertion packets, GFW reset volleys, forged
+// SYN/ACKs and all. Timestamps come from the virtual clock.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/clock.h"
+#include "core/log.h"
+#include "core/result.h"
+#include "netsim/packet.h"
+
+namespace ys::net {
+
+/// Streams packets into a pcap file (LINKTYPE_RAW 101: packets begin with
+/// the IPv4 header, no link-layer framing — exactly our wire images).
+class PcapWriter {
+ public:
+  PcapWriter() = default;
+  ~PcapWriter() { close(); }
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  /// Open (truncate) the output file and write the global header.
+  Status open(const std::string& path);
+
+  /// Append one packet at the given virtual time. The stored capture
+  /// length is the actual wire size (a lying IP total_length field is
+  /// preserved in the bytes, as on a real capture).
+  Status write(const Packet& pkt, SimTime at);
+
+  void close();
+  bool is_open() const { return file_ != nullptr; }
+  std::size_t packets_written() const { return packets_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::size_t packets_ = 0;
+};
+
+/// Convenience: replay a TraceRecorder's send/recv/inject events into a
+/// pcap file. Event details are not parseable back into packets, so this
+/// overload takes the packets alongside their times.
+struct TimedPacket {
+  Packet packet;
+  SimTime at;
+};
+
+Status write_pcap(const std::string& path,
+                  const std::vector<TimedPacket>& packets);
+
+}  // namespace ys::net

@@ -1,0 +1,37 @@
+// Wire-format serialization and parsing for the packet model.
+//
+// Round-tripping through real big-endian wire images keeps the model honest:
+// checksum validation, option parsing, and the malformed-field insertion
+// packets all operate on genuine byte layouts.
+#pragma once
+
+#include "core/result.h"
+#include "core/types.h"
+#include "netsim/packet.h"
+
+namespace ys::net {
+
+/// Serialize the IPv4 header (ihl_words * 4 bytes; option area zero-filled
+/// when ihl_words > 5). If `zero_checksum`, the checksum field is written as
+/// zero (for checksum computation).
+Bytes serialize_ip_header(const Ipv4Header& ip, bool zero_checksum = false);
+
+/// Serialize the transport header + payload (no IP header). For trailing
+/// fragments this is just the raw payload slice.
+Bytes serialize_transport(const Packet& pkt, bool zero_checksum = false);
+
+/// Full wire image: IP header + transport. Note the IP `total_length`
+/// *field* is written as stored, which may disagree with the buffer size —
+/// that mismatch is exactly the "IP length" insertion-packet discrepancy,
+/// so callers must carry the actual size alongside the image.
+Bytes serialize(const Packet& pkt);
+
+/// Parse a wire image back into a structured packet. `data.size()` is the
+/// actual received length (may be shorter than the claimed total_length).
+/// Returns an error only for images too mangled to represent structurally;
+/// semantically invalid packets (bad checksum, short TCP offset) parse fine
+/// and carry their invalid fields, since endpoints must *see* them to
+/// ignore them.
+Result<Packet> parse(ByteView data);
+
+}  // namespace ys::net

@@ -1,0 +1,120 @@
+#include "strategy/insertion.h"
+
+namespace ys::strategy {
+
+const char* to_string(Discrepancy d) {
+  switch (d) {
+    case Discrepancy::kNone: return "none";
+    case Discrepancy::kSmallTtl: return "ttl";
+    case Discrepancy::kBadChecksum: return "bad-checksum";
+    case Discrepancy::kBadAckNumber: return "bad-ack";
+    case Discrepancy::kNoFlags: return "no-flags";
+    case Discrepancy::kUnsolicitedMd5: return "md5";
+    case Discrepancy::kOldTimestamp: return "old-timestamp";
+    case Discrepancy::kBadIpLength: return "bad-ip-length";
+    case Discrepancy::kShortTcpHeader: return "short-tcp-header";
+  }
+  return "?";
+}
+
+void apply_discrepancy(net::Packet& pkt, Discrepancy d,
+                       const InsertionTuning& tuning) {
+  switch (d) {
+    case Discrepancy::kNone:
+      break;
+    case Discrepancy::kSmallTtl:
+      pkt.ip.ttl = tuning.small_ttl;
+      break;
+    case Discrepancy::kBadChecksum:
+      // Any constant offset from the correct checksum works; +1 keeps the
+      // corruption deterministic and visible in traces.
+      pkt.tcp->checksum =
+          static_cast<u16>(net::correct_transport_checksum(pkt) + 1);
+      break;
+    case Discrepancy::kBadAckNumber:
+      pkt.tcp->flags.ack = true;
+      pkt.tcp->ack = tuning.peer_snd_nxt + tuning.bad_ack_offset;
+      break;
+    case Discrepancy::kNoFlags:
+      pkt.tcp->flags = net::TcpFlags::none();
+      break;
+    case Discrepancy::kUnsolicitedMd5: {
+      std::array<u8, 16> digest{};
+      digest.fill(0xD5);
+      pkt.tcp->options.md5_signature = digest;
+      break;
+    }
+    case Discrepancy::kOldTimestamp:
+      pkt.tcp->options.timestamps =
+          net::TcpTimestamps{tuning.stale_ts_val, 0};
+      break;
+    case Discrepancy::kBadIpLength:
+      pkt.ip.total_length = static_cast<u16>(net::wire_size(pkt) + 512);
+      break;
+    case Discrepancy::kShortTcpHeader:
+      pkt.tcp->data_offset_words = 4;
+      break;
+  }
+}
+
+std::vector<Discrepancy> preferred_discrepancies(PacketKind kind) {
+  // Table 5: SYN → TTL; RST → TTL, MD5; data → TTL, MD5, bad ACK, old
+  // timestamp. SYN/ACK insertion (TCB Reversal) behaves like SYN; FIN like
+  // RST minus MD5 (kept TTL-only, FIN teardown is dead against the evolved
+  // model anyway).
+  switch (kind) {
+    case PacketKind::kSyn:
+    case PacketKind::kSynAck:
+      return {Discrepancy::kSmallTtl};
+    case PacketKind::kRst:
+      return {Discrepancy::kSmallTtl, Discrepancy::kUnsolicitedMd5};
+    case PacketKind::kFin:
+      return {Discrepancy::kSmallTtl};
+    case PacketKind::kData:
+      return {Discrepancy::kSmallTtl, Discrepancy::kUnsolicitedMd5,
+              Discrepancy::kBadAckNumber, Discrepancy::kOldTimestamp};
+  }
+  return {};
+}
+
+net::Packet craft_syn(const net::FourTuple& tuple, u32 seq) {
+  net::Packet pkt =
+      net::make_tcp_packet(tuple, net::TcpFlags::only_syn(), seq, 0);
+  pkt.tcp->options.mss = 1460;
+  return pkt;
+}
+
+net::Packet craft_syn_ack(const net::FourTuple& tuple, u32 seq, u32 ack) {
+  net::Packet pkt =
+      net::make_tcp_packet(tuple, net::TcpFlags::syn_ack(), seq, ack);
+  pkt.tcp->options.mss = 1460;
+  return pkt;
+}
+
+net::Packet craft_rst(const net::FourTuple& tuple, u32 seq) {
+  return net::make_tcp_packet(tuple, net::TcpFlags::only_rst(), seq, 0);
+}
+
+net::Packet craft_rst_ack(const net::FourTuple& tuple, u32 seq, u32 ack) {
+  return net::make_tcp_packet(tuple, net::TcpFlags::rst_ack(), seq, ack);
+}
+
+net::Packet craft_fin(const net::FourTuple& tuple, u32 seq, u32 ack) {
+  return net::make_tcp_packet(tuple, net::TcpFlags::fin_ack(), seq, ack);
+}
+
+net::Packet craft_data(const net::FourTuple& tuple, u32 seq, u32 ack,
+                       Bytes payload) {
+  return net::make_tcp_packet(tuple, net::TcpFlags::psh_ack(), seq, ack,
+                              std::move(payload));
+}
+
+Bytes junk_payload(std::size_t size, Rng& rng) {
+  Bytes out(size);
+  for (auto& b : out) {
+    b = static_cast<u8>('A' + rng.uniform(26));
+  }
+  return out;
+}
+
+}  // namespace ys::strategy

@@ -1,0 +1,73 @@
+// Insertion-packet crafting (§3.2, §5.3, Table 3, Table 5).
+//
+// An insertion packet must be (a) accepted by the GFW — which validates
+// almost nothing — and (b) ignored by the server and surviving middleboxes.
+// Each Discrepancy below targets one server "ignore path" from Table 3;
+// `preferred_discrepancies` encodes Table 5's packet-type compatibility
+// matrix (e.g. a RST with a wrong ACK number does NOT work: servers reset
+// anyway, so bad-ACK is data-only).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "netsim/packet.h"
+
+namespace ys::strategy {
+
+enum class Discrepancy {
+  kNone,
+  kSmallTtl,        // dies between the GFW and the server
+  kBadChecksum,     // server validates, GFW doesn't
+  kBadAckNumber,    // acks unsent data; ignored in SYN_RECV/ESTABLISHED
+  kNoFlags,         // no TCP flags at all; modern servers require ACK
+  kUnsolicitedMd5,  // RFC 2385 option without negotiation
+  kOldTimestamp,    // PAWS rejection
+  kBadIpLength,     // claimed IP total length > actual packet length
+  kShortTcpHeader,  // TCP data offset < 5 words
+};
+
+const char* to_string(Discrepancy d);
+
+/// Parameters needed to realize a discrepancy on a live connection.
+struct InsertionTuning {
+  /// TTL that reaches the GFW but not the server (hop estimate − δ).
+  u8 small_ttl = 8;
+  /// The peer's snd_nxt as the client knows it; a bad ACK acks beyond it.
+  u32 peer_snd_nxt = 0;
+  u32 bad_ack_offset = 0x01000000;
+  /// A timestamp value strictly older than the connection's ts_recent.
+  u32 stale_ts_val = 0;
+};
+
+/// Mutate a crafted packet so the chosen ignore path triggers at the
+/// server. Call after all other fields are final (the bad checksum is
+/// computed from the final layout).
+void apply_discrepancy(net::Packet& pkt, Discrepancy d,
+                       const InsertionTuning& tuning);
+
+/// What kind of TCP packet an insertion packet is, for Table 5 lookups.
+enum class PacketKind { kSyn, kSynAck, kRst, kFin, kData };
+
+/// Table 5: discrepancies usable for each packet type, in preference
+/// order. Control packets (SYN/RST) cannot rely on bad-ACK/old-timestamp —
+/// servers honor them regardless — so only TTL (and MD5 for RST) remain.
+std::vector<Discrepancy> preferred_discrepancies(PacketKind kind);
+
+// ------------------------------------------------------------- factories
+// Raw segment factories for strategies. All leave checksum/length fields
+// zero for finalize() unless a discrepancy overrides them.
+
+net::Packet craft_syn(const net::FourTuple& tuple, u32 seq);
+net::Packet craft_syn_ack(const net::FourTuple& tuple, u32 seq, u32 ack);
+net::Packet craft_rst(const net::FourTuple& tuple, u32 seq);
+net::Packet craft_rst_ack(const net::FourTuple& tuple, u32 seq, u32 ack);
+net::Packet craft_fin(const net::FourTuple& tuple, u32 seq, u32 ack);
+net::Packet craft_data(const net::FourTuple& tuple, u32 seq, u32 ack,
+                       Bytes payload);
+
+/// Junk payload of `size` bytes, deterministic per rng stream, guaranteed
+/// not to contain any censored keyword (plain uppercase letters).
+Bytes junk_payload(std::size_t size, Rng& rng);
+
+}  // namespace ys::strategy

@@ -1,0 +1,274 @@
+// The §3.2 evasion strategies measured in Table 1, implemented against the
+// prior GFW model of Khattak et al. Their failure modes against the evolved
+// GFW (and against middleboxes) are the paper's first result.
+#include "netsim/fragment.h"
+#include "netsim/wire.h"
+#include "strategy/strategy_impl.h"
+
+namespace ys::strategy {
+namespace {
+
+using Verdict = tcp::Host::Verdict;
+
+constexpr SimTime kSpacing = SimTime::from_ms(2);
+
+bool is_bare_syn(const net::Packet& pkt) {
+  return pkt.tcp->flags.syn && !pkt.tcp->flags.ack;
+}
+
+/// No-op baseline (Table 1 row 1).
+class NoStrategy final : public Strategy {
+ public:
+  std::string name() const override { return "no-strategy"; }
+};
+
+/// TCB creation with SYN: a fake-sequence SYN insertion packet creates a
+/// false TCB before the real handshake. Works against the prior model;
+/// the evolved model enters resync on the second SYN and re-anchors on the
+/// real request (→ Failure 2, ~89 % in Table 1).
+class TcbCreationSyn final : public Strategy {
+ public:
+  explicit TcbCreationSyn(Discrepancy d) : d_(d) {}
+  std::string name() const override {
+    return std::string("tcb-creation-syn/") + to_string(d_);
+  }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    // Re-fires on SYN retransmissions: a lost insertion packet must be
+    // replaced, and a duplicate insertion SYN is harmless.
+    if (!is_bare_syn(pkt)) return Verdict::kAccept;
+    net::Packet insertion = craft_syn(ctx.tuple, ctx.rng().next_u32());
+    apply_discrepancy(insertion, d_, ctx.tuning());
+    ctx.raw_send(std::move(insertion));
+    // Space the real SYN behind the insertion so path jitter cannot
+    // reorder them in front of the GFW.
+    ctx.raw_send_after(kSpacing, pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  Discrepancy d_;
+};
+
+/// Out-of-order overlapping IP fragments: junk range first (the GFW keeps
+/// the first copy of a range), real range second (hosts keep the last),
+/// then the head that completes the datagram.
+class OooIpFragments final : public Strategy {
+ public:
+  std::string name() const override { return "ooo-ip-fragments"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    net::Packet base = pkt;
+    // All fragments of one datagram must share a (fresh) identification.
+    base.ip.identification = static_cast<u16>(ctx.rng().uniform_range(1, 65535));
+    net::finalize(base);
+    Bytes transport = net::serialize_transport(base);
+    // The head fragment must cover the TCP header; 24 bytes keeps the
+    // split 8-aligned and the keyword inside the overlapped tail.
+    constexpr std::size_t kSplit = 24;
+    if (transport.size() < kSplit + 8) return Verdict::kAccept;
+
+    Bytes head(transport.begin(), transport.begin() + kSplit);
+    Bytes tail(transport.begin() + kSplit, transport.end());
+    Bytes junk = junk_payload(tail.size(), ctx.rng());
+
+    ctx.raw_send(net::make_raw_fragment(base, kSplit, std::move(junk),
+                                        /*more_fragments=*/false));
+    ctx.raw_send_after(kSpacing,
+                       net::make_raw_fragment(base, kSplit, std::move(tail),
+                                              /*more_fragments=*/false));
+    ctx.raw_send_after(SimTime::from_us(2 * kSpacing.us),
+                       net::make_raw_fragment(base, 0, std::move(head),
+                                              /*more_fragments=*/true));
+    return Verdict::kDrop;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+/// Out-of-order overlapping TCP segments: real tail first, junk tail
+/// second (the prior GFW keeps the *latter* TCP copy, hosts keep the
+/// first), then the head segment closing the gap.
+class OooTcpSegments final : public Strategy {
+ public:
+  std::string name() const override { return "ooo-tcp-segments"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    constexpr std::size_t kSplit = 8;
+    if (pkt.payload.size() < kSplit + 8) return Verdict::kAccept;
+    const net::TcpHeader& t = *pkt.tcp;
+
+    Bytes head(pkt.payload.begin(), pkt.payload.begin() + kSplit);
+    Bytes tail(pkt.payload.begin() + kSplit, pkt.payload.end());
+    Bytes junk = junk_payload(tail.size(), ctx.rng());
+    const u32 tail_seq = t.seq + static_cast<u32>(kSplit);
+
+    ctx.raw_send(craft_data(ctx.tuple, tail_seq, t.ack, std::move(tail)));
+    ctx.raw_send_after(kSpacing,
+                       craft_data(ctx.tuple, tail_seq, t.ack, std::move(junk)));
+    ctx.raw_send_after(SimTime::from_us(2 * kSpacing.us),
+                       craft_data(ctx.tuple, t.seq, t.ack, std::move(head)));
+    return Verdict::kDrop;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+/// In-order data overlapping: prefill the GFW's buffer with an in-order
+/// junk insertion packet the server ignores, then send the real request
+/// which the GFW now treats as a duplicate.
+class InOrderOverlap final : public Strategy {
+ public:
+  explicit InOrderOverlap(Discrepancy d) : d_(d) {}
+  std::string name() const override {
+    return std::string("in-order-overlap/") + to_string(d_);
+  }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    net::Packet insertion =
+        craft_data(ctx.tuple, t.seq, t.ack,
+                   junk_payload(pkt.payload.size(), ctx.rng()));
+    apply_discrepancy(insertion, d_, ctx.tuning());
+    // Repeat to ride out packet loss (§3.4: thrice, 20 ms apart); the
+    // real request leaves between the first and second copy.
+    ctx.raw_send_repeated(std::move(insertion));
+    ctx.raw_send_after(kSpacing, pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  Discrepancy d_;
+  DataTrigger trigger_;
+};
+
+/// TCB teardown: an insertion RST / RST-ACK / FIN the server ignores but
+/// the (prior-model) GFW honors, destroying its TCB before the request.
+class TcbTeardown final : public Strategy {
+ public:
+  enum class Kind { kRst, kRstAck, kFin };
+
+  TcbTeardown(Kind kind, Discrepancy d) : kind_(kind), d_(d) {}
+  std::string name() const override {
+    const char* base = kind_ == Kind::kRst      ? "teardown-rst/"
+                       : kind_ == Kind::kRstAck ? "teardown-rstack/"
+                                                : "teardown-fin/";
+    return std::string(base) + to_string(d_);
+  }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    net::Packet teardown =
+        kind_ == Kind::kRst
+            ? craft_rst(ctx.tuple, t.seq)
+            : kind_ == Kind::kRstAck
+                  ? craft_rst_ack(ctx.tuple, t.seq, ctx.rcv_nxt)
+                  : craft_fin(ctx.tuple, t.seq, ctx.rcv_nxt);
+    apply_discrepancy(teardown, d_, ctx.tuning());
+    ctx.raw_send_repeated(std::move(teardown));
+    ctx.raw_send_after(kSpacing, pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  Kind kind_;
+  Discrepancy d_;
+  DataTrigger trigger_;
+};
+
+/// The West Chamber Project's two-packet teardown ([25]): a TTL-limited
+/// RST from the client plus a source-spoofed "server-side" RST, aiming to
+/// destroy the GFW's TCB state for both directions. Against the evolved
+/// model this fares no better than plain teardown (no desync follow-up),
+/// which is why the paper found the tool "ineffective" — reproduced here
+/// for the §9 comparison.
+class WestChamber final : public Strategy {
+ public:
+  std::string name() const override { return "west-chamber"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    net::Packet client_rst = craft_rst(ctx.tuple, t.seq);
+    apply_discrepancy(client_rst, Discrepancy::kSmallTtl, ctx.tuning());
+    ctx.raw_send(std::move(client_rst));
+
+    // The spoofed reverse-direction RST: source = the server. It travels
+    // toward the server like everything the client emits, but the GFW
+    // matches TCBs by address, so it reads as a server-side teardown. The
+    // small TTL keeps it from reaching (and confusing) anything beyond.
+    net::Packet spoofed =
+        craft_rst(ctx.tuple.reversed(), ctx.rcv_nxt);
+    apply_discrepancy(spoofed, Discrepancy::kSmallTtl, ctx.tuning());
+    ctx.raw_send_after(kSpacing, std::move(spoofed));
+
+    ctx.raw_send_after(SimTime::from_us(2 * kSpacing.us), pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Strategy> make_no_strategy() {
+  return std::make_unique<NoStrategy>();
+}
+
+std::unique_ptr<Strategy> make_legacy_strategy(StrategyId id) {
+  using D = Discrepancy;
+  using K = TcbTeardown::Kind;
+  switch (id) {
+    case StrategyId::kNone:
+      return std::make_unique<NoStrategy>();
+    case StrategyId::kTcbCreationSynTtl:
+      return std::make_unique<TcbCreationSyn>(D::kSmallTtl);
+    case StrategyId::kTcbCreationSynBadChecksum:
+      return std::make_unique<TcbCreationSyn>(D::kBadChecksum);
+    case StrategyId::kOutOfOrderIpFragments:
+      return std::make_unique<OooIpFragments>();
+    case StrategyId::kOutOfOrderTcpSegments:
+      return std::make_unique<OooTcpSegments>();
+    case StrategyId::kInOrderTtl:
+      return std::make_unique<InOrderOverlap>(D::kSmallTtl);
+    case StrategyId::kInOrderBadAck:
+      return std::make_unique<InOrderOverlap>(D::kBadAckNumber);
+    case StrategyId::kInOrderBadChecksum:
+      return std::make_unique<InOrderOverlap>(D::kBadChecksum);
+    case StrategyId::kInOrderNoFlags:
+      return std::make_unique<InOrderOverlap>(D::kNoFlags);
+    case StrategyId::kTeardownRstTtl:
+      return std::make_unique<TcbTeardown>(K::kRst, D::kSmallTtl);
+    case StrategyId::kTeardownRstBadChecksum:
+      return std::make_unique<TcbTeardown>(K::kRst, D::kBadChecksum);
+    case StrategyId::kTeardownRstAckTtl:
+      return std::make_unique<TcbTeardown>(K::kRstAck, D::kSmallTtl);
+    case StrategyId::kTeardownRstAckBadChecksum:
+      return std::make_unique<TcbTeardown>(K::kRstAck, D::kBadChecksum);
+    case StrategyId::kTeardownFinTtl:
+      return std::make_unique<TcbTeardown>(K::kFin, D::kSmallTtl);
+    case StrategyId::kTeardownFinBadChecksum:
+      return std::make_unique<TcbTeardown>(K::kFin, D::kBadChecksum);
+    case StrategyId::kWestChamber:
+      return std::make_unique<WestChamber>();
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace detail
+}  // namespace ys::strategy

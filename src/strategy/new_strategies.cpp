@@ -1,0 +1,227 @@
+// The §5.2 new strategies and the §7.1 improved/combined strategies
+// (Table 4, Figures 3 and 4). These explicitly target the evolved GFW
+// model — the resync state and TCB-on-SYN/ACK creation — and are combined
+// with prior-model attacks so the pair defeats whichever model a path has.
+#include "strategy/strategy_impl.h"
+
+namespace ys::strategy {
+namespace {
+
+using Verdict = tcp::Host::Verdict;
+
+constexpr SimTime kSpacing = SimTime::from_ms(2);
+/// Offset that puts an insertion sequence number far outside any
+/// plausible receive window (the desync building block of §5.1).
+constexpr u32 kOutOfWindow = 0x00800000;
+
+bool is_bare_syn(const net::Packet& pkt) {
+  return pkt.tcp->flags.syn && !pkt.tcp->flags.ack;
+}
+
+SimTime spaced(int slot) { return SimTime::from_us(kSpacing.us * slot); }
+
+/// §5.1 building block: a 1-byte data packet with an out-of-window
+/// sequence number. A resync-state GFW anchors on it; the server answers
+/// with a harmless duplicate ACK and ignores it.
+net::Packet make_desync_packet(StrategyContext& ctx, const net::TcpHeader& t,
+                               Rng& rng) {
+  return craft_data(ctx.tuple, t.seq + kOutOfWindow, t.ack,
+                    junk_payload(1, rng));
+}
+
+/// Resync + Desync (§5.2): after the handshake, a SYN insertion packet
+/// forces the evolved GFW into the resync state; the desync packet then
+/// re-anchors it at a bogus offset, so the real request is out of window.
+class ResyncDesync final : public Strategy {
+ public:
+  std::string name() const override { return "resync-desync"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    // The SYN must carry a sequence number outside the server's window
+    // (older Linux resets on an in-window SYN; newer answers a challenge
+    // ACK either way, §5.2) and a small TTL against middlebox interference.
+    net::Packet resync_syn = craft_syn(ctx.tuple, t.seq + kOutOfWindow);
+    apply_discrepancy(resync_syn, Discrepancy::kSmallTtl, ctx.tuning());
+    ctx.raw_send(std::move(resync_syn));
+    ctx.raw_send_after(spaced(1), make_desync_packet(ctx, t, ctx.rng()));
+    ctx.raw_send_after(spaced(2), pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+/// TCB Reversal (§5.2): a client-forged SYN/ACK makes the evolved GFW
+/// create a TCB with the roles swapped, so it monitors server responses
+/// instead of client requests. The small TTL keeps the forgery from
+/// reaching the server (which would answer RST).
+class TcbReversal final : public Strategy {
+ public:
+  std::string name() const override { return "tcb-reversal"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!is_bare_syn(pkt)) return Verdict::kAccept;
+    net::Packet reversal =
+        craft_syn_ack(ctx.tuple, ctx.rng().next_u32(), ctx.rng().next_u32());
+    apply_discrepancy(reversal, Discrepancy::kSmallTtl, ctx.tuning());
+    ctx.raw_send(std::move(reversal));
+    ctx.raw_send_after(kSpacing, pkt);
+    return Verdict::kDrop;
+  }
+
+};
+
+/// Improved TCB teardown (§7.1): RST insertion packets followed by a
+/// desynchronization packet, so that a device which *resyncs* on the RST
+/// (Behavior 3) anchors on junk instead of the request.
+class ImprovedTeardown final : public Strategy {
+ public:
+  explicit ImprovedTeardown(Discrepancy d) : d_(d) {}
+  std::string name() const override {
+    return std::string("improved-tcb-teardown/") + to_string(d_);
+  }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    net::Packet rst = craft_rst(ctx.tuple, t.seq);
+    apply_discrepancy(rst, d_, ctx.tuning());
+    // Repeated copies against loss (§3.4; INTANG may raise the level on
+    // lossy paths), then the desync packet, then the real request.
+    const int copies = ctx.redundancy();
+    for (int i = 0; i < copies; ++i) ctx.raw_send_after(spaced(i), rst);
+    ctx.raw_send_after(spaced(copies), make_desync_packet(ctx, t, ctx.rng()));
+    ctx.raw_send_after(spaced(copies + 1), pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  Discrepancy d_;
+  DataTrigger trigger_;
+};
+
+/// Improved in-order data overlapping (§7.1): the prefill insertion packet
+/// uses the discrepancies middleboxes never police — the unsolicited MD5
+/// option by default (Table 5) — instead of wrong checksums or missing
+/// flags.
+class ImprovedInOrder final : public Strategy {
+ public:
+  explicit ImprovedInOrder(Discrepancy d) : d_(d) {}
+  std::string name() const override {
+    return std::string("improved-in-order-overlap/") + to_string(d_);
+  }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (!trigger_.fires(pkt)) return Verdict::kAccept;
+
+    const net::TcpHeader& t = *pkt.tcp;
+    net::Packet insertion =
+        craft_data(ctx.tuple, t.seq, t.ack,
+                   junk_payload(pkt.payload.size(), ctx.rng()));
+    apply_discrepancy(insertion, d_, ctx.tuning());
+    ctx.raw_send_repeated(std::move(insertion));
+    ctx.raw_send_after(kSpacing, pkt);
+    return Verdict::kDrop;
+  }
+
+ private:
+  Discrepancy d_;
+  DataTrigger trigger_;
+};
+
+/// Figure 3 — TCB Creation + Resync/Desync. One fake-sequence SYN before
+/// the handshake creates a false TCB on prior-model devices; a second SYN
+/// after the handshake re-enters the resync state on evolved devices
+/// (the handshake SYN/ACK already resynchronized them), and the desync
+/// packet mis-anchors them for good.
+class CreationResyncDesync final : public Strategy {
+ public:
+  std::string name() const override { return "tcb-creation+resync-desync"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (is_bare_syn(pkt)) {
+      net::Packet first_syn = craft_syn(ctx.tuple, ctx.rng().next_u32());
+      apply_discrepancy(first_syn, Discrepancy::kSmallTtl, ctx.tuning());
+      ctx.raw_send(std::move(first_syn));
+      ctx.raw_send_after(kSpacing, pkt);
+      return Verdict::kDrop;
+    }
+    if (trigger_.fires(pkt)) {
+      const net::TcpHeader& t = *pkt.tcp;
+      net::Packet second_syn = craft_syn(ctx.tuple, t.seq + kOutOfWindow);
+      apply_discrepancy(second_syn, Discrepancy::kSmallTtl, ctx.tuning());
+      ctx.raw_send(std::move(second_syn));
+      ctx.raw_send_after(spaced(1), make_desync_packet(ctx, t, ctx.rng()));
+      ctx.raw_send_after(spaced(2), pkt);
+      return Verdict::kDrop;
+    }
+    return Verdict::kAccept;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+/// Figure 4 — TCB Teardown + TCB Reversal. The forged SYN/ACK gives
+/// evolved devices a reversed TCB before the real handshake (which they
+/// then ignore); the RST insertion packets tear down the TCB on
+/// prior-model devices just before the request.
+class TeardownReversal final : public Strategy {
+ public:
+  std::string name() const override { return "tcb-teardown+tcb-reversal"; }
+
+  Verdict on_egress(StrategyContext& ctx, net::Packet& pkt) override {
+    if (is_bare_syn(pkt)) {
+      net::Packet reversal = craft_syn_ack(ctx.tuple, ctx.rng().next_u32(),
+                                           ctx.rng().next_u32());
+      apply_discrepancy(reversal, Discrepancy::kSmallTtl, ctx.tuning());
+      ctx.raw_send(std::move(reversal));
+      ctx.raw_send_after(kSpacing, pkt);
+      return Verdict::kDrop;
+    }
+    if (trigger_.fires(pkt)) {
+      const net::TcpHeader& t = *pkt.tcp;
+      net::Packet rst = craft_rst(ctx.tuple, t.seq);
+      apply_discrepancy(rst, Discrepancy::kSmallTtl, ctx.tuning());
+      const int copies = ctx.redundancy();
+      for (int i = 0; i < copies; ++i) ctx.raw_send_after(spaced(i), rst);
+      ctx.raw_send_after(spaced(copies), pkt);
+      return Verdict::kDrop;
+    }
+    return Verdict::kAccept;
+  }
+
+ private:
+  DataTrigger trigger_;
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<Strategy> make_new_strategy(StrategyId id) {
+  switch (id) {
+    case StrategyId::kResyncDesync:
+      return std::make_unique<ResyncDesync>();
+    case StrategyId::kTcbReversal:
+      return std::make_unique<TcbReversal>();
+    case StrategyId::kImprovedTeardown:
+      return std::make_unique<ImprovedTeardown>(Discrepancy::kSmallTtl);
+    case StrategyId::kImprovedInOrder:
+      return std::make_unique<ImprovedInOrder>(Discrepancy::kUnsolicitedMd5);
+    case StrategyId::kCreationResyncDesync:
+      return std::make_unique<CreationResyncDesync>();
+    case StrategyId::kTeardownReversal:
+      return std::make_unique<TeardownReversal>();
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace detail
+}  // namespace ys::strategy

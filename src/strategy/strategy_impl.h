@@ -1,0 +1,17 @@
+// Internal registry glue between strategy.cpp and the implementation
+// translation units.
+#pragma once
+
+#include <memory>
+
+#include "strategy/strategy.h"
+
+namespace ys::strategy::detail {
+
+std::unique_ptr<Strategy> make_no_strategy();
+/// Returns nullptr when `id` is not a §3.2 legacy strategy.
+std::unique_ptr<Strategy> make_legacy_strategy(StrategyId id);
+/// Returns nullptr when `id` is not a §5/§7 strategy.
+std::unique_ptr<Strategy> make_new_strategy(StrategyId id);
+
+}  // namespace ys::strategy::detail

@@ -1,0 +1,610 @@
+#include "tcpstack/tcp_endpoint.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ys::tcp {
+
+namespace {
+constexpr i64 kInitialRtoMs = 200;
+constexpr int kMaxRetransmits = 6;
+constexpr u16 kWindowBytes = 65535;
+}  // namespace
+
+TcpEndpoint::TcpEndpoint(net::EventLoop& loop, Rng rng, StackProfile profile,
+                         net::FourTuple local, Callbacks callbacks)
+    : loop_(loop), rng_(std::move(rng)), profile_(profile), local_(local),
+      cb_(std::move(callbacks)) {
+  rcv_wnd_ = kWindowBytes;
+}
+
+void TcpEndpoint::set_state(TcpState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (next == TcpState::kEstablished && cb_.on_established) {
+    cb_.on_established();
+  }
+}
+
+void TcpEndpoint::ignore(const net::Packet& pkt, IgnoreReason reason,
+                         std::string detail) {
+  if (detail.empty()) detail = pkt.summary();
+  ignore_log_.push_back(IgnoreEvent{state_, reason, std::move(detail)});
+}
+
+// ----------------------------------------------------------------- user API
+
+void TcpEndpoint::open_active() {
+  assert(state_ == TcpState::kClosed);
+  iss_ = rng_.next_u32();
+  snd_una_ = iss_;
+  snd_nxt_ = iss_ + 1;
+  set_state(TcpState::kSynSent);
+  emit(make_segment(net::TcpFlags::only_syn(), iss_, 0));
+  schedule_retransmit();
+}
+
+void TcpEndpoint::open_passive() {
+  assert(state_ == TcpState::kClosed);
+  set_state(TcpState::kListen);
+}
+
+void TcpEndpoint::send_data(Bytes data) {
+  pending_send_.insert(pending_send_.end(), data.begin(), data.end());
+  transmit_queued();
+}
+
+void TcpEndpoint::close() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    fin_queued_ = true;
+    return;
+  }
+  if (!pending_send_.empty()) {
+    fin_queued_ = true;
+    return;
+  }
+  const u32 fin_seq = snd_nxt_;
+  snd_nxt_ += 1;
+  fin_sent_ = true;
+  set_state(state_ == TcpState::kCloseWait ? TcpState::kLastAck
+                                           : TcpState::kFinWait1);
+  retransmit_queue_.push_back(Unacked{fin_seq, {}, /*fin_after=*/true});
+  emit(make_segment(net::TcpFlags::fin_ack(), fin_seq, rcv_nxt_));
+  schedule_retransmit();
+}
+
+void TcpEndpoint::abort() {
+  if (state_ == TcpState::kEstablished || state_ == TcpState::kSynRecv ||
+      state_ == TcpState::kFinWait1 || state_ == TcpState::kFinWait2 ||
+      state_ == TcpState::kCloseWait) {
+    emit(make_segment(net::TcpFlags::only_rst(), snd_nxt_, 0));
+  }
+  set_state(TcpState::kClosed);
+}
+
+// --------------------------------------------------------------- emitters
+
+net::Packet TcpEndpoint::make_segment(net::TcpFlags flags, u32 seq, u32 ack,
+                                      Bytes payload) {
+  net::Packet pkt =
+      net::make_tcp_packet(local_, flags, seq, ack, std::move(payload));
+  pkt.tcp->window = rcv_wnd_;
+  if (profile_.use_timestamps && (flags.syn || ts_enabled_peer_)) {
+    // A coarse 1 ms timestamp clock, offset per connection.
+    const u32 ts_val = static_cast<u32>(loop_.now().millis()) + iss_ % 1000;
+    pkt.tcp->options.timestamps = net::TcpTimestamps{ts_val, ts_recent_};
+  }
+  if (flags.syn) {
+    pkt.tcp->options.mss = profile_.mss;
+  }
+  return pkt;
+}
+
+void TcpEndpoint::emit(net::Packet pkt) {
+  if (cb_.send) cb_.send(std::move(pkt));
+}
+
+void TcpEndpoint::send_ack() {
+  emit(make_segment(net::TcpFlags::only_ack(), snd_nxt_, rcv_nxt_));
+}
+
+void TcpEndpoint::send_challenge_ack() {
+  ++challenge_acks_sent_;
+  send_ack();
+}
+
+void TcpEndpoint::send_rst(u32 seq) {
+  emit(make_segment(net::TcpFlags::only_rst(), seq, 0));
+}
+
+// ------------------------------------------------------------ validation
+
+bool TcpEndpoint::prevalidate(const net::Packet& pkt) {
+  // Stage 1 of Linux's tcp_v4_rcv: drop malformed packets before any state
+  // is touched. Each early return here is a Table 3 ignore path.
+  if (!net::ip_length_consistent(pkt)) {
+    ignore(pkt, IgnoreReason::kBadIpLength);
+    return false;
+  }
+  if (!pkt.tcp || pkt.tcp->data_offset_words < 5) {
+    ignore(pkt, IgnoreReason::kShortTcpHeader);
+    return false;
+  }
+  if (profile_.validates_checksum && !net::transport_checksum_ok(pkt)) {
+    ignore(pkt, IgnoreReason::kBadChecksum);
+    return false;
+  }
+  if (pkt.tcp->options.md5_signature && profile_.rejects_unsolicited_md5 &&
+      !profile_.md5_negotiated) {
+    ignore(pkt, IgnoreReason::kUnsolicitedMd5);
+    return false;
+  }
+  return true;
+}
+
+void TcpEndpoint::on_segment(const net::Packet& pkt) {
+  if (state_ == TcpState::kClosed) {
+    // RFC 793 CLOSED: discard RSTs, answer everything else with a RST —
+    // this is the observable "connection was killed" signal peers rely on.
+    if (pkt.tcp && !pkt.tcp->flags.rst && prevalidate(pkt)) {
+      if (pkt.tcp->flags.ack) {
+        send_rst(pkt.tcp->ack);
+      } else {
+        net::Packet rst = make_segment(net::TcpFlags::rst_ack(), 0,
+                                       pkt.tcp_seq_end());
+        emit(std::move(rst));
+      }
+    }
+    return;
+  }
+  if (!prevalidate(pkt)) return;
+
+  switch (state_) {
+    case TcpState::kListen:
+      process_listen(pkt);
+      return;
+    case TcpState::kSynSent:
+      process_syn_sent(pkt);
+      return;
+    case TcpState::kSynRecv:
+      process_syn_recv(pkt);
+      return;
+    default:
+      process_synchronized(pkt);
+      return;
+  }
+}
+
+// ---------------------------------------------------------------- LISTEN
+
+void TcpEndpoint::process_listen(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+  if (t.flags.rst) {
+    ignore(pkt, IgnoreReason::kBadStateForSegment, "RST in LISTEN");
+    return;
+  }
+  if (t.flags.ack) {
+    // An ACK in LISTEN draws a RST (RFC 793).
+    send_rst(t.ack);
+    ignore(pkt, IgnoreReason::kBadStateForSegment, "ACK in LISTEN");
+    return;
+  }
+  if (t.flags.syn) {
+    irs_ = t.seq;
+    rcv_nxt_ = t.seq + 1;
+    iss_ = rng_.next_u32();
+    snd_una_ = iss_;
+    snd_nxt_ = iss_ + 1;
+    if (profile_.use_timestamps && t.options.timestamps) {
+      ts_enabled_peer_ = true;
+      ts_recent_ = t.options.timestamps->ts_val;
+    }
+    set_state(TcpState::kSynRecv);
+    emit(make_segment(net::TcpFlags::syn_ack(), iss_, rcv_nxt_));
+    schedule_retransmit();
+    return;
+  }
+  ignore(pkt, IgnoreReason::kBadStateForSegment, "no SYN in LISTEN");
+}
+
+// -------------------------------------------------------------- SYN_SENT
+
+void TcpEndpoint::process_syn_sent(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+
+  if (t.flags.rst) {
+    // RFC 793: a RST in SYN_SENT is acceptable only if it acks our SYN.
+    if (t.flags.ack && t.ack == snd_nxt_) {
+      reset_seen_ = true;
+      set_state(TcpState::kClosed);
+      if (cb_.on_reset) cb_.on_reset();
+    } else {
+      ignore(pkt, IgnoreReason::kBadAckNumber, "RST in SYN_SENT w/ bad ack");
+    }
+    return;
+  }
+
+  if (t.flags.syn && t.flags.ack) {
+    if (t.ack != snd_nxt_) {
+      // Unacceptable ACK: reply RST, stay in SYN_SENT (RFC 793 p.66).
+      send_rst(t.ack);
+      ignore(pkt, IgnoreReason::kBadAckNumber, "SYN/ACK w/ bad ack");
+      return;
+    }
+    irs_ = t.seq;
+    rcv_nxt_ = t.seq + 1;
+    snd_una_ = t.ack;
+    if (profile_.use_timestamps && t.options.timestamps) {
+      ts_enabled_peer_ = true;
+      ts_recent_ = t.options.timestamps->ts_val;
+    }
+    retransmit_queue_.clear();
+    retransmit_attempts_ = 0;
+    // The handshake-completing ACK must hit the wire before anything the
+    // on_established callback sends (apps — and evasion strategies hooked
+    // below them — react to establishment, and their packets must follow
+    // the ACK like they would on a real stack).
+    state_ = TcpState::kEstablished;
+    send_ack();
+    if (cb_.on_established) cb_.on_established();
+    transmit_queued();
+    if (fin_queued_ && pending_send_.empty()) close();
+    return;
+  }
+
+  if (t.flags.syn) {
+    // Simultaneous open.
+    irs_ = t.seq;
+    rcv_nxt_ = t.seq + 1;
+    set_state(TcpState::kSynRecv);
+    emit(make_segment(net::TcpFlags::syn_ack(), iss_, rcv_nxt_));
+    return;
+  }
+
+  ignore(pkt, IgnoreReason::kBadStateForSegment, "non-SYN in SYN_SENT");
+}
+
+// -------------------------------------------------------------- SYN_RECV
+
+void TcpEndpoint::process_syn_recv(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+
+  if (t.flags.rst) {
+    // Table 3: a RST/ACK with a wrong acknowledgment number is ignored in
+    // SYN_RECV — the GFW, in contrast, accepts it.
+    if (t.flags.ack && t.ack != snd_nxt_) {
+      ignore(pkt, IgnoreReason::kBadAckNumber, "RST/ACK w/ bad ack in SYN_RECV");
+      return;
+    }
+    if (t.seq == rcv_nxt_) {
+      reset_seen_ = true;
+      set_state(TcpState::kClosed);
+      if (cb_.on_reset) cb_.on_reset();
+      return;
+    }
+    const bool in_window =
+        seq_ge(t.seq, rcv_nxt_) && seq_lt(t.seq, rcv_nxt_ + rcv_wnd_);
+    if (!in_window) {
+      ignore(pkt, IgnoreReason::kOutOfWindowRst);
+      return;
+    }
+    if (profile_.rfc5961_challenge_acks) {
+      send_challenge_ack();
+      ignore(pkt, IgnoreReason::kChallengeAckRst);
+      return;
+    }
+    reset_seen_ = true;
+    set_state(TcpState::kClosed);
+    if (cb_.on_reset) cb_.on_reset();
+    return;
+  }
+
+  if (t.flags.syn && !t.flags.ack) {
+    // Duplicate SYN: retransmit our SYN/ACK.
+    emit(make_segment(net::TcpFlags::syn_ack(), iss_, rcv_nxt_));
+    return;
+  }
+
+  if (!t.flags.ack) {
+    ignore(pkt, IgnoreReason::kNoAckFlag, "segment w/o ACK in SYN_RECV");
+    return;
+  }
+  if (t.ack != snd_nxt_) {
+    // Table 3: ACK with wrong acknowledgment number ignored in SYN_RECV.
+    ignore(pkt, IgnoreReason::kBadAckNumber, "ACK w/ bad ack in SYN_RECV");
+    return;
+  }
+  if (paws_reject(pkt)) return;
+
+  snd_una_ = t.ack;
+  retransmit_queue_.clear();
+  retransmit_attempts_ = 0;
+  set_state(TcpState::kEstablished);
+  transmit_queued();
+  // The completing ACK may itself carry data or FIN.
+  if (!pkt.payload.empty() || t.flags.fin) process_synchronized(pkt);
+  if (fin_queued_ && pending_send_.empty()) close();
+}
+
+// --------------------------------------------------- synchronized states
+
+bool TcpEndpoint::paws_reject(const net::Packet& pkt) {
+  // PAWS (RFC 7323) protects data/ACK segments. RSTs are explicitly exempt
+  // — the paper leans on this: an old-timestamp *RST* still resets, so old
+  // timestamps are only safe for data insertion packets.
+  const net::TcpHeader& t = *pkt.tcp;
+  if (!profile_.paws || !ts_enabled_peer_ || t.flags.rst) return false;
+  if (!t.options.timestamps) return false;
+  if (seq_lt(t.options.timestamps->ts_val, ts_recent_)) {
+    send_ack();  // Linux acks PAWS-rejected segments
+    ignore(pkt, IgnoreReason::kOldTimestamp);
+    return true;
+  }
+  return false;
+}
+
+bool TcpEndpoint::handle_rst(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+  if (!t.flags.rst) return false;
+  // Note: in synchronized states Linux does NOT require a valid ACK field
+  // on RSTs — §5.3: "even if the RST/ACK has a wrong ACK number or old
+  // timestamp, it will still be able to reset the connection".
+  if (t.seq == rcv_nxt_) {
+    reset_seen_ = true;
+    set_state(TcpState::kClosed);
+    if (cb_.on_reset) cb_.on_reset();
+    return true;
+  }
+  const bool in_window =
+      seq_ge(t.seq, rcv_nxt_) && seq_lt(t.seq, rcv_nxt_ + rcv_wnd_);
+  if (!in_window) {
+    ignore(pkt, IgnoreReason::kOutOfWindowRst);
+    return true;
+  }
+  if (profile_.rfc5961_challenge_acks) {
+    send_challenge_ack();
+    ignore(pkt, IgnoreReason::kChallengeAckRst);
+    return true;
+  }
+  reset_seen_ = true;
+  set_state(TcpState::kClosed);
+  if (cb_.on_reset) cb_.on_reset();
+  return true;
+}
+
+bool TcpEndpoint::handle_syn_in_sync_state(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+  if (!t.flags.syn) return false;
+  if (profile_.rfc5961_challenge_acks) {
+    // RFC 5961 §4: never reset on an in-window SYN; send a challenge ACK.
+    send_challenge_ack();
+    ignore(pkt, IgnoreReason::kChallengeAckSyn);
+    return true;
+  }
+  if (profile_.ignores_syn_in_established) {
+    // Linux 3.14 (§5.3): SYN in ESTABLISHED silently ignored.
+    ignore(pkt, IgnoreReason::kSynSilentlyIgnored);
+    return true;
+  }
+  // Pre-5961 stack: an in-window SYN aborts the connection.
+  const bool in_window =
+      seq_ge(t.seq, rcv_nxt_) && seq_lt(t.seq, rcv_nxt_ + rcv_wnd_);
+  if (in_window) {
+    send_rst(snd_nxt_);
+    reset_seen_ = true;
+    set_state(TcpState::kClosed);
+    if (cb_.on_reset) cb_.on_reset();
+  } else {
+    send_ack();
+    ignore(pkt, IgnoreReason::kOutOfWindowSynOld);
+  }
+  return true;
+}
+
+void TcpEndpoint::process_ack_field(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+  if (!t.flags.ack) return;
+  if (seq_gt(t.ack, snd_nxt_)) return;  // handled by caller as bad ack
+  if (seq_gt(t.ack, snd_una_)) {
+    snd_una_ = t.ack;
+    while (!retransmit_queue_.empty()) {
+      const Unacked& front = retransmit_queue_.front();
+      const u32 end = front.seq + static_cast<u32>(front.data.size()) +
+                      (front.fin_after ? 1 : 0);
+      if (seq_le(end, snd_una_)) {
+        retransmit_queue_.pop_front();
+      } else {
+        break;
+      }
+    }
+    retransmit_attempts_ = 0;
+    // Our FIN being acked drives the closing transitions.
+    if (fin_sent_ && snd_una_ == snd_nxt_) {
+      if (state_ == TcpState::kFinWait1) set_state(TcpState::kFinWait2);
+      else if (state_ == TcpState::kClosing) enter_time_wait();
+      else if (state_ == TcpState::kLastAck) set_state(TcpState::kClosed);
+    }
+  }
+}
+
+void TcpEndpoint::accept_payload(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+  const u32 seg_seq = t.seq;
+  const u32 seg_len = static_cast<u32>(pkt.payload.size());
+  if (seg_len == 0) return;
+  const u32 seg_end = seg_seq + seg_len;
+
+  if (seq_le(seg_end, rcv_nxt_)) {
+    send_ack();
+    ignore(pkt, IgnoreReason::kDuplicateData);
+    return;
+  }
+  if (seq_ge(seg_seq, rcv_nxt_ + rcv_wnd_)) {
+    // Entirely beyond the window: duplicate ACK, state unchanged — the
+    // canonical "ignored possibly with an ACK in response" path of §5.3.
+    send_ack();
+    ignore(pkt, IgnoreReason::kOutOfWindowSeq);
+    return;
+  }
+
+  // Clip to the receive window and merge into the out-of-order byte store
+  // under the profile's overlap policy (Linux keeps the first copy).
+  for (u32 off = 0; off < seg_len; ++off) {
+    const u32 pos = seg_seq + off;
+    if (seq_lt(pos, rcv_nxt_)) continue;
+    if (seq_ge(pos, rcv_nxt_ + rcv_wnd_)) break;
+    auto it = ooo_bytes_.find(pos);
+    if (it != ooo_bytes_.end()) {
+      if (profile_.segment_overlap == net::OverlapPolicy::kPreferLast) {
+        it->second = pkt.payload[off];
+      }
+    } else {
+      ooo_bytes_.emplace(pos, pkt.payload[off]);
+    }
+  }
+
+  // Drain contiguous bytes from rcv_nxt.
+  Bytes delivered;
+  while (true) {
+    auto it = ooo_bytes_.find(rcv_nxt_);
+    if (it == ooo_bytes_.end()) break;
+    delivered.push_back(it->second);
+    ooo_bytes_.erase(it);
+    ++rcv_nxt_;
+  }
+  if (!delivered.empty()) {
+    received_stream_.insert(received_stream_.end(), delivered.begin(),
+                            delivered.end());
+    if (t.options.timestamps && ts_enabled_peer_ &&
+        seq_ge(t.options.timestamps->ts_val, ts_recent_)) {
+      ts_recent_ = t.options.timestamps->ts_val;
+    }
+    if (cb_.on_data) cb_.on_data(delivered);
+  }
+  send_ack();
+}
+
+void TcpEndpoint::process_synchronized(const net::Packet& pkt) {
+  const net::TcpHeader& t = *pkt.tcp;
+
+  if (handle_rst(pkt)) return;
+  if (handle_syn_in_sync_state(pkt)) return;
+
+  // Modern stacks drop any non-SYN/RST segment lacking the ACK flag; this
+  // single gate implements both the "no TCP flag" and the "only FIN flag"
+  // rows of Table 3. Linux 2.6.34/2.4.37 fall through and treat the bytes
+  // as data (§5.3) — which is why no-flag insertion packets backfire there.
+  if (!t.flags.ack && profile_.requires_ack_flag) {
+    ignore(pkt, IgnoreReason::kNoAckFlag);
+    return;
+  }
+
+  if (paws_reject(pkt)) return;
+
+  if (t.flags.ack && profile_.validates_ack_field &&
+      seq_gt(t.ack, snd_nxt_)) {
+    // Acks data we never sent: ack + drop (Table 3 row 5 in ESTABLISHED).
+    send_ack();
+    ignore(pkt, IgnoreReason::kBadAckNumber);
+    return;
+  }
+
+  process_ack_field(pkt);
+  accept_payload(pkt);
+
+  if (t.flags.fin) {
+    const u32 fin_pos = t.seq + static_cast<u32>(pkt.payload.size());
+    if (fin_pos == rcv_nxt_) {
+      ++rcv_nxt_;
+      send_ack();
+      switch (state_) {
+        case TcpState::kEstablished:
+          set_state(TcpState::kCloseWait);
+          if (cb_.on_peer_close) cb_.on_peer_close();
+          break;
+        case TcpState::kFinWait1:
+          if (fin_sent_ && snd_una_ == snd_nxt_) enter_time_wait();
+          else set_state(TcpState::kClosing);
+          break;
+        case TcpState::kFinWait2:
+          enter_time_wait();
+          break;
+        default:
+          break;
+      }
+    }
+    // An out-of-order FIN just waits in the reassembly gap.
+  }
+}
+
+void TcpEndpoint::enter_time_wait() {
+  set_state(TcpState::kTimeWait);
+  // 2*MSL teardown is irrelevant to the experiments; park the state.
+}
+
+// ------------------------------------------------------------ transmission
+
+void TcpEndpoint::transmit_queued() {
+  if (state_ != TcpState::kEstablished && state_ != TcpState::kCloseWait) {
+    return;
+  }
+  bool sent = false;
+  while (!pending_send_.empty()) {
+    const std::size_t len =
+        std::min<std::size_t>(pending_send_.size(), profile_.mss);
+    Bytes chunk(pending_send_.begin(),
+                pending_send_.begin() + static_cast<long>(len));
+    pending_send_.erase(pending_send_.begin(),
+                        pending_send_.begin() + static_cast<long>(len));
+    const u32 seq = snd_nxt_;
+    snd_nxt_ += static_cast<u32>(len);
+    retransmit_queue_.push_back(Unacked{seq, chunk, false});
+    net::TcpFlags flags = net::TcpFlags::psh_ack();
+    emit(make_segment(flags, seq, rcv_nxt_, std::move(chunk)));
+    sent = true;
+  }
+  if (sent) schedule_retransmit();
+  if (fin_queued_ && pending_send_.empty()) {
+    fin_queued_ = false;
+    close();
+  }
+}
+
+void TcpEndpoint::schedule_retransmit() {
+  const u64 epoch = ++retransmit_epoch_;
+  const i64 rto_ms = kInitialRtoMs << std::min(retransmit_attempts_, 4);
+  loop_.schedule_after(SimTime::from_ms(rto_ms),
+                       [this, epoch] { on_retransmit_timer(epoch); });
+}
+
+void TcpEndpoint::on_retransmit_timer(u64 epoch) {
+  if (epoch != retransmit_epoch_) return;  // superseded or cancelled
+  if (retransmit_attempts_ >= kMaxRetransmits) return;
+
+  if (state_ == TcpState::kSynSent) {
+    ++retransmit_attempts_;
+    emit(make_segment(net::TcpFlags::only_syn(), iss_, 0));
+    schedule_retransmit();
+    return;
+  }
+  if (state_ == TcpState::kSynRecv) {
+    ++retransmit_attempts_;
+    emit(make_segment(net::TcpFlags::syn_ack(), iss_, rcv_nxt_));
+    schedule_retransmit();
+    return;
+  }
+  if (retransmit_queue_.empty()) return;
+
+  ++retransmit_attempts_;
+  for (const Unacked& seg : retransmit_queue_) {
+    if (seg.fin_after) {
+      emit(make_segment(net::TcpFlags::fin_ack(), seg.seq, rcv_nxt_));
+    } else {
+      emit(make_segment(net::TcpFlags::psh_ack(), seg.seq, rcv_nxt_,
+                        seg.data));
+    }
+  }
+  schedule_retransmit();
+}
+
+}  // namespace ys::tcp

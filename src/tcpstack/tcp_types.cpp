@@ -1,0 +1,84 @@
+#include "tcpstack/tcp_types.h"
+
+namespace ys::tcp {
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kListen: return "LISTEN";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRecv: return "SYN_RECV";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kClosing: return "CLOSING";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kTimeWait: return "TIME_WAIT";
+  }
+  return "?";
+}
+
+const char* to_string(IgnoreReason r) {
+  switch (r) {
+    case IgnoreReason::kBadIpLength: return "bad-ip-length";
+    case IgnoreReason::kShortTcpHeader: return "short-tcp-header";
+    case IgnoreReason::kBadChecksum: return "bad-checksum";
+    case IgnoreReason::kUnsolicitedMd5: return "unsolicited-md5";
+    case IgnoreReason::kNoAckFlag: return "no-ack-flag";
+    case IgnoreReason::kBadAckNumber: return "bad-ack-number";
+    case IgnoreReason::kOldTimestamp: return "old-timestamp";
+    case IgnoreReason::kOutOfWindowSeq: return "out-of-window-seq";
+    case IgnoreReason::kDuplicateData: return "duplicate-data";
+    case IgnoreReason::kChallengeAckSyn: return "challenge-ack-syn";
+    case IgnoreReason::kSynSilentlyIgnored: return "syn-silently-ignored";
+    case IgnoreReason::kChallengeAckRst: return "challenge-ack-rst";
+    case IgnoreReason::kOutOfWindowRst: return "out-of-window-rst";
+    case IgnoreReason::kOutOfWindowSynOld: return "out-of-window-syn-old";
+    case IgnoreReason::kBadStateForSegment: return "bad-state-for-segment";
+    case IgnoreReason::kNotListening: return "not-listening";
+  }
+  return "?";
+}
+
+const char* to_string(LinuxVersion v) {
+  switch (v) {
+    case LinuxVersion::k2_4_37: return "Linux 2.4.37";
+    case LinuxVersion::k2_6_34: return "Linux 2.6.34";
+    case LinuxVersion::k3_14: return "Linux 3.14";
+    case LinuxVersion::k4_0: return "Linux 4.0";
+    case LinuxVersion::k4_4: return "Linux 4.4";
+  }
+  return "?";
+}
+
+StackProfile StackProfile::for_version(LinuxVersion v) {
+  StackProfile p;  // defaults model Linux 4.4
+  p.version = v;
+  switch (v) {
+    case LinuxVersion::k4_4:
+    case LinuxVersion::k4_0:
+      break;
+    case LinuxVersion::k3_14:
+      // §5.3: in ESTABLISHED an incoming SYN is ignored (no challenge ACK,
+      // no reset).
+      p.rfc5961_challenge_acks = false;
+      p.ignores_syn_in_established = true;
+      break;
+    case LinuxVersion::k2_6_34:
+      // §5.3: data without the ACK flag is accepted.
+      p.rfc5961_challenge_acks = false;
+      p.requires_ack_flag = false;
+      break;
+    case LinuxVersion::k2_4_37:
+      // §5.3: additionally, RFC 2385 is not implemented, so unsolicited
+      // MD5 options are accepted.
+      p.rfc5961_challenge_acks = false;
+      p.requires_ack_flag = false;
+      p.rejects_unsolicited_md5 = false;
+      break;
+  }
+  return p;
+}
+
+}  // namespace ys::tcp

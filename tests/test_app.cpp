@@ -1,0 +1,177 @@
+// Application-layer codec tests: HTTP framing, the DNS wire codec over UDP
+// and TCP, and the Tor/OpenVPN fingerprints the GFW's DPI matches on.
+#include <gtest/gtest.h>
+
+#include "app/dns.h"
+#include "app/http.h"
+#include "app/tor.h"
+#include "app/vpn.h"
+
+namespace ys::app {
+namespace {
+
+// -------------------------------------------------------------------- HTTP
+
+TEST(Http, RequestBuildAndCompleteness) {
+  const Bytes req = build_http_get("example.com", "/search?q=ultrasurf");
+  const std::string text = ys::to_string(req);
+  EXPECT_TRUE(text.starts_with("GET /search?q=ultrasurf HTTP/1.1\r\n"));
+  EXPECT_NE(text.find("Host: example.com\r\n"), std::string::npos);
+  EXPECT_TRUE(text.ends_with("\r\n\r\n"));
+  EXPECT_TRUE(http_request_complete(req));
+
+  Bytes partial(req.begin(), req.begin() + 10);
+  EXPECT_FALSE(http_request_complete(partial));
+}
+
+TEST(Http, RequestPathExtraction) {
+  const Bytes req = build_http_get("example.com", "/a/b?q=1");
+  auto path = http_request_path(req);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, "/a/b?q=1");
+  EXPECT_FALSE(http_request_path(to_bytes("GET /incompl")).has_value());
+}
+
+TEST(Http, ResponseBuildAndCompleteness) {
+  const Bytes resp = build_http_response("<html>body</html>");
+  EXPECT_TRUE(http_response_complete(resp));
+  EXPECT_EQ(http_response_status(resp).value(), 200);
+
+  // Headers complete but body short -> incomplete.
+  Bytes truncated(resp.begin(), resp.end() - 5);
+  EXPECT_FALSE(http_response_complete(truncated));
+}
+
+TEST(Http, RedirectCarriesLocation) {
+  const Bytes resp = build_http_redirect("https://x.test/?q=ultrasurf");
+  EXPECT_EQ(http_response_status(resp).value(), 301);
+  EXPECT_NE(ys::to_string(resp).find("Location: https://x.test/?q=ultrasurf"),
+            std::string::npos);
+  EXPECT_TRUE(http_response_complete(resp));
+}
+
+TEST(Http, ContentLengthParsedCaseInsensitively) {
+  const std::string raw =
+      "HTTP/1.1 200 OK\r\ncONTENT-lENGTH: 4\r\n\r\nBODY";
+  EXPECT_TRUE(http_response_complete(to_bytes(raw)));
+  const std::string missing =
+      "HTTP/1.1 200 OK\r\ncONTENT-lENGTH: 5\r\n\r\nBODY";
+  EXPECT_FALSE(http_response_complete(to_bytes(missing)));
+}
+
+TEST(Http, StatusOfGarbageIsNull) {
+  EXPECT_FALSE(http_response_status(to_bytes("not http")).has_value());
+}
+
+// --------------------------------------------------------------------- DNS
+
+TEST(Dns, QueryRoundTrip) {
+  const DnsMessage query = make_query(0xBEEF, "www.Dropbox.COM");
+  auto parsed = dns_parse(dns_encode(query));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().id, 0xBEEF);
+  EXPECT_FALSE(parsed.value().is_response);
+  ASSERT_EQ(parsed.value().questions.size(), 1u);
+  // Names are normalized to lowercase on parse.
+  EXPECT_EQ(parsed.value().questions[0].qname, "www.dropbox.com");
+}
+
+TEST(Dns, ResponseRoundTrip) {
+  const DnsMessage query = make_query(7, "example.org");
+  const net::IpAddr addr = net::make_ip(93, 184, 216, 34);
+  const DnsMessage response = make_response(query, addr);
+  auto parsed = dns_parse(dns_encode(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().is_response);
+  EXPECT_EQ(parsed.value().id, 7);
+  ASSERT_EQ(parsed.value().answers.size(), 1u);
+  EXPECT_EQ(parsed.value().answers[0].address, addr);
+  EXPECT_EQ(parsed.value().answers[0].name, "example.org");
+}
+
+TEST(Dns, RejectsTruncatedAndCompressed) {
+  EXPECT_FALSE(dns_parse(Bytes{0x00, 0x01}).ok());
+  Bytes msg = dns_encode(make_query(1, "a.b"));
+  msg.resize(msg.size() - 3);
+  EXPECT_FALSE(dns_parse(msg).ok());
+  // A compression pointer (0xC0) in a name is rejected by this codec.
+  Bytes compressed = dns_encode(make_query(1, "ab.cd"));
+  compressed[12] = 0xC0;
+  EXPECT_FALSE(dns_parse(compressed).ok());
+}
+
+TEST(Dns, TcpFramingSingleAndMultiple) {
+  const Bytes f1 = dns_tcp_frame(make_query(1, "one.test"));
+  const Bytes f2 = dns_tcp_frame(make_query(2, "two.test"));
+  Bytes stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  std::size_t offset = 0;
+  auto messages = dns_tcp_extract(stream, &offset);
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].questions[0].qname, "one.test");
+  EXPECT_EQ(messages[1].questions[0].qname, "two.test");
+  EXPECT_EQ(offset, stream.size());
+}
+
+TEST(Dns, TcpFramingHandlesPartialFrames) {
+  const Bytes frame = dns_tcp_frame(make_query(1, "slow.test"));
+  std::size_t offset = 0;
+  // Feed byte by byte: nothing extracted until the frame completes.
+  Bytes stream;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    stream.push_back(frame[i]);
+    EXPECT_TRUE(dns_tcp_extract(stream, &offset).empty());
+  }
+  stream.push_back(frame.back());
+  auto messages = dns_tcp_extract(stream, &offset);
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].questions[0].qname, "slow.test");
+}
+
+TEST(Dns, LabelLengthLimits) {
+  const std::string long_label(64, 'a');
+  const DnsMessage bad = make_query(1, long_label + ".test");
+  // Encoding a 64-byte label violates RFC 1035; the encoder drops it and
+  // the message still parses structurally (zero-length name is the
+  // documented failure mode we accept) — but it must not crash.
+  const Bytes encoded = dns_encode(bad);
+  EXPECT_FALSE(encoded.empty());
+}
+
+// --------------------------------------------------------------------- Tor
+
+TEST(Tor, ClientHelloMatchesFingerprint) {
+  EXPECT_TRUE(is_tor_client_hello(build_tor_client_hello()));
+  EXPECT_FALSE(is_tor_client_hello(build_tor_server_hello()));
+  EXPECT_FALSE(is_tor_client_hello(to_bytes("GET / HTTP/1.1\r\n\r\n")));
+  EXPECT_FALSE(is_tor_client_hello(Bytes{}));
+}
+
+TEST(Tor, BridgeResponseMatches) {
+  EXPECT_TRUE(is_tor_bridge_response(build_tor_server_hello()));
+  EXPECT_FALSE(is_tor_bridge_response(build_tor_client_hello()));
+}
+
+TEST(Tor, ProbeLooksLikeClientHello) {
+  EXPECT_TRUE(is_tor_client_hello(build_probe_hello()));
+}
+
+// ------------------------------------------------------------------- VPN
+
+TEST(Vpn, ClientResetFingerprint) {
+  EXPECT_TRUE(is_openvpn_client_reset(build_openvpn_client_reset()));
+  EXPECT_FALSE(is_openvpn_client_reset(build_openvpn_server_reset()));
+  EXPECT_FALSE(is_openvpn_client_reset(to_bytes("GET / HTTP/1.1")));
+  EXPECT_FALSE(is_openvpn_client_reset(Bytes{0x00}));
+}
+
+TEST(Vpn, FramedLengthConsistent) {
+  const Bytes pkt = build_openvpn_client_reset();
+  ASSERT_GE(pkt.size(), 2u);
+  const std::size_t framed = (static_cast<std::size_t>(pkt[0]) << 8) | pkt[1];
+  EXPECT_EQ(framed, pkt.size() - 2);
+}
+
+}  // namespace
+}  // namespace ys::app

@@ -1,0 +1,113 @@
+// Reset-fingerprint classification tests: synthetic client logs exercising
+// the §3.4 Success/Failure taxonomy's hardest part — telling the censor's
+// injected resets apart from a server's own.
+#include <gtest/gtest.h>
+
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+const net::FourTuple kS2C{net::make_ip(93, 184, 216, 34), 80,
+                          net::make_ip(10, 0, 0, 1), 40000};
+
+net::Packet server_packet(net::TcpFlags flags, u32 seq, u8 ttl,
+                          Bytes payload = {}) {
+  net::Packet pkt = net::make_tcp_packet(kS2C, flags, seq, 0,
+                                         std::move(payload));
+  pkt.ip.ttl = ttl;
+  net::finalize(pkt);
+  return pkt;
+}
+
+TEST(Classification, EmptyLogIsClean) {
+  const ResetClassification c = classify_client_log({});
+  EXPECT_FALSE(c.gfw_reset_seen);
+  EXPECT_FALSE(c.other_reset_seen);
+}
+
+TEST(Classification, NormalExchangeIsClean) {
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::syn_ack(), 5000, 49));
+  log.push_back(server_packet(net::TcpFlags::psh_ack(), 5001, 49,
+                              to_bytes("HTTP/1.1 200 OK\r\n\r\n")));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_FALSE(c.gfw_reset_seen);
+  EXPECT_FALSE(c.other_reset_seen);
+}
+
+TEST(Classification, MidPathRstIsGfwByTtlDeviation) {
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::syn_ack(), 5000, 49));
+  // An injected RST crossed far fewer hops: it arrives with a high TTL.
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 5001, 58));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_TRUE(c.gfw_reset_seen);
+  EXPECT_FALSE(c.other_reset_seen);
+}
+
+TEST(Classification, ServerRstMatchesReferenceTtl) {
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::syn_ack(), 5000, 49));
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 5001, 49));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_FALSE(c.gfw_reset_seen);
+  EXPECT_TRUE(c.other_reset_seen);
+}
+
+TEST(Classification, Type2VolleyPatternOverridesTtl) {
+  // Even with server-like TTLs, the X/X+1460/X+4380 spacing gives the
+  // volley away.
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::syn_ack(), 5000, 49));
+  log.push_back(server_packet(net::TcpFlags::rst_ack(), 6000, 49));
+  log.push_back(server_packet(net::TcpFlags::rst_ack(), 6000 + 1460, 50));
+  log.push_back(server_packet(net::TcpFlags::rst_ack(), 6000 + 4380, 51));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_TRUE(c.gfw_reset_seen);
+}
+
+TEST(Classification, NoReferenceMeansConservativeGfwVerdict) {
+  // A reset with no legitimate packet to compare against is attributed to
+  // the censor (the paper's Failure 2 bucket errs the same way).
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 5001, 49));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_TRUE(c.gfw_reset_seen);
+}
+
+TEST(Classification, MixedResetsReportBoth) {
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::syn_ack(), 5000, 49));
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 5001, 49));  // server
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 7777, 60));  // censor
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_TRUE(c.gfw_reset_seen);
+  EXPECT_TRUE(c.other_reset_seen);
+}
+
+TEST(Classification, ReferenceComesFromDataPacketsToo) {
+  // No SYN/ACK in the log (e.g. block-period probes): the first payload
+  // packet anchors the reference TTL.
+  std::vector<net::Packet> log;
+  log.push_back(server_packet(net::TcpFlags::psh_ack(), 5001, 47,
+                              to_bytes("data")));
+  log.push_back(server_packet(net::TcpFlags::only_rst(), 5005, 47));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_FALSE(c.gfw_reset_seen);
+  EXPECT_TRUE(c.other_reset_seen);
+}
+
+TEST(Classification, UdpAndNonRstPacketsIgnored) {
+  std::vector<net::Packet> log;
+  net::Packet udp = net::make_udp_packet(kS2C, to_bytes("dns"));
+  net::finalize(udp);
+  log.push_back(std::move(udp));
+  log.push_back(server_packet(net::TcpFlags::only_ack(), 5001, 49));
+  const ResetClassification c = classify_client_log(log);
+  EXPECT_FALSE(c.gfw_reset_seen);
+  EXPECT_FALSE(c.other_reset_seen);
+}
+
+}  // namespace
+}  // namespace ys::exp

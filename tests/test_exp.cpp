@@ -1,0 +1,261 @@
+// Experiment-harness tests: vantage points, the server population mix,
+// scenario determinism and path-vs-trial seed split, trial classification,
+// statistics, and the table renderer.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/stats.h"
+#include "exp/table.h"
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+const gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+// --------------------------------------------------------- vantage points
+
+TEST(Vantage, MatchesPaperPopulation) {
+  const auto vps = china_vantage_points();
+  ASSERT_EQ(vps.size(), 11u);
+  int aliyun = 0;
+  int qcloud = 0;
+  int unicom = 0;
+  int northern = 0;
+  int dns_interference = 0;
+  for (const auto& vp : vps) {
+    switch (vp.provider) {
+      case Provider::kAliyun: ++aliyun; break;
+      case Provider::kQCloud: ++qcloud; break;
+      case Provider::kUnicomSjz:
+      case Provider::kUnicomTj: ++unicom; break;
+      default: break;
+    }
+    if (vp.tor_unfiltered_path) ++northern;
+    if (vp.dns_path_interference) ++dns_interference;
+    EXPECT_TRUE(vp.inside_china);
+  }
+  EXPECT_EQ(aliyun, 6);   // §3.3
+  EXPECT_EQ(qcloud, 3);
+  EXPECT_EQ(unicom, 2);
+  EXPECT_EQ(northern, 4);          // §7.3: 4 VPs in 3 Northern cities
+  EXPECT_EQ(dns_interference, 1);  // Tianjin
+}
+
+TEST(Vantage, ForeignPopulation) {
+  const auto vps = foreign_vantage_points();
+  ASSERT_EQ(vps.size(), 4u);  // US, UK, DE, JP (§7)
+  for (const auto& vp : vps) {
+    EXPECT_FALSE(vp.inside_china);
+    EXPECT_EQ(vp.provider, Provider::kForeign);
+  }
+}
+
+// ------------------------------------------------------ server population
+
+TEST(Servers, PopulationFollowsCalibration) {
+  const Calibration cal = Calibration::standard();
+  const auto servers = make_server_population(1000, 7, cal, true);
+  ASSERT_EQ(servers.size(), 1000u);
+
+  int v44 = 0;
+  int old_stacks = 0;
+  int firewalls = 0;
+  int lenient = 0;
+  for (const auto& s : servers) {
+    if (s.version == tcp::LinuxVersion::k4_4) ++v44;
+    if (s.version == tcp::LinuxVersion::k2_6_34 ||
+        s.version == tcp::LinuxVersion::k2_4_37) {
+      ++old_stacks;
+    }
+    if (s.behind_stateful_fw) ++firewalls;
+    if (s.lenient_ack_validation) ++lenient;
+  }
+  EXPECT_NEAR(v44 / 1000.0, cal.server_linux_4_4, 0.05);
+  EXPECT_NEAR(firewalls / 1000.0, cal.server_side_firewall_fraction, 0.04);
+  EXPECT_NEAR(lenient / 1000.0, cal.server_accepts_any_ack, 0.04);
+  EXPECT_GT(old_stacks, 0);
+}
+
+TEST(Servers, DeterministicForSeed) {
+  const Calibration cal = Calibration::standard();
+  const auto a = make_server_population(50, 7, cal, true);
+  const auto b = make_server_population(50, 7, cal, true);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a[i].ip, b[i].ip);
+    EXPECT_EQ(a[i].version, b[i].version);
+    EXPECT_EQ(a[i].behind_stateful_fw, b[i].behind_stateful_fw);
+  }
+  const auto c = make_server_population(50, 8, cal, true);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < 50; ++i) {
+    any_difference |= a[i].version != c[i].version ||
+                      a[i].behind_stateful_fw != c[i].behind_stateful_fw;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Servers, AlexaRanksInPaperRange) {
+  const auto servers =
+      make_server_population(77, 7, Calibration::standard(), true);
+  EXPECT_EQ(servers.front().alexa_rank, 41);   // §3.3: ranks 41..2091
+  EXPECT_LE(servers.back().alexa_rank, 2091);
+}
+
+// ----------------------------------------------------------- scenario rig
+
+ScenarioOptions base_options(u64 seed, u64 path_seed = 0) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[1];
+  opt.server.host = "s.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.cal = Calibration::standard();
+  opt.seed = seed;
+  opt.path_seed = path_seed;
+  return opt;
+}
+
+TEST(Scenario, PathDrawsAreStableAcrossTrials) {
+  // Same (vp, server), different trial seeds: path properties identical.
+  Scenario a(rules(), base_options(1));
+  Scenario b(rules(), base_options(999));
+  EXPECT_EQ(a.server_hops(), b.server_hops());
+  EXPECT_EQ(a.gfw_position(), b.gfw_position());
+  EXPECT_EQ(a.path_runs_old_model(), b.path_runs_old_model());
+  EXPECT_EQ(a.knowledge().hop_estimate, b.knowledge().hop_estimate);
+}
+
+TEST(Scenario, ExplicitPathSeedOverrides) {
+  Scenario a(rules(), base_options(1, 555));
+  Scenario b(rules(), base_options(1, 556));
+  // Different path seeds should (almost surely) differ in some draw.
+  EXPECT_TRUE(a.server_hops() != b.server_hops() ||
+              a.gfw_position() != b.gfw_position() ||
+              a.knowledge().hop_estimate != b.knowledge().hop_estimate);
+}
+
+TEST(Scenario, GfwSitsStrictlyInsidePath) {
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    Scenario sc(rules(), base_options(1, seed));
+    EXPECT_GT(sc.gfw_position(), 0);
+    EXPECT_LT(sc.gfw_position(), sc.server_hops());
+  }
+}
+
+TEST(Scenario, ForeignPathsPutGfwNearServer) {
+  const Calibration cal = Calibration::standard();
+  for (u64 seed = 1; seed <= 30; ++seed) {
+    ScenarioOptions opt = base_options(1, seed);
+    opt.vp = foreign_vantage_points()[0];
+    Scenario sc(rules(), opt);
+    const int gap = sc.server_hops() - sc.gfw_position();
+    EXPECT_GE(gap, 1);
+    EXPECT_LE(gap, cal.foreign_gfw_server_gap_max);
+  }
+}
+
+TEST(Trial, FullyDeterministicForSameSeeds) {
+  auto run_once = [&](u64 seed) {
+    Scenario sc(rules(), base_options(seed));
+    HttpTrialOptions http;
+    http.with_keyword = true;
+    http.strategy = strategy::StrategyId::kTeardownRstTtl;
+    return run_http_trial(sc, http);
+  };
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    const TrialResult a = run_once(seed);
+    const TrialResult b = run_once(seed);
+    EXPECT_EQ(a.outcome, b.outcome) << "seed " << seed;
+    EXPECT_EQ(a.gfw_reset_seen, b.gfw_reset_seen) << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------- reset classification
+
+TEST(Classification, GfwResetByTtlDeviation) {
+  net::Packet rst = net::make_tcp_packet(
+      net::FourTuple{net::make_ip(1, 1, 1, 1), 80, net::make_ip(2, 2, 2, 2),
+                     4000},
+      net::TcpFlags::only_rst(), 1, 0);
+  rst.ip.ttl = 60;
+  EXPECT_TRUE(looks_like_gfw_reset(rst, u8{47}));   // 13 hops off
+  EXPECT_FALSE(looks_like_gfw_reset(rst, u8{59}));  // within server range
+  EXPECT_TRUE(looks_like_gfw_reset(rst, std::nullopt));  // no reference
+  net::Packet not_rst = rst;
+  not_rst.tcp->flags = net::TcpFlags::only_ack();
+  EXPECT_FALSE(looks_like_gfw_reset(not_rst, u8{47}));
+}
+
+// ------------------------------------------------------------------ stats
+
+TEST(Stats, TallyRates) {
+  RateTally tally;
+  tally.add(Outcome::kSuccess);
+  tally.add(Outcome::kSuccess);
+  tally.add(Outcome::kFailure1);
+  tally.add(Outcome::kFailure2);
+  EXPECT_EQ(tally.total(), 4);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(tally.failure1_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(tally.failure2_rate(), 0.25);
+
+  RateTally other;
+  other.add(Outcome::kSuccess);
+  tally.merge(other);
+  EXPECT_EQ(tally.total(), 5);
+  EXPECT_EQ(tally.success, 3);
+}
+
+TEST(Stats, EmptyTallyIsSafe) {
+  RateTally tally;
+  EXPECT_EQ(tally.total(), 0);
+  EXPECT_DOUBLE_EQ(tally.success_rate(), 0.0);
+}
+
+TEST(Stats, Aggregate) {
+  const MinMaxAvg agg = aggregate({0.2, 0.8, 0.5});
+  EXPECT_DOUBLE_EQ(agg.min, 0.2);
+  EXPECT_DOUBLE_EQ(agg.max, 0.8);
+  EXPECT_DOUBLE_EQ(agg.avg, 0.5);
+  const MinMaxAvg empty = aggregate({});
+  EXPECT_DOUBLE_EQ(empty.avg, 0.0);
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, AlignsColumnsAndRendersHeader) {
+  TextTable table({"Name", "Rate"});
+  table.add_row({"short", "1%"});
+  table.add_row({"a much longer name", "100.0%"});
+  const std::string out = table.render();
+  // All lines are equally wide.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+  EXPECT_NE(out.find("| Name"), std::string::npos);
+  EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(pct(0.937), "93.7%");
+  EXPECT_EQ(pct(1.0), "100.0%");
+  EXPECT_EQ(pct(0.0), "0.0%");
+  EXPECT_EQ(pct(0.12345, 2), "12.35%");
+}
+
+TEST(Outcome, Names) {
+  EXPECT_STREQ(to_string(Outcome::kSuccess), "success");
+  EXPECT_STREQ(to_string(Outcome::kFailure1), "failure-1");
+  EXPECT_STREQ(to_string(Outcome::kFailure2), "failure-2");
+}
+
+}  // namespace
+}  // namespace ys::exp

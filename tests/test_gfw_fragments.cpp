@@ -1,0 +1,156 @@
+// GFW-level IP fragmentation tests: the device reassembles fragments
+// itself, preferring the FIRST copy of an overlapped range ([17], still
+// true per §3.2) — the exact asymmetry the out-of-order IP-fragment
+// strategy drives a keyword through.
+#include <gtest/gtest.h>
+
+#include "gfw/gfw_device.h"
+#include "netsim/fragment.h"
+#include "netsim/wire.h"
+
+namespace ys::gfw {
+namespace {
+
+const net::FourTuple kTuple{net::make_ip(10, 0, 0, 1), 40000,
+                            net::make_ip(93, 184, 216, 34), 80};
+
+struct Fwd final : public net::Forwarder {
+  explicit Fwd(Rng* rng) : rng_(rng) {}
+  void forward(net::Packet) override {}
+  void inject(net::Packet, net::Dir, SimTime) override { ++injections; }
+  void drop(const net::Packet&, std::string_view) override {}
+  SimTime now() const override { return SimTime::zero(); }
+  Rng& rng() override { return *rng_; }
+  int injections = 0;
+  Rng* rng_;
+};
+
+struct Rig {
+  DetectionRules rules = DetectionRules::standard();
+  std::unique_ptr<GfwDevice> dev;
+  Rng rng{5};
+  Fwd fwd{&rng};
+  u32 cseq = 1000;
+  u32 sseq = 5000;
+
+  explicit Rig(GfwConfig cfg = {}) {
+    cfg.detection_miss_rate = 0.0;
+    dev = std::make_unique<GfwDevice>("gfw", cfg, &rules, Rng(9));
+  }
+  void feed(net::Packet pkt, net::Dir dir) {
+    net::finalize(pkt);
+    dev->process(std::move(pkt), dir, fwd);
+  }
+  void handshake() {
+    feed(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), cseq, 0),
+         net::Dir::kC2S);
+    ++cseq;
+    feed(net::make_tcp_packet(kTuple.reversed(), net::TcpFlags::syn_ack(),
+                              sseq, cseq),
+         net::Dir::kS2C);
+    ++sseq;
+    feed(net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(), cseq, sseq),
+         net::Dir::kC2S);
+  }
+  net::Packet request_packet() {
+    net::Packet pkt = net::make_tcp_packet(
+        kTuple, net::TcpFlags::psh_ack(), cseq, sseq,
+        to_bytes("GET /search?q=ultrasurf HTTP/1.1\r\n"));
+    pkt.ip.identification = 77;
+    net::finalize(pkt);
+    return pkt;
+  }
+};
+
+TEST(GfwFragments, PlainFragmentedRequestIsStillCaught) {
+  // Simple fragmentation is no evasion: the device reassembles.
+  Rig rig;
+  rig.handshake();
+  for (auto& frag : net::fragment_packet(rig.request_packet(), 16)) {
+    rig.feed(std::move(frag), net::Dir::kC2S);
+  }
+  EXPECT_EQ(rig.dev->detections(), 1);
+}
+
+TEST(GfwFragments, IncompleteFragmentsDetectNothing) {
+  Rig rig;
+  rig.handshake();
+  auto frags = net::fragment_packet(rig.request_packet(), 16);
+  ASSERT_GE(frags.size(), 3u);
+  // Withhold the first fragment forever.
+  for (std::size_t i = 1; i < frags.size(); ++i) {
+    rig.feed(frags[i], net::Dir::kC2S);
+  }
+  EXPECT_EQ(rig.dev->detections(), 0);
+}
+
+TEST(GfwFragments, OverlapStrategyBlindsPreferFirstDevice) {
+  // The §3.2 exploit verbatim: junk range first (device keeps it), real
+  // range second (hosts keep that), gap-filling head last.
+  Rig rig;  // default ip_fragment_overlap = kPreferFirst
+  rig.handshake();
+
+  const net::Packet whole = rig.request_packet();
+  Bytes transport = net::serialize_transport(whole);
+  constexpr std::size_t kSplit = 24;
+  Bytes head(transport.begin(), transport.begin() + kSplit);
+  Bytes real_tail(transport.begin() + kSplit, transport.end());
+  Bytes junk_tail(real_tail.size(), 'J');
+
+  rig.feed(net::make_raw_fragment(whole, kSplit, junk_tail, false),
+           net::Dir::kC2S);
+  rig.feed(net::make_raw_fragment(whole, kSplit, real_tail, false),
+           net::Dir::kC2S);
+  rig.feed(net::make_raw_fragment(whole, 0, head, true), net::Dir::kC2S);
+
+  EXPECT_EQ(rig.dev->detections(), 0);  // the device assembled junk
+  // The device did consume the stream (its TCB advanced past the junk).
+  const GfwTcb* tcb = rig.dev->find_tcb(kTuple);
+  ASSERT_NE(tcb, nullptr);
+  EXPECT_EQ(tcb->client_next, rig.cseq + whole.payload.size());
+}
+
+TEST(GfwFragments, OverlapStrategyFailsAgainstPreferLastDevice) {
+  // A hypothetical device preferring the last copy assembles the real
+  // bytes and catches the keyword — the asymmetry is load-bearing.
+  GfwConfig cfg;
+  cfg.ip_fragment_overlap = net::OverlapPolicy::kPreferLast;
+  Rig rig(cfg);
+  rig.handshake();
+
+  const net::Packet whole = rig.request_packet();
+  Bytes transport = net::serialize_transport(whole);
+  constexpr std::size_t kSplit = 24;
+  Bytes head(transport.begin(), transport.begin() + kSplit);
+  Bytes real_tail(transport.begin() + kSplit, transport.end());
+  Bytes junk_tail(real_tail.size(), 'J');
+
+  rig.feed(net::make_raw_fragment(whole, kSplit, junk_tail, false),
+           net::Dir::kC2S);
+  rig.feed(net::make_raw_fragment(whole, kSplit, real_tail, false),
+           net::Dir::kC2S);
+  rig.feed(net::make_raw_fragment(whole, 0, head, true), net::Dir::kC2S);
+
+  EXPECT_EQ(rig.dev->detections(), 1);
+}
+
+TEST(GfwFragments, FragmentedHandshakePacketsStillBuildTcb) {
+  // Even the SYN can arrive fragmented (pathological but legal); the
+  // device's reassembler must feed its TCB logic all the same.
+  Rig rig;
+  net::Packet syn = net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(),
+                                         rig.cseq, 0);
+  syn.tcp->options.mss = 1460;
+  syn.ip.identification = 42;
+  net::finalize(syn);
+  for (auto& frag : net::fragment_packet(syn, 16)) {
+    rig.feed(std::move(frag), net::Dir::kC2S);
+  }
+  EXPECT_EQ(rig.dev->tcb_count(), 1u);
+  const GfwTcb* tcb = rig.dev->find_tcb(kTuple);
+  ASSERT_NE(tcb, nullptr);
+  EXPECT_EQ(tcb->client_next, rig.cseq + 1);
+}
+
+}  // namespace
+}  // namespace ys::gfw

@@ -1,0 +1,326 @@
+// INTANG component tests: the TTL'd key-value store (Redis stand-in), the
+// LRU cache front, the measurement-driven strategy selector, the DNS
+// forwarder, and the orchestrator's automatic feedback loop.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "intang/intang.h"
+
+namespace ys::intang {
+namespace {
+
+// ---------------------------------------------------------------- KvStore
+
+TEST(KvStore, SetGetOverwrite) {
+  KvStore store;
+  const SimTime now = SimTime::zero();
+  EXPECT_FALSE(store.get("k", now).has_value());
+  store.set("k", "v1", now);
+  EXPECT_EQ(store.get("k", now).value(), "v1");
+  store.set("k", "v2", now);
+  EXPECT_EQ(store.get("k", now).value(), "v2");
+  EXPECT_TRUE(store.erase("k"));
+  EXPECT_FALSE(store.erase("k"));
+}
+
+TEST(KvStore, TtlExpiry) {
+  KvStore store;
+  store.set("k", "v", SimTime::zero(), SimTime::from_sec(10));
+  EXPECT_TRUE(store.get("k", SimTime::from_sec(9)).has_value());
+  EXPECT_FALSE(store.get("k", SimTime::from_sec(10)).has_value());
+  // Expired entries are reaped on read.
+  EXPECT_EQ(store.size(SimTime::from_sec(11)), 0u);
+}
+
+TEST(KvStore, TtlRemaining) {
+  KvStore store;
+  store.set("k", "v", SimTime::zero(), SimTime::from_sec(60));
+  auto remaining = store.ttl_remaining("k", SimTime::from_sec(20));
+  ASSERT_TRUE(remaining.has_value());
+  EXPECT_EQ(remaining->us, SimTime::from_sec(40).us);
+  store.set("nolimit", "v", SimTime::zero());
+  EXPECT_FALSE(store.ttl_remaining("nolimit", SimTime::zero()).has_value());
+}
+
+TEST(KvStore, IncrCountsAndPreservesTtl) {
+  KvStore store;
+  const SimTime now = SimTime::zero();
+  EXPECT_EQ(store.incr("counter", now), 1);
+  EXPECT_EQ(store.incr("counter", now), 2);
+  EXPECT_EQ(store.incr("counter", now, 10), 12);
+  EXPECT_EQ(store.get("counter", now).value(), "12");
+
+  store.set("timed", "5", now, SimTime::from_sec(30));
+  store.incr("timed", SimTime::from_sec(10));
+  EXPECT_FALSE(store.get("timed", SimTime::from_sec(31)).has_value());
+}
+
+TEST(KvStore, IncrOnExpiredStartsFresh) {
+  KvStore store;
+  store.set("c", "100", SimTime::zero(), SimTime::from_sec(1));
+  EXPECT_EQ(store.incr("c", SimTime::from_sec(2)), 1);
+}
+
+// --------------------------------------------------------------- LruCache
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, std::string> cache(2);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  cache.put(3, "three");  // evicts 1
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.get(2).value(), "two");
+  EXPECT_EQ(cache.get(3).value(), "three");
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, GetRefreshesRecency) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_TRUE(cache.get(1).has_value());  // 1 becomes most recent
+  cache.put(3, 30);                       // evicts 2, not 1
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(LruCache, PutRefreshesExistingKey) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // refresh, not insert
+  cache.put(3, 30);  // evicts 2
+  EXPECT_EQ(cache.get(1).value(), 11);
+  EXPECT_FALSE(cache.get(2).has_value());
+}
+
+TEST(LruCache, EraseAndClear) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(cache.size(), 1u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(2));
+}
+
+// ----------------------------------------------------------------- selector
+
+const net::IpAddr kServer = net::make_ip(93, 184, 216, 34);
+
+TEST(Selector, TriesCandidatesInOrderWhenCold) {
+  StrategySelector::Config cfg;
+  cfg.candidates = {strategy::StrategyId::kImprovedTeardown,
+                    strategy::StrategyId::kImprovedInOrder};
+  StrategySelector selector(cfg);
+  const SimTime now = SimTime::zero();
+  EXPECT_EQ(selector.choose(kServer, now),
+            strategy::StrategyId::kImprovedTeardown);
+  // Feedback: the first candidate failed → try the untried one next.
+  selector.report(kServer, strategy::StrategyId::kImprovedTeardown, false,
+                  now);
+  EXPECT_EQ(selector.choose(kServer, now),
+            strategy::StrategyId::kImprovedInOrder);
+}
+
+TEST(Selector, CachesKnownGoodStrategy) {
+  StrategySelector selector{StrategySelector::Config{}};
+  const SimTime now = SimTime::zero();
+  selector.report(kServer, strategy::StrategyId::kImprovedInOrder, true, now);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(selector.choose(kServer, now),
+              strategy::StrategyId::kImprovedInOrder);
+  }
+}
+
+TEST(Selector, FailureInvalidatesKnownGood) {
+  StrategySelector::Config cfg;
+  cfg.candidates = {strategy::StrategyId::kImprovedTeardown,
+                    strategy::StrategyId::kImprovedInOrder};
+  StrategySelector selector(cfg);
+  const SimTime now = SimTime::zero();
+  selector.report(kServer, strategy::StrategyId::kImprovedTeardown, true,
+                  now);
+  ASSERT_EQ(selector.choose(kServer, now),
+            strategy::StrategyId::kImprovedTeardown);
+  selector.report(kServer, strategy::StrategyId::kImprovedTeardown, false,
+                  now);
+  // The invalidated record no longer pins the choice; the untried
+  // candidate gets its chance.
+  EXPECT_EQ(selector.choose(kServer, now),
+            strategy::StrategyId::kImprovedInOrder);
+}
+
+TEST(Selector, KnownGoodExpiresWithRecordTtl) {
+  StrategySelector::Config cfg;
+  cfg.record_ttl = SimTime::from_sec(100);
+  cfg.lru_capacity = 0;  // force the store path (no front cache)
+  StrategySelector selector(cfg);
+  selector.report(kServer, strategy::StrategyId::kImprovedInOrder, true,
+                  SimTime::zero());
+  EXPECT_EQ(selector.choose(kServer, SimTime::from_sec(50)),
+            strategy::StrategyId::kImprovedInOrder);
+  // After expiry the choice falls back to exploration order.
+  EXPECT_EQ(selector.choose(kServer, SimTime::from_sec(101)),
+            selector.config().candidates.front());
+}
+
+TEST(Selector, PrefersBestSuccessRatio) {
+  StrategySelector::Config cfg;
+  cfg.candidates = {strategy::StrategyId::kImprovedTeardown,
+                    strategy::StrategyId::kImprovedInOrder};
+  StrategySelector selector(cfg);
+  const SimTime now = SimTime::zero();
+  // teardown: 1 ok, 3 bad. in-order: 3 ok, 1 bad. Kill the known-good
+  // record afterwards so the ratio logic decides.
+  selector.report(kServer, strategy::StrategyId::kImprovedTeardown, true, now);
+  for (int i = 0; i < 3; ++i) {
+    selector.report(kServer, strategy::StrategyId::kImprovedTeardown, false,
+                    now);
+  }
+  for (int i = 0; i < 3; ++i) {
+    selector.report(kServer, strategy::StrategyId::kImprovedInOrder, true,
+                    now);
+  }
+  selector.report(kServer, strategy::StrategyId::kImprovedInOrder, false, now);
+  EXPECT_EQ(selector.choose(kServer, now),
+            strategy::StrategyId::kImprovedInOrder);
+  auto [ok, bad] = selector.tallies(
+      kServer, strategy::StrategyId::kImprovedTeardown, now);
+  EXPECT_EQ(ok, 1);
+  EXPECT_EQ(bad, 3);
+}
+
+TEST(Selector, PerServerIsolation) {
+  StrategySelector selector{StrategySelector::Config{}};
+  const net::IpAddr other = net::make_ip(1, 2, 3, 4);
+  const SimTime now = SimTime::zero();
+  selector.report(kServer, strategy::StrategyId::kImprovedInOrder, true, now);
+  // The other server is still cold: exploration order.
+  EXPECT_EQ(selector.choose(other, now),
+            selector.config().candidates.front());
+}
+
+// ----------------------------------------------------- forwarder + intang
+
+exp::Scenario make_scenario(u64 seed, net::IpAddr resolver) {
+  static const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  exp::ScenarioOptions opt;
+  opt.vp = exp::china_vantage_points()[0];
+  opt.server.host = "resolver";
+  opt.server.ip = resolver;
+  opt.cal = exp::Calibration::standard();
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.seed = seed;
+  return exp::Scenario(&rules, opt);
+}
+
+TEST(DnsForwarder, ConvertsAndMapsResponsesBack) {
+  const net::IpAddr resolver = net::make_ip(216, 146, 35, 35);
+  exp::Scenario sc = make_scenario(31, resolver);
+  exp::DnsTrialOptions dns;
+  dns.domain = "www.dropbox.com";
+  dns.use_intang = true;
+  const exp::DnsTrialResult result = exp::run_dns_trial(sc, dns);
+  EXPECT_TRUE(result.answered);
+  EXPECT_FALSE(result.poisoned);
+  EXPECT_EQ(result.outcome, exp::Outcome::kSuccess);
+}
+
+TEST(DnsForwarder, CountsConversions) {
+  const net::IpAddr resolver = net::make_ip(216, 146, 35, 35);
+  exp::Scenario sc = make_scenario(32, resolver);
+
+  Intang::Config cfg;
+  cfg.knowledge = sc.knowledge();
+  cfg.tcp_dns_resolver = resolver;
+  Intang intang(sc.client(), cfg, sc.fork_rng());
+
+  // Serve TCP DNS on the scenario server.
+  auto offsets =
+      std::make_shared<std::unordered_map<const void*, std::size_t>>();
+  sc.server().listen(53, [offsets](tcp::TcpEndpoint& ep, ByteView) {
+    std::size_t& off = (*offsets)[&ep];
+    for (const auto& msg :
+         app::dns_tcp_extract(ep.received_stream(), &off)) {
+      if (!msg.is_response) {
+        ep.send_data(app::dns_tcp_frame(
+            app::make_response(msg, net::make_ip(1, 2, 3, 4))));
+      }
+    }
+  });
+
+  int answers = 0;
+  sc.client().bind_udp(5353, [&answers](const net::FourTuple&, ByteView) {
+    ++answers;
+  });
+  for (u16 i = 0; i < 3; ++i) {
+    sc.client().send_udp(
+        net::FourTuple{sc.client().config().address, 5353, resolver, 53},
+        app::dns_encode(app::make_query(i, "example.org")));
+  }
+  sc.run();
+  ASSERT_NE(intang.dns_forwarder(), nullptr);
+  EXPECT_EQ(intang.dns_forwarder()->queries_converted(), 3);
+  EXPECT_EQ(intang.dns_forwarder()->responses_returned(), 3);
+  EXPECT_EQ(answers, 3);
+}
+
+TEST(Intang, AutomaticFeedbackMarksSuccess) {
+  exp::Scenario sc = make_scenario(33, net::make_ip(93, 184, 216, 34));
+  intang::StrategySelector selector{StrategySelector::Config{}};
+  exp::HttpTrialOptions http;
+  http.with_keyword = true;
+  http.use_intang = true;
+  http.shared_selector = &selector;
+  const exp::TrialResult result = exp::run_http_trial(sc, http);
+  EXPECT_EQ(result.outcome, exp::Outcome::kSuccess);
+  auto [ok, bad] =
+      selector.tallies(net::make_ip(93, 184, 216, 34), result.strategy_used,
+                       sc.loop().now());
+  EXPECT_GE(ok, 1);
+  EXPECT_EQ(bad, 0);
+}
+
+TEST(Intang, ConvergesAwayFromFailingStrategy) {
+  // A path whose hop estimate is systematically wrong breaks TTL-based
+  // strategies; INTANG must settle on the MD5-based one.
+  static const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  StrategySelector selector{StrategySelector::Config{}};
+  int successes = 0;
+  strategy::StrategyId last = strategy::StrategyId::kNone;
+  for (int t = 0; t < 8; ++t) {
+    exp::ScenarioOptions opt;
+    opt.vp = exp::china_vantage_points()[0];
+    opt.server.host = "site";
+    opt.server.ip = net::make_ip(93, 184, 100, 50);
+    opt.cal = exp::Calibration::standard();
+    opt.cal.detection_miss = 0.0;
+    opt.cal.per_link_loss = 0.0;
+    // Force a stale estimate: TTL-crafted packets hit the server.
+    opt.cal.ttl_estimate_error_prob = 1.0;
+    opt.cal.ttl_estimate_error_hops = 2;
+    opt.path_seed = 4241;  // a path draw where the error is +2
+    opt.seed = 100 + static_cast<u64>(t);
+    exp::Scenario sc(&rules, opt);
+    if (sc.knowledge().hop_estimate <= sc.server_hops()) continue;
+
+    exp::HttpTrialOptions http;
+    http.with_keyword = true;
+    http.use_intang = true;
+    http.shared_selector = &selector;
+    const exp::TrialResult result = exp::run_http_trial(sc, http);
+    if (result.outcome == exp::Outcome::kSuccess) ++successes;
+    last = result.strategy_used;
+  }
+  EXPECT_GE(successes, 4);
+  EXPECT_EQ(last, strategy::StrategyId::kImprovedInOrder);
+}
+
+}  // namespace
+}  // namespace ys::intang

@@ -1,0 +1,175 @@
+// Deeper end-to-end scenarios: failure injection (loss), the 90-second
+// block-period lifecycle over virtual time, route changes invalidating TTL
+// estimates mid-session, and a multi-protocol INTANG session.
+#include <gtest/gtest.h>
+
+#include "app/http.h"
+#include "exp/scenario.h"
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+const gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+ScenarioOptions clean_options(u64 seed) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[1];
+  opt.server.host = "s.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.cal = Calibration::standard();
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.server_side_firewall_fraction = 0.0;
+  opt.cal.server_accepts_any_ack = 0.0;
+  // Teardown-flavored devices: the route-dynamics tests isolate the TTL
+  // mechanism, not Behavior 3.
+  opt.cal.rst_resync_established = 0.0;
+  opt.cal.rst_resync_handshake = 0.0;
+  opt.seed = seed;
+  return opt;
+}
+
+// ------------------------------------------------------- failure injection
+
+TEST(FailureInjection, PlainFlowSurvivesModerateLossViaRetransmission) {
+  int successes = 0;
+  for (u64 seed = 1; seed <= 20; ++seed) {
+    ScenarioOptions opt = clean_options(seed);
+    opt.cal.per_link_loss = 0.01;  // ~13 % end-to-end per crossing
+    Scenario sc(rules(), opt);
+    HttpTrialOptions http;
+    http.with_keyword = false;
+    if (run_http_trial(sc, http).outcome == Outcome::kSuccess) ++successes;
+  }
+  // TCP retransmission rides out this loss rate nearly always.
+  EXPECT_GE(successes, 18);
+}
+
+TEST(FailureInjection, TripleSentInsertionPacketsSurviveLoss) {
+  // The §3.4 countermeasure: insertion packets are repeated thrice, so a
+  // lossy link rarely voids the strategy.
+  int successes = 0;
+  for (u64 seed = 31; seed <= 50; ++seed) {
+    ScenarioOptions opt = clean_options(seed);
+    opt.cal.per_link_loss = 0.008;
+    Scenario sc(rules(), opt);
+    HttpTrialOptions http;
+    http.with_keyword = true;
+    http.strategy = strategy::StrategyId::kImprovedTeardown;
+    if (run_http_trial(sc, http).outcome == Outcome::kSuccess) ++successes;
+  }
+  EXPECT_GE(successes, 16);
+}
+
+// -------------------------------------------------------- block lifecycle
+
+TEST(BlockPeriod, ExpiresOnVirtualTimeAndServiceResumes) {
+  Scenario sc(rules(), clean_options(61));
+
+  // Connection 1: censored, detected, host pair blocked.
+  HttpTrialOptions censored;
+  censored.with_keyword = true;
+  ASSERT_EQ(run_http_trial(sc, censored).outcome, Outcome::kFailure2);
+  ASSERT_TRUE(sc.gfw_type2().host_pair_blocked(
+      sc.options().vp.address, sc.options().server.ip, sc.loop().now()));
+
+  // Let 91 virtual seconds pass.
+  sc.loop().run_until(sc.loop().now() + SimTime::from_sec(91));
+  ASSERT_FALSE(sc.gfw_type2().host_pair_blocked(
+      sc.options().vp.address, sc.options().server.ip, sc.loop().now()));
+
+  // Connection 2: innocent request now completes normally.
+  tcp::TcpEndpoint* conn = nullptr;
+  tcp::TcpEndpoint::Callbacks cb;
+  cb.on_established = [&conn] {
+    if (conn) conn->send_data(app::build_http_get("s.example", "/fine"));
+  };
+  conn = &sc.client().connect(sc.options().server.ip, 80, 40060,
+                              std::move(cb));
+  sc.run();
+  EXPECT_TRUE(app::http_response_complete(conn->received_stream()));
+}
+
+// ---------------------------------------------------------- route dynamics
+
+TEST(RouteDynamics, ShrinkingPathMakesTtlInsertionHitTheServer) {
+  ScenarioOptions opt = clean_options(71);
+  Scenario sc(rules(), opt);
+  // The route shrinks by 2 hops after the client's hop estimate was made:
+  // insertion TTL (hops - 2) now reaches the server, whose connection the
+  // teardown RSTs kill → Failure 1.
+  sc.path().shift_route(-2);
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = strategy::StrategyId::kTeardownRstTtl;
+  const TrialResult result = run_http_trial(sc, http);
+  EXPECT_EQ(result.outcome, Outcome::kFailure1)
+      << "gfw=" << result.gfw_reset_seen
+      << " other=" << result.other_reset_seen
+      << " resp=" << result.response_received;
+  EXPECT_TRUE(result.other_reset_seen);  // the server's own RST came back
+}
+
+TEST(RouteDynamics, GrowingPathKeepsStrategyWorking) {
+  ScenarioOptions opt = clean_options(72);
+  Scenario sc(rules(), opt);
+  sc.path().shift_route(+2);  // estimate now 2 short — still clears the GFW
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = strategy::StrategyId::kTeardownRstTtl;
+  EXPECT_EQ(run_http_trial(sc, http).outcome, Outcome::kSuccess);
+}
+
+// ------------------------------------------------------ INTANG full session
+
+TEST(IntangSession, HttpAndDnsInOneSession) {
+  // One client, one INTANG instance, two protocols: a censored DNS lookup
+  // through the forwarder and then a censored HTTP fetch, both shielded.
+  ScenarioOptions opt = clean_options(81);
+  opt.server.ip = net::make_ip(216, 146, 35, 35);  // host doubles as both
+  Scenario sc(rules(), opt);
+
+  DnsTrialOptions dns;
+  dns.domain = "www.dropbox.com";
+  dns.use_intang = true;
+  const DnsTrialResult dns_result = run_dns_trial(sc, dns);
+  EXPECT_EQ(dns_result.outcome, Outcome::kSuccess);
+  EXPECT_FALSE(dns_result.poisoned);
+
+  // Fresh scenario for HTTP against the same IP, with a shared selector
+  // carrying knowledge forward.
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  ScenarioOptions opt2 = clean_options(82);
+  opt2.server.ip = opt.server.ip;
+  Scenario sc2(rules(), opt2);
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.use_intang = true;
+  http.shared_selector = &selector;
+  EXPECT_EQ(run_http_trial(sc2, http).outcome, Outcome::kSuccess);
+}
+
+TEST(IntangSession, MixedCensoredAndInnocentTraffic) {
+  // INTANG must not degrade innocent fetches interleaved with censored
+  // ones to the same server (the block period never triggers).
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  for (int round = 0; round < 4; ++round) {
+    ScenarioOptions opt = clean_options(90 + static_cast<u64>(round));
+    Scenario sc(rules(), opt);
+    HttpTrialOptions http;
+    http.with_keyword = (round % 2) == 0;
+    http.use_intang = true;
+    http.shared_selector = &selector;
+    EXPECT_EQ(run_http_trial(sc, http).outcome, Outcome::kSuccess)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace ys::exp

@@ -1,0 +1,108 @@
+// End-to-end smoke tests: the censored-path simulation must reproduce the
+// paper's headline behaviours before any statistics are trusted.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+ScenarioOptions base_options(u64 seed) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[1];  // aliyun-sh
+  opt.server.host = "site-0.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.server.version = tcp::LinuxVersion::k4_4;
+  opt.cal = Calibration::standard();
+  // Deterministic behaviour for the smoke tests: no overload misses, no
+  // loss, no estimate error, fully evolved devices.
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.rst_resync_established = 0.0;
+  opt.cal.rst_resync_handshake = 0.0;
+  opt.cal.no_flag_accept = 1.0;
+  opt.cal.segment_overlap_prefer_last = 0.0;
+  opt.cal.server_side_firewall_fraction = 0.0;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(SmokeTest, PlainRequestWithoutKeywordSucceeds) {
+  Scenario sc(rules(), base_options(1));
+  HttpTrialOptions opt;
+  opt.with_keyword = false;
+  TrialResult result = run_http_trial(sc, opt);
+  EXPECT_TRUE(result.response_received);
+  EXPECT_FALSE(result.gfw_reset_seen);
+  EXPECT_EQ(result.outcome, Outcome::kSuccess);
+}
+
+TEST(SmokeTest, KeywordWithoutStrategyDrawsGfwResets) {
+  Scenario sc(rules(), base_options(2));
+  HttpTrialOptions opt;
+  opt.with_keyword = true;
+  TrialResult result = run_http_trial(sc, opt);
+  EXPECT_TRUE(result.gfw_reset_seen);
+  EXPECT_EQ(result.outcome, Outcome::kFailure2);
+  EXPECT_GE(sc.gfw_type2().detections(), 1);
+}
+
+TEST(SmokeTest, ImprovedTeardownEvades) {
+  Scenario sc(rules(), base_options(3));
+  HttpTrialOptions opt;
+  opt.with_keyword = true;
+  opt.strategy = strategy::StrategyId::kImprovedTeardown;
+  TrialResult result = run_http_trial(sc, opt);
+  EXPECT_EQ(result.outcome, Outcome::kSuccess)
+      << "gfw_reset=" << result.gfw_reset_seen
+      << " response=" << result.response_received;
+}
+
+TEST(SmokeTest, CombinedStrategiesEvadeEvolvedModel) {
+  for (auto id : {strategy::StrategyId::kCreationResyncDesync,
+                  strategy::StrategyId::kTeardownReversal,
+                  strategy::StrategyId::kImprovedInOrder,
+                  strategy::StrategyId::kResyncDesync,
+                  strategy::StrategyId::kTcbReversal}) {
+    Scenario sc(rules(), base_options(4));
+    HttpTrialOptions opt;
+    opt.with_keyword = true;
+    opt.strategy = id;
+    TrialResult result = run_http_trial(sc, opt);
+    EXPECT_EQ(result.outcome, Outcome::kSuccess)
+        << "strategy=" << strategy::to_string(id)
+        << " gfw_reset=" << result.gfw_reset_seen
+        << " response=" << result.response_received;
+  }
+}
+
+TEST(SmokeTest, LegacyTcbCreationFailsAgainstEvolvedModel) {
+  Scenario sc(rules(), base_options(5));
+  HttpTrialOptions opt;
+  opt.with_keyword = true;
+  opt.strategy = strategy::StrategyId::kTcbCreationSynTtl;
+  TrialResult result = run_http_trial(sc, opt);
+  EXPECT_EQ(result.outcome, Outcome::kFailure2);
+}
+
+TEST(SmokeTest, InOrderOverlapEvadesBothDeviceTypes) {
+  Scenario sc(rules(), base_options(6));
+  HttpTrialOptions opt;
+  opt.with_keyword = true;
+  opt.strategy = strategy::StrategyId::kInOrderTtl;
+  TrialResult result = run_http_trial(sc, opt);
+  EXPECT_EQ(result.outcome, Outcome::kSuccess)
+      << "gfw_reset=" << result.gfw_reset_seen
+      << " response=" << result.response_received;
+}
+
+}  // namespace
+}  // namespace ys::exp

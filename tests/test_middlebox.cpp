@@ -1,0 +1,237 @@
+// Middlebox tests: the four Table 2 provider profiles, stateful connection
+// tracking with its blackhole-after-teardown behaviour, sequence checking,
+// fragment policies, and IP-length validation.
+#include <gtest/gtest.h>
+
+#include "middlebox/middlebox.h"
+#include "middlebox/profiles.h"
+#include "netsim/fragment.h"
+#include "strategy/insertion.h"
+
+namespace ys::mbox {
+namespace {
+
+const net::FourTuple kTuple{net::make_ip(10, 0, 0, 1), 40000,
+                            net::make_ip(93, 184, 216, 34), 80};
+
+struct Probe final : public net::Forwarder {
+  explicit Probe(Rng* rng) : rng_(rng) {}
+  void forward(net::Packet pkt) override { out.push_back(std::move(pkt)); }
+  void inject(net::Packet, net::Dir, SimTime) override {}
+  void drop(const net::Packet&, std::string_view reason) override {
+    last_reason = std::string(reason);
+  }
+  SimTime now() const override { return SimTime::zero(); }
+  Rng& rng() override { return *rng_; }
+  std::vector<net::Packet> out;
+  std::string last_reason;
+  Rng* rng_;
+};
+
+struct Rig {
+  Rng rng{11};
+  Middlebox box;
+  Probe probe{&rng};
+
+  explicit Rig(MiddleboxConfig cfg) : box(std::move(cfg), Rng(13)) {}
+
+  void push(net::Packet pkt, net::Dir dir = net::Dir::kC2S) {
+    net::finalize(pkt);
+    box.process(std::move(pkt), dir, probe);
+  }
+};
+
+net::Packet data_packet(u32 seq = 1000, Bytes payload = to_bytes("data")) {
+  return net::make_tcp_packet(kTuple, net::TcpFlags::psh_ack(), seq, 2000,
+                              std::move(payload));
+}
+
+// ------------------------------------------------------- provider profiles
+
+TEST(Profiles, AliyunDiscardsFragments) {
+  Rig rig(aliyun_profile());
+  net::Packet whole = data_packet(1000, Bytes(64, 'x'));
+  whole.ip.identification = 7;
+  net::finalize(whole);
+  for (auto& frag : net::fragment_packet(whole, 24)) {
+    rig.push(std::move(frag));
+  }
+  EXPECT_TRUE(rig.probe.out.empty());
+  EXPECT_GT(rig.box.dropped(), 0);
+}
+
+TEST(Profiles, QCloudReassemblesFragments) {
+  Rig rig(qcloud_profile());
+  net::Packet whole = data_packet(1000, Bytes(64, 'x'));
+  whole.ip.identification = 7;
+  net::finalize(whole);
+  for (auto& frag : net::fragment_packet(whole, 24)) {
+    rig.push(std::move(frag));
+  }
+  ASSERT_EQ(rig.probe.out.size(), 1u);
+  EXPECT_FALSE(rig.probe.out[0].ip.is_fragmented());
+  EXPECT_EQ(rig.probe.out[0].payload, whole.payload);
+}
+
+TEST(Profiles, TianjinDropsWrongChecksumAndNoFlags) {
+  const strategy::InsertionTuning tuning;
+  {
+    Rig rig(unicom_tj_profile());
+    net::Packet pkt = data_packet();
+    net::finalize(pkt);
+    strategy::apply_discrepancy(pkt, strategy::Discrepancy::kBadChecksum,
+                                tuning);
+    rig.push(std::move(pkt));
+    EXPECT_TRUE(rig.probe.out.empty());
+  }
+  {
+    Rig rig(unicom_tj_profile());
+    net::Packet pkt = data_packet();
+    strategy::apply_discrepancy(pkt, strategy::Discrepancy::kNoFlags, tuning);
+    rig.push(std::move(pkt));
+    EXPECT_TRUE(rig.probe.out.empty());
+  }
+  {
+    // Clean packets pass.
+    Rig rig(unicom_tj_profile());
+    rig.push(data_packet());
+    EXPECT_EQ(rig.probe.out.size(), 1u);
+  }
+}
+
+TEST(Profiles, OtherProvidersPassBadChecksums) {
+  const strategy::InsertionTuning tuning;
+  for (auto profile : {aliyun_profile(), qcloud_profile(),
+                       unicom_sjz_profile()}) {
+    Rig rig(profile);
+    net::Packet pkt = data_packet();
+    net::finalize(pkt);
+    strategy::apply_discrepancy(pkt, strategy::Discrepancy::kBadChecksum,
+                                tuning);
+    rig.push(std::move(pkt));
+    EXPECT_EQ(rig.probe.out.size(), 1u) << profile.name;
+  }
+}
+
+TEST(Profiles, SjzAndTjDropFins) {
+  for (auto profile : {unicom_sjz_profile(), unicom_tj_profile()}) {
+    Rig rig(profile);
+    rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::fin_ack(), 1, 2));
+    EXPECT_TRUE(rig.probe.out.empty()) << profile.name;
+  }
+}
+
+TEST(Profiles, QCloudSometimesDropsRsts) {
+  Rig rig(qcloud_profile());
+  int passed = 0;
+  const int n = 300;
+  for (int i = 0; i < n; ++i) {
+    rig.probe.out.clear();
+    rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(),
+                                  static_cast<u32>(i), 0));
+    passed += static_cast<int>(rig.probe.out.size());
+  }
+  // "Sometimes dropped": strictly between never and always.
+  EXPECT_GT(passed, n / 3);
+  EXPECT_LT(passed, n);
+}
+
+// -------------------------------------------------------- stateful tracking
+
+MiddleboxConfig stateful_cfg(bool seq_checking = false) {
+  MiddleboxConfig cfg;
+  cfg.name = "mbox:stateful";
+  cfg.stateful = true;
+  cfg.seq_checking = seq_checking;
+  return cfg;
+}
+
+TEST(Stateful, RstTearsDownAndBlackholesFlow) {
+  Rig rig(stateful_cfg());
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), 1000, 0));
+  rig.push(net::make_tcp_packet(kTuple.reversed(), net::TcpFlags::syn_ack(),
+                                5000, 1001),
+           net::Dir::kS2C);
+  rig.push(data_packet(1001));
+  EXPECT_EQ(rig.probe.out.size(), 3u);
+
+  // A RST passes through (it is the teardown trigger)...
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1005, 0));
+  EXPECT_EQ(rig.probe.out.size(), 4u);
+  EXPECT_EQ(rig.box.torn_connections(), 1);
+
+  // ...but everything after it is blackholed, both directions.
+  rig.push(data_packet(1005));
+  rig.push(net::make_tcp_packet(kTuple.reversed(), net::TcpFlags::psh_ack(),
+                                5001, 1005, to_bytes("reply")),
+           net::Dir::kS2C);
+  EXPECT_EQ(rig.probe.out.size(), 4u);
+  EXPECT_GE(rig.box.dropped(), 2);
+}
+
+TEST(Stateful, FinAlsoTearsDown) {
+  Rig rig(stateful_cfg());
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), 1000, 0));
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::fin_ack(), 1001, 0));
+  rig.push(data_packet(1002));
+  EXPECT_EQ(rig.probe.out.size(), 2u);  // SYN + FIN; data blackholed
+}
+
+TEST(Stateful, IndependentConnectionsUnaffected) {
+  Rig rig(stateful_cfg());
+  net::FourTuple other = kTuple;
+  other.src_port = 40001;
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), 1000, 0));
+  rig.push(net::make_tcp_packet(other, net::TcpFlags::only_syn(), 2000, 0));
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
+  rig.push(data_packet(1001));  // blackholed
+  rig.push(net::make_tcp_packet(other, net::TcpFlags::psh_ack(), 2001, 0,
+                                to_bytes("fine")));  // unaffected
+  EXPECT_EQ(rig.probe.out.size(), 4u);
+}
+
+TEST(Stateful, SeqCheckingDropsOutOfWindow) {
+  Rig rig(stateful_cfg(/*seq_checking=*/true));
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_syn(), 1000, 0));
+  rig.push(data_packet(1001));  // in window
+  EXPECT_EQ(rig.probe.out.size(), 2u);
+  // The out-of-window desync packet is eaten by this kind of box.
+  rig.push(data_packet(1001 + 0x10000000));
+  EXPECT_EQ(rig.probe.out.size(), 2u);
+  EXPECT_GE(rig.box.dropped(), 1);
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(Validation, IpLengthCheckDropsLiars) {
+  MiddleboxConfig cfg;
+  cfg.validates_ip_length = true;
+  Rig rig(cfg);
+  net::Packet pkt = data_packet();
+  net::finalize(pkt);
+  pkt.ip.total_length = static_cast<u16>(net::wire_size(pkt) + 128);
+  rig.box.process(std::move(pkt), net::Dir::kC2S, rig.probe);
+  EXPECT_TRUE(rig.probe.out.empty());
+  EXPECT_NE(rig.probe.last_reason.find("length"), std::string::npos);
+}
+
+TEST(Validation, DefaultConfigPassesEverything) {
+  MiddleboxConfig cfg;  // all defaults
+  Rig rig(cfg);
+  const strategy::InsertionTuning tuning;
+  net::Packet bad_csum = data_packet();
+  net::finalize(bad_csum);
+  strategy::apply_discrepancy(bad_csum, strategy::Discrepancy::kBadChecksum,
+                              tuning);
+  rig.push(std::move(bad_csum));
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1, 0));
+  rig.push(net::make_tcp_packet(kTuple, net::TcpFlags::fin_ack(), 1, 2));
+  net::Packet noflag = data_packet();
+  noflag.tcp->flags = net::TcpFlags::none();
+  rig.push(std::move(noflag));
+  EXPECT_EQ(rig.probe.out.size(), 4u);
+  EXPECT_EQ(rig.box.dropped(), 0);
+}
+
+}  // namespace
+}  // namespace ys::mbox

@@ -1,0 +1,193 @@
+// GFW prober tests: the §4 probe battery must recover the ground-truth
+// device configuration from blackbox reset feedback alone.
+#include <gtest/gtest.h>
+
+#include "exp/prober.h"
+
+namespace ys::exp {
+namespace {
+
+const gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+ScenarioOptions probe_options(u64 path_seed) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[1];
+  opt.server.host = "probe-target";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.cal = Calibration::standard();
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.seed = 99;
+  opt.path_seed = path_seed;
+  return opt;
+}
+
+TEST(Prober, RecoversEvolvedModel) {
+  ScenarioOptions opt = probe_options(7001);
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.rst_resync_established = 0.0;  // teardown-flavored devices
+  opt.cal.no_flag_accept = 1.0;
+  const GfwFindings findings = probe_gfw(rules(), opt);
+
+  EXPECT_TRUE(findings.responsive);
+  EXPECT_TRUE(findings.creates_tcb_on_synack);
+  EXPECT_TRUE(findings.resyncs_on_second_syn);
+  EXPECT_TRUE(findings.fin_ignored);
+  EXPECT_FALSE(findings.rst_resyncs_after_handshake);
+  EXPECT_TRUE(findings.accepts_no_flag_data);
+  EXPECT_TRUE(findings.evolved_model());
+}
+
+TEST(Prober, RecoversPriorModel) {
+  ScenarioOptions opt = probe_options(7002);
+  opt.cal.old_model_fraction = 1.0;
+  const GfwFindings findings = probe_gfw(rules(), opt);
+
+  EXPECT_TRUE(findings.responsive);
+  EXPECT_FALSE(findings.creates_tcb_on_synack);
+  EXPECT_FALSE(findings.resyncs_on_second_syn);
+  EXPECT_FALSE(findings.fin_ignored);
+  EXPECT_FALSE(findings.rst_resyncs_after_handshake);
+  EXPECT_FALSE(findings.evolved_model());
+}
+
+TEST(Prober, DetectsResyncFlavoredRstReaction) {
+  ScenarioOptions opt = probe_options(7003);
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.rst_resync_established = 1.0;
+  opt.cal.rst_resync_handshake = 1.0;
+  const GfwFindings findings = probe_gfw(rules(), opt);
+  EXPECT_TRUE(findings.rst_resyncs_after_handshake);
+}
+
+TEST(Prober, DetectsNoFlagRejection) {
+  ScenarioOptions opt = probe_options(7004);
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.no_flag_accept = 0.0;
+  const GfwFindings findings = probe_gfw(rules(), opt);
+  EXPECT_FALSE(findings.accepts_no_flag_data);
+}
+
+TEST(Prober, SilentWhenNoCensorship) {
+  // Probing a path whose devices censor nothing (empty keyword rules).
+  static gfw::DetectionRules empty = [] {
+    gfw::DetectionRules r;
+    r.http_keywords = gfw::AhoCorasick({"zzz-never-matches-zzz"});
+    return r;
+  }();
+  const GfwFindings findings = probe_gfw(&empty, probe_options(7005));
+  EXPECT_FALSE(findings.responsive);
+  EXPECT_FALSE(findings.evolved_model());
+}
+
+TEST(Prober, FindingsRenderHumanReadably) {
+  GfwFindings findings;
+  findings.responsive = true;
+  findings.resyncs_on_second_syn = true;
+  findings.creates_tcb_on_synack = true;  // two markers → evolved verdict
+  const std::string text = findings.to_string();
+  EXPECT_NE(text.find("Behavior 2a"), std::string::npos);
+  EXPECT_NE(text.find("EVOLVED"), std::string::npos);
+}
+
+// The prober's verdict must agree with the scenario's ground truth across
+// a sweep of random paths and both populations.
+class ProberSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ProberSweep, VerdictMatchesGroundTruth) {
+  for (double old_fraction : {0.0, 1.0}) {
+    ScenarioOptions opt = probe_options(GetParam());
+    opt.cal.old_model_fraction = old_fraction;
+    Scenario ground_truth(rules(), opt);
+    const GfwFindings findings = probe_gfw(rules(), opt);
+    EXPECT_TRUE(findings.responsive);
+    EXPECT_EQ(findings.evolved_model(), !ground_truth.path_runs_old_model())
+        << "path_seed=" << GetParam() << " old=" << old_fraction;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, ProberSweep, ::testing::Range<u64>(8001, 8013));
+
+// §8 countermeasure regressions: each hardened flag must kill exactly the
+// strategies that exploit the corresponding laxness.
+struct HardenRig {
+  gfw::DetectionRules det = gfw::DetectionRules::standard();
+  gfw::GfwConfig cfg;
+
+  explicit HardenRig() { cfg.detection_miss_rate = 0.0; }
+
+  /// Feed a prefill exchange (junk insertion then keyword request) through
+  /// a device with this config; returns whether the keyword was detected.
+  bool detects_after_md5_prefill() {
+    gfw::GfwDevice dev("gfw", cfg, &det, Rng(5));
+    return run_prefill(dev, /*md5=*/true);
+  }
+  bool detects_after_bad_checksum_prefill() {
+    gfw::GfwDevice dev("gfw", cfg, &det, Rng(5));
+    return run_prefill(dev, /*md5=*/false);
+  }
+
+ private:
+  struct NullFwd final : public net::Forwarder {
+    explicit NullFwd(Rng* rng) : rng_(rng) {}
+    void forward(net::Packet) override {}
+    void inject(net::Packet, net::Dir, SimTime) override {}
+    void drop(const net::Packet&, std::string_view) override {}
+    SimTime now() const override { return SimTime::zero(); }
+    Rng& rng() override { return *rng_; }
+    Rng* rng_;
+  };
+
+  bool run_prefill(gfw::GfwDevice& dev, bool md5) {
+    const net::FourTuple tuple{net::make_ip(10, 0, 0, 1), 40000,
+                               net::make_ip(93, 184, 216, 34), 80};
+    Rng rng(7);
+    NullFwd fwd(&rng);
+    auto feed = [&](net::Packet pkt, net::Dir dir) {
+      net::finalize(pkt);
+      dev.process(std::move(pkt), dir, fwd);
+    };
+    feed(net::make_tcp_packet(tuple, net::TcpFlags::only_syn(), 1000, 0),
+         net::Dir::kC2S);
+    feed(net::make_tcp_packet(tuple.reversed(), net::TcpFlags::syn_ack(),
+                              5000, 1001),
+         net::Dir::kS2C);
+    feed(net::make_tcp_packet(tuple, net::TcpFlags::only_ack(), 1001, 5001),
+         net::Dir::kC2S);
+    // Junk prefill with the chosen discrepancy.
+    net::Packet junk = net::make_tcp_packet(tuple, net::TcpFlags::psh_ack(),
+                                            1001, 5001, Bytes(30, 'J'));
+    if (md5) {
+      junk.tcp->options.md5_signature.emplace();
+    } else {
+      net::finalize(junk);
+      junk.tcp->checksum = static_cast<u16>(junk.tcp->checksum + 1);
+    }
+    feed(std::move(junk), net::Dir::kC2S);
+    feed(net::make_tcp_packet(tuple, net::TcpFlags::psh_ack(), 1001, 5001,
+                              to_bytes("GET /?q=ultrasurf HTTP/1.1\r\n\r")),
+         net::Dir::kC2S);
+    return dev.detections() > 0;
+  }
+};
+
+TEST(Hardening, ChecksumValidationKillsBadChecksumPrefill) {
+  HardenRig lax;
+  EXPECT_FALSE(lax.detects_after_bad_checksum_prefill());
+  HardenRig strict;
+  strict.cfg.harden_validate_checksum = true;
+  EXPECT_TRUE(strict.detects_after_bad_checksum_prefill());
+}
+
+TEST(Hardening, Md5RejectionKillsMd5Prefill) {
+  HardenRig lax;
+  EXPECT_FALSE(lax.detects_after_md5_prefill());
+  HardenRig strict;
+  strict.cfg.harden_reject_md5 = true;
+  EXPECT_TRUE(strict.detects_after_md5_prefill());
+}
+
+}  // namespace
+}  // namespace ys::exp

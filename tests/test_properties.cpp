@@ -1,0 +1,275 @@
+// Cross-cutting property tests: invariants swept across seeds, strategies,
+// discrepancies, and stack versions — the "does the whole system hold
+// together" layer above the per-module unit tests.
+#include <gtest/gtest.h>
+
+#include "app/http.h"
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "strategy/insertion.h"
+#include "tcpstack/tcp_endpoint.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::exp;
+
+const gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+ScenarioOptions clean_options(u64 seed) {
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[1];  // aliyun-sh
+  opt.server.host = "s.example";
+  opt.server.ip = net::make_ip(93, 184, 216, 34);
+  opt.cal = Calibration::standard();
+  opt.cal.detection_miss = 0.0;
+  opt.cal.per_link_loss = 0.0;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.cal.old_model_fraction = 0.0;
+  opt.cal.server_side_firewall_fraction = 0.0;
+  opt.cal.server_accepts_any_ack = 0.0;
+  opt.seed = seed;
+  opt.path_seed = seed;  // vary the whole path per instance
+  return opt;
+}
+
+// Property 1: on clean paths (no loss, no estimate error, evolved devices)
+// the four Table 4 strategies *always* evade, across many path draws.
+struct StrategySeed {
+  strategy::StrategyId id;
+  u64 seed;
+};
+
+class RobustStrategies : public ::testing::TestWithParam<StrategySeed> {};
+
+TEST_P(RobustStrategies, AlwaysEvadeOnCleanPaths) {
+  const auto& param = GetParam();
+  Scenario sc(rules(), clean_options(param.seed));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = param.id;
+  const TrialResult result = run_http_trial(sc, http);
+  EXPECT_EQ(result.outcome, Outcome::kSuccess)
+      << strategy::to_string(param.id) << " seed=" << param.seed
+      << " gfw_reset=" << result.gfw_reset_seen
+      << " response=" << result.response_received;
+}
+
+std::vector<StrategySeed> robust_cases() {
+  std::vector<StrategySeed> cases;
+  for (auto id : strategy::intang_candidate_strategies()) {
+    for (u64 seed = 1; seed <= 12; ++seed) {
+      cases.push_back({id, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustStrategies,
+                         ::testing::ValuesIn(robust_cases()));
+
+// Property 2: the same strategies also evade prior-model paths (the
+// "defeat both models" design goal of §7.1).
+class RobustOnPriorModel : public ::testing::TestWithParam<StrategySeed> {};
+
+TEST_P(RobustOnPriorModel, CombinedStrategiesDefeatOldDevices) {
+  const auto& param = GetParam();
+  ScenarioOptions opt = clean_options(param.seed);
+  opt.cal.old_model_fraction = 1.0;
+  Scenario sc(rules(), opt);
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = param.id;
+  const TrialResult result = run_http_trial(sc, http);
+  EXPECT_EQ(result.outcome, Outcome::kSuccess)
+      << strategy::to_string(param.id) << " seed=" << param.seed;
+}
+
+std::vector<StrategySeed> prior_cases() {
+  std::vector<StrategySeed> cases;
+  for (auto id : {strategy::StrategyId::kImprovedTeardown,
+                  strategy::StrategyId::kImprovedInOrder,
+                  strategy::StrategyId::kCreationResyncDesync,
+                  strategy::StrategyId::kTeardownReversal}) {
+    for (u64 seed = 21; seed <= 28; ++seed) {
+      cases.push_back({id, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RobustOnPriorModel,
+                         ::testing::ValuesIn(prior_cases()));
+
+// Property 3: strategies never break innocent traffic on clean paths —
+// evasion must be free when nothing is censored.
+class HarmlessWithoutKeyword
+    : public ::testing::TestWithParam<strategy::StrategyId> {};
+
+TEST_P(HarmlessWithoutKeyword, InnocentRequestsStillSucceed) {
+  for (u64 seed = 31; seed <= 36; ++seed) {
+    Scenario sc(rules(), clean_options(seed));
+    HttpTrialOptions http;
+    http.with_keyword = false;
+    http.strategy = GetParam();
+    const TrialResult result = run_http_trial(sc, http);
+    EXPECT_EQ(result.outcome, Outcome::kSuccess)
+        << strategy::to_string(GetParam()) << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HarmlessWithoutKeyword,
+    ::testing::Values(strategy::StrategyId::kImprovedTeardown,
+                      strategy::StrategyId::kImprovedInOrder,
+                      strategy::StrategyId::kCreationResyncDesync,
+                      strategy::StrategyId::kTeardownReversal,
+                      strategy::StrategyId::kResyncDesync,
+                      strategy::StrategyId::kTcbReversal,
+                      strategy::StrategyId::kInOrderTtl,
+                      strategy::StrategyId::kTeardownRstTtl));
+
+// Property 4: every Table 5 "safe" insertion packet leaves the reference
+// server's connection fully intact — for every seed (ISN randomization)
+// and every Linux version the discrepancy claims to cover.
+struct InsertionCase {
+  strategy::PacketKind kind;
+  strategy::Discrepancy discrepancy;
+  u64 seed;
+};
+
+class InsertionSafety : public ::testing::TestWithParam<InsertionCase> {};
+
+TEST_P(InsertionSafety, ServerStateUntouched) {
+  const auto& param = GetParam();
+  const net::FourTuple tuple{net::make_ip(10, 0, 0, 1), 40000,
+                             net::make_ip(93, 184, 216, 34), 80};
+  net::EventLoop loop;
+  tcp::TcpEndpoint server(loop, Rng(param.seed),
+                          tcp::StackProfile::for_version(
+                              tcp::LinuxVersion::k4_4),
+                          tuple.reversed(), {});
+  server.open_passive();
+  u32 cseq = 1000 + static_cast<u32>(param.seed * 77);
+  auto feed = [&](net::Packet pkt) {
+    net::finalize(pkt);
+    server.on_segment(pkt);
+  };
+  net::Packet syn =
+      net::make_tcp_packet(tuple, net::TcpFlags::only_syn(), cseq, 0);
+  syn.tcp->options.timestamps = net::TcpTimestamps{90'000, 0};
+  feed(std::move(syn));
+  ++cseq;
+  net::Packet ack = net::make_tcp_packet(tuple, net::TcpFlags::only_ack(),
+                                         cseq, server.iss() + 1);
+  ack.tcp->options.timestamps = net::TcpTimestamps{90'001, 0};
+  feed(std::move(ack));
+  ASSERT_EQ(server.state(), tcp::TcpState::kEstablished);
+
+  strategy::InsertionTuning tuning;
+  tuning.peer_snd_nxt = server.snd_nxt();
+  tuning.stale_ts_val = 1;
+  Rng rng(param.seed);
+  net::Packet insertion = [&] {
+    switch (param.kind) {
+      case strategy::PacketKind::kRst:
+        return strategy::craft_rst(tuple, cseq);
+      default:
+        return strategy::craft_data(tuple, cseq, server.snd_nxt(),
+                                    strategy::junk_payload(48, rng));
+    }
+  }();
+  strategy::apply_discrepancy(insertion, param.discrepancy, tuning);
+
+  const u32 rcv_before = server.rcv_nxt();
+  feed(std::move(insertion));
+  EXPECT_EQ(server.state(), tcp::TcpState::kEstablished);
+  EXPECT_EQ(server.rcv_nxt(), rcv_before);
+  EXPECT_FALSE(server.was_reset());
+}
+
+std::vector<InsertionCase> insertion_cases() {
+  std::vector<InsertionCase> cases;
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    cases.push_back({strategy::PacketKind::kRst,
+                     strategy::Discrepancy::kUnsolicitedMd5, seed});
+    cases.push_back({strategy::PacketKind::kRst,
+                     strategy::Discrepancy::kBadChecksum, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kUnsolicitedMd5, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kBadAckNumber, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kOldTimestamp, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kBadChecksum, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kNoFlags, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kBadIpLength, seed});
+    cases.push_back({strategy::PacketKind::kData,
+                     strategy::Discrepancy::kShortTcpHeader, seed});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, InsertionSafety,
+                         ::testing::ValuesIn(insertion_cases()));
+
+// Property 5: Tor coverage — across path draws, bare Tor on a filtered
+// path always gets the bridge IP-blocked, and INTANG always prevents it.
+class TorCoverage : public ::testing::TestWithParam<u64> {};
+
+TEST_P(TorCoverage, IntangShieldsBridges) {
+  ScenarioOptions opt = clean_options(GetParam());
+  opt.server.ip = net::make_ip(54, 210, 7, 91);
+  opt.tor_filtering_override = true;
+  {
+    Scenario sc(rules(), opt);
+    TorTrialOptions bare;
+    bare.use_intang = false;
+    bare.strategy = strategy::StrategyId::kNone;
+    const TorTrialResult r = run_tor_trial(sc, bare);
+    EXPECT_TRUE(r.bridge_ip_blocked);
+    EXPECT_EQ(r.outcome, Outcome::kFailure2);
+  }
+  {
+    Scenario sc(rules(), opt);
+    TorTrialOptions covered;
+    covered.use_intang = true;
+    covered.strategy = strategy::StrategyId::kImprovedTeardown;
+    const TorTrialResult r = run_tor_trial(sc, covered);
+    EXPECT_FALSE(r.bridge_ip_blocked);
+    EXPECT_EQ(r.outcome, Outcome::kSuccess);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TorCoverage, ::testing::Range<u64>(41, 49));
+
+// Property 6: the 90-second block period really blocks — a second,
+// innocent request to the same host pair inside the window fails, and one
+// after the window succeeds.
+TEST(BlockPeriod, SecondConnectionInsideWindowIsObstructed) {
+  Scenario sc(rules(), clean_options(51));
+  HttpTrialOptions censored;
+  censored.with_keyword = true;
+  ASSERT_EQ(run_http_trial(sc, censored).outcome, Outcome::kFailure2);
+
+  // Same scenario (same GFW state), new innocent connection right away.
+  tcp::TcpEndpoint* conn = nullptr;
+  tcp::TcpEndpoint::Callbacks cb;
+  cb.on_established = [&conn] {
+    if (conn) conn->send_data(app::build_http_get("s.example", "/"));
+  };
+  conn = &sc.client().connect(sc.options().server.ip, 80, 40050,
+                              std::move(cb));
+  sc.run();
+  EXPECT_NE(conn->state(), tcp::TcpState::kEstablished)
+      << "handshake should be obstructed by forged SYN/ACKs or resets";
+}
+
+}  // namespace
+}  // namespace ys

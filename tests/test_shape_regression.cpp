@@ -1,0 +1,129 @@
+// Shape regression tests: small-scale versions of the paper's headline
+// statistics. These guard the calibration — if a refactor silently changes
+// who wins, by what factor, or where the crossovers fall, these fail before
+// anyone re-reads the bench tables.
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/stats.h"
+#include "exp/trial.h"
+
+namespace ys::exp {
+namespace {
+
+const gfw::DetectionRules* rules() {
+  static gfw::DetectionRules r = gfw::DetectionRules::standard();
+  return &r;
+}
+
+/// Mini measurement: all 11 vantage points × 20 servers × `trials`.
+RateTally measure(strategy::StrategyId id, bool keyword, int trials = 3,
+                  bool use_intang = false,
+                  intang::StrategySelector* selector = nullptr) {
+  static const Calibration cal = Calibration::standard();
+  static const auto servers = make_server_population(20, 2017, cal, true);
+  RateTally tally;
+  for (const auto& vp : china_vantage_points()) {
+    for (const auto& srv : servers) {
+      for (int t = 0; t < trials; ++t) {
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = srv;
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed({2017, static_cast<u64>(id),
+                                  Rng::hash_label(vp.name), srv.ip,
+                                  static_cast<u64>(t), keyword ? 1u : 0u});
+        Scenario sc(rules(), opt);
+        HttpTrialOptions http;
+        http.with_keyword = keyword;
+        http.strategy = id;
+        http.use_intang = use_intang;
+        http.shared_selector = selector;
+        tally.add(run_http_trial(sc, http).outcome);
+      }
+    }
+  }
+  return tally;
+}
+
+TEST(Shape, NoStrategyIsAlmostAlwaysCensored) {
+  const RateTally t = measure(strategy::StrategyId::kNone, true);
+  EXPECT_LT(t.success_rate(), 0.08);
+  EXPECT_GT(t.failure2_rate(), 0.90);
+  // ...but the overload floor persists (the paper's stubborn 2.8 %).
+  EXPECT_GT(t.success_rate(), 0.005);
+}
+
+TEST(Shape, InnocentTrafficIsUntouched) {
+  const RateTally t = measure(strategy::StrategyId::kNone, false);
+  EXPECT_GT(t.success_rate(), 0.97);
+}
+
+TEST(Shape, Table1OrderingHolds) {
+  // in-order prefill ≫ RST teardown ≫ OOO TCP segments ≫ {FIN teardown,
+  // TCB creation} ≈ no strategy.
+  const double in_order =
+      measure(strategy::StrategyId::kInOrderTtl, true).success_rate();
+  const double teardown =
+      measure(strategy::StrategyId::kTeardownRstTtl, true).success_rate();
+  const double ooo_seg =
+      measure(strategy::StrategyId::kOutOfOrderTcpSegments, true)
+          .success_rate();
+  const double fin =
+      measure(strategy::StrategyId::kTeardownFinTtl, true).success_rate();
+  const double creation =
+      measure(strategy::StrategyId::kTcbCreationSynTtl, true).success_rate();
+
+  EXPECT_GT(in_order, 0.85);
+  EXPECT_GT(in_order, teardown + 0.10);
+  EXPECT_GT(teardown, ooo_seg + 0.15);
+  EXPECT_GT(ooo_seg, fin + 0.10);
+  EXPECT_LT(fin, 0.20);
+  EXPECT_LT(creation, 0.20);
+}
+
+TEST(Shape, FragmentStrategyShowsTheAliyunSplit) {
+  const RateTally t =
+      measure(strategy::StrategyId::kOutOfOrderIpFragments, true);
+  // 6/11 vantage points (Aliyun) blackhole fragments → F1 ≈ 55 %; the
+  // reassembling rest expose the request → F2 ≈ 45 %.
+  EXPECT_NEAR(t.failure1_rate(), 6.0 / 11.0, 0.08);
+  EXPECT_NEAR(t.failure2_rate(), 5.0 / 11.0, 0.10);
+  EXPECT_LT(t.success_rate(), 0.06);
+}
+
+TEST(Shape, NewStrategiesClearNinetyPercent) {
+  for (auto id : strategy::intang_candidate_strategies()) {
+    const RateTally t = measure(id, true);
+    EXPECT_GT(t.success_rate(), 0.90) << strategy::to_string(id);
+    EXPECT_LT(t.failure2_rate(), 0.04) << strategy::to_string(id);
+  }
+}
+
+TEST(Shape, IntangBeatsEveryFixedStrategy) {
+  double best_fixed = 0.0;
+  for (auto id : strategy::intang_candidate_strategies()) {
+    best_fixed = std::max(best_fixed, measure(id, true, 4).success_rate());
+  }
+  // Persistent selector per (vp, server): measure() reuses one selector
+  // across the repeated trials of each pair via a shared instance.
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  const RateTally intang_tally =
+      measure(strategy::StrategyId::kNone, true, 4, /*use_intang=*/true,
+              &selector);
+  EXPECT_GE(intang_tally.success_rate(), best_fixed - 0.01);
+  EXPECT_GT(intang_tally.success_rate(), 0.93);
+}
+
+TEST(Shape, WestChamberIsNoLongerEffective) {
+  const RateTally t = measure(strategy::StrategyId::kWestChamber, true);
+  // §1: "none of the [West Chamber] strategies were found to be effective"
+  // — it performs like plain teardown at best.
+  EXPECT_LT(t.success_rate(),
+            measure(strategy::StrategyId::kImprovedTeardown, true)
+                    .success_rate() -
+                0.15);
+}
+
+}  // namespace
+}  // namespace ys::exp

@@ -1,0 +1,262 @@
+// yourstate — command-line driver for the reproduction.
+//
+//   yourstate list                         vantage points & strategies
+//   yourstate trial  [options]            one censored HTTP fetch
+//   yourstate probe  [options]            infer the path's GFW model
+//   yourstate dns    [options]            one censored DNS lookup
+//   yourstate tor    [options]            one Tor bridge connection
+//
+// Common options:
+//   --vp=NAME            vantage point (default aliyun-sh)
+//   --server=IP          target/resolver address (default 93.184.216.34)
+//   --strategy=NAME      evasion strategy (default no-strategy; see `list`)
+//   --intang             use INTANG's adaptive selection instead
+//   --keyword=0|1        include the sensitive keyword (default 1)
+//   --seed=N             trial seed        --path-seed=N   path draw seed
+//   --trace              print the packet ladder
+//   --pcap=FILE          capture the client's wire to a pcap file
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include "exp/prober.h"
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "netsim/pcap.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::exp;
+
+struct CliOptions {
+  std::string command;
+  std::string vp = "aliyun-sh";
+  net::IpAddr server = net::make_ip(93, 184, 216, 34);
+  strategy::StrategyId strategy = strategy::StrategyId::kNone;
+  bool use_intang = false;
+  bool keyword = true;
+  bool trace = false;
+  u64 seed = 1;
+  u64 path_seed = 0;
+  std::string pcap;
+  std::string domain = "www.dropbox.com";
+};
+
+std::optional<net::IpAddr> parse_ip(const std::string& text) {
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  unsigned d = 0;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u", &a, &b, &c, &d) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    return std::nullopt;
+  }
+  return net::make_ip(static_cast<u8>(a), static_cast<u8>(b),
+                      static_cast<u8>(c), static_cast<u8>(d));
+}
+
+std::optional<VantagePoint> find_vp(const std::string& name) {
+  for (const auto& vp : china_vantage_points()) {
+    if (vp.name == name) return vp;
+  }
+  for (const auto& vp : foreign_vantage_points()) {
+    if (vp.name == name) return vp;
+  }
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: yourstate <list|trial|probe|dns|tor> [--vp=NAME] "
+               "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
+               "[--seed=N] [--path-seed=N] [--trace] [--pcap=FILE] "
+               "[--domain=NAME]\n");
+  return 2;
+}
+
+int cmd_list() {
+  std::printf("vantage points (inside China):\n");
+  for (const auto& vp : china_vantage_points()) {
+    std::printf("  %-12s %-13s %s%s\n", vp.name.c_str(), vp.city.c_str(),
+                vp.tor_unfiltered_path ? "[no Tor filter on path] " : "",
+                vp.dns_path_interference ? "[DNS path interference]" : "");
+  }
+  std::printf("vantage points (outside China):\n");
+  for (const auto& vp : foreign_vantage_points()) {
+    std::printf("  %-12s %s\n", vp.name.c_str(), vp.city.c_str());
+  }
+  std::printf("strategies:\n");
+  for (auto id : strategy::all_strategies()) {
+    std::printf("  %s\n", strategy::to_string(id));
+  }
+  return 0;
+}
+
+Scenario make_scenario(const gfw::DetectionRules* rules,
+                       const CliOptions& cli, const VantagePoint& vp) {
+  ScenarioOptions opt;
+  opt.vp = vp;
+  opt.server.host = net::ip_to_string(cli.server);
+  opt.server.ip = cli.server;
+  opt.cal = Calibration::standard();
+  opt.seed = cli.seed;
+  opt.path_seed = cli.path_seed;
+  return Scenario(rules, opt);
+}
+
+void attach_pcap(Scenario& sc, net::PcapWriter& writer,
+                 const std::string& path) {
+  if (path.empty()) return;
+  if (auto st = writer.open(path); !st.ok()) {
+    std::fprintf(stderr, "pcap: %s\n", st.error().message.c_str());
+    return;
+  }
+  sc.path().set_client_capture(
+      [&writer](const net::Packet& pkt, SimTime at) {
+        (void)writer.write(pkt, at);
+      });
+}
+
+int cmd_trial(const CliOptions& cli, const VantagePoint& vp) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  Scenario sc = make_scenario(&rules, cli, vp);
+  net::PcapWriter writer;
+  attach_pcap(sc, writer, cli.pcap);
+
+  HttpTrialOptions http;
+  http.with_keyword = cli.keyword;
+  http.strategy = cli.strategy;
+  http.use_intang = cli.use_intang;
+  const TrialResult result = run_http_trial(sc, http);
+
+  if (cli.trace) std::printf("%s\n", sc.trace().render().c_str());
+  std::printf("vantage=%s server=%s strategy=%s keyword=%d\n",
+              vp.name.c_str(), net::ip_to_string(cli.server).c_str(),
+              strategy::to_string(result.strategy_used), cli.keyword ? 1 : 0);
+  std::printf("outcome=%s response=%d gfw_resets=%d other_resets=%d\n",
+              to_string(result.outcome), result.response_received,
+              result.gfw_reset_seen, result.other_reset_seen);
+  if (writer.is_open()) {
+    std::printf("captured %zu packets to %s\n", writer.packets_written(),
+                cli.pcap.c_str());
+  }
+  return result.outcome == Outcome::kSuccess ? 0 : 1;
+}
+
+int cmd_probe(const CliOptions& cli, const VantagePoint& vp) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  ScenarioOptions opt;
+  opt.vp = vp;
+  opt.server.host = net::ip_to_string(cli.server);
+  opt.server.ip = cli.server;
+  opt.cal = Calibration::standard();
+  opt.seed = cli.seed;
+  opt.path_seed = cli.path_seed;
+  const GfwFindings findings = probe_gfw(&rules, opt);
+  std::printf("probing %s -> %s\n%s", vp.name.c_str(),
+              net::ip_to_string(cli.server).c_str(),
+              findings.to_string().c_str());
+  return 0;
+}
+
+int cmd_dns(const CliOptions& cli, const VantagePoint& vp) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  Scenario sc = make_scenario(&rules, cli, vp);
+  DnsTrialOptions dns;
+  dns.domain = cli.domain;
+  dns.use_intang = cli.use_intang || cli.strategy != strategy::StrategyId::kNone;
+  if (cli.strategy != strategy::StrategyId::kNone) dns.strategy = cli.strategy;
+  const DnsTrialResult result = run_dns_trial(sc, dns);
+  std::printf("domain=%s via=%s intang=%d\n", cli.domain.c_str(),
+              net::ip_to_string(cli.server).c_str(), dns.use_intang ? 1 : 0);
+  std::printf("answered=%d poisoned=%d outcome=%s\n", result.answered,
+              result.poisoned, to_string(result.outcome));
+  return result.outcome == Outcome::kSuccess ? 0 : 1;
+}
+
+int cmd_tor(const CliOptions& cli, const VantagePoint& vp) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  Scenario sc = make_scenario(&rules, cli, vp);
+  TorTrialOptions tor;
+  tor.use_intang = cli.use_intang || cli.strategy != strategy::StrategyId::kNone;
+  tor.strategy = cli.strategy != strategy::StrategyId::kNone
+                     ? cli.strategy
+                     : strategy::StrategyId::kImprovedTeardown;
+  if (!tor.use_intang) tor.strategy = strategy::StrategyId::kNone;
+  const TorTrialResult result = run_tor_trial(sc, tor);
+  std::printf("bridge=%s handshake=%d ip_blocked=%d outcome=%s\n",
+              net::ip_to_string(cli.server).c_str(),
+              result.handshake_completed, result.bridge_ip_blocked,
+              to_string(result.outcome));
+  return result.outcome == Outcome::kSuccess ? 0 : 1;
+}
+
+int run(int argc, char** argv) {
+  if (argc < 2) return usage();
+  CliOptions cli;
+  cli.command = argv[1];
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--vp")) {
+      cli.vp = *v;
+    } else if (auto v = value("--server")) {
+      auto ip = parse_ip(*v);
+      if (!ip) {
+        std::fprintf(stderr, "bad --server address: %s\n", v->c_str());
+        return 2;
+      }
+      cli.server = *ip;
+    } else if (auto v = value("--strategy")) {
+      auto id = strategy::strategy_from_name(*v);
+      if (!id) {
+        std::fprintf(stderr, "unknown strategy: %s (see `yourstate list`)\n",
+                     v->c_str());
+        return 2;
+      }
+      cli.strategy = *id;
+    } else if (arg == "--intang") {
+      cli.use_intang = true;
+    } else if (auto v = value("--keyword")) {
+      cli.keyword = *v != "0";
+    } else if (auto v = value("--seed")) {
+      cli.seed = static_cast<u64>(std::atoll(v->c_str()));
+    } else if (auto v = value("--path-seed")) {
+      cli.path_seed = static_cast<u64>(std::atoll(v->c_str()));
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (auto v = value("--pcap")) {
+      cli.pcap = *v;
+    } else if (auto v = value("--domain")) {
+      cli.domain = *v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  if (cli.command == "list") return cmd_list();
+  const auto vp = find_vp(cli.vp);
+  if (!vp) {
+    std::fprintf(stderr, "unknown vantage point: %s (see `yourstate list`)\n",
+                 cli.vp.c_str());
+    return 2;
+  }
+  if (cli.command == "trial") return cmd_trial(cli, *vp);
+  if (cli.command == "probe") return cmd_probe(cli, *vp);
+  if (cli.command == "dns") return cmd_dns(cli, *vp);
+  if (cli.command == "tor") return cmd_tor(cli, *vp);
+  return usage();
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }
