@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_combo_resync.dir/bench_fig3_combo_resync.cpp.o"
+  "CMakeFiles/bench_fig3_combo_resync.dir/bench_fig3_combo_resync.cpp.o.d"
+  "bench_fig3_combo_resync"
+  "bench_fig3_combo_resync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_combo_resync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig4_combo_reversal.cpp" "bench/CMakeFiles/bench_fig4_combo_reversal.dir/bench_fig4_combo_reversal.cpp.o" "gcc" "bench/CMakeFiles/bench_fig4_combo_reversal.dir/bench_fig4_combo_reversal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ys_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/intang/CMakeFiles/ys_intang.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/ys_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/ys_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ys_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/ys_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/middlebox/CMakeFiles/ys_middlebox.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_combo_reversal.dir/bench_fig4_combo_reversal.cpp.o"
+  "CMakeFiles/bench_fig4_combo_reversal.dir/bench_fig4_combo_reversal.cpp.o.d"
+  "bench_fig4_combo_reversal"
+  "bench_fig4_combo_reversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_combo_reversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hypotheses.dir/bench_hypotheses.cpp.o"
+  "CMakeFiles/bench_hypotheses.dir/bench_hypotheses.cpp.o.d"
+  "bench_hypotheses"
+  "bench_hypotheses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hypotheses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

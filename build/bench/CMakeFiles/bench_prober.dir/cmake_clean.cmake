@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prober.dir/bench_prober.cpp.o"
+  "CMakeFiles/bench_prober.dir/bench_prober.cpp.o.d"
+  "bench_prober"
+  "bench_prober.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prober.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

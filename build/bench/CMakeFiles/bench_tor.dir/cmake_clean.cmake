@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tor.dir/bench_tor.cpp.o"
+  "CMakeFiles/bench_tor.dir/bench_tor.cpp.o.d"
+  "bench_tor"
+  "bench_tor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vpn.dir/bench_vpn.cpp.o"
+  "CMakeFiles/bench_vpn.dir/bench_vpn.cpp.o.d"
+  "bench_vpn"
+  "bench_vpn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vpn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

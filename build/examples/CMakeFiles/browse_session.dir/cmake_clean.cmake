@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browse_session.dir/browse_session.cpp.o"
+  "CMakeFiles/browse_session.dir/browse_session.cpp.o.d"
+  "browse_session"
+  "browse_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browse_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

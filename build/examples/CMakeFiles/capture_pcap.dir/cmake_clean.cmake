@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capture_pcap.dir/capture_pcap.cpp.o"
+  "CMakeFiles/capture_pcap.dir/capture_pcap.cpp.o.d"
+  "capture_pcap"
+  "capture_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capture_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_over_tcp.dir/dns_over_tcp.cpp.o"
+  "CMakeFiles/dns_over_tcp.dir/dns_over_tcp.cpp.o.d"
+  "dns_over_tcp"
+  "dns_over_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_over_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_gfw.dir/probe_gfw.cpp.o"
+  "CMakeFiles/probe_gfw.dir/probe_gfw.cpp.o.d"
+  "probe_gfw"
+  "probe_gfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_gfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_lab.dir/strategy_lab.cpp.o"
+  "CMakeFiles/strategy_lab.dir/strategy_lab.cpp.o.d"
+  "strategy_lab"
+  "strategy_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tor_bridge.dir/tor_bridge.cpp.o"
+  "CMakeFiles/tor_bridge.dir/tor_bridge.cpp.o.d"
+  "tor_bridge"
+  "tor_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tor_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/dns.cpp" "src/app/CMakeFiles/ys_app.dir/dns.cpp.o" "gcc" "src/app/CMakeFiles/ys_app.dir/dns.cpp.o.d"
+  "/root/repo/src/app/http.cpp" "src/app/CMakeFiles/ys_app.dir/http.cpp.o" "gcc" "src/app/CMakeFiles/ys_app.dir/http.cpp.o.d"
+  "/root/repo/src/app/tor.cpp" "src/app/CMakeFiles/ys_app.dir/tor.cpp.o" "gcc" "src/app/CMakeFiles/ys_app.dir/tor.cpp.o.d"
+  "/root/repo/src/app/vpn.cpp" "src/app/CMakeFiles/ys_app.dir/vpn.cpp.o" "gcc" "src/app/CMakeFiles/ys_app.dir/vpn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcpstack/CMakeFiles/ys_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

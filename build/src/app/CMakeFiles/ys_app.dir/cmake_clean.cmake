@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_app.dir/dns.cpp.o"
+  "CMakeFiles/ys_app.dir/dns.cpp.o.d"
+  "CMakeFiles/ys_app.dir/http.cpp.o"
+  "CMakeFiles/ys_app.dir/http.cpp.o.d"
+  "CMakeFiles/ys_app.dir/tor.cpp.o"
+  "CMakeFiles/ys_app.dir/tor.cpp.o.d"
+  "CMakeFiles/ys_app.dir/vpn.cpp.o"
+  "CMakeFiles/ys_app.dir/vpn.cpp.o.d"
+  "libys_app.a"
+  "libys_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

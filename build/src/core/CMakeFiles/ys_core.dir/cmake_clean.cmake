@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_core.dir/byte_io.cpp.o"
+  "CMakeFiles/ys_core.dir/byte_io.cpp.o.d"
+  "CMakeFiles/ys_core.dir/checksum.cpp.o"
+  "CMakeFiles/ys_core.dir/checksum.cpp.o.d"
+  "CMakeFiles/ys_core.dir/hexdump.cpp.o"
+  "CMakeFiles/ys_core.dir/hexdump.cpp.o.d"
+  "CMakeFiles/ys_core.dir/log.cpp.o"
+  "CMakeFiles/ys_core.dir/log.cpp.o.d"
+  "CMakeFiles/ys_core.dir/rng.cpp.o"
+  "CMakeFiles/ys_core.dir/rng.cpp.o.d"
+  "libys_core.a"
+  "libys_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_exp.dir/prober.cpp.o"
+  "CMakeFiles/ys_exp.dir/prober.cpp.o.d"
+  "CMakeFiles/ys_exp.dir/scenario.cpp.o"
+  "CMakeFiles/ys_exp.dir/scenario.cpp.o.d"
+  "CMakeFiles/ys_exp.dir/stats.cpp.o"
+  "CMakeFiles/ys_exp.dir/stats.cpp.o.d"
+  "CMakeFiles/ys_exp.dir/table.cpp.o"
+  "CMakeFiles/ys_exp.dir/table.cpp.o.d"
+  "CMakeFiles/ys_exp.dir/trial.cpp.o"
+  "CMakeFiles/ys_exp.dir/trial.cpp.o.d"
+  "CMakeFiles/ys_exp.dir/vantage.cpp.o"
+  "CMakeFiles/ys_exp.dir/vantage.cpp.o.d"
+  "libys_exp.a"
+  "libys_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfw/aho_corasick.cpp" "src/gfw/CMakeFiles/ys_gfw.dir/aho_corasick.cpp.o" "gcc" "src/gfw/CMakeFiles/ys_gfw.dir/aho_corasick.cpp.o.d"
+  "/root/repo/src/gfw/dns_poisoner.cpp" "src/gfw/CMakeFiles/ys_gfw.dir/dns_poisoner.cpp.o" "gcc" "src/gfw/CMakeFiles/ys_gfw.dir/dns_poisoner.cpp.o.d"
+  "/root/repo/src/gfw/gfw_device.cpp" "src/gfw/CMakeFiles/ys_gfw.dir/gfw_device.cpp.o" "gcc" "src/gfw/CMakeFiles/ys_gfw.dir/gfw_device.cpp.o.d"
+  "/root/repo/src/gfw/gfw_tcb.cpp" "src/gfw/CMakeFiles/ys_gfw.dir/gfw_tcb.cpp.o" "gcc" "src/gfw/CMakeFiles/ys_gfw.dir/gfw_tcb.cpp.o.d"
+  "/root/repo/src/gfw/reset_injector.cpp" "src/gfw/CMakeFiles/ys_gfw.dir/reset_injector.cpp.o" "gcc" "src/gfw/CMakeFiles/ys_gfw.dir/reset_injector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ys_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/ys_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

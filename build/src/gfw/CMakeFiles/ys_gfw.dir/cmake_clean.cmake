@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_gfw.dir/aho_corasick.cpp.o"
+  "CMakeFiles/ys_gfw.dir/aho_corasick.cpp.o.d"
+  "CMakeFiles/ys_gfw.dir/dns_poisoner.cpp.o"
+  "CMakeFiles/ys_gfw.dir/dns_poisoner.cpp.o.d"
+  "CMakeFiles/ys_gfw.dir/gfw_device.cpp.o"
+  "CMakeFiles/ys_gfw.dir/gfw_device.cpp.o.d"
+  "CMakeFiles/ys_gfw.dir/gfw_tcb.cpp.o"
+  "CMakeFiles/ys_gfw.dir/gfw_tcb.cpp.o.d"
+  "CMakeFiles/ys_gfw.dir/reset_injector.cpp.o"
+  "CMakeFiles/ys_gfw.dir/reset_injector.cpp.o.d"
+  "libys_gfw.a"
+  "libys_gfw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_gfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intang/dns_forwarder.cpp" "src/intang/CMakeFiles/ys_intang.dir/dns_forwarder.cpp.o" "gcc" "src/intang/CMakeFiles/ys_intang.dir/dns_forwarder.cpp.o.d"
+  "/root/repo/src/intang/intang.cpp" "src/intang/CMakeFiles/ys_intang.dir/intang.cpp.o" "gcc" "src/intang/CMakeFiles/ys_intang.dir/intang.cpp.o.d"
+  "/root/repo/src/intang/kv_store.cpp" "src/intang/CMakeFiles/ys_intang.dir/kv_store.cpp.o" "gcc" "src/intang/CMakeFiles/ys_intang.dir/kv_store.cpp.o.d"
+  "/root/repo/src/intang/lru_cache.cpp" "src/intang/CMakeFiles/ys_intang.dir/lru_cache.cpp.o" "gcc" "src/intang/CMakeFiles/ys_intang.dir/lru_cache.cpp.o.d"
+  "/root/repo/src/intang/selector.cpp" "src/intang/CMakeFiles/ys_intang.dir/selector.cpp.o" "gcc" "src/intang/CMakeFiles/ys_intang.dir/selector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/strategy/CMakeFiles/ys_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ys_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/ys_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcpstack/CMakeFiles/ys_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

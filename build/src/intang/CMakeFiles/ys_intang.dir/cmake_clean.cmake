@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_intang.dir/dns_forwarder.cpp.o"
+  "CMakeFiles/ys_intang.dir/dns_forwarder.cpp.o.d"
+  "CMakeFiles/ys_intang.dir/intang.cpp.o"
+  "CMakeFiles/ys_intang.dir/intang.cpp.o.d"
+  "CMakeFiles/ys_intang.dir/kv_store.cpp.o"
+  "CMakeFiles/ys_intang.dir/kv_store.cpp.o.d"
+  "CMakeFiles/ys_intang.dir/lru_cache.cpp.o"
+  "CMakeFiles/ys_intang.dir/lru_cache.cpp.o.d"
+  "CMakeFiles/ys_intang.dir/selector.cpp.o"
+  "CMakeFiles/ys_intang.dir/selector.cpp.o.d"
+  "libys_intang.a"
+  "libys_intang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_intang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

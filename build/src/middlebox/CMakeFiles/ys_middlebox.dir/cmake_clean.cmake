@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_middlebox.dir/middlebox.cpp.o"
+  "CMakeFiles/ys_middlebox.dir/middlebox.cpp.o.d"
+  "CMakeFiles/ys_middlebox.dir/profiles.cpp.o"
+  "CMakeFiles/ys_middlebox.dir/profiles.cpp.o.d"
+  "libys_middlebox.a"
+  "libys_middlebox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_middlebox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

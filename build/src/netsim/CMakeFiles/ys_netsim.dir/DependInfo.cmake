@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/fragment.cpp" "src/netsim/CMakeFiles/ys_netsim.dir/fragment.cpp.o" "gcc" "src/netsim/CMakeFiles/ys_netsim.dir/fragment.cpp.o.d"
+  "/root/repo/src/netsim/packet.cpp" "src/netsim/CMakeFiles/ys_netsim.dir/packet.cpp.o" "gcc" "src/netsim/CMakeFiles/ys_netsim.dir/packet.cpp.o.d"
+  "/root/repo/src/netsim/path.cpp" "src/netsim/CMakeFiles/ys_netsim.dir/path.cpp.o" "gcc" "src/netsim/CMakeFiles/ys_netsim.dir/path.cpp.o.d"
+  "/root/repo/src/netsim/pcap.cpp" "src/netsim/CMakeFiles/ys_netsim.dir/pcap.cpp.o" "gcc" "src/netsim/CMakeFiles/ys_netsim.dir/pcap.cpp.o.d"
+  "/root/repo/src/netsim/wire.cpp" "src/netsim/CMakeFiles/ys_netsim.dir/wire.cpp.o" "gcc" "src/netsim/CMakeFiles/ys_netsim.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

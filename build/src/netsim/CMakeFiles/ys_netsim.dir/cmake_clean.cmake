@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_netsim.dir/fragment.cpp.o"
+  "CMakeFiles/ys_netsim.dir/fragment.cpp.o.d"
+  "CMakeFiles/ys_netsim.dir/packet.cpp.o"
+  "CMakeFiles/ys_netsim.dir/packet.cpp.o.d"
+  "CMakeFiles/ys_netsim.dir/path.cpp.o"
+  "CMakeFiles/ys_netsim.dir/path.cpp.o.d"
+  "CMakeFiles/ys_netsim.dir/pcap.cpp.o"
+  "CMakeFiles/ys_netsim.dir/pcap.cpp.o.d"
+  "CMakeFiles/ys_netsim.dir/wire.cpp.o"
+  "CMakeFiles/ys_netsim.dir/wire.cpp.o.d"
+  "libys_netsim.a"
+  "libys_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/insertion.cpp" "src/strategy/CMakeFiles/ys_strategy.dir/insertion.cpp.o" "gcc" "src/strategy/CMakeFiles/ys_strategy.dir/insertion.cpp.o.d"
+  "/root/repo/src/strategy/legacy_strategies.cpp" "src/strategy/CMakeFiles/ys_strategy.dir/legacy_strategies.cpp.o" "gcc" "src/strategy/CMakeFiles/ys_strategy.dir/legacy_strategies.cpp.o.d"
+  "/root/repo/src/strategy/new_strategies.cpp" "src/strategy/CMakeFiles/ys_strategy.dir/new_strategies.cpp.o" "gcc" "src/strategy/CMakeFiles/ys_strategy.dir/new_strategies.cpp.o.d"
+  "/root/repo/src/strategy/strategy.cpp" "src/strategy/CMakeFiles/ys_strategy.dir/strategy.cpp.o" "gcc" "src/strategy/CMakeFiles/ys_strategy.dir/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcpstack/CMakeFiles/ys_tcpstack.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfw/CMakeFiles/ys_gfw.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ys_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

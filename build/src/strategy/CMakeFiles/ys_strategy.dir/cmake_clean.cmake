@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_strategy.dir/insertion.cpp.o"
+  "CMakeFiles/ys_strategy.dir/insertion.cpp.o.d"
+  "CMakeFiles/ys_strategy.dir/legacy_strategies.cpp.o"
+  "CMakeFiles/ys_strategy.dir/legacy_strategies.cpp.o.d"
+  "CMakeFiles/ys_strategy.dir/new_strategies.cpp.o"
+  "CMakeFiles/ys_strategy.dir/new_strategies.cpp.o.d"
+  "CMakeFiles/ys_strategy.dir/strategy.cpp.o"
+  "CMakeFiles/ys_strategy.dir/strategy.cpp.o.d"
+  "libys_strategy.a"
+  "libys_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

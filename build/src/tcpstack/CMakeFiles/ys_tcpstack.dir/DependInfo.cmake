@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcpstack/host.cpp" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/host.cpp.o" "gcc" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/host.cpp.o.d"
+  "/root/repo/src/tcpstack/tcp_endpoint.cpp" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/tcp_endpoint.cpp.o" "gcc" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/tcp_endpoint.cpp.o.d"
+  "/root/repo/src/tcpstack/tcp_types.cpp" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/tcp_types.cpp.o" "gcc" "src/tcpstack/CMakeFiles/ys_tcpstack.dir/tcp_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/ys_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ys_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ys_tcpstack.dir/host.cpp.o"
+  "CMakeFiles/ys_tcpstack.dir/host.cpp.o.d"
+  "CMakeFiles/ys_tcpstack.dir/tcp_endpoint.cpp.o"
+  "CMakeFiles/ys_tcpstack.dir/tcp_endpoint.cpp.o.d"
+  "CMakeFiles/ys_tcpstack.dir/tcp_types.cpp.o"
+  "CMakeFiles/ys_tcpstack.dir/tcp_types.cpp.o.d"
+  "libys_tcpstack.a"
+  "libys_tcpstack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ys_tcpstack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

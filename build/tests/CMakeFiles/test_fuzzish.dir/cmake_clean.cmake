@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzzish.dir/test_fuzzish.cpp.o"
+  "CMakeFiles/test_fuzzish.dir/test_fuzzish.cpp.o.d"
+  "test_fuzzish"
+  "test_fuzzish.pdb"
+  "test_fuzzish[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzzish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

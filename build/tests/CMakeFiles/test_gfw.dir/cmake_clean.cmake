@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfw.dir/test_gfw.cpp.o"
+  "CMakeFiles/test_gfw.dir/test_gfw.cpp.o.d"
+  "test_gfw"
+  "test_gfw.pdb"
+  "test_gfw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

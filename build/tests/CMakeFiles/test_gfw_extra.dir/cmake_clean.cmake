@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfw_extra.dir/test_gfw_extra.cpp.o"
+  "CMakeFiles/test_gfw_extra.dir/test_gfw_extra.cpp.o.d"
+  "test_gfw_extra"
+  "test_gfw_extra.pdb"
+  "test_gfw_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfw_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gfw_fragments.dir/test_gfw_fragments.cpp.o"
+  "CMakeFiles/test_gfw_fragments.dir/test_gfw_fragments.cpp.o.d"
+  "test_gfw_fragments"
+  "test_gfw_fragments.pdb"
+  "test_gfw_fragments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gfw_fragments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intang.dir/test_intang.cpp.o"
+  "CMakeFiles/test_intang.dir/test_intang.cpp.o.d"
+  "test_intang"
+  "test_intang.pdb"
+  "test_intang[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

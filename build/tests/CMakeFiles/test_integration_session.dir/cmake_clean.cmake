@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_session.dir/test_integration_session.cpp.o"
+  "CMakeFiles/test_integration_session.dir/test_integration_session.cpp.o.d"
+  "test_integration_session"
+  "test_integration_session.pdb"
+  "test_integration_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reset_injector.dir/test_reset_injector.cpp.o"
+  "CMakeFiles/test_reset_injector.dir/test_reset_injector.cpp.o.d"
+  "test_reset_injector"
+  "test_reset_injector.pdb"
+  "test_reset_injector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reset_injector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcp_endpoint.dir/test_tcp_endpoint.cpp.o"
+  "CMakeFiles/test_tcp_endpoint.dir/test_tcp_endpoint.cpp.o.d"
+  "test_tcp_endpoint"
+  "test_tcp_endpoint.pdb"
+  "test_tcp_endpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcp_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

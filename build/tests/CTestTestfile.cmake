@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_wire[1]_include.cmake")
+include("/root/repo/build/tests/test_fragment[1]_include.cmake")
+include("/root/repo/build/tests/test_fuzzish[1]_include.cmake")
+include("/root/repo/build/tests/test_path[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp_endpoint[1]_include.cmake")
+include("/root/repo/build/tests/test_gfw[1]_include.cmake")
+include("/root/repo/build/tests/test_gfw_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_gfw_fragments[1]_include.cmake")
+include("/root/repo/build/tests/test_host[1]_include.cmake")
+include("/root/repo/build/tests/test_middlebox[1]_include.cmake")
+include("/root/repo/build/tests/test_strategy[1]_include.cmake")
+include("/root/repo/build/tests/test_intang[1]_include.cmake")
+include("/root/repo/build/tests/test_app[1]_include.cmake")
+include("/root/repo/build/tests/test_exp[1]_include.cmake")
+include("/root/repo/build/tests/test_classification[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_prober[1]_include.cmake")
+include("/root/repo/build/tests/test_pcap[1]_include.cmake")
+include("/root/repo/build/tests/test_reset_injector[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_integration_session[1]_include.cmake")
+include("/root/repo/build/tests/test_shape_regression[1]_include.cmake")

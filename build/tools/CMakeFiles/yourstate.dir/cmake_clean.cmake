@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yourstate.dir/yourstate_cli.cpp.o"
+  "CMakeFiles/yourstate.dir/yourstate_cli.cpp.o.d"
+  "yourstate"
+  "yourstate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yourstate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
