@@ -1,0 +1,106 @@
+// Measures what the obs layer costs on the hot path: the bench_micro
+// end-to-end workload (full HTTP trials through the event loop, path, GFW
+// devices, TCP stacks and INTANG) is timed with metric updates enabled and
+// with the runtime kill switch off (`obs::set_metrics_enabled(false)`,
+// which reduces every update to the same predictable branch the
+// -DYS_OBS_DISABLE compile-out leaves behind). The acceptance bar for the
+// observability layer is <5% overhead.
+//
+//   bench_obs_overhead [--smoke] [--trials=N] [--reps=K] [--max-overhead=P]
+//
+// Exit status 0 iff measured overhead <= P percent (default 5). Each mode
+// is measured K times and the *minimum* is compared: noise only ever adds
+// time, so min-of-reps is the right estimator for a pass/fail gate.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "obs/metrics.h"
+
+namespace ys {
+namespace {
+
+double run_workload(const gfw::DetectionRules* rules, int trials, u64 seed) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < trials; ++i) {
+    exp::ScenarioOptions opt;
+    opt.vp = exp::china_vantage_points()[0];
+    opt.server.host = "site-0.example";
+    opt.server.ip = net::make_ip(93, 184, 216, 34);
+    opt.cal = exp::Calibration::standard();
+    opt.seed = seed + static_cast<u64>(i);
+    exp::Scenario sc(rules, opt);
+    exp::HttpTrialOptions http;
+    http.with_keyword = true;
+    http.strategy = strategy::StrategyId::kImprovedTeardown;
+    volatile bool sink = exp::run_http_trial(sc, http).response_received;
+    (void)sink;
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+int run(int argc, char** argv) {
+  int trials = 120;
+  int reps = 5;
+  double max_overhead_pct = 5.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      trials = 200;
+      reps = 5;
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      trials = std::max(1, std::atoi(arg.c_str() + 9));
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      reps = std::max(1, std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--max-overhead=", 0) == 0) {
+      max_overhead_pct = std::atof(arg.c_str() + 15);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_obs_overhead [--smoke] [--trials=N] "
+                   "[--reps=K] [--max-overhead=P]\n");
+      return 2;
+    }
+  }
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+
+  // Warm-up: fault in code paths and registry slots for both modes.
+  obs::set_metrics_enabled(true);
+  run_workload(&rules, std::max(1, trials / 10), 999);
+  obs::set_metrics_enabled(false);
+  run_workload(&rules, std::max(1, trials / 10), 999);
+
+  double best_on = 1e300;
+  double best_off = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    // Interleave modes so drift (thermal, scheduler) hits both equally.
+    obs::set_metrics_enabled(true);
+    best_on = std::min(best_on, run_workload(&rules, trials, 1));
+    obs::set_metrics_enabled(false);
+    best_off = std::min(best_off, run_workload(&rules, trials, 1));
+  }
+  obs::set_metrics_enabled(true);
+
+  const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
+  std::printf("bench_obs_overhead: %d http trials per rep, %d reps\n",
+              trials, reps);
+  std::printf("  metrics enabled : %9.4f s (best of %d)\n", best_on, reps);
+  std::printf("  metrics disabled: %9.4f s (best of %d)\n", best_off, reps);
+  std::printf("  overhead        : %+8.2f %%  (bar: %.1f %%)\n",
+              overhead_pct, max_overhead_pct);
+  const bool ok = overhead_pct <= max_overhead_pct;
+  std::printf("  verdict         : %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

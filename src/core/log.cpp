@@ -44,17 +44,4 @@ void Log::write(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 
-std::string TraceRecorder::render() const {
-  std::string out;
-  char head[64];
-  for (const auto& e : events_) {
-    std::snprintf(head, sizeof(head), "%10.6fs  %-12s %-7s ",
-                  e.at.seconds(), e.actor.c_str(), e.kind.c_str());
-    out += head;
-    out += e.detail;
-    out += '\n';
-  }
-  return out;
-}
-
 }  // namespace ys

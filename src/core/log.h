@@ -1,17 +1,15 @@
-// Lightweight leveled logging plus a structured event trace.
+// Lightweight leveled logging.
 //
-// The figure benches (Fig 1-4) print the packet "ladder" of a strategy run;
-// that ladder is produced from TraceRecorder events rather than ad-hoc
-// printf, so tests can assert on the exact sequence the paper's figures
-// show.
+// The structured event trace (TraceRecorder) that used to live here moved
+// to obs/trace.h when the observability layer grew; the include below keeps
+// `ys::TraceRecorder` reachable through this header for the figure benches
+// and every other historical user.
 #pragma once
 
 #include <functional>
 #include <string>
-#include <vector>
 
-#include "core/clock.h"
-#include "core/types.h"
+#include "obs/trace.h"
 
 namespace ys {
 
@@ -35,35 +33,5 @@ class Log {
   do {                                                     \
     if (::ys::Log::enabled(lvl)) ::ys::Log::write(lvl, (msg)); \
   } while (0)
-
-/// One structured event: where it happened, what happened, and a rendered
-/// description. `actor` is a short component name ("client", "gfw#1",
-/// "server", "mbox:nat", ...).
-struct TraceEvent {
-  SimTime at;
-  std::string actor;
-  std::string kind;    // e.g. "send", "recv", "inject", "drop", "state"
-  std::string detail;  // rendered packet summary or state transition
-};
-
-/// Collects TraceEvents during a simulation run. Components hold a pointer
-/// to the recorder owned by the simulation; a null recorder disables
-/// tracing with zero cost.
-class TraceRecorder {
- public:
-  void record(SimTime at, std::string actor, std::string kind,
-              std::string detail) {
-    events_.push_back({at, std::move(actor), std::move(kind), std::move(detail)});
-  }
-
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
-
-  /// Render the whole trace as an aligned text ladder (one line per event).
-  std::string render() const;
-
- private:
-  std::vector<TraceEvent> events_;
-};
 
 }  // namespace ys

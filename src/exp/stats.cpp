@@ -5,6 +5,15 @@
 
 namespace ys::exp {
 
+void RateTally::publish(const std::string& label,
+                        obs::MetricsRegistry& registry) const {
+  const std::string prefix = "exp.rate." + label + ".";
+  registry.gauge(prefix + "trials").set(total());
+  registry.gauge(prefix + "success_rate").set(success_rate());
+  registry.gauge(prefix + "failure1_rate").set(failure1_rate());
+  registry.gauge(prefix + "failure2_rate").set(failure2_rate());
+}
+
 MinMaxAvg aggregate(const std::vector<double>& rates) {
   MinMaxAvg out;
   if (rates.empty()) return out;

@@ -2,9 +2,11 @@
 // Table 4 reports).
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "exp/trial.h"
+#include "obs/metrics.h"
 
 namespace ys::exp {
 
@@ -35,6 +37,15 @@ struct RateTally {
   double failure2_rate() const {
     return total() == 0 ? 0.0 : static_cast<double>(failure2) / total();
   }
+
+  /// Publish this tally into `registry` under `exp.rate.<label>.*` so
+  /// Table 4-style per-vantage success/failure rates land in the same
+  /// snapshot as the low-level component counters. Gauges, not counters:
+  /// calling again with an updated tally overwrites rather than double
+  /// counts. `label` is typically a vantage-point name.
+  void publish(const std::string& label,
+               obs::MetricsRegistry& registry =
+                   obs::MetricsRegistry::global()) const;
 };
 
 struct MinMaxAvg {

@@ -7,8 +7,31 @@
 #include "app/http.h"
 #include "app/tor.h"
 #include "app/vpn.h"
+#include "obs/metrics.h"
 
 namespace ys::exp {
+
+namespace {
+
+/// Every trial runner reports its §3.4 classification here, so the JSON
+/// snapshot carries trial-level outcomes next to the packet-level counters
+/// ("exp.trial_total", "exp.trial_success", "exp.http_trials", ...).
+void count_outcome(const char* kind, Outcome o) {
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Counter& total = reg.counter("exp.trial_total");
+  static obs::Counter& success = reg.counter("exp.trial_success");
+  static obs::Counter& failure1 = reg.counter("exp.trial_failure1");
+  static obs::Counter& failure2 = reg.counter("exp.trial_failure2");
+  total.inc();
+  switch (o) {
+    case Outcome::kSuccess: success.inc(); break;
+    case Outcome::kFailure1: failure1.inc(); break;
+    case Outcome::kFailure2: failure2.inc(); break;
+  }
+  reg.counter(std::string("exp.") + kind + "_trials").inc();
+}
+
+}  // namespace
 
 const char* to_string(Outcome o) {
   switch (o) {
@@ -165,6 +188,7 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
+  count_outcome("http", result.outcome);
   return result;
 }
 
@@ -230,6 +254,7 @@ DnsTrialResult run_dns_trial(Scenario& scenario, const DnsTrialOptions& opt) {
     classify_resets(scenario.client().received_log(), &gfw, &other);
     result.outcome = gfw ? Outcome::kFailure2 : Outcome::kFailure1;
   }
+  count_outcome("dns", result.outcome);
   return result;
 }
 
@@ -286,6 +311,7 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
+  count_outcome("tor", result.outcome);
   return result;
 }
 
@@ -335,6 +361,7 @@ TrialResult run_vpn_trial(Scenario& scenario, const VpnTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
+  count_outcome("vpn", result.outcome);
   return result;
 }
 

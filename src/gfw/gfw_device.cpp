@@ -3,12 +3,51 @@
 #include "app/dns.h"
 #include "app/tor.h"
 #include "app/vpn.h"
+#include "obs/metrics.h"
 #include "tcpstack/tcp_types.h"
 
 namespace ys::gfw {
 
 using tcp::seq_ge;
 using tcp::seq_gt;
+
+namespace {
+
+/// Registry handles shared by every GFW device in the process (type-1 and
+/// type-2 aggregate; per-device splits still live on the int accessors).
+struct GfwMetrics {
+  obs::Counter& packets_seen;
+  obs::Counter& tcb_create;
+  obs::Counter& tcb_teardown;
+  obs::Counter& tcb_resync;
+  obs::Counter& keyword_hits;
+  obs::Counter& detection_missed;
+  obs::Counter& rst_type1_injected;
+  obs::Counter& rst_type2_injected;
+  obs::Counter& synack_forged;
+  obs::Counter& block_period_starts;
+  obs::Counter& block_period_hits;
+  obs::Counter& ip_block_hits;
+};
+
+GfwMetrics& metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static GfwMetrics m{reg.counter("gfw.packets_seen"),
+                      reg.counter("gfw.tcb_create"),
+                      reg.counter("gfw.tcb_teardown"),
+                      reg.counter("gfw.tcb_resync"),
+                      reg.counter("gfw.keyword_hits"),
+                      reg.counter("gfw.detection_missed"),
+                      reg.counter("gfw.rst_type1_injected"),
+                      reg.counter("gfw.rst_type2_injected"),
+                      reg.counter("gfw.synack_forged"),
+                      reg.counter("gfw.block_period_starts"),
+                      reg.counter("gfw.block_period_hits"),
+                      reg.counter("gfw.ip_block_hits")};
+  return m;
+}
+
+}  // namespace
 
 GfwDevice::GfwDevice(std::string name, GfwConfig cfg,
                      const DetectionRules* rules, Rng rng)
@@ -30,6 +69,7 @@ GfwTcb* GfwDevice::lookup(const net::FourTuple& tuple) {
 GfwTcb& GfwDevice::create_tcb(net::FourTuple assumed_c2s,
                               net::Dir monitored_dir, bool reversed) {
   ++tcbs_created_;
+  metrics().tcb_create.inc();
   auto [it, inserted] = tcbs_.emplace(
       assumed_c2s.canonical(), GfwTcb(assumed_c2s, monitored_dir, reversed));
   return it->second;
@@ -37,6 +77,7 @@ GfwTcb& GfwDevice::create_tcb(net::FourTuple assumed_c2s,
 
 void GfwDevice::erase_tcb(const net::FourTuple& tuple) {
   ++teardowns_;
+  metrics().tcb_teardown.inc();
   tcbs_.erase(tuple.canonical());
 }
 
@@ -56,6 +97,7 @@ void GfwDevice::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
 
 void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
                         net::Forwarder& fwd) {
+  metrics().packets_seen.inc();
   // The GFW reassembles IP fragments itself (preferring the first copy of
   // any overlapped range — the [17] behaviour that still holds).
   std::optional<net::Packet> whole = reassembler_.push(pkt);
@@ -65,6 +107,7 @@ void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
   // Tor aftermath: a confirmed-bridge IP is blocked on every port.
   if (ip_blocklist_.contains(whole->ip.dst) ||
       ip_blocklist_.contains(whole->ip.src)) {
+    metrics().ip_block_hits.inc();
     inject_all(injector_.ip_block_response(*whole, dir), fwd);
     return;
   }
@@ -72,10 +115,12 @@ void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
   // 90-second host-pair blocking period after a detection.
   if (cfg_.enforce_block_period &&
       host_pair_blocked(whole->ip.src, whole->ip.dst, fwd.now())) {
+    metrics().block_period_hits.inc();
     auto injections = injector_.block_period_response(*whole, dir);
     for (const auto& inj : injections) {
       if (inj.packet.tcp->flags.syn && inj.packet.tcp->flags.ack) {
         ++forged_syn_acks_;
+        metrics().synack_forged.inc();
       }
     }
     inject_all(std::move(injections), fwd);
@@ -153,6 +198,7 @@ void GfwDevice::enter_resync(GfwTcb& tcb, const char* why) {
   if (tcb.state != TcbState::kResync) {
     tcb.state = TcbState::kResync;
     ++resyncs_;
+    metrics().tcb_resync.inc();
   }
 }
 
@@ -376,6 +422,7 @@ void GfwDevice::scan_monitored(GfwTcb& tcb, ByteView fresh,
     tcb.first_payload_checked = true;
     if (cfg_.tor_filtering && app::is_tor_client_hello(tcb.stream())) {
       ++detections_;
+      metrics().keyword_hits.inc();
       if (tor_probe_(tcb.tuple().dst_ip)) {
         // Active probe confirms a bridge: block the IP outright (§7.3 —
         // "any node in China can no longer connect to this IP via any
@@ -384,6 +431,7 @@ void GfwDevice::scan_monitored(GfwTcb& tcb, ByteView fresh,
         tcb.detected = true;
         inject_all(injector_.type2_resets(tcb), fwd);
         ++reset_volleys_;
+        metrics().rst_type2_injected.inc();
       }
       return;
     }
@@ -417,18 +465,23 @@ void GfwDevice::on_sensitive(GfwTcb& tcb, net::Forwarder& fwd,
   (void)what;
   tcb.detected = true;
   ++detections_;
+  metrics().keyword_hits.inc();
   if (rng_.chance(cfg_.detection_miss_rate)) {
     // Overload: the detection engine fired but injection didn't happen —
     // the paper's stubborn 2.8 % success-without-strategy rate.
     ++missed_;
+    metrics().detection_missed.inc();
     return;
   }
   ++reset_volleys_;
   if (cfg_.device_type == DeviceType::kType1) {
+    metrics().rst_type1_injected.inc();
     inject_all(injector_.type1_resets(tcb), fwd);
   } else {
+    metrics().rst_type2_injected.inc();
     inject_all(injector_.type2_resets(tcb), fwd);
     if (cfg_.enforce_block_period) {
+      metrics().block_period_starts.inc();
       blocklist_[net::HostPair::of(tcb.tuple().src_ip, tcb.tuple().dst_ip)] =
           fwd.now() + cfg_.block_duration;
     }

@@ -2,10 +2,35 @@
 
 #include <charconv>
 
+#include "obs/metrics.h"
+
 namespace ys::intang {
+
+namespace {
+
+struct KvMetrics {
+  obs::Counter& sets;
+  obs::Counter& get_hits;
+  obs::Counter& get_misses;
+  obs::Counter& incrs;
+  obs::Counter& expired_reaped;
+};
+
+KvMetrics& metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static KvMetrics m{reg.counter("intang.kv_set"),
+                     reg.counter("intang.kv_get_hit"),
+                     reg.counter("intang.kv_get_miss"),
+                     reg.counter("intang.kv_incr"),
+                     reg.counter("intang.kv_expired_reaped")};
+  return m;
+}
+
+}  // namespace
 
 void KvStore::set(const std::string& key, std::string value, SimTime now,
                   SimTime ttl) {
+  metrics().sets.inc();
   Entry e;
   e.value = std::move(value);
   if (ttl.us > 0) {
@@ -17,15 +42,22 @@ void KvStore::set(const std::string& key, std::string value, SimTime now,
 
 std::optional<std::string> KvStore::get(const std::string& key, SimTime now) {
   auto it = map_.find(key);
-  if (it == map_.end()) return std::nullopt;
+  if (it == map_.end()) {
+    metrics().get_misses.inc();
+    return std::nullopt;
+  }
   if (expired(it->second, now)) {
+    metrics().get_misses.inc();
+    metrics().expired_reaped.inc();
     map_.erase(it);
     return std::nullopt;
   }
+  metrics().get_hits.inc();
   return it->second.value;
 }
 
 i64 KvStore::incr(const std::string& key, SimTime now, i64 delta) {
+  metrics().incrs.inc();
   auto it = map_.find(key);
   i64 current = 0;
   SimTime expiry = SimTime::zero();

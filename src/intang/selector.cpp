@@ -2,11 +2,36 @@
 
 #include <charconv>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace ys::intang {
 
 namespace {
 
 std::string ip_key(net::IpAddr server) { return net::ip_to_string(server); }
+
+struct SelectorMetrics {
+  obs::Counter& picks;
+  obs::Counter& cache_hits;
+  obs::Counter& store_hits;
+  obs::Counter& cold_picks;
+  obs::Counter& report_success;
+  obs::Counter& report_failure;
+  obs::Histogram& choose_wall_us;
+};
+
+SelectorMetrics& metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static SelectorMetrics m{reg.counter("intang.strategy_pick"),
+                           reg.counter("intang.pick_cache_hit"),
+                           reg.counter("intang.pick_store_hit"),
+                           reg.counter("intang.pick_cold"),
+                           reg.counter("intang.report_success"),
+                           reg.counter("intang.report_failure"),
+                           reg.histogram("intang.choose_wall_us")};
+  return m;
+}
 
 }  // namespace
 
@@ -23,10 +48,16 @@ std::string StrategySelector::tally_key(net::IpAddr server,
 
 strategy::StrategyId StrategySelector::choose(net::IpAddr server,
                                               SimTime now) {
+  obs::ScopedTimer timer(metrics().choose_wall_us);
+  metrics().picks.inc();
   // Fast path: LRU-cached known-good strategy.
-  if (auto cached = cache_.get(server)) return *cached;
+  if (auto cached = cache_.get(server)) {
+    metrics().cache_hits.inc();
+    return *cached;
+  }
   // Store path: a persisted known-good record.
   if (auto good = store_.get(good_key(server), now)) {
+    metrics().store_hits.inc();
     int id = 0;
     std::from_chars(good->data(), good->data() + good->size(), id);
     const auto sid = static_cast<strategy::StrategyId>(id);
@@ -35,6 +66,7 @@ strategy::StrategyId StrategySelector::choose(net::IpAddr server,
   }
   // Cold path: prefer untried candidates in order, then the best success
   // ratio (Laplace-smoothed so sparse data doesn't pin a loser).
+  metrics().cold_picks.inc();
   strategy::StrategyId best = cfg_.candidates.front();
   double best_score = -1.0;
   for (auto id : cfg_.candidates) {
@@ -52,6 +84,7 @@ strategy::StrategyId StrategySelector::choose(net::IpAddr server,
 
 void StrategySelector::report(net::IpAddr server, strategy::StrategyId id,
                               bool success, SimTime now) {
+  (success ? metrics().report_success : metrics().report_failure).inc();
   store_.incr(tally_key(server, id, success), now);
   if (success) {
     store_.set(good_key(server), std::to_string(static_cast<int>(id)), now,

@@ -3,13 +3,28 @@
 
 #include <functional>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/clock.h"
+#include "core/log.h"
 #include "core/types.h"
+#include "obs/metrics.h"
 
 namespace ys::net {
+
+/// What one `run`/`run_until` call did. `hit_max_events` disambiguates
+/// "queue drained" from "the livelock guard tripped" — the raw executed
+/// count alone cannot (executed == max_events can be either). Converts to
+/// the executed count so historical `std::size_t n = loop.run()` callers
+/// keep compiling.
+struct RunResult {
+  std::size_t executed = 0;
+  bool hit_max_events = false;
+
+  operator std::size_t() const { return executed; }
+};
 
 /// Min-heap event loop. Events scheduled for the same instant run in
 /// scheduling order (a monotonically increasing tiebreaker guarantees
@@ -23,45 +38,83 @@ class EventLoop {
 
   void schedule_at(SimTime when, Action action) {
     queue_.push(Event{when, next_seq_++, std::move(action)});
+    metrics().queue_depth_hwm.max_of(static_cast<double>(queue_.size()));
   }
 
   void schedule_after(SimTime delay, Action action) {
     schedule_at(now() + delay, std::move(action));
   }
 
-  /// Run until the queue drains or `max_events` fire. Returns the number of
-  /// events executed (a bound guards against accidental livelock in tests).
-  std::size_t run(std::size_t max_events = 1'000'000) {
-    std::size_t executed = 0;
-    while (!queue_.empty() && executed < max_events) {
+  /// Run until the queue drains or `max_events` fire (a bound guards
+  /// against accidental livelock in tests).
+  RunResult run(std::size_t max_events = 1'000'000) {
+    RunResult result;
+    while (!queue_.empty() && result.executed < max_events) {
       Event ev = queue_.top();
       queue_.pop();
       clock_.advance_to(ev.when);
       ev.action();
-      ++executed;
+      ++result.executed;
     }
-    return executed;
+    finish_run(result, !queue_.empty());
+    return result;
   }
 
   /// Run events with timestamps <= deadline, then set the clock there.
-  std::size_t run_until(SimTime deadline, std::size_t max_events = 1'000'000) {
-    std::size_t executed = 0;
+  RunResult run_until(SimTime deadline, std::size_t max_events = 1'000'000) {
+    RunResult result;
     while (!queue_.empty() && queue_.top().when <= deadline &&
-           executed < max_events) {
+           result.executed < max_events) {
       Event ev = queue_.top();
       queue_.pop();
       clock_.advance_to(ev.when);
       ev.action();
-      ++executed;
+      ++result.executed;
     }
+    finish_run(result, !queue_.empty() && queue_.top().when <= deadline);
     clock_.advance_to(deadline);
-    return executed;
+    return result;
   }
 
   bool idle() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
  private:
+  struct LoopMetrics {
+    obs::Counter& events_executed;
+    obs::Counter& runs;
+    obs::Counter& max_events_hits;
+    obs::Gauge& queue_depth_hwm;
+    obs::Gauge& max_events_hit;  // 1 while any run this trial tripped
+  };
+
+  /// One name-lookup per process; every loop instance shares the metrics
+  /// (they aggregate across trials until reset_all()).
+  static LoopMetrics& metrics() {
+    auto& reg = obs::MetricsRegistry::global();
+    static LoopMetrics m{reg.counter("loop.events_executed"),
+                         reg.counter("loop.runs"),
+                         reg.counter("loop.max_events_hits"),
+                         reg.gauge("loop.queue_depth_hwm"),
+                         reg.gauge("loop.max_events_hit")};
+    return m;
+  }
+
+  void finish_run(RunResult& result, bool more_work_pending) {
+    result.hit_max_events = more_work_pending;
+    LoopMetrics& m = metrics();
+    m.runs.inc();
+    m.events_executed.inc(result.executed);
+    if (result.hit_max_events) {
+      m.max_events_hits.inc();
+      m.max_events_hit.set(1.0);
+      YS_LOG(LogLevel::kWarn,
+             "event loop stopped at the max_events bound after " +
+                 std::to_string(result.executed) +
+                 " events with " + std::to_string(queue_.size()) +
+                 " still pending (possible livelock)");
+    }
+  }
   struct Event {
     SimTime when;
     u64 seq;

@@ -5,6 +5,33 @@
 
 namespace ys::net {
 
+namespace {
+
+/// Metric-name-safe rendering of an actor name ("mbox:nat" → "mbox_nat").
+std::string sanitize_actor(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+Path::PathMetrics& Path::metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static PathMetrics m{reg.counter("netsim.packet_delivered_client"),
+                       reg.counter("netsim.packet_delivered_server"),
+                       reg.counter("netsim.packet_dropped_loss"),
+                       reg.counter("netsim.packet_ttl_expired"),
+                       reg.counter("netsim.packet_injected"),
+                       reg.counter("netsim.packet_element_drop"),
+                       reg.counter("netsim.packet_reorder_clamped")};
+  return m;
+}
+
 // Forwarder implementation bound to one (element, packet, direction) visit.
 class Path::ForwarderImpl final : public Forwarder {
  public:
@@ -19,6 +46,7 @@ class Path::ForwarderImpl final : public Forwarder {
 
   void inject(Packet pkt, Dir dir, SimTime delay) override {
     finalize(pkt);
+    Path::metrics().injected.inc();
     pkt.trace_id = path_.next_trace_id_++;
     const std::string actor = path_.elements_[static_cast<std::size_t>(index_)]
                                   .element->name();
@@ -33,6 +61,7 @@ class Path::ForwarderImpl final : public Forwarder {
   }
 
   void drop(const Packet& pkt, std::string_view reason) override {
+    Path::metrics().element_drops.inc();
     const std::string actor =
         path_.elements_[static_cast<std::size_t>(index_)].element->name();
     path_.record(actor, "drop", pkt.summary() + "  (" + std::string(reason) + ")");
@@ -56,7 +85,9 @@ void Path::attach(int position, PathElement* element) {
   auto it = std::upper_bound(
       elements_.begin(), elements_.end(), position,
       [](int pos, const Attachment& a) { return pos < a.position; });
-  elements_.insert(it, Attachment{position, element});
+  obs::Counter& events = obs::MetricsRegistry::global().counter(
+      "netsim.actor_events." + sanitize_actor(element->name()));
+  elements_.insert(it, Attachment{position, element, &events});
 }
 
 void Path::send_from_client(Packet pkt) {
@@ -98,6 +129,7 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
   // on the link and nothing downstream ever sees it.
   if (distance > 0) {
     if (pkt.ip.ttl < distance) {
+      metrics().ttl_expired.inc();
       record("path", "expire",
              pkt.summary() + "  (ttl expired " +
                  std::to_string(from_pos + pkt.ip.ttl) + " hops from client)");
@@ -108,6 +140,7 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
     if (cfg_.per_link_loss > 0.0) {
       const double survive = std::pow(1.0 - cfg_.per_link_loss, distance);
       if (!rng_.chance(survive)) {
+        metrics().dropped_loss.inc();
         record("path", "loss", pkt.summary());
         return;
       }
@@ -127,7 +160,12 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
       (dir == Dir::kC2S ? 0u : 1u);
   SimTime deliver_at = loop_.now() + delay;
   SimTime& floor = fifo_floor_[fifo_key];
-  if (deliver_at < floor) deliver_at = floor;
+  if (deliver_at < floor) {
+    // Jitter alone would have reordered this packet past an earlier one on
+    // the same segment; the FIFO clamp is where "reordering pressure" shows.
+    metrics().reorder_clamped.inc();
+    deliver_at = floor;
+  }
   floor = deliver_at;
 
   if (next_index >= 0) {
@@ -144,6 +182,7 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
 
 void Path::deliver_to_element(Packet pkt, Dir dir, int index) {
   const Attachment& at = elements_[static_cast<std::size_t>(index)];
+  at.events->inc();
   ForwarderImpl fwd(*this, dir, index, at.position, pkt.trace_id);
   at.element->process(std::move(pkt), dir, fwd);
 }
@@ -151,10 +190,12 @@ void Path::deliver_to_element(Packet pkt, Dir dir, int index) {
 void Path::deliver_to_endpoint(Packet pkt, Dir dir) {
   if (dir == Dir::kC2S) {
     ++to_server_count_;
+    metrics().delivered_server.inc();
     record("server", "recv", pkt.summary());
     if (server_sink_) server_sink_(std::move(pkt));
   } else {
     ++to_client_count_;
+    metrics().delivered_client.inc();
     record("client", "recv", pkt.summary());
     if (client_capture_) client_capture_(pkt, loop_.now());
     if (client_sink_) client_sink_(std::move(pkt));

@@ -18,6 +18,7 @@
 #include "core/rng.h"
 #include "netsim/event_loop.h"
 #include "netsim/packet.h"
+#include "obs/metrics.h"
 
 namespace ys::net {
 
@@ -117,7 +118,21 @@ class Path {
   struct Attachment {
     int position;
     PathElement* element;
+    /// Per-actor event count ("netsim.actor_events.<name>"), resolved once
+    /// at attach time so per-packet delivery costs one pointer bump.
+    obs::Counter* events = nullptr;
   };
+
+  struct PathMetrics {
+    obs::Counter& delivered_client;
+    obs::Counter& delivered_server;
+    obs::Counter& dropped_loss;
+    obs::Counter& ttl_expired;
+    obs::Counter& injected;
+    obs::Counter& element_drops;
+    obs::Counter& reorder_clamped;
+  };
+  static PathMetrics& metrics();
 
   class ForwarderImpl;
 

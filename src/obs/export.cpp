@@ -1,0 +1,114 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ys::obs {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double that is valid JSON (no
+/// bare "inf"/"nan"; those become null, which JSON consumers can detect).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  // %.17g round-trips but is ugly for the common integral values.
+  if (v == static_cast<double>(static_cast<i64>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_table(const Snapshot& snap) {
+  std::string out;
+  char line[160];
+  for (const auto& [name, value] : snap.counters) {
+    std::snprintf(line, sizeof(line), "%-44s counter   %12llu\n",
+                  name.c_str(), static_cast<unsigned long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    std::snprintf(line, sizeof(line), "%-44s gauge     %12.3f\n",
+                  name.c_str(), value);
+    out += line;
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-44s histogram %12llu  sum=%.1f\n", name.c_str(),
+                  static_cast<unsigned long long>(h.count), h.sum);
+    out += line;
+  }
+  return out;
+}
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) +
+           "\": " + std::to_string(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + json_number(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\"bounds\": [";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += json_number(h.bounds[i]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(h.counts[i]);
+    }
+    out += "], \"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + json_number(h.sum) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace ys::obs

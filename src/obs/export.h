@@ -1,0 +1,25 @@
+// Snapshot exporters: a human-readable aligned table and a JSON document
+// (consumed by `yourstate stats` and by downstream analysis scripts). Both
+// render metrics in sorted-name order so output is diffable across runs.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ys::obs {
+
+/// Aligned text table, one metric per line:
+///   gfw.packets_seen              counter        42
+std::string to_table(const Snapshot& snap);
+
+/// JSON document:
+/// {
+///   "counters":   {"name": 42, ...},
+///   "gauges":     {"name": 1.5, ...},
+///   "histograms": {"name": {"bounds": [...], "counts": [...],
+///                            "count": N, "sum": S}, ...}
+/// }
+std::string to_json(const Snapshot& snap);
+
+}  // namespace ys::obs

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace ys::obs {
+
+namespace {
+// The simulator is single-threaded by construction (one event loop drives
+// everything), so a plain bool keeps the hot-path check branch-predictable.
+bool g_enabled = true;
+
+const char* kind_name(int k) {
+  switch (k) {
+    case 0: return "counter";
+    case 1: return "gauge";
+    case 2: return "histogram";
+  }
+  return "?";
+}
+}  // namespace
+
+bool metrics_enabled() { return g_enabled; }
+void set_metrics_enabled(bool on) { g_enabled = on; }
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dies:
+  // function-local statics in components hold references into it, and
+  // destruction order at exit must not invalidate them.
+  return *registry;
+}
+
+MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name,
+                                                       Kind kind) {
+  auto it = slots_.find(name);
+  if (it != slots_.end()) {
+    if (it->second.kind != kind) {
+      throw std::logic_error(
+          "obs: metric '" + name + "' already registered as " +
+          kind_name(static_cast<int>(it->second.kind)) + ", requested as " +
+          kind_name(static_cast<int>(kind)));
+    }
+    return it->second;
+  }
+  Slot slot;
+  slot.kind = kind;
+  return slots_.emplace(name, std::move(slot)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  Slot& slot = find_or_create(name, Kind::kCounter);
+  if (!slot.counter) slot.counter = std::make_unique<Counter>();
+  return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  Slot& slot = find_or_create(name, Kind::kGauge);
+  if (!slot.gauge) slot.gauge = std::make_unique<Gauge>();
+  return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds) {
+  Slot& slot = find_or_create(name, Kind::kHistogram);
+  if (!slot.histogram) {
+    slot.histogram = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot.histogram;  // first registration's bounds win
+}
+
+void MetricsRegistry::reset_all() {
+  for (auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter: slot.counter->reset(); break;
+      case Kind::kGauge: slot.gauge->reset(); break;
+      case Kind::kHistogram: slot.histogram->reset(); break;
+    }
+  }
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.kind) {
+      case Kind::kCounter:
+        snap.counters[name] = slot.counter->value();
+        break;
+      case Kind::kGauge:
+        snap.gauges[name] = slot.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.bounds = slot.histogram->bounds();
+        h.counts = slot.histogram->bucket_counts();
+        h.count = slot.histogram->count();
+        h.sum = slot.histogram->sum();
+        snap.histograms[name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return snap;
+}
+
+}  // namespace ys::obs

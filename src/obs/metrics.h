@@ -1,0 +1,174 @@
+// ys::obs — process-wide metrics for the simulated GFW ecosystem.
+//
+// Design goals, in order:
+//   1. Hot-path updates must be a load, an add, and a store — components
+//      resolve their Counter/Gauge/Histogram once (constructor or
+//      function-local static) and then bump a stable reference.
+//   2. Snapshots are deep copies, so exporters and tests never observe a
+//      half-updated registry, and `reset_all()` gives per-trial isolation
+//      without invalidating any held reference.
+//   3. The whole layer can be compiled out (-DYS_OBS_DISABLE) or switched
+//      off at runtime (`set_metrics_enabled(false)`) to measure its own
+//      overhead (bench/bench_obs_overhead.cpp).
+//
+// Naming convention: `component.noun_verb` (e.g. "gfw.tcb_create",
+// "tcpstack.segment_in", "netsim.packet_delivered"). Dynamic suffixes are
+// dot-separated ("tcpstack.ignored.bad-checksum").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ys::obs {
+
+/// Runtime kill switch. Metric *updates* become no-ops when disabled;
+/// registration, snapshotting and resets still work.
+bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+#if defined(YS_OBS_DISABLE)
+#define YS_OBS_UPDATES_ENABLED() false
+#else
+#define YS_OBS_UPDATES_ENABLED() (::ys::obs::metrics_enabled())
+#endif
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(u64 n = 1) {
+    if (YS_OBS_UPDATES_ENABLED()) value_ += n;
+  }
+  u64 value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  u64 value_ = 0;
+};
+
+/// A value that can go up and down (queue depths, rates, high-water marks).
+class Gauge {
+ public:
+  void set(double v) {
+    if (YS_OBS_UPDATES_ENABLED()) value_ = v;
+  }
+  void add(double d) {
+    if (YS_OBS_UPDATES_ENABLED()) value_ += d;
+  }
+  /// Keep the maximum of the current value and `v` (high-water mark).
+  void max_of(double v) {
+    if (YS_OBS_UPDATES_ENABLED() && v > value_) value_ = v;
+  }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram. Bucket `i` counts observations with
+/// `v <= bounds[i]` (and greater than the previous bound); one implicit
+/// overflow bucket catches everything above the last bound, so
+/// `bucket_counts().size() == bounds().size() + 1`.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds)
+      : bounds_(std::move(bounds)),
+        counts_(bounds_.size() + 1, 0) {}
+
+  void observe(double v) {
+    if (!YS_OBS_UPDATES_ENABLED()) return;
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    ++count_;
+    sum_ += v;
+  }
+
+  u64 count() const { return count_; }
+  double sum() const { return sum_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<u64>& bucket_counts() const { return counts_; }
+
+  void reset() {
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+  }
+
+ private:
+  std::vector<double> bounds_;  // ascending upper bounds
+  std::vector<u64> counts_;     // bounds_.size() + 1 (overflow last)
+  u64 count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// `factor`-spaced exponential upper bounds starting at `start` — the
+/// default shape for microsecond latency histograms.
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count);
+
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<u64> counts;
+  u64 count = 0;
+  double sum = 0.0;
+};
+
+/// Deep copy of every metric at one instant, sorted by name.
+struct Snapshot {
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Named metric registry. Get-or-create: the first call registers, later
+/// calls with the same name return the same object (stable address for the
+/// registry's lifetime — `reset_all()` zeroes values but never removes a
+/// metric). Registering a name that already exists with a *different* kind
+/// is a programming error and throws std::logic_error; a histogram
+/// re-registered with different bounds keeps the first registration's
+/// bounds (first writer wins).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every component publishes into.
+  static MetricsRegistry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = exponential_buckets(
+                           1.0, 4.0, 12));
+
+  bool contains(const std::string& name) const {
+    return slots_.find(name) != slots_.end();
+  }
+  std::size_t size() const { return slots_.size(); }
+
+  /// Zero every metric (between trials); registrations survive.
+  void reset_all();
+
+  Snapshot snapshot() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Slot {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& find_or_create(const std::string& name, Kind kind);
+
+  // std::map keeps iteration (and thus every exporter) name-sorted and
+  // deterministic; pointers to mapped values are stable across inserts.
+  std::map<std::string, Slot> slots_;
+};
+
+}  // namespace ys::obs

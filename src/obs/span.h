@@ -1,0 +1,59 @@
+// Scoped timing spans feeding histograms.
+//
+// Two time bases coexist in this codebase and both matter:
+//   * wall-clock (ScopedTimer) — "how long did strategy selection really
+//     take on this hardware", the number perf PRs optimize;
+//   * virtual time (SimSpan) — "how much simulated network time elapsed
+//     inside this scope", the number the paper's protocol analysis uses.
+#pragma once
+
+#include <chrono>
+
+#include "core/clock.h"
+#include "obs/metrics.h"
+
+namespace ys::obs {
+
+/// Records the scope's wall-clock duration, in microseconds, into a
+/// histogram on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist)
+      : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    hist_.observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Records the virtual-time (SimTime) span covered by the scope, in
+/// simulated microseconds, into a histogram on destruction. Deterministic:
+/// the same seed produces the same observations.
+class SimSpan {
+ public:
+  SimSpan(const VirtualClock& clock, Histogram& hist)
+      : clock_(clock), hist_(hist), start_(clock.now()) {}
+
+  SimSpan(const SimSpan&) = delete;
+  SimSpan& operator=(const SimSpan&) = delete;
+
+  ~SimSpan() {
+    hist_.observe(static_cast<double>((clock_.now() - start_).us));
+  }
+
+ private:
+  const VirtualClock& clock_;
+  Histogram& hist_;
+  SimTime start_;
+};
+
+}  // namespace ys::obs

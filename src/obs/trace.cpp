@@ -1,0 +1,39 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace ys::obs {
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  std::vector<TraceEvent> kept = events();
+  if (kept.size() > capacity) {
+    dropped_ += kept.size() - capacity;
+    kept.erase(kept.begin(),
+               kept.begin() + static_cast<long>(kept.size() - capacity));
+  }
+  capacity_ = capacity;
+  ring_ = std::move(kept);
+  head_ = 0;
+}
+
+std::string TraceRecorder::render() const {
+  std::string out;
+  char head[96];
+  if (dropped_ > 0) {
+    std::snprintf(head, sizeof(head),
+                  "... %llu earlier events evicted (capacity %zu) ...\n",
+                  static_cast<unsigned long long>(dropped_), capacity_);
+    out += head;
+  }
+  for (const auto& e : events()) {
+    std::snprintf(head, sizeof(head), "%10.6fs  %-12s %-7s ",
+                  e.at.seconds(), e.actor.c_str(), e.kind.c_str());
+    out += head;
+    out += e.detail;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ys::obs

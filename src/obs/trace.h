@@ -1,0 +1,94 @@
+// Structured event trace (the packet "ladder" the figure benches print).
+//
+// Migrated here from core/log.h and given a ring-buffer capacity so
+// million-event runs keep the newest window of events instead of growing
+// without bound; `dropped()` says how many fell off the front. core/log.h
+// re-exports the `ys::TraceRecorder` name so existing includes keep
+// compiling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys::obs {
+
+/// One structured event: where it happened, what happened, and a rendered
+/// description. `actor` is a short component name ("client", "gfw#1",
+/// "server", "mbox:nat", ...).
+struct TraceEvent {
+  SimTime at;
+  std::string actor;
+  std::string kind;    // e.g. "send", "recv", "inject", "drop", "state"
+  std::string detail;  // rendered packet summary or state transition
+};
+
+/// Collects TraceEvents during a simulation run. Components hold a pointer
+/// to the recorder owned by the simulation; a null recorder disables
+/// tracing with zero cost. Bounded: once `capacity` events are held, each
+/// new event evicts the oldest.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(SimTime at, std::string actor, std::string kind,
+              std::string detail) {
+    TraceEvent ev{at, std::move(actor), std::move(kind), std::move(detail)};
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(ev));
+      return;
+    }
+    ring_[head_] = std::move(ev);
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+
+  /// Retained events, oldest first (a copy: the ring stays internal).
+  std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Events evicted because the ring was full.
+  u64 dropped() const { return dropped_; }
+
+  /// Change the bound; keeps the newest `capacity` events.
+  void set_capacity(std::size_t capacity);
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Render the retained trace as an aligned text ladder (one line per
+  /// event); notes up front how many earlier events were evicted.
+  std::string render() const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  u64 dropped_ = 0;
+};
+
+}  // namespace ys::obs
+
+namespace ys {
+// Historical home of these names; every module referred to them as
+// ys::TraceRecorder / ys::TraceEvent before the obs layer existed.
+using obs::TraceEvent;
+using obs::TraceRecorder;
+}  // namespace ys

@@ -3,12 +3,49 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+
 namespace ys::tcp {
 
 namespace {
 constexpr i64 kInitialRtoMs = 200;
 constexpr int kMaxRetransmits = 6;
 constexpr u16 kWindowBytes = 65535;
+
+struct StackMetrics {
+  obs::Counter& segments_in;
+  obs::Counter& segments_out;
+  obs::Counter& retransmits;
+  obs::Counter& challenge_acks;
+  obs::Counter& ignored_total;
+};
+
+StackMetrics& metrics() {
+  auto& reg = obs::MetricsRegistry::global();
+  static StackMetrics m{reg.counter("tcpstack.segment_in"),
+                        reg.counter("tcpstack.segment_out"),
+                        reg.counter("tcpstack.segment_retransmit"),
+                        reg.counter("tcpstack.challenge_ack_sent"),
+                        reg.counter("tcpstack.segment_ignored")};
+  return m;
+}
+
+/// Ignore-path hits split by reason and by Linux profile — the §5.3 view
+/// ("which discard paths does this stack exercise") as registry counters.
+/// Ignores are rare relative to segments, so the by-name lookup here is off
+/// the hot path.
+void count_ignore(IgnoreReason reason, LinuxVersion version) {
+  auto& reg = obs::MetricsRegistry::global();
+  metrics().ignored_total.inc();
+  reg.counter(std::string("tcpstack.ignored.") + to_string(reason)).inc();
+  std::string profile = to_string(version);  // "Linux 4.4" -> "linux-4.4"
+  for (char& c : profile) {
+    if (c == ' ') c = '-';
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  reg.counter("tcpstack.ignored_by_profile." + profile).inc();
+}
+
 }  // namespace
 
 TcpEndpoint::TcpEndpoint(net::EventLoop& loop, Rng rng, StackProfile profile,
@@ -29,6 +66,7 @@ void TcpEndpoint::set_state(TcpState next) {
 void TcpEndpoint::ignore(const net::Packet& pkt, IgnoreReason reason,
                          std::string detail) {
   if (detail.empty()) detail = pkt.summary();
+  count_ignore(reason, profile_.version);
   ignore_log_.push_back(IgnoreEvent{state_, reason, std::move(detail)});
 }
 
@@ -101,6 +139,7 @@ net::Packet TcpEndpoint::make_segment(net::TcpFlags flags, u32 seq, u32 ack,
 }
 
 void TcpEndpoint::emit(net::Packet pkt) {
+  metrics().segments_out.inc();
   if (cb_.send) cb_.send(std::move(pkt));
 }
 
@@ -110,6 +149,7 @@ void TcpEndpoint::send_ack() {
 
 void TcpEndpoint::send_challenge_ack() {
   ++challenge_acks_sent_;
+  metrics().challenge_acks.inc();
   send_ack();
 }
 
@@ -143,6 +183,7 @@ bool TcpEndpoint::prevalidate(const net::Packet& pkt) {
 }
 
 void TcpEndpoint::on_segment(const net::Packet& pkt) {
+  metrics().segments_in.inc();
   if (state_ == TcpState::kClosed) {
     // RFC 793 CLOSED: discard RSTs, answer everything else with a RST —
     // this is the observable "connection was killed" signal peers rely on.
@@ -583,12 +624,14 @@ void TcpEndpoint::on_retransmit_timer(u64 epoch) {
 
   if (state_ == TcpState::kSynSent) {
     ++retransmit_attempts_;
+    metrics().retransmits.inc();
     emit(make_segment(net::TcpFlags::only_syn(), iss_, 0));
     schedule_retransmit();
     return;
   }
   if (state_ == TcpState::kSynRecv) {
     ++retransmit_attempts_;
+    metrics().retransmits.inc();
     emit(make_segment(net::TcpFlags::syn_ack(), iss_, rcv_nxt_));
     schedule_retransmit();
     return;
@@ -596,6 +639,7 @@ void TcpEndpoint::on_retransmit_timer(u64 epoch) {
   if (retransmit_queue_.empty()) return;
 
   ++retransmit_attempts_;
+  metrics().retransmits.inc(retransmit_queue_.size());
   for (const Unacked& seg : retransmit_queue_) {
     if (seg.fin_after) {
       emit(make_segment(net::TcpFlags::fin_ack(), seg.seq, rcv_nxt_));

@@ -5,6 +5,7 @@
 //   yourstate probe  [options]            infer the path's GFW model
 //   yourstate dns    [options]            one censored DNS lookup
 //   yourstate tor    [options]            one Tor bridge connection
+//   yourstate stats  [options]            simulated session + metrics dump
 //
 // Common options:
 //   --vp=NAME            vantage point (default aliyun-sh)
@@ -13,17 +14,24 @@
 //   --intang             use INTANG's adaptive selection instead
 //   --keyword=0|1        include the sensitive keyword (default 1)
 //   --seed=N             trial seed        --path-seed=N   path draw seed
+//   --trials=N           session length for `stats` (default 5)
 //   --trace              print the packet ladder
 //   --pcap=FILE          capture the client's wire to a pcap file
+//   --metrics[=json|table]  dump the obs registry after any command
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
 
 #include "exp/prober.h"
 #include "exp/scenario.h"
+#include "exp/stats.h"
 #include "exp/trial.h"
 #include "netsim/pcap.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace ys {
 namespace {
@@ -40,9 +48,19 @@ struct CliOptions {
   bool trace = false;
   u64 seed = 1;
   u64 path_seed = 0;
+  int trials = 5;
+  bool dump_metrics = false;
+  bool metrics_as_table = false;
   std::string pcap;
   std::string domain = "www.dropbox.com";
 };
+
+void print_metrics(const CliOptions& cli) {
+  const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  std::fputs(cli.metrics_as_table ? obs::to_table(snap).c_str()
+                                  : obs::to_json(snap).c_str(),
+             stdout);
+}
 
 std::optional<net::IpAddr> parse_ip(const std::string& text) {
   unsigned a = 0;
@@ -69,10 +87,10 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: yourstate <list|trial|probe|dns|tor> [--vp=NAME] "
+               "usage: yourstate <list|trial|probe|dns|tor|stats> [--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
-               "[--seed=N] [--path-seed=N] [--trace] [--pcap=FILE] "
-               "[--domain=NAME]\n");
+               "[--seed=N] [--path-seed=N] [--trials=N] [--trace] "
+               "[--pcap=FILE] [--domain=NAME] [--metrics[=json|table]]\n");
   return 2;
 }
 
@@ -176,6 +194,35 @@ int cmd_dns(const CliOptions& cli, const VantagePoint& vp) {
   return result.outcome == Outcome::kSuccess ? 0 : 1;
 }
 
+/// Run a short INTANG browsing session (several HTTP fetches with the
+/// sensitive keyword, shared strategy knowledge) and dump the metrics
+/// registry: the "what did every layer of the ecosystem do" view.
+int cmd_stats(const CliOptions& cli, const VantagePoint& vp) {
+  obs::MetricsRegistry::global().reset_all();
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  RateTally tally;
+  for (int i = 0; i < cli.trials; ++i) {
+    CliOptions per_trial = cli;
+    per_trial.seed = cli.seed + static_cast<u64>(i);
+    Scenario sc = make_scenario(&rules, per_trial, vp);
+    HttpTrialOptions http;
+    http.with_keyword = cli.keyword;
+    http.strategy = cli.strategy;
+    // The point of `stats` is to light up every component, INTANG
+    // included, unless the user pinned a fixed strategy.
+    http.use_intang =
+        cli.use_intang || cli.strategy == strategy::StrategyId::kNone;
+    http.shared_selector = &selector;
+    tally.add(run_http_trial(sc, http).outcome);
+  }
+  tally.publish(vp.name);
+
+  print_metrics(cli);
+  return 0;
+}
+
 int cmd_tor(const CliOptions& cli, const VantagePoint& vp) {
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();
   Scenario sc = make_scenario(&rules, cli, vp);
@@ -230,8 +277,20 @@ int run(int argc, char** argv) {
       cli.seed = static_cast<u64>(std::atoll(v->c_str()));
     } else if (auto v = value("--path-seed")) {
       cli.path_seed = static_cast<u64>(std::atoll(v->c_str()));
+    } else if (auto v = value("--trials")) {
+      cli.trials = std::max(1, std::atoi(v->c_str()));
     } else if (arg == "--trace") {
       cli.trace = true;
+    } else if (arg == "--metrics") {
+      cli.dump_metrics = true;
+    } else if (auto v = value("--metrics")) {
+      if (*v != "json" && *v != "table") {
+        std::fprintf(stderr, "unknown metrics format: %s (want json|table)\n",
+                     v->c_str());
+        return usage();
+      }
+      cli.dump_metrics = true;
+      cli.metrics_as_table = *v == "table";
     } else if (auto v = value("--pcap")) {
       cli.pcap = *v;
     } else if (auto v = value("--domain")) {
@@ -249,11 +308,15 @@ int run(int argc, char** argv) {
                  cli.vp.c_str());
     return 2;
   }
-  if (cli.command == "trial") return cmd_trial(cli, *vp);
-  if (cli.command == "probe") return cmd_probe(cli, *vp);
-  if (cli.command == "dns") return cmd_dns(cli, *vp);
-  if (cli.command == "tor") return cmd_tor(cli, *vp);
-  return usage();
+  int rc = -1;
+  if (cli.command == "trial") rc = cmd_trial(cli, *vp);
+  else if (cli.command == "probe") rc = cmd_probe(cli, *vp);
+  else if (cli.command == "dns") rc = cmd_dns(cli, *vp);
+  else if (cli.command == "tor") rc = cmd_tor(cli, *vp);
+  else if (cli.command == "stats") rc = cmd_stats(cli, *vp);
+  if (rc < 0) return usage();
+  if (cli.dump_metrics && cli.command != "stats") print_metrics(cli);
+  return rc;
 }
 
 }  // namespace
