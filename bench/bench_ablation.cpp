@@ -11,6 +11,8 @@
 //     this "greatly complicates the GFW's design");
 //   * TTL-based insertion survives everything — the censor cannot learn
 //     the topology (§8: "GFW's agnostic nature to network topology").
+#include <iterator>
+
 #include "bench_common.h"
 
 namespace ys {
@@ -70,11 +72,15 @@ int run(int argc, char** argv) {
   TextTable table({"Strategy", variants[0].label, variants[1].label,
                    variants[2].label, variants[3].label, variants[4].label});
 
-  for (const StrategyRow& row : kStrategies) {
-    std::vector<std::string> cells{row.label};
-    for (const Harden& variant : variants) {
-      RateTally tally;
-      for (int t = 0; t < trials; ++t) {
+  // Grid: (strategy × hardened variant) cells, independent trials.
+  runner::TrialGrid grid;
+  grid.cells = std::size(kStrategies) * std::size(variants);
+  grid.trials = static_cast<std::size_t>(trials);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const StrategyRow& row = kStrategies[c.cell / std::size(variants)];
+        const Harden& variant = variants[c.cell % std::size(variants)];
         ScenarioOptions opt;
         opt.vp = china_vantage_points()[1];
         opt.server.host = "target.example";
@@ -94,8 +100,9 @@ int run(int argc, char** argv) {
         opt.cal.server_accepts_any_ack = 0.0;
         opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(row.label),
                                   Rng::hash_label(variant.label),
-                                  static_cast<u64>(t)});
-        opt.path_seed = Rng::mix_seed({cfg.seed, static_cast<u64>(t)});
+                                  static_cast<u64>(c.trial)});
+        opt.path_seed =
+            Rng::mix_seed({cfg.seed, static_cast<u64>(c.trial)});
         opt.harden.validate_checksum = variant.checksum;
         opt.harden.reject_md5 = variant.md5;
         opt.harden.strict_rst = variant.strict_rst;
@@ -105,7 +112,16 @@ int run(int argc, char** argv) {
         HttpTrialOptions http;
         http.with_keyword = true;
         http.strategy = row.id;
-        tally.add(run_http_trial(sc, http).outcome);
+        return run_http_trial(sc, http).outcome;
+      });
+
+  for (std::size_t s = 0; s < std::size(kStrategies); ++s) {
+    std::vector<std::string> cells{kStrategies[s].label};
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      RateTally tally;
+      for (std::size_t t = 0; t < grid.trials; ++t) {
+        tally.add(out.slots[grid.index(
+            {s * std::size(variants) + v, 0, 0, t})]);
       }
       cells.push_back(pct(tally.success_rate(), 0));
     }
@@ -122,6 +138,7 @@ int run(int argc, char** argv) {
       "never acknowledged), but prefill overlap still wins: the server's\n"
       "ACK covers a byte RANGE, not its contents — the arms race of\n"
       "section 8 continues.\n");
+  print_runner_report(out.report);
   return 0;
 }
 

@@ -1,11 +1,17 @@
 // Shared plumbing for the table/figure reproduction binaries.
 //
 // Every binary accepts:
-//   --trials=N   repetitions per (vantage point, server) pair
-//                (the paper uses 50; defaults here are smaller so the whole
-//                 suite runs in seconds — pass --trials=50 for paper scale)
-//   --servers=N  size of the probed server population
-//   --seed=S     master seed (default 2017)
+//   --trials=N        repetitions per (vantage point, server) pair
+//                     (the paper uses 50; defaults here are smaller so the
+//                      whole suite runs in seconds — pass --trials=50 for
+//                      paper scale)
+//   --servers=N       size of the probed server population
+//   --seed=S          master seed (default 2017)
+//   --jobs=N          worker threads for the trial grid (default 1 = the
+//                     exact serial reference; 0 = hardware concurrency).
+//                     Results are bit-identical for every N.
+//   --metrics-out=F   write the final merged metrics snapshot to F as JSON
+//                     at exit (use "-" for stdout)
 #pragma once
 
 #include <cstdio>
@@ -19,6 +25,8 @@
 #include "exp/table.h"
 #include "exp/trial.h"
 #include "exp/vantage.h"
+#include "obs/export.h"
+#include "runner/runner.h"
 
 namespace ys::bench {
 
@@ -26,7 +34,44 @@ struct RunConfig {
   int trials = 0;       // 0 = use the binary's default
   int servers = 0;      // 0 = use the binary's default
   u64 seed = 2017;
+  int jobs = 1;         // 1 = serial reference; 0 = hardware concurrency
+  std::string metrics_out;
 };
+
+inline runner::PoolOptions pool_options(const RunConfig& cfg) {
+  runner::PoolOptions opt;
+  opt.jobs = cfg.jobs;
+  return opt;
+}
+
+/// Shared storage for the atexit hook (atexit can't capture state).
+inline std::string& metrics_out_path() {
+  static std::string path;
+  return path;
+}
+
+/// Write the global registry's snapshot as JSON to --metrics-out. Runs at
+/// exit so every code path of every binary archives its metrics; by then
+/// all worker registries have been merged back into the global one.
+inline void write_metrics_out() {
+  const std::string& path = metrics_out_path();
+  if (path.empty()) return;
+  const std::string json =
+      obs::to_json(obs::MetricsRegistry::global().snapshot());
+  if (path == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --metrics-out file %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
 
 inline RunConfig parse_args(int argc, char** argv) {
   RunConfig cfg;
@@ -37,12 +82,21 @@ inline RunConfig parse_args(int argc, char** argv) {
       cfg.servers = std::atoi(argv[i] + 10);
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       cfg.seed = static_cast<u64>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      cfg.jobs = std::atoi(argv[i] + 7);
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      cfg.metrics_out = argv[i] + 14;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trials=N] [--servers=N] [--seed=S]\n",
+                   "usage: %s [--trials=N] [--servers=N] [--seed=S]"
+                   " [--jobs=N] [--metrics-out=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (!cfg.metrics_out.empty()) {
+    metrics_out_path() = cfg.metrics_out;
+    std::atexit(write_metrics_out);
   }
   return cfg;
 }
@@ -52,6 +106,36 @@ inline void print_banner(const char* what, const char* paper_ref) {
   std::printf("%s\n", what);
   std::printf("reproduces: %s\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Per-strategy success-time profile from the exp.vtime.success.* virtual
+/// time histograms (satellite view of the runner report: how fast each
+/// strategy's successful trials complete in simulated time).
+inline void print_vtime_profile() {
+  const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  bool header = false;
+  for (const auto& [name, h] : snap.histograms) {
+    constexpr const char* kPrefix = "exp.vtime.success.";
+    if (name.rfind(kPrefix, 0) != 0 || h.count == 0) continue;
+    if (!header) {
+      std::printf("\nsuccess virtual-time profile (sim ms):\n");
+      header = true;
+    }
+    std::printf("  %-32s n=%-6llu mean=%.1f\n",
+                name.c_str() + std::strlen(kPrefix),
+                static_cast<unsigned long long>(h.count), h.sum / h.count);
+  }
+}
+
+/// Print the runner report and fold it into the global registry so
+/// --metrics-out archives it. Quiet for the serial reference (jobs == 1,
+/// no steals) to keep default bench output byte-identical to the
+/// pre-runner era.
+inline void print_runner_report(const runner::RunnerReport& report) {
+  report.publish(obs::MetricsRegistry::global());
+  if (report.jobs == 1) return;
+  std::printf("\n%s", report.to_string().c_str());
+  print_vtime_profile();
 }
 
 }  // namespace ys::bench

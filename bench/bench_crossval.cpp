@@ -4,6 +4,8 @@
 //   * Linux 3.14 ignores a SYN in ESTABLISHED (no challenge ACK);
 //   * Linux 2.6.34 / 2.4.37 accept data without the ACK flag;
 //   * Linux 2.4.37 accepts unsolicited MD5 options (pre-RFC 2385).
+#include <iterator>
+
 #include "bench_common.h"
 #include "strategy/insertion.h"
 #include "tcpstack/tcp_endpoint.h"
@@ -110,7 +112,7 @@ std::string react(tcp::LinuxVersion version, const char* candidate) {
 }
 
 int run(int argc, char** argv) {
-  (void)parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv);
   print_banner("Section 5.3: ignore-path cross-validation across Linux stacks",
                "Wang et al., IMC'17, section 5.3");
 
@@ -123,41 +125,54 @@ int run(int argc, char** argv) {
       "data-old-timestamp",  "data-bad-checksum",  "data-bad-ack",
   };
 
+  // Grid: candidate × Linux version; react() is a pure function of the
+  // pair, so the matrix parallelizes freely and the §5.3 assertions below
+  // read from the collected slots.
+  runner::TrialGrid grid;
+  grid.cells = std::size(candidates);
+  grid.vantages = std::size(versions);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        return react(versions[c.vantage], candidates[c.cell]);
+      });
+  auto cell = [&](std::size_t candidate, std::size_t version) {
+    return out.slots[grid.index({candidate, version, 0, 0})];
+  };
+
   TextTable table({"Candidate packet", "Linux 4.4", "Linux 4.0", "Linux 3.14",
                    "Linux 2.6.34", "Linux 2.4.37"});
-  for (const char* candidate : candidates) {
-    std::vector<std::string> row{candidate};
-    for (tcp::LinuxVersion v : versions) {
-      row.push_back(react(v, candidate));
+  for (std::size_t k = 0; k < std::size(candidates); ++k) {
+    std::vector<std::string> row{candidates[k]};
+    for (std::size_t v = 0; v < std::size(versions); ++v) {
+      row.push_back(cell(k, v));
     }
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.render().c_str());
 
-  // The three §5.3 findings, asserted.
+  // The three §5.3 findings, asserted against the measured matrix.
+  // Indices: candidates {0: syn-in-window, 1: data-no-ack-flag,
+  // 2: data-unsolicited-md5}, versions {0: 4.4, 2: 3.14, 3: 2.6.34,
+  // 4: 2.4.37}.
   int failures = 0;
   auto check = [&](bool ok, const char* what) {
     if (!ok) ++failures;
     std::printf("[%s] %s\n", ok ? "confirmed" : "REFUTED ", what);
   };
-  check(react(tcp::LinuxVersion::k3_14, "syn-in-window")
-            .find("challenge") == std::string::npos,
+  check(cell(0, 2).find("challenge") == std::string::npos,
         "3.14 ignores a SYN in ESTABLISHED without a challenge ACK");
-  check(react(tcp::LinuxVersion::k4_4, "syn-in-window")
-            .find("challenge") != std::string::npos,
+  check(cell(0, 0).find("challenge") != std::string::npos,
         "4.4 answers the same SYN with a challenge ACK (RFC 5961)");
-  check(react(tcp::LinuxVersion::k2_6_34, "data-no-ack-flag") ==
-            "ACCEPTED (data ingested)",
+  check(cell(1, 3) == "ACCEPTED (data ingested)",
         "2.6.34 accepts data without the ACK flag");
-  check(react(tcp::LinuxVersion::k4_4, "data-no-ack-flag") !=
-            "ACCEPTED (data ingested)",
+  check(cell(1, 0) != "ACCEPTED (data ingested)",
         "4.4 ignores data without the ACK flag");
-  check(react(tcp::LinuxVersion::k2_4_37, "data-unsolicited-md5") ==
-            "ACCEPTED (data ingested)",
+  check(cell(2, 4) == "ACCEPTED (data ingested)",
         "2.4.37 accepts unsolicited MD5 options (pre-RFC 2385)");
-  check(react(tcp::LinuxVersion::k4_4, "data-unsolicited-md5") !=
-            "ACCEPTED (data ingested)",
+  check(cell(2, 0) != "ACCEPTED (data ingested)",
         "4.4 rejects unsolicited MD5 options");
+  print_runner_report(out.report);
   return failures == 0 ? 0 : 1;
 }
 

@@ -17,37 +17,68 @@ int run(int argc, char** argv) {
                "Wang et al., IMC'17, Figure 1");
 
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();
-  ScenarioOptions opt;
-  opt.vp = china_vantage_points()[0];  // aliyun-bj
-  opt.server.host = "site-0.example";
-  opt.server.ip = net::make_ip(93, 184, 216, 34);
-  opt.server.behind_stateful_fw = true;  // show the server-side middlebox
-  opt.cal = Calibration::standard();
-  opt.cal.detection_miss = 0.0;
-  opt.cal.per_link_loss = 0.0;
-  opt.seed = cfg.seed;
-  Scenario sc(&rules, opt);
+
+  // A single grid task: collect everything the ladder print needs, render
+  // the text afterward so the output is identical for any --jobs.
+  struct FigureData {
+    std::string vp_name;
+    std::string host;
+    int server_hops = 0;
+    int gfw_position = 0;
+    std::string trace;
+    TrialResult result;
+    int detections = 0;
+    int reset_volleys = 0;
+  };
+
+  runner::TrialGrid grid;  // 1×1×1×1
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord&, runner::TaskContext&) {
+        ScenarioOptions opt;
+        opt.vp = china_vantage_points()[0];  // aliyun-bj
+        opt.server.host = "site-0.example";
+        opt.server.ip = net::make_ip(93, 184, 216, 34);
+        opt.server.behind_stateful_fw = true;  // server-side middlebox
+        opt.cal = Calibration::standard();
+        opt.cal.detection_miss = 0.0;
+        opt.cal.per_link_loss = 0.0;
+        opt.seed = cfg.seed;
+        Scenario sc(&rules, opt);
+
+        FigureData fig;
+        fig.vp_name = opt.vp.name;
+        fig.host = opt.server.host;
+        fig.server_hops = sc.server_hops();
+        fig.gfw_position = sc.gfw_position();
+
+        HttpTrialOptions http;
+        http.with_keyword = true;  // no evasion: the GFW wins this exchange
+        fig.result = run_http_trial(sc, http);
+        fig.trace = sc.trace().render();
+        fig.detections = sc.gfw_type2().detections();
+        fig.reset_volleys = sc.gfw_type2().reset_volleys();
+        return fig;
+      });
+  const FigureData& fig = out.slots[0];
 
   std::printf("topology: client(%s) --[%d hops]--> server(%s)\n",
-              opt.vp.name.c_str(), sc.server_hops(),
-              opt.server.host.c_str());
+              fig.vp_name.c_str(), fig.server_hops, fig.host.c_str());
   std::printf("  hop  1: client-side middlebox (%s profile)\n",
-              opt.vp.name.c_str());
+              fig.vp_name.c_str());
   std::printf("  hop %2d: GFW tap (type-1 + type-2 devices, DNS poisoner)\n",
-              sc.gfw_position());
+              fig.gfw_position);
   std::printf("  hop %2d: server-side stateful firewall\n\n",
-              sc.server_hops() - 1);
+              fig.server_hops - 1);
 
-  HttpTrialOptions http;
-  http.with_keyword = true;  // no evasion: the GFW wins this exchange
-  const TrialResult result = run_http_trial(sc, http);
-
-  std::printf("%s\n", sc.trace().render().c_str());
-  std::printf("outcome: %s (GFW resets seen: %s)\n", to_string(result.outcome),
-              result.gfw_reset_seen ? "yes" : "no");
+  std::printf("%s\n", fig.trace.c_str());
+  std::printf("outcome: %s (GFW resets seen: %s)\n",
+              to_string(fig.result.outcome),
+              fig.result.gfw_reset_seen ? "yes" : "no");
   std::printf("type-2 device: detections=%d reset volleys=%d\n",
-              sc.gfw_type2().detections(), sc.gfw_type2().reset_volleys());
-  return result.outcome == Outcome::kFailure2 ? 0 : 1;
+              fig.detections, fig.reset_volleys);
+  print_runner_report(out.report);
+  return fig.result.outcome == Outcome::kFailure2 ? 0 : 1;
 }
 
 }  // namespace

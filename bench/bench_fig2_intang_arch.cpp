@@ -20,64 +20,92 @@ int run(int argc, char** argv) {
   const net::IpAddr resolver_ip = net::make_ip(216, 146, 35, 35);
 
   // --- Session 1: censored DNS lookup through the DNS forwarder.
-  {
-    ScenarioOptions opt;
-    opt.vp = china_vantage_points()[0];
-    opt.server.host = "dyn-resolver";
-    opt.server.ip = resolver_ip;
-    opt.cal = Calibration::standard();
-    opt.cal.detection_miss = 0.0;
-    opt.cal.per_link_loss = 0.0;
-    opt.seed = cfg.seed;
-    Scenario sc(&rules, opt);
+  runner::TrialGrid dns_grid;  // a single task
+  auto dns_out = runner::collect_grid(
+      dns_grid, pool_options(cfg),
+      [&](const runner::GridCoord&, runner::TaskContext&) {
+        ScenarioOptions opt;
+        opt.vp = china_vantage_points()[0];
+        opt.server.host = "dyn-resolver";
+        opt.server.ip = resolver_ip;
+        opt.cal = Calibration::standard();
+        opt.cal.detection_miss = 0.0;
+        opt.cal.per_link_loss = 0.0;
+        opt.seed = cfg.seed;
+        Scenario sc(&rules, opt);
 
-    DnsTrialOptions dns;
-    dns.domain = "www.dropbox.com";
-    dns.use_intang = true;
-    const DnsTrialResult result = run_dns_trial(sc, dns);
+        DnsTrialOptions dns;
+        dns.domain = "www.dropbox.com";
+        dns.use_intang = true;
+        return run_dns_trial(sc, dns);
+      });
+  const DnsTrialResult& dns_result = dns_out.slots[0];
 
-    std::printf("[dns forwarder] UDP query for www.dropbox.com intercepted\n");
-    std::printf("[dns forwarder] converted to DNS-over-TCP toward %s\n",
-                net::ip_to_string(resolver_ip).c_str());
-    std::printf("[strategy]      TCP DNS connection shielded by evasion\n");
-    std::printf("[result]        answered=%s poisoned=%s outcome=%s\n\n",
-                result.answered ? "yes" : "no",
-                result.poisoned ? "yes" : "no", to_string(result.outcome));
-    if (result.outcome != Outcome::kSuccess) return 1;
-  }
+  std::printf("[dns forwarder] UDP query for www.dropbox.com intercepted\n");
+  std::printf("[dns forwarder] converted to DNS-over-TCP toward %s\n",
+              net::ip_to_string(resolver_ip).c_str());
+  std::printf("[strategy]      TCP DNS connection shielded by evasion\n");
+  std::printf("[result]        answered=%s poisoned=%s outcome=%s\n\n",
+              dns_result.answered ? "yes" : "no",
+              dns_result.poisoned ? "yes" : "no",
+              to_string(dns_result.outcome));
+  if (dns_result.outcome != Outcome::kSuccess) return 1;
 
   // --- Session 2: repeated HTTP fetches showing the selector + caches.
+  // The fetches share one selector, so the grid chains its trial axis.
   intang::StrategySelector selector{intang::StrategySelector::Config{}};
   const net::IpAddr site_ip = net::make_ip(93, 184, 216, 34);
-  for (int t = 0; t < 3; ++t) {
-    ScenarioOptions opt;
-    opt.vp = china_vantage_points()[0];
-    opt.server.host = "site-0.example";
-    opt.server.ip = site_ip;
-    opt.cal = Calibration::standard();
-    opt.cal.detection_miss = 0.0;
-    opt.cal.per_link_loss = 0.0;
-    opt.seed = cfg.seed + static_cast<u64>(t) + 1;
-    Scenario sc(&rules, opt);
 
-    HttpTrialOptions http;
-    http.with_keyword = true;
-    http.use_intang = true;
-    http.shared_selector = &selector;
-    const TrialResult result = run_http_trial(sc, http);
+  struct Fetch {
+    strategy::StrategyId strategy_used = strategy::StrategyId::kNone;
+    Outcome outcome = Outcome::kFailure1;
+    long long ok = 0;
+    long long bad = 0;
+  };
+  runner::TrialGrid http_grid;
+  http_grid.trials = 3;
+  http_grid.chain_trials = true;
+  auto http_out = runner::collect_grid(
+      http_grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        ScenarioOptions opt;
+        opt.vp = china_vantage_points()[0];
+        opt.server.host = "site-0.example";
+        opt.server.ip = site_ip;
+        opt.cal = Calibration::standard();
+        opt.cal.detection_miss = 0.0;
+        opt.cal.per_link_loss = 0.0;
+        opt.seed = cfg.seed + static_cast<u64>(c.trial) + 1;
+        Scenario sc(&rules, opt);
 
-    auto [ok, bad] = selector.tallies(site_ip, result.strategy_used,
-                                      sc.loop().now());
+        HttpTrialOptions http;
+        http.with_keyword = true;
+        http.use_intang = true;
+        http.shared_selector = &selector;
+        const TrialResult result = run_http_trial(sc, http);
+
+        Fetch fetch;
+        fetch.strategy_used = result.strategy_used;
+        fetch.outcome = result.outcome;
+        auto [ok, bad] = selector.tallies(site_ip, result.strategy_used,
+                                          sc.loop().now());
+        fetch.ok = static_cast<long long>(ok);
+        fetch.bad = static_cast<long long>(bad);
+        return fetch;
+      });
+
+  for (std::size_t t = 0; t < http_grid.trials; ++t) {
+    const Fetch& fetch = http_out.slots[t];
     std::printf(
-        "[main thread]   fetch %d: strategy=%s outcome=%s\n"
+        "[main thread]   fetch %zu: strategy=%s outcome=%s\n"
         "[cache]         store tallies for that strategy: ok=%lld bad=%lld\n",
-        t + 1, strategy::to_string(result.strategy_used),
-        to_string(result.outcome), static_cast<long long>(ok),
-        static_cast<long long>(bad));
-    if (result.outcome != Outcome::kSuccess) return 1;
+        t + 1, strategy::to_string(fetch.strategy_used),
+        to_string(fetch.outcome), fetch.ok, fetch.bad);
+    if (fetch.outcome != Outcome::kSuccess) return 1;
   }
   std::printf("[cache]         live keys in the store: %zu\n",
               selector.store().size(SimTime::from_sec(1)));
+  print_runner_report(http_out.report);
   return 0;
 }
 

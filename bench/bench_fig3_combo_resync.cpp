@@ -29,48 +29,69 @@ int run(int argc, char** argv) {
                "Wang et al., IMC'17, Figure 3");
 
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();
-  ScenarioOptions opt;
-  opt.vp = china_vantage_points()[0];
-  opt.server.host = "site-0.example";
-  opt.server.ip = net::make_ip(93, 184, 216, 34);
-  opt.cal = Calibration::standard();
-  opt.cal.detection_miss = 0.0;
-  opt.cal.per_link_loss = 0.0;
-  opt.cal.ttl_estimate_error_prob = 0.0;
-  opt.cal.old_model_fraction = 0.0;
-  opt.seed = cfg.seed;
-  Scenario sc(&rules, opt);
 
-  HttpTrialOptions http;
-  http.with_keyword = true;
-  http.strategy = strategy::StrategyId::kCreationResyncDesync;
-  const TrialResult result = run_http_trial(sc, http);
+  struct FigureData {
+    std::string trace;
+    TrialResult result;
+    int syns_from_client = 0;
+    bool desync_seen = false;
+    int resyncs_entered = 0;
+  };
 
-  std::printf("%s\n", sc.trace().render().c_str());
+  runner::TrialGrid grid;  // a single task
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord&, runner::TaskContext&) {
+        ScenarioOptions opt;
+        opt.vp = china_vantage_points()[0];
+        opt.server.host = "site-0.example";
+        opt.server.ip = net::make_ip(93, 184, 216, 34);
+        opt.cal = Calibration::standard();
+        opt.cal.detection_miss = 0.0;
+        opt.cal.per_link_loss = 0.0;
+        opt.cal.ttl_estimate_error_prob = 0.0;
+        opt.cal.old_model_fraction = 0.0;
+        opt.seed = cfg.seed;
+        Scenario sc(&rules, opt);
 
-  // The ladder must show: two client SYNs before the server SYN/ACK (the
-  // insertion SYN plus the real one), and after the handshake a third SYN
-  // (the resync trigger) followed by the 1-byte desync packet.
-  int syns_from_client = 0;
-  bool desync_seen = false;
-  for (const auto& e : sc.trace().events()) {
-    if (e.actor != "client" || e.kind != "send") continue;
-    if (e.detail.find("[S]") != std::string::npos) ++syns_from_client;
-    if (e.detail.find("len=1") != std::string::npos) desync_seen = true;
-  }
+        HttpTrialOptions http;
+        http.with_keyword = true;
+        http.strategy = strategy::StrategyId::kCreationResyncDesync;
 
+        FigureData fig;
+        fig.result = run_http_trial(sc, http);
+        fig.trace = sc.trace().render();
+        // The ladder must show: two client SYNs before the server SYN/ACK
+        // (the insertion SYN plus the real one), and after the handshake a
+        // third SYN (the resync trigger) followed by the 1-byte desync
+        // packet.
+        for (const auto& e : sc.trace().events()) {
+          if (e.actor != "client" || e.kind != "send") continue;
+          if (e.detail.find("[S]") != std::string::npos) {
+            ++fig.syns_from_client;
+          }
+          if (e.detail.find("len=1") != std::string::npos) {
+            fig.desync_seen = true;
+          }
+        }
+        fig.resyncs_entered = sc.gfw_type2().resyncs_entered();
+        return fig;
+      });
+  const FigureData& fig = out.slots[0];
+
+  std::printf("%s\n", fig.trace.c_str());
   std::printf("client SYNs on the wire: %d (expected >= 3)\n",
-              syns_from_client);
+              fig.syns_from_client);
   std::printf("desync packet (1-byte, out-of-window) seen: %s\n",
-              desync_seen ? "yes" : "no");
-  std::printf("evolved GFW resyncs entered: type2=%d\n",
-              sc.gfw_type2().resyncs_entered());
-  std::printf("outcome: %s\n", to_string(result.outcome));
+              fig.desync_seen ? "yes" : "no");
+  std::printf("evolved GFW resyncs entered: type2=%d\n", fig.resyncs_entered);
+  std::printf("outcome: %s\n", to_string(fig.result.outcome));
   (void)trace_contains;
+  print_runner_report(out.report);
 
-  const bool ok = result.outcome == Outcome::kSuccess &&
-                  syns_from_client >= 3 && desync_seen &&
-                  sc.gfw_type2().resyncs_entered() >= 1;
+  const bool ok = fig.result.outcome == Outcome::kSuccess &&
+                  fig.syns_from_client >= 3 && fig.desync_seen &&
+                  fig.resyncs_entered >= 1;
   return ok ? 0 : 1;
 }
 

@@ -11,7 +11,16 @@ namespace {
 using namespace ys::bench;
 using namespace ys::exp;
 
-int run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
+struct LegData {
+  std::string trace;          // rendered only for the evolved leg
+  Outcome outcome = Outcome::kFailure1;
+  int syn_acks_from_client = 0;
+  int rsts_from_client = 0;
+  bool tcb_reversed = false;
+  int teardowns = 0;
+};
+
+LegData run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
   ScenarioOptions opt;
   opt.vp = china_vantage_points()[0];
   opt.server.host = "site-0.example";
@@ -27,43 +36,25 @@ int run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
   HttpTrialOptions http;
   http.with_keyword = true;
   http.strategy = strategy::StrategyId::kTeardownReversal;
-  const TrialResult result = run_http_trial(sc, http);
 
+  LegData leg;
+  leg.outcome = run_http_trial(sc, http).outcome;
+  leg.teardowns = sc.gfw_type2().teardowns();
   if (!old_model) {
-    std::printf("%s\n", sc.trace().render().c_str());
-
-    int syn_acks_from_client = 0;
-    int rsts_from_client = 0;
+    leg.trace = sc.trace().render();
     for (const auto& e : sc.trace().events()) {
       if (e.actor != "client" || e.kind != "send") continue;
-      if (e.detail.find("[S.]") != std::string::npos) ++syn_acks_from_client;
-      if (e.detail.find("[R]") != std::string::npos) ++rsts_from_client;
+      if (e.detail.find("[S.]") != std::string::npos) {
+        ++leg.syn_acks_from_client;
+      }
+      if (e.detail.find("[R]") != std::string::npos) ++leg.rsts_from_client;
     }
     const gfw::GfwTcb* tcb =
         sc.gfw_type2().find_tcb(net::FourTuple{opt.vp.address, 40001,
                                                opt.server.ip, 80});
-    std::printf("client-forged SYN/ACKs: %d (expected >= 1)\n",
-                syn_acks_from_client);
-    std::printf("client RST insertions: %d (expected >= 3)\n",
-                rsts_from_client);
-    std::printf("evolved device TCB role-reversed: %s\n",
-                tcb != nullptr && tcb->reversed() ? "yes" : "no");
-    std::printf("outcome vs evolved model: %s\n\n", to_string(result.outcome));
-    if (result.outcome != Outcome::kSuccess || syn_acks_from_client < 1 ||
-        rsts_from_client < 3 || tcb == nullptr || !tcb->reversed()) {
-      return 1;
-    }
-    return 0;
+    leg.tcb_reversed = tcb != nullptr && tcb->reversed();
   }
-
-  std::printf("outcome vs prior model (RST teardown leg): %s\n",
-              to_string(result.outcome));
-  std::printf("prior-model device teardowns: %d (expected >= 1)\n",
-              sc.gfw_type2().teardowns());
-  return result.outcome == Outcome::kSuccess &&
-                 sc.gfw_type2().teardowns() >= 1
-             ? 0
-             : 1;
+  return leg;
 }
 
 int run(int argc, char** argv) {
@@ -71,9 +62,41 @@ int run(int argc, char** argv) {
   print_banner("Figure 4: combined strategy TCB Teardown + TCB Reversal",
                "Wang et al., IMC'17, Figure 4");
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();
-  const int evolved = run_one(cfg.seed, /*old_model=*/false, rules);
-  const int old = run_one(cfg.seed, /*old_model=*/true, rules);
-  return evolved == 0 && old == 0 ? 0 : 1;
+
+  // Cell 0 = evolved model, cell 1 = prior model; printing happens after
+  // the grid so both legs can run concurrently.
+  runner::TrialGrid grid;
+  grid.cells = 2;
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        return run_one(cfg.seed, /*old_model=*/c.cell == 1, rules);
+      });
+  const LegData& evolved = out.slots[0];
+  const LegData& old = out.slots[1];
+
+  std::printf("%s\n", evolved.trace.c_str());
+  std::printf("client-forged SYN/ACKs: %d (expected >= 1)\n",
+              evolved.syn_acks_from_client);
+  std::printf("client RST insertions: %d (expected >= 3)\n",
+              evolved.rsts_from_client);
+  std::printf("evolved device TCB role-reversed: %s\n",
+              evolved.tcb_reversed ? "yes" : "no");
+  std::printf("outcome vs evolved model: %s\n\n", to_string(evolved.outcome));
+
+  std::printf("outcome vs prior model (RST teardown leg): %s\n",
+              to_string(old.outcome));
+  std::printf("prior-model device teardowns: %d (expected >= 1)\n",
+              old.teardowns);
+  print_runner_report(out.report);
+
+  const bool evolved_ok = evolved.outcome == Outcome::kSuccess &&
+                          evolved.syn_acks_from_client >= 1 &&
+                          evolved.rsts_from_client >= 3 &&
+                          evolved.tcb_reversed;
+  const bool old_ok =
+      old.outcome == Outcome::kSuccess && old.teardowns >= 1;
+  return evolved_ok && old_ok ? 0 : 1;
 }
 
 }  // namespace

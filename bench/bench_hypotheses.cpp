@@ -8,6 +8,8 @@
 //      the device into a resync state, re-anchored by the next client data
 //      packet or server SYN/ACK (and by nothing else);
 //  B3: a RST may drive the device into resync instead of tearing down.
+#include <iterator>
+
 #include "bench_common.h"
 #include "gfw/gfw_device.h"
 
@@ -68,158 +70,194 @@ struct Probe {
   bool detected() const { return dev->detections() > 0; }
 };
 
-int checks = 0;
-int failures = 0;
+/// One §4 probe: run the crafted packet sequence, return whether the
+/// hypothesis held. Probes are independent GFW devices, so they form a
+/// grid: the lambdas only *measure*; all printing happens afterward in
+/// declaration order, whatever the execution order was.
+struct ProbeCase {
+  int section;  // 1..3, indexes kSections
+  const char* what;
+  bool (*check)();
+};
 
-void expect(bool ok, const char* what) {
-  ++checks;
-  if (!ok) ++failures;
-  std::printf("  [%s] %s\n", ok ? "confirmed" : "REFUTED ", what);
-}
+constexpr const char* kSections[] = {
+    "Hypothesized New Behavior 1: TCB on SYN or SYN/ACK",
+    "Hypothesized New Behavior 2: the resync state",
+    "Hypothesized New Behavior 3: RST may resync, not tear down",
+};
 
-void behavior1() {
-  std::printf("Hypothesized New Behavior 1: TCB on SYN or SYN/ACK\n");
-  {
-    Probe p;
-    p.data(2000, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(), "no handshake at all -> request not censored");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(), "SYN only (classic) -> TCB created, censored");
-  }
-  {
-    Probe p;  // the SYN is lost; only the SYN/ACK is observed
-    p.syn_ack(5000, 1001);
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(), "SYN/ACK alone -> TCB still created, censored");
-  }
-}
-
-void behavior2() {
-  std::printf("Hypothesized New Behavior 2: the resync state\n");
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);  // second SYN, different ISN
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(),
-           "multiple SYNs then request -> re-anchors on the request");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);
-    // Request at a sequence number out of window w.r.t. *both* SYNs:
-    // a per-SYN-TCB model would miss it; resync does not.
-    p.data(0x40000000, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(),
-           "out-of-window request still censored (refutes hypothesis 1: "
-           "one TCB per SYN)");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);
-    p.data(1001, "GET /?q=ultra");
-    p.data(1014, "surf HTTP/1.1\r\n");
-    expect(p.detected(),
-           "keyword split across packets still censored (refutes "
-           "hypothesis 2: stateless matching)");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);
-    p.data(0x70000000, "XXXXXXXX");  // random junk at a false seq
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");  // true seq
-    expect(!p.detected(),
-           "junk at a false seq re-anchors the TCB; true-seq request now "
-           "out of window (validates hypothesis 3: resynchronization)");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn_ack(5000, 1001);
-    p.syn_ack(5000, 1001);  // duplicate SYN/ACK from the server side
-    p.data(0x70000000, "XXXXXXXX");
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(), "multiple SYN/ACKs also enter the resync state");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn_ack(5000, 4242);  // wrong acknowledgment number
-    p.data(0x70000000, "XXXXXXXX");
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(),
-           "SYN/ACK with a wrong ack also enters the resync state");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);                // resync state
-    p.syn_ack(5000, 1001);      // server SYN/ACK resynchronizes correctly
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(),
-           "a server SYN/ACK is a resynchronization source: the true-seq "
-           "request is censored again");
-  }
-  {
-    Probe p;
-    p.syn(1000);
-    p.syn(7000);  // resync state
-    // A pure ACK must NOT resynchronize.
-    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(), 1001, 0));
-    p.data(0x70000000, "XXXXXXXX");
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(), "pure ACKs do not resynchronize the TCB");
-  }
-}
-
-void behavior3() {
-  std::printf("Hypothesized New Behavior 3: RST may resync, not tear down\n");
-  {
-    Probe p(gfw::RstReaction::kTeardown, gfw::RstReaction::kTeardown);
-    p.syn(1000);
-    p.syn_ack(5000, 1001);
-    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(), "teardown-flavored device: RST kills the TCB");
-  }
-  {
-    Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
-    p.syn(1000);
-    p.syn_ack(5000, 1001);
-    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(p.detected(),
-           "resync-flavored device: the RST only enters the resync state; "
-           "the request re-anchors it and is censored");
-  }
-  {
-    Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
-    p.syn(1000);
-    p.syn_ack(5000, 1001);
-    p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001, 0));
-    p.data(0x70000000, "X");  // the §5.1 desync building block
-    p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
-    expect(!p.detected(),
-           "a desync packet after the RST defeats the resync-flavored "
-           "device (the improved teardown strategy)");
-  }
-}
+const ProbeCase kProbes[] = {
+    {1, "no handshake at all -> request not censored",
+     [] {
+       Probe p;
+       p.data(2000, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+    {1, "SYN only (classic) -> TCB created, censored",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {1, "SYN/ACK alone -> TCB still created, censored",
+     [] {
+       Probe p;  // the SYN is lost; only the SYN/ACK is observed
+       p.syn_ack(5000, 1001);
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {2, "multiple SYNs then request -> re-anchors on the request",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);  // second SYN, different ISN
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {2,
+     "out-of-window request still censored (refutes hypothesis 1: one TCB "
+     "per SYN)",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);
+       // Request at a sequence number out of window w.r.t. *both* SYNs:
+       // a per-SYN-TCB model would miss it; resync does not.
+       p.data(0x40000000, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {2,
+     "keyword split across packets still censored (refutes hypothesis 2: "
+     "stateless matching)",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);
+       p.data(1001, "GET /?q=ultra");
+       p.data(1014, "surf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {2,
+     "junk at a false seq re-anchors the TCB; true-seq request now out of "
+     "window (validates hypothesis 3: resynchronization)",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);
+       p.data(0x70000000, "XXXXXXXX");  // random junk at a false seq
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");  // true seq
+       return !p.detected();
+     }},
+    {2, "multiple SYN/ACKs also enter the resync state",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn_ack(5000, 1001);
+       p.syn_ack(5000, 1001);  // duplicate SYN/ACK from the server side
+       p.data(0x70000000, "XXXXXXXX");
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+    {2, "SYN/ACK with a wrong ack also enters the resync state",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn_ack(5000, 4242);  // wrong acknowledgment number
+       p.data(0x70000000, "XXXXXXXX");
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+    {2,
+     "a server SYN/ACK is a resynchronization source: the true-seq request "
+     "is censored again",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);            // resync state
+       p.syn_ack(5000, 1001);  // server SYN/ACK resynchronizes correctly
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {2, "pure ACKs do not resynchronize the TCB",
+     [] {
+       Probe p;
+       p.syn(1000);
+       p.syn(7000);  // resync state
+       // A pure ACK must NOT resynchronize.
+       p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_ack(), 1001,
+                                  0));
+       p.data(0x70000000, "XXXXXXXX");
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+    {3, "teardown-flavored device: RST kills the TCB",
+     [] {
+       Probe p(gfw::RstReaction::kTeardown, gfw::RstReaction::kTeardown);
+       p.syn(1000);
+       p.syn_ack(5000, 1001);
+       p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001,
+                                  0));
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+    {3,
+     "resync-flavored device: the RST only enters the resync state; the "
+     "request re-anchors it and is censored",
+     [] {
+       Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
+       p.syn(1000);
+       p.syn_ack(5000, 1001);
+       p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001,
+                                  0));
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return p.detected();
+     }},
+    {3,
+     "a desync packet after the RST defeats the resync-flavored device "
+     "(the improved teardown strategy)",
+     [] {
+       Probe p(gfw::RstReaction::kResync, gfw::RstReaction::kResync);
+       p.syn(1000);
+       p.syn_ack(5000, 1001);
+       p.c2s(net::make_tcp_packet(kTuple, net::TcpFlags::only_rst(), 1001,
+                                  0));
+       p.data(0x70000000, "X");  // the §5.1 desync building block
+       p.data(1001, "GET /?q=ultrasurf HTTP/1.1\r\n");
+       return !p.detected();
+     }},
+};
 
 int run(int argc, char** argv) {
-  (void)parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv);
   print_banner("Section 4: probing the evolved GFW behaviors",
                "Wang et al., IMC'17, section 4 (Hypothesized Behaviors 1-3)");
-  behavior1();
-  behavior2();
-  behavior3();
+
+  runner::TrialGrid grid;
+  grid.cells = std::size(kProbes);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [](const runner::GridCoord& c, runner::TaskContext&) -> int {
+        return kProbes[c.cell].check() ? 1 : 0;
+      });
+
+  int checks = 0;
+  int failures = 0;
+  int section = 0;
+  for (std::size_t i = 0; i < std::size(kProbes); ++i) {
+    if (kProbes[i].section != section) {
+      section = kProbes[i].section;
+      std::printf("%s\n", kSections[section - 1]);
+    }
+    const bool ok = out.slots[i] != 0;
+    ++checks;
+    if (!ok) ++failures;
+    std::printf("  [%s] %s\n", ok ? "confirmed" : "REFUTED ",
+                kProbes[i].what);
+  }
+
   std::printf("\n%d probes, %d refuted\n", checks, failures);
+  print_runner_report(out.report);
   return failures == 0 ? 0 : 1;
 }
 

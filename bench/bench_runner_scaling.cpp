@@ -1,0 +1,196 @@
+// Runner scaling — run one Table-1-shaped trial grid at increasing worker
+// counts and verify the determinism contract: every --jobs=N produces the
+// exact Success / Failure 1 / Failure 2 counts of the serial reference
+// (jobs=1). Exits nonzero on any mismatch.
+//
+// Speedup is printed for every worker count but only *asserted* with
+// --assert-speedup[=X] (default X=3.0 at the highest worker count): CI
+// containers are often throttled to one core, where parallel wall-clock
+// gains are physically impossible and the assertion would be noise.
+//
+// Flags (own parser; the shared one rejects unknown flags):
+//   --trials=N          trials per (vantage, server) pair   [default 4]
+//   --servers=N         server population size              [default 12]
+//   --seed=S            master seed                         [default 2017]
+//   --jobs-list=1,2,4,8 worker counts to sweep              [default 1,2,4,8]
+//   --assert-speedup[=X] fail unless speedup at max jobs >= X
+//   --smoke             tiny grid (ctest): 2 trials, 4 servers, jobs 1,2,4
+#include <cstring>
+#include <iterator>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+struct Counts {
+  long success = 0;
+  long failure1 = 0;
+  long failure2 = 0;
+  bool operator==(const Counts& o) const {
+    return success == o.success && failure1 == o.failure1 &&
+           failure2 == o.failure2;
+  }
+};
+
+constexpr strategy::StrategyId kStrategies[] = {
+    strategy::StrategyId::kNone,
+    strategy::StrategyId::kInOrderTtl,
+    strategy::StrategyId::kTeardownRstTtl,
+    strategy::StrategyId::kImprovedTeardown,
+};
+
+struct SweepResult {
+  Counts counts;
+  runner::RunnerReport report;
+};
+
+SweepResult run_grid(u64 seed, int trials, int server_count, int jobs) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const Calibration cal = Calibration::standard();
+  const auto vps = china_vantage_points();
+  const auto servers = make_server_population(server_count, seed, cal, true);
+
+  runner::TrialGrid grid;
+  grid.cells = std::size(kStrategies);
+  grid.vantages = vps.size();
+  grid.servers = servers.size();
+  grid.trials = static_cast<std::size_t>(trials);
+
+  runner::PoolOptions pool;
+  pool.jobs = jobs;
+  auto out = runner::collect_grid(
+      grid, pool,
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const strategy::StrategyId id = kStrategies[c.cell];
+        const auto& vp = vps[c.vantage];
+        const auto& srv = servers[c.server];
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = srv;
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed({seed, static_cast<u64>(id),
+                                  Rng::hash_label(vp.name), srv.ip,
+                                  static_cast<u64>(c.trial)});
+        Scenario sc(&rules, opt);
+        HttpTrialOptions http;
+        http.with_keyword = true;
+        http.strategy = id;
+        return run_http_trial(sc, http).outcome;
+      });
+
+  SweepResult res;
+  res.report = out.report;
+  for (const Outcome o : out.slots) {
+    switch (o) {
+      case Outcome::kSuccess: ++res.counts.success; break;
+      case Outcome::kFailure1: ++res.counts.failure1; break;
+      case Outcome::kFailure2: ++res.counts.failure2; break;
+    }
+  }
+  return res;
+}
+
+int run(int argc, char** argv) {
+  int trials = 4;
+  int server_count = 12;
+  u64 seed = 2017;
+  std::vector<int> jobs_list = {1, 2, 4, 8};
+  bool assert_speedup = false;
+  double min_speedup = 3.0;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trials=", 9) == 0) {
+      trials = std::atoi(argv[i] + 9);
+    } else if (std::strncmp(argv[i], "--servers=", 10) == 0) {
+      server_count = std::atoi(argv[i] + 10);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = static_cast<u64>(std::atoll(argv[i] + 7));
+    } else if (std::strncmp(argv[i], "--jobs-list=", 12) == 0) {
+      jobs_list.clear();
+      for (const char* p = argv[i] + 12; *p != '\0';) {
+        jobs_list.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(argv[i], "--assert-speedup") == 0) {
+      assert_speedup = true;
+    } else if (std::strncmp(argv[i], "--assert-speedup=", 17) == 0) {
+      assert_speedup = true;
+      min_speedup = std::atof(argv[i] + 17);
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      trials = 2;
+      server_count = 4;
+      jobs_list = {1, 2, 4};
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trials=N] [--servers=N] [--seed=S]"
+                   " [--jobs-list=1,2,4,8] [--assert-speedup[=X]]"
+                   " [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (jobs_list.empty() || jobs_list.front() != 1) {
+    jobs_list.insert(jobs_list.begin(), 1);  // always need the reference
+  }
+
+  print_banner("Runner scaling: parallel == serial, speedup per worker count",
+               "infrastructure check (no paper section)");
+  std::printf("%d strategies x 11 vantage points x %d servers x %d trials\n\n",
+              static_cast<int>(std::size(kStrategies)), server_count, trials);
+
+  TextTable table({"Jobs", "Success", "Failure 1", "Failure 2", "Wall (s)",
+                   "Trials/s", "Speedup", "Steals", "Match"});
+
+  Counts reference;
+  double ref_wall = 0.0;
+  double max_jobs_speedup = 0.0;
+  int mismatches = 0;
+  for (std::size_t i = 0; i < jobs_list.size(); ++i) {
+    const int jobs = jobs_list[i];
+    const SweepResult res = run_grid(seed, trials, server_count, jobs);
+    if (i == 0) {
+      reference = res.counts;
+      ref_wall = res.report.wall_seconds;
+    }
+    const bool match = res.counts == reference;
+    if (!match) ++mismatches;
+    const double speedup =
+        res.report.wall_seconds > 0.0 ? ref_wall / res.report.wall_seconds
+                                      : 0.0;
+    if (i + 1 == jobs_list.size()) max_jobs_speedup = speedup;
+    char wall[32], rate[32], speed[32];
+    std::snprintf(wall, sizeof wall, "%.3f", res.report.wall_seconds);
+    std::snprintf(rate, sizeof rate, "%.0f", res.report.trials_per_sec);
+    std::snprintf(speed, sizeof speed, "%.2fx", speedup);
+    table.add_row({std::to_string(jobs), std::to_string(res.counts.success),
+                   std::to_string(res.counts.failure1),
+                   std::to_string(res.counts.failure2), wall, rate, speed,
+                   std::to_string(res.report.steals),
+                   match ? "yes" : "MISMATCH"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (mismatches > 0) {
+    std::printf("FAIL: %d worker count(s) diverged from the serial "
+                "reference\n", mismatches);
+    return 1;
+  }
+  std::printf("all worker counts reproduce the serial reference exactly\n");
+  if (assert_speedup && max_jobs_speedup < min_speedup) {
+    std::printf("FAIL: speedup at jobs=%d is %.2fx < required %.2fx\n",
+                jobs_list.back(), max_jobs_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

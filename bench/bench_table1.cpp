@@ -19,6 +19,8 @@
 //   Teardown RST/ACK (bad csum)   68.9 /  1.9 / 29.2
 //   Teardown FIN (TTL)            11.1 /  1.0 / 87.9
 //   Teardown FIN (bad csum)        8.4 /  0.8 / 90.7
+#include <iterator>
+
 #include "bench_common.h"
 
 namespace ys {
@@ -83,41 +85,59 @@ int run(int argc, char** argv) {
   TextTable table({"Strategy", "Discrepancy", "Success", "Failure 1",
                    "Failure 2", "Success w/o kw", "Failure 1 w/o kw"});
 
-  for (const Row& row : kRows) {
-    RateTally with_kw;
-    RateTally without_kw;
-    for (const auto& vp : vps) {
-      for (const auto& srv : servers) {
-        for (int t = 0; t < trials; ++t) {
-          for (bool keyword : {true, false}) {
-            ScenarioOptions opt;
-            opt.vp = vp;
-            opt.server = srv;
-            opt.cal = cal;
-            opt.seed = Rng::mix_seed(
-                {cfg.seed, static_cast<u64>(row.id), Rng::hash_label(vp.name),
-                 srv.ip, static_cast<u64>(t), keyword ? 1u : 0u});
-            Scenario sc(&rules, opt);
-            HttpTrialOptions http;
-            http.with_keyword = keyword;
-            http.strategy = row.id;
-            const TrialResult result = run_http_trial(sc, http);
-            (keyword ? with_kw : without_kw).add(result.outcome);
-          }
-        }
-      }
-    }
+  // One grid cell per (strategy row, with/without keyword); the seed is a
+  // pure function of the coordinates, so --jobs=N reproduces --jobs=1
+  // exactly.
+  constexpr std::size_t kRowCount = std::size(kRows);
+  runner::TrialGrid grid;
+  grid.cells = kRowCount * 2;
+  grid.vantages = vps.size();
+  grid.servers = servers.size();
+  grid.trials = static_cast<std::size_t>(trials);
+
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const Row& row = kRows[c.cell / 2];
+        const bool keyword = (c.cell % 2) == 0;
+        const auto& vp = vps[c.vantage];
+        const auto& srv = servers[c.server];
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = srv;
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed(
+            {cfg.seed, static_cast<u64>(row.id), Rng::hash_label(vp.name),
+             srv.ip, static_cast<u64>(c.trial), keyword ? 1u : 0u});
+        Scenario sc(&rules, opt);
+        HttpTrialOptions http;
+        http.with_keyword = keyword;
+        http.strategy = row.id;
+        return run_http_trial(sc, http).outcome;
+      });
+
+  std::vector<RateTally> with_kw(kRowCount);
+  std::vector<RateTally> without_kw(kRowCount);
+  for (std::size_t i = 0; i < out.slots.size(); ++i) {
+    const runner::GridCoord c = grid.coord(i);
+    ((c.cell % 2) == 0 ? with_kw : without_kw)[c.cell / 2].add(out.slots[i]);
+  }
+
+  for (std::size_t r = 0; r < kRowCount; ++r) {
+    const Row& row = kRows[r];
     // Without a keyword nothing is censored, so F2 folds into F1 (any
     // stray reset is a strategy side effect, reported as Failure 1 in the
     // paper's two-column layout).
-    const double wo_f1 = without_kw.failure1_rate() +
-                         without_kw.failure2_rate();
-    table.add_row({row.label, row.discrepancy, pct(with_kw.success_rate()),
-                   pct(with_kw.failure1_rate()), pct(with_kw.failure2_rate()),
-                   pct(without_kw.success_rate()), pct(wo_f1)});
+    const double wo_f1 =
+        without_kw[r].failure1_rate() + without_kw[r].failure2_rate();
+    table.add_row(
+        {row.label, row.discrepancy, pct(with_kw[r].success_rate()),
+         pct(with_kw[r].failure1_rate()), pct(with_kw[r].failure2_rate()),
+         pct(without_kw[r].success_rate()), pct(wo_f1)});
   }
 
   std::printf("%s\n", table.render().c_str());
+  print_runner_report(out.report);
   return 0;
 }
 

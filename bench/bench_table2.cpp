@@ -10,6 +10,7 @@
 //   RST packets  Pass        Sometimes    Pass         Pass
 //   FIN packets  Sometimes   Pass         Dropped      Dropped
 #include <functional>
+#include <iterator>
 
 #include "bench_common.h"
 #include "middlebox/profiles.h"
@@ -145,16 +146,30 @@ int run(int argc, char** argv) {
 
   TextTable table({"Packet Type", kProviders[0].first, kProviders[1].first,
                    kProviders[2].first, kProviders[3].first});
-  for (const auto& klass : kClasses) {
-    std::vector<std::string> row{klass.label};
-    for (const auto& [name, profile] : kProviders) {
-      row.push_back(
-          probe(profile, cfg.seed, klass.craft, klass.fragments, count));
+
+  // Grid: packet class × provider; each task runs its own probe batch
+  // (seeds mix the provider name and probe index, not the schedule).
+  runner::TrialGrid grid;
+  grid.cells = std::size(kClasses);
+  grid.vantages = std::size(kProviders);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const auto& klass = kClasses[c.cell];
+        return probe(kProviders[c.vantage].second, cfg.seed, klass.craft,
+                     klass.fragments, count);
+      });
+
+  for (std::size_t k = 0; k < std::size(kClasses); ++k) {
+    std::vector<std::string> row{kClasses[k].label};
+    for (std::size_t p = 0; p < std::size(kProviders); ++p) {
+      row.push_back(out.slots[grid.index({k, p, 0, 0})]);
     }
     table.add_row(std::move(row));
   }
 
   std::printf("%s\n", table.render().c_str());
+  print_runner_report(out.report);
   return 0;
 }
 

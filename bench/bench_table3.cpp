@@ -6,6 +6,9 @@
 //   * fed to a GFW device tracking the same connection: the packet must be
 //     accepted (a censored keyword it carries is detected, or the control
 //     packet moves the shadow TCB).
+#include <iterator>
+#include <utility>
+
 #include "bench_common.h"
 #include "gfw/gfw_device.h"
 #include "strategy/insertion.h"
@@ -154,7 +157,7 @@ net::Packet keyword_data(u32 seq, u32 ack) {
 }
 
 int run(int argc, char** argv) {
-  (void)parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv);
   print_banner(
       "Table 3: server ignore paths the GFW does not share (candidate "
       "insertion packets)",
@@ -200,43 +203,54 @@ int run(int argc, char** argv) {
        "Timestamps too old", strategy::Discrepancy::kOldTimestamp, false},
   };
 
-  for (const Row& row : rows) {
-    ServerHarness server(row.server_state);
-    GfwHarness gfw_h(row.gfw_handshake_done);
+  // One grid cell per matrix row; each task builds its own pair of
+  // harnesses, so rows are independent and can run on any worker.
+  runner::TrialGrid grid;
+  grid.cells = std::size(rows);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const Row& row = rows[c.cell];
+        ServerHarness server(row.server_state);
+        GfwHarness gfw_h(row.gfw_handshake_done);
 
-    auto craft = [&](u32 seq, u32 ack) {
-      if (row.rst_ack_control) {
-        // RST/ACK with a wrong acknowledgement number.
-        return net::make_tcp_packet(kClientTuple, net::TcpFlags::rst_ack(),
-                                    seq, ack + 0x01000000);
-      }
-      net::Packet pkt = keyword_data(seq, ack);
-      if (std::string_view(row.flags) == "FIN") {
-        pkt.tcp->flags = net::TcpFlags::only_fin();
-      }
-      strategy::InsertionTuning t = tuning;
-      t.peer_snd_nxt = ack;
-      strategy::apply_discrepancy(pkt, row.discrepancy, t);
-      if (row.discrepancy == strategy::Discrepancy::kSmallTtl) {
-        pkt.ip.ttl = 64;  // not used in this matrix
-      }
-      return pkt;
-    };
+        auto craft = [&](u32 seq, u32 ack) {
+          if (row.rst_ack_control) {
+            // RST/ACK with a wrong acknowledgement number.
+            return net::make_tcp_packet(kClientTuple, net::TcpFlags::rst_ack(),
+                                        seq, ack + 0x01000000);
+          }
+          net::Packet pkt = keyword_data(seq, ack);
+          if (std::string_view(row.flags) == "FIN") {
+            pkt.tcp->flags = net::TcpFlags::only_fin();
+          }
+          strategy::InsertionTuning t = tuning;
+          t.peer_snd_nxt = ack;
+          strategy::apply_discrepancy(pkt, row.discrepancy, t);
+          if (row.discrepancy == strategy::Discrepancy::kSmallTtl) {
+            pkt.ip.ttl = 64;  // not used in this matrix
+          }
+          return pkt;
+        };
 
-    // The server's in-window expectation: next client seq / our last ack.
-    const std::string server_verdict =
-        server.verdict(craft(server.client_seq, server.ep.snd_nxt()));
-    const std::string gfw_verdict =
-        gfw_h.verdict(craft(gfw_h.client_seq, gfw_h.server_seq));
+        // The server's in-window expectation: next client seq / our last
+        // ack.
+        return std::pair<std::string, std::string>{
+            server.verdict(craft(server.client_seq, server.ep.snd_nxt())),
+            gfw_h.verdict(craft(gfw_h.client_seq, gfw_h.server_seq))};
+      });
 
-    table.add_row({row.state_label, row.flags, row.condition, server_verdict,
-                   gfw_verdict});
+  for (std::size_t r = 0; r < std::size(rows); ++r) {
+    const auto& [server_verdict, gfw_verdict] = out.slots[r];
+    table.add_row({rows[r].state_label, rows[r].flags, rows[r].condition,
+                   server_verdict, gfw_verdict});
   }
 
   std::printf("%s\n", table.render().c_str());
   std::printf(
       "Every row must read `ignored:` on the server side and `ACCEPTED` on\n"
       "the GFW side — that asymmetry is what makes it an insertion packet.\n");
+  print_runner_report(out.report);
   return 0;
 }
 

@@ -12,6 +12,8 @@
 //   TCB Teardown + TCB Reversal      96.2 / 2.6 / 1.1
 //   INTANG                           98.3 / 0.9 / 0.6
 // Outside China (avg): 89.8/92.7/84.6/89.5 for the four strategies.
+#include <iterator>
+
 #include "bench_common.h"
 
 namespace ys {
@@ -48,32 +50,47 @@ void run_direction(const char* label, const std::vector<VantagePoint>& vps,
                    const std::vector<ServerSpec>& servers, int trials,
                    u64 seed, const Calibration& cal,
                    const gfw::DetectionRules& rules, TextTable& table,
-                   bool with_intang_row) {
-  for (const Row& row : kRows) {
+                   bool with_intang_row, const runner::PoolOptions& pool) {
+  // Fixed-strategy rows: every trial is independent, plain grid.
+  runner::TrialGrid grid;
+  grid.cells = std::size(kRows);
+  grid.vantages = vps.size();
+  grid.servers = servers.size();
+  grid.trials = static_cast<std::size_t>(trials);
+  auto out = runner::collect_grid(
+      grid, pool, [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const Row& row = kRows[c.cell];
+        const auto& vp = vps[c.vantage];
+        const auto& srv = servers[c.server];
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = srv;
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed({seed, static_cast<u64>(row.id),
+                                  Rng::hash_label(vp.name), srv.ip,
+                                  static_cast<u64>(c.trial)});
+        Scenario sc(&rules, opt);
+        HttpTrialOptions http;
+        http.with_keyword = true;
+        http.strategy = row.id;
+        return run_http_trial(sc, http).outcome;
+      });
+  print_runner_report(out.report);
+
+  for (std::size_t r = 0; r < std::size(kRows); ++r) {
     Agg agg;
-    for (const auto& vp : vps) {
+    for (std::size_t v = 0; v < vps.size(); ++v) {
       RateTally tally;
-      for (const auto& srv : servers) {
-        for (int t = 0; t < trials; ++t) {
-          ScenarioOptions opt;
-          opt.vp = vp;
-          opt.server = srv;
-          opt.cal = cal;
-          opt.seed = Rng::mix_seed({seed, static_cast<u64>(row.id),
-                                    Rng::hash_label(vp.name), srv.ip,
-                                    static_cast<u64>(t)});
-          Scenario sc(&rules, opt);
-          HttpTrialOptions http;
-          http.with_keyword = true;
-          http.strategy = row.id;
-          tally.add(run_http_trial(sc, http).outcome);
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        for (std::size_t t = 0; t < grid.trials; ++t) {
+          tally.add(out.slots[grid.index({r, v, s, t})]);
         }
       }
       agg.success.push_back(tally.success_rate());
       agg.f1.push_back(tally.failure1_rate());
       agg.f2.push_back(tally.failure2_rate());
     }
-    table.add_row({label, row.label, mma(aggregate(agg.success)),
+    table.add_row({label, kRows[r].label, mma(aggregate(agg.success)),
                    mma(aggregate(agg.f1)), mma(aggregate(agg.f2))});
   }
 
@@ -81,25 +98,42 @@ void run_direction(const char* label, const std::vector<VantagePoint>& vps,
 
   // INTANG row: one persistent selector per (vantage point, server) pair,
   // so knowledge accumulates across the repeated trials exactly like the
-  // tool's Redis cache does across page loads.
-  Agg agg;
-  for (const auto& vp : vps) {
-    RateTally tally;
-    for (const auto& srv : servers) {
-      intang::StrategySelector selector{intang::StrategySelector::Config{}};
-      for (int t = 0; t < trials; ++t) {
+  // tool's Redis cache does across page loads. The trial axis is a
+  // sequential dependency, so the grid is chained: each chain runs its
+  // trials in order on one worker against its own selector.
+  runner::TrialGrid igrid;
+  igrid.vantages = vps.size();
+  igrid.servers = servers.size();
+  igrid.trials = static_cast<std::size_t>(trials);
+  igrid.chain_trials = true;
+  std::vector<intang::StrategySelector> selectors(
+      igrid.chains(),
+      intang::StrategySelector{intang::StrategySelector::Config{}});
+  auto iout = runner::collect_grid(
+      igrid, pool, [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const auto& vp = vps[c.vantage];
+        const auto& srv = servers[c.server];
         ScenarioOptions opt;
         opt.vp = vp;
         opt.server = srv;
         opt.cal = cal;
         opt.seed = Rng::mix_seed({seed, 0x1474a6ULL, Rng::hash_label(vp.name),
-                                  srv.ip, static_cast<u64>(t)});
+                                  srv.ip, static_cast<u64>(c.trial)});
         Scenario sc(&rules, opt);
         HttpTrialOptions http;
         http.with_keyword = true;
         http.use_intang = true;
-        http.shared_selector = &selector;
-        tally.add(run_http_trial(sc, http).outcome);
+        http.shared_selector = &selectors[igrid.chain(c)];
+        return run_http_trial(sc, http).outcome;
+      });
+  print_runner_report(iout.report);
+
+  Agg agg;
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    RateTally tally;
+    for (std::size_t s = 0; s < servers.size(); ++s) {
+      for (std::size_t t = 0; t < igrid.trials; ++t) {
+        tally.add(iout.slots[igrid.index({0, v, s, t})]);
       }
     }
     agg.success.push_back(tally.success_rate());
@@ -128,13 +162,13 @@ int run(int argc, char** argv) {
   run_direction("Inside China", china_vantage_points(),
                 make_server_population(inside_servers, cfg.seed, cal, true),
                 trials, cfg.seed, cal, rules, table,
-                /*with_intang_row=*/true);
+                /*with_intang_row=*/true, pool_options(cfg));
 
   const int outside_servers = cfg.servers > 0 ? cfg.servers : 33;
   run_direction("Outside China", foreign_vantage_points(),
                 make_server_population(outside_servers, cfg.seed, cal, false),
                 trials, cfg.seed, cal, rules, table,
-                /*with_intang_row=*/false);
+                /*with_intang_row=*/false, pool_options(cfg));
 
   std::printf("%s\n", table.render().c_str());
   return 0;

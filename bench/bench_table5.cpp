@@ -10,6 +10,8 @@
 //   SYN               ✓
 //   RST               ✓    ✓
 //   Data              ✓    ✓     ✓        ✓
+#include <iterator>
+
 #include "bench_common.h"
 #include "middlebox/profiles.h"
 #include "strategy/insertion.h"
@@ -127,7 +129,7 @@ bool passes_middleboxes(PacketKind kind, Discrepancy d) {
 }
 
 int run(int argc, char** argv) {
-  (void)parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv);
   print_banner("Table 5: preferred construction of insertion packets",
                "Wang et al., IMC'17, Table 5");
 
@@ -144,26 +146,33 @@ int run(int argc, char** argv) {
   };
 
   TextTable table({"Packet Type", "TTL", "MD5", "Bad ACK", "Timestamp"});
-  for (const auto& [kind_label, kind] : kinds) {
-    std::vector<std::string> row{kind_label};
-    for (const auto& [d_label, d] : discrepancies) {
-      std::string cell;
-      if (d == Discrepancy::kSmallTtl) {
-        // Never reaches the server; middleboxes don't police TTL.
-        cell = "yes";
-      } else if (kind == PacketKind::kSyn) {
-        // A SYN insertion is made server-safe by its out-of-window
-        // sequence number plus TTL (§5.2); PAWS does not apply to SYNs,
-        // an added ACK turns it into a different control packet, and MD5
-        // fails open on pre-RFC 2385 stacks — so TTL is the only
-        // discrepancy the paper (and this table) endorses for SYNs.
-        cell = "- (n/a for SYN)";
-      } else if (!passes_middleboxes(kind, d)) {
-        cell = "- (middlebox drops)";
-      } else if (!harmless_to(tcp::LinuxVersion::k4_4, kind, d)) {
-        cell = "- (server not blinded)";
-      } else {
-        cell = "yes";
+
+  // Grid: packet kind × discrepancy, one measured cell per task.
+  runner::TrialGrid grid;
+  grid.cells = std::size(kinds);
+  grid.vantages = std::size(discrepancies);
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) -> std::string {
+        const PacketKind kind = kinds[c.cell].second;
+        const Discrepancy d = discrepancies[c.vantage].second;
+        if (d == Discrepancy::kSmallTtl) {
+          // Never reaches the server; middleboxes don't police TTL.
+          return "yes";
+        }
+        if (kind == PacketKind::kSyn) {
+          // A SYN insertion is made server-safe by its out-of-window
+          // sequence number plus TTL (§5.2); PAWS does not apply to SYNs,
+          // an added ACK turns it into a different control packet, and MD5
+          // fails open on pre-RFC 2385 stacks — so TTL is the only
+          // discrepancy the paper (and this table) endorses for SYNs.
+          return "- (n/a for SYN)";
+        }
+        if (!passes_middleboxes(kind, d)) return "- (middlebox drops)";
+        if (!harmless_to(tcp::LinuxVersion::k4_4, kind, d)) {
+          return "- (server not blinded)";
+        }
+        std::string cell = "yes";
         // Cross-version caveats (§5.3): old stacks may honor the packet.
         for (auto v : {tcp::LinuxVersion::k3_14, tcp::LinuxVersion::k2_6_34,
                        tcp::LinuxVersion::k2_4_37}) {
@@ -172,8 +181,13 @@ int run(int argc, char** argv) {
             break;
           }
         }
-      }
-      row.push_back(std::move(cell));
+        return cell;
+      });
+
+  for (std::size_t k = 0; k < std::size(kinds); ++k) {
+    std::vector<std::string> row{kinds[k].first};
+    for (std::size_t d = 0; d < std::size(discrepancies); ++d) {
+      row.push_back(out.slots[grid.index({k, d, 0, 0})]);
     }
     table.add_row(std::move(row));
   }
@@ -184,6 +198,7 @@ int run(int argc, char** argv) {
       "Linux 2.4.37 caveat, which predates RFC 2385); Data -> all four.\n"
       "A SYN with MD5/bad-ACK/timestamp is rejected here because pre-5961\n"
       "stacks reset on in-window SYNs or accept the packet outright.\n");
+  print_runner_report(out.report);
   return 0;
 }
 

@@ -9,6 +9,8 @@
 //   (Tianjin alone: 38% / 24% — heavy client-side interference.)
 // Plus the OpenDNS anecdote: their resolvers drew no censorship at all,
 // even without INTANG.
+#include <iterator>
+
 #include "bench_common.h"
 
 namespace ys {
@@ -48,15 +50,23 @@ int run(int argc, char** argv) {
   TextTable table({"DNS resolver", "IP", "except Tianjin", "All",
                    "Tianjin only"});
 
-  for (const Resolver& resolver : resolvers) {
-    RateTally all;
-    RateTally non_tj;
-    RateTally tj;
-    for (const auto& vp : vps) {
-      // One persistent selector per (vantage point, resolver): INTANG
-      // converges on the strategy that works on this resolver path.
-      intang::StrategySelector selector{intang::StrategySelector::Config{}};
-      for (int q = 0; q < queries; ++q) {
+  // One persistent selector per (resolver, vantage point) chain: INTANG
+  // converges on the strategy that works on this resolver path, so the
+  // query axis is a sequential dependency and the grid is chained.
+  runner::TrialGrid grid;
+  grid.cells = std::size(resolvers);
+  grid.vantages = vps.size();
+  grid.trials = static_cast<std::size_t>(queries);
+  grid.chain_trials = true;
+  std::vector<intang::StrategySelector> selectors(
+      grid.chains(),
+      intang::StrategySelector{intang::StrategySelector::Config{}});
+
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const Resolver& resolver = resolvers[c.cell];
+        const auto& vp = vps[c.vantage];
         ServerSpec spec;
         spec.host = resolver.label;
         spec.ip = resolver.ip;
@@ -68,7 +78,7 @@ int run(int argc, char** argv) {
         opt.cal = cal;
         opt.seed = Rng::mix_seed({cfg.seed, resolver.ip,
                                   Rng::hash_label(vp.name),
-                                  static_cast<u64>(q)});
+                                  static_cast<u64>(c.trial)});
         // Tianjin's resolver paths suffer stateful interference that
         // blackholes a large share of the TCP DNS flows (Table 6).
         Rng interference(Rng::mix_seed({opt.seed, 0xd45ULL}));
@@ -82,19 +92,29 @@ int run(int argc, char** argv) {
         dns.resolver_ip = resolver.ip;
         dns.use_intang = resolver.censored;  // OpenDNS row runs bare UDP
         dns.strategy = strategy::StrategyId::kImprovedTeardown;
-        dns.shared_selector = resolver.censored ? &selector : nullptr;
-        const DnsTrialResult result = run_dns_trial(sc, dns);
+        dns.shared_selector =
+            resolver.censored ? &selectors[grid.chain(c)] : nullptr;
+        return run_dns_trial(sc, dns).outcome;
+      });
 
-        all.add(result.outcome);
-        (vp.dns_path_interference ? tj : non_tj).add(result.outcome);
+  for (std::size_t r = 0; r < std::size(resolvers); ++r) {
+    RateTally all;
+    RateTally non_tj;
+    RateTally tj;
+    for (std::size_t v = 0; v < vps.size(); ++v) {
+      for (std::size_t q = 0; q < grid.trials; ++q) {
+        const Outcome o = out.slots[grid.index({r, v, 0, q})];
+        all.add(o);
+        (vps[v].dns_path_interference ? tj : non_tj).add(o);
       }
     }
-    table.add_row({resolver.label, net::ip_to_string(resolver.ip),
+    table.add_row({resolvers[r].label, net::ip_to_string(resolvers[r].ip),
                    pct(non_tj.success_rate()), pct(all.success_rate()),
                    pct(tj.success_rate())});
   }
 
   std::printf("%s\n", table.render().c_str());
+  print_runner_report(out.report);
   return 0;
 }
 

@@ -34,57 +34,82 @@ int run(int argc, char** argv) {
   TextTable table({"Vantage point", "Tor filter on path", "Bare Tor",
                    "Bridge IP blocked after", "With INTANG"});
 
+  // One grid task per vantage point: the bare-Tor probe and the INTANG
+  // sequence are a sequential story per path (persistent blocklist, then
+  // a persistent selector warming up), but the 11 paths are independent.
+  struct VpResult {
+    Outcome first_outcome = Outcome::kFailure1;
+    bool bridge_ip_blocked = false;
+    int covered = 0;
+  };
+  const auto vps = china_vantage_points();
+  runner::TrialGrid grid;
+  grid.vantages = vps.size();
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const auto& vp = vps[c.vantage];
+        // --- bare Tor: repeated connections against ONE persistent
+        // scenario (the IP blocklist must persist across attempts).
+        ScenarioOptions opt;
+        opt.vp = vp;
+        opt.server = bridge;
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name), 1u});
+        Scenario bare(&rules, opt);
+        TorTrialOptions tor_opt;
+        tor_opt.use_intang = false;
+        tor_opt.strategy = strategy::StrategyId::kNone;  // truly bare
+        VpResult res;
+        const TorTrialResult first = run_tor_trial(bare, tor_opt);
+        res.first_outcome = first.outcome;
+        res.bridge_ip_blocked = first.bridge_ip_blocked;
+
+        // --- with INTANG over `repeats` fresh connections, with a
+        // persistent selector (like the paper's tool, which had
+        // accumulated history on each bridge path before the 9-hour run)
+        // and a few warm-up connections during which the selector may
+        // still be exploring.
+        intang::StrategySelector selector{
+            intang::StrategySelector::Config{}};
+        for (int t = -4; t < repeats; ++t) {
+          ScenarioOptions opt2 = opt;
+          opt2.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name),
+                                     static_cast<u64>(t + 8)});
+          Scenario sc(&rules, opt2);
+          TorTrialOptions with;
+          with.use_intang = true;
+          with.shared_selector = &selector;
+          const TorTrialResult r = run_tor_trial(sc, with);
+          if (t >= 0 && r.outcome == Outcome::kSuccess) ++res.covered;
+        }
+        return res;
+      });
+
   int unfiltered_ok = 0;
   int filtered_blocked = 0;
   int intang_ok = 0;
   int total_filtered = 0;
   int total_unfiltered = 0;
 
-  for (const auto& vp : china_vantage_points()) {
-    // --- bare Tor: repeated connections against ONE persistent scenario
-    // (the IP blocklist must persist across connection attempts).
-    ScenarioOptions opt;
-    opt.vp = vp;
-    opt.server = bridge;
-    opt.cal = cal;
-    opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name), 1u});
-    Scenario bare(&rules, opt);
-    TorTrialOptions tor_opt;
-    tor_opt.use_intang = false;
-    tor_opt.strategy = strategy::StrategyId::kNone;  // truly bare
-    const TorTrialResult first = run_tor_trial(bare, tor_opt);
-
-    // --- with INTANG over `repeats` fresh connections, with a persistent
-    // selector (like the paper's tool, which had accumulated history on
-    // each bridge path before the 9-hour run) and a few warm-up
-    // connections during which the selector may still be exploring.
-    intang::StrategySelector selector{intang::StrategySelector::Config{}};
-    int covered = 0;
-    for (int t = -4; t < repeats; ++t) {
-      ScenarioOptions opt2 = opt;
-      opt2.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name),
-                                 static_cast<u64>(t + 8)});
-      Scenario sc(&rules, opt2);
-      TorTrialOptions with;
-      with.use_intang = true;
-      with.shared_selector = &selector;
-      const TorTrialResult r = run_tor_trial(sc, with);
-      if (t >= 0 && r.outcome == Outcome::kSuccess) ++covered;
-    }
-
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    const auto& vp = vps[v];
+    const VpResult& res = out.slots[grid.index({0, v, 0, 0})];
     const bool filtered = !vp.tor_unfiltered_path;
     (filtered ? total_filtered : total_unfiltered) += 1;
-    if (!filtered && first.outcome == Outcome::kSuccess) ++unfiltered_ok;
-    if (filtered && first.bridge_ip_blocked) ++filtered_blocked;
-    if (covered == repeats) ++intang_ok;
+    if (!filtered && res.first_outcome == Outcome::kSuccess) ++unfiltered_ok;
+    if (filtered && res.bridge_ip_blocked) ++filtered_blocked;
+    if (res.covered == repeats) ++intang_ok;
 
     table.add_row({vp.name, filtered ? "yes" : "no (Northern China)",
-                   to_string(first.outcome),
-                   first.bridge_ip_blocked ? "yes (all ports)" : "no",
-                   std::to_string(covered) + "/" + std::to_string(repeats)});
+                   to_string(res.first_outcome),
+                   res.bridge_ip_blocked ? "yes (all ports)" : "no",
+                   std::to_string(res.covered) + "/" +
+                       std::to_string(repeats)});
   }
 
   std::printf("%s\n", table.render().c_str());
+  print_runner_report(out.report);
   std::printf(
       "unfiltered paths working bare: %d/%d; filtered paths IP-blocked: "
       "%d/%d; INTANG-covered vantage points: %d/11\n",

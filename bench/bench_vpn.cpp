@@ -26,35 +26,56 @@ int run(int argc, char** argv) {
 
   TextTable table({"Mode", "Success", "Failure 1", "Failure 2 (DPI reset)"});
 
-  for (bool use_intang : {false, true}) {
+  // One grid task per (mode, vantage point): the per-vp sequence shares a
+  // selector (INTANG mode) so it stays sequential inside the task, while
+  // the 2×11 (mode, vp) pairs spread across the pool. Each task returns
+  // its own tally; tallies merge associatively afterward.
+  const auto vps = china_vantage_points();
+  runner::TrialGrid grid;
+  grid.cells = 2;  // 0 = bare, 1 = INTANG
+  grid.vantages = vps.size();
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const bool use_intang = c.cell == 1;
+        const auto& vp = vps[c.vantage];
+        intang::StrategySelector selector{
+            intang::StrategySelector::Config{}};
+        RateTally tally;
+        for (int t = use_intang ? -4 : 0; t < repeats; ++t) {
+          ScenarioOptions opt;
+          opt.vp = vp;
+          opt.server = vpn_server;
+          opt.cal = cal;
+          opt.vpn_dpi = true;  // the Nov 2016 behaviour
+          opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name),
+                                    static_cast<u64>(t),
+                                    use_intang ? 1u : 0u});
+          Scenario sc(&rules, opt);
+          VpnTrialOptions vpn;
+          vpn.use_intang = use_intang;
+          vpn.strategy = use_intang
+                             ? strategy::StrategyId::kImprovedTeardown
+                             : strategy::StrategyId::kNone;
+          vpn.shared_selector = use_intang ? &selector : nullptr;
+          const TrialResult r = run_vpn_trial(sc, vpn);
+          if (t >= 0) tally.add(r.outcome);  // warm-ups uncounted
+        }
+        return tally;
+      });
+
+  for (std::size_t mode = 0; mode < 2; ++mode) {
     RateTally tally;
-    for (const auto& vp : china_vantage_points()) {
-      intang::StrategySelector selector{intang::StrategySelector::Config{}};
-      for (int t = use_intang ? -4 : 0; t < repeats; ++t) {
-        ScenarioOptions opt;
-        opt.vp = vp;
-        opt.server = vpn_server;
-        opt.cal = cal;
-        opt.vpn_dpi = true;  // the Nov 2016 behaviour
-        opt.seed = Rng::mix_seed({cfg.seed, Rng::hash_label(vp.name),
-                                  static_cast<u64>(t),
-                                  use_intang ? 1u : 0u});
-        Scenario sc(&rules, opt);
-        VpnTrialOptions vpn;
-        vpn.use_intang = use_intang;
-        vpn.strategy = use_intang ? strategy::StrategyId::kImprovedTeardown
-                                  : strategy::StrategyId::kNone;
-        vpn.shared_selector = use_intang ? &selector : nullptr;
-        const TrialResult r = run_vpn_trial(sc, vpn);
-        if (t >= 0) tally.add(r.outcome);  // warm-ups uncounted
-      }
+    for (std::size_t v = 0; v < vps.size(); ++v) {
+      tally.merge(out.slots[grid.index({mode, v, 0, 0})]);
     }
-    table.add_row({use_intang ? "openvpn + INTANG" : "openvpn (bare)",
+    table.add_row({mode == 1 ? "openvpn + INTANG" : "openvpn (bare)",
                    pct(tally.success_rate()), pct(tally.failure1_rate()),
                    pct(tally.failure2_rate())});
   }
 
   std::printf("%s\n", table.render().c_str());
+  print_runner_report(out.report);
   return 0;
 }
 

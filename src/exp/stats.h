@@ -42,10 +42,12 @@ struct RateTally {
   /// Table 4-style per-vantage success/failure rates land in the same
   /// snapshot as the low-level component counters. Gauges, not counters:
   /// calling again with an updated tally overwrites rather than double
-  /// counts. `label` is typically a vantage-point name.
+  /// counts. `label` is typically a vantage-point name. Defaults to the
+  /// calling thread's current() registry so it lands in the worker-private
+  /// registry under the runner and in the global one on the main thread.
   void publish(const std::string& label,
                obs::MetricsRegistry& registry =
-                   obs::MetricsRegistry::global()) const;
+                   obs::MetricsRegistry::current()) const;
 };
 
 struct MinMaxAvg {

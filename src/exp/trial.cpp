@@ -8,6 +8,7 @@
 #include "app/tor.h"
 #include "app/vpn.h"
 #include "obs/metrics.h"
+#include "strategy/strategy.h"
 
 namespace ys::exp {
 
@@ -16,12 +17,36 @@ namespace {
 /// Every trial runner reports its §3.4 classification here, so the JSON
 /// snapshot carries trial-level outcomes next to the packet-level counters
 /// ("exp.trial_total", "exp.trial_success", "exp.http_trials", ...).
-void count_outcome(const char* kind, Outcome o) {
-  auto& reg = obs::MetricsRegistry::global();
-  static obs::Counter& total = reg.counter("exp.trial_total");
-  static obs::Counter& success = reg.counter("exp.trial_success");
-  static obs::Counter& failure1 = reg.counter("exp.trial_failure1");
-  static obs::Counter& failure2 = reg.counter("exp.trial_failure2");
+///
+/// The cached refs resolve through current() via bind_per_thread: under
+/// the runner each worker thread binds them to its private registry, so
+/// the hot path never touches the unsynchronized global registry.
+///
+/// Beyond the counters, each trial lands in a per-strategy histogram of
+/// virtual completion time, "exp.vtime.<outcome>.<strategy>" — bucketed
+/// sim-milliseconds from connection start to verdict. `yourstate stats`
+/// and the runner report surface these as success/failure time profiles.
+struct TrialCounters {
+  obs::Counter& total;
+  obs::Counter& success;
+  obs::Counter& failure1;
+  obs::Counter& failure2;
+};
+
+void count_outcome(const char* kind, Outcome o, strategy::StrategyId used,
+                   SimTime vtime) {
+  auto& reg = obs::MetricsRegistry::current();
+  TrialCounters& m =
+      obs::bind_per_thread<TrialCounters>([](obs::MetricsRegistry& r) {
+        return TrialCounters{r.counter("exp.trial_total"),
+                             r.counter("exp.trial_success"),
+                             r.counter("exp.trial_failure1"),
+                             r.counter("exp.trial_failure2")};
+      });
+  obs::Counter& total = m.total;
+  obs::Counter& success = m.success;
+  obs::Counter& failure1 = m.failure1;
+  obs::Counter& failure2 = m.failure2;
   total.inc();
   switch (o) {
     case Outcome::kSuccess: success.inc(); break;
@@ -29,6 +54,10 @@ void count_outcome(const char* kind, Outcome o) {
     case Outcome::kFailure2: failure2.inc(); break;
   }
   reg.counter(std::string("exp.") + kind + "_trials").inc();
+  reg.histogram(std::string("exp.vtime.") + to_string(o) + "." +
+                    strategy::to_string(used),
+                obs::exponential_buckets(1.0, 2.0, 17))
+      .observe(vtime.millis());
 }
 
 }  // namespace
@@ -188,7 +217,8 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
-  count_outcome("http", result.outcome);
+  count_outcome("http", result.outcome, result.strategy_used,
+                scenario.loop().now());
   return result;
 }
 
@@ -254,7 +284,7 @@ DnsTrialResult run_dns_trial(Scenario& scenario, const DnsTrialOptions& opt) {
     classify_resets(scenario.client().received_log(), &gfw, &other);
     result.outcome = gfw ? Outcome::kFailure2 : Outcome::kFailure1;
   }
-  count_outcome("dns", result.outcome);
+  count_outcome("dns", result.outcome, opt.strategy, scenario.loop().now());
   return result;
 }
 
@@ -311,7 +341,8 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
-  count_outcome("tor", result.outcome);
+  count_outcome("tor", result.outcome, result.strategy_used,
+                scenario.loop().now());
   return result;
 }
 
@@ -361,7 +392,8 @@ TrialResult run_vpn_trial(Scenario& scenario, const VpnTrialOptions& opt) {
                                       result.outcome == Outcome::kSuccess,
                                       scenario.loop().now());
   }
-  count_outcome("vpn", result.outcome);
+  count_outcome("vpn", result.outcome, result.strategy_used,
+                scenario.loop().now());
   return result;
 }
 

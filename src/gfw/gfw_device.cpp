@@ -31,8 +31,8 @@ struct GfwMetrics {
 };
 
 GfwMetrics& metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static GfwMetrics m{reg.counter("gfw.packets_seen"),
+  return obs::bind_per_thread<GfwMetrics>([](obs::MetricsRegistry& reg) {
+    return GfwMetrics{reg.counter("gfw.packets_seen"),
                       reg.counter("gfw.tcb_create"),
                       reg.counter("gfw.tcb_teardown"),
                       reg.counter("gfw.tcb_resync"),
@@ -44,7 +44,7 @@ GfwMetrics& metrics() {
                       reg.counter("gfw.block_period_starts"),
                       reg.counter("gfw.block_period_hits"),
                       reg.counter("gfw.ip_block_hits")};
-  return m;
+  });
 }
 
 }  // namespace

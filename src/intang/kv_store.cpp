@@ -17,13 +17,13 @@ struct KvMetrics {
 };
 
 KvMetrics& metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static KvMetrics m{reg.counter("intang.kv_set"),
+  return obs::bind_per_thread<KvMetrics>([](obs::MetricsRegistry& reg) {
+    return KvMetrics{reg.counter("intang.kv_set"),
                      reg.counter("intang.kv_get_hit"),
                      reg.counter("intang.kv_get_miss"),
                      reg.counter("intang.kv_incr"),
                      reg.counter("intang.kv_expired_reaped")};
-  return m;
+  });
 }
 
 }  // namespace

@@ -22,15 +22,16 @@ struct SelectorMetrics {
 };
 
 SelectorMetrics& metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static SelectorMetrics m{reg.counter("intang.strategy_pick"),
-                           reg.counter("intang.pick_cache_hit"),
-                           reg.counter("intang.pick_store_hit"),
-                           reg.counter("intang.pick_cold"),
-                           reg.counter("intang.report_success"),
-                           reg.counter("intang.report_failure"),
-                           reg.histogram("intang.choose_wall_us")};
-  return m;
+  return obs::bind_per_thread<SelectorMetrics>(
+      [](obs::MetricsRegistry& reg) {
+        return SelectorMetrics{reg.counter("intang.strategy_pick"),
+                               reg.counter("intang.pick_cache_hit"),
+                               reg.counter("intang.pick_store_hit"),
+                               reg.counter("intang.pick_cold"),
+                               reg.counter("intang.report_success"),
+                               reg.counter("intang.report_failure"),
+                               reg.histogram("intang.choose_wall_us")};
+      });
 }
 
 }  // namespace

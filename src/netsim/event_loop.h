@@ -88,16 +88,19 @@ class EventLoop {
     obs::Gauge& max_events_hit;  // 1 while any run this trial tripped
   };
 
-  /// One name-lookup per process; every loop instance shares the metrics
-  /// (they aggregate across trials until reset_all()).
+  /// One name-lookup per (thread, registry); every loop instance on a
+  /// thread shares the metrics (they aggregate across trials until
+  /// reset_all()). The cache resolves through current() and rebinds on
+  /// registry change, so runner workers write their private registries,
+  /// not the global one.
   static LoopMetrics& metrics() {
-    auto& reg = obs::MetricsRegistry::global();
-    static LoopMetrics m{reg.counter("loop.events_executed"),
+    return obs::bind_per_thread<LoopMetrics>([](obs::MetricsRegistry& reg) {
+      return LoopMetrics{reg.counter("loop.events_executed"),
                          reg.counter("loop.runs"),
                          reg.counter("loop.max_events_hits"),
                          reg.gauge("loop.queue_depth_hwm"),
                          reg.gauge("loop.max_events_hit")};
-    return m;
+    });
   }
 
   void finish_run(RunResult& result, bool more_work_pending) {

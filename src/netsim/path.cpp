@@ -21,15 +21,15 @@ std::string sanitize_actor(const std::string& name) {
 }  // namespace
 
 Path::PathMetrics& Path::metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static PathMetrics m{reg.counter("netsim.packet_delivered_client"),
+  return obs::bind_per_thread<PathMetrics>([](obs::MetricsRegistry& reg) {
+    return PathMetrics{reg.counter("netsim.packet_delivered_client"),
                        reg.counter("netsim.packet_delivered_server"),
                        reg.counter("netsim.packet_dropped_loss"),
                        reg.counter("netsim.packet_ttl_expired"),
                        reg.counter("netsim.packet_injected"),
                        reg.counter("netsim.packet_element_drop"),
                        reg.counter("netsim.packet_reorder_clamped")};
-  return m;
+  });
 }
 
 // Forwarder implementation bound to one (element, packet, direction) visit.
@@ -85,7 +85,7 @@ void Path::attach(int position, PathElement* element) {
   auto it = std::upper_bound(
       elements_.begin(), elements_.end(), position,
       [](int pos, const Attachment& a) { return pos < a.position; });
-  obs::Counter& events = obs::MetricsRegistry::global().counter(
+  obs::Counter& events = obs::MetricsRegistry::current().counter(
       "netsim.actor_events." + sanitize_actor(element->name()));
   elements_.insert(it, Attachment{position, element, &events});
 }

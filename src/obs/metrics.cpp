@@ -1,13 +1,25 @@
 #include "obs/metrics.h"
 
+#include <atomic>
 #include <stdexcept>
 
 namespace ys::obs {
 
 namespace {
-// The simulator is single-threaded by construction (one event loop drives
-// everything), so a plain bool keeps the hot-path check branch-predictable.
-bool g_enabled = true;
+// Each simulation is single-threaded (one event loop drives everything),
+// but the runner executes many simulations on concurrent workers, all of
+// which read this flag — a relaxed atomic keeps the hot-path check
+// branch-predictable and race-clean. Only the orchestrating thread writes
+// it, and never while workers run.
+std::atomic<bool> g_enabled{true};
+
+// Per-thread registry override installed by ScopedMetricsRegistry; null
+// means "publish into the process registry".
+thread_local MetricsRegistry* t_current = nullptr;
+
+// Registry identities for bind_per_thread's cache key. Starts at 1 so the
+// sentinel 0 never matches a live registry.
+std::atomic<u64> g_next_registry_uid{1};
 
 const char* kind_name(int k) {
   switch (k) {
@@ -19,8 +31,10 @@ const char* kind_name(int k) {
 }
 }  // namespace
 
-bool metrics_enabled() { return g_enabled; }
-void set_metrics_enabled(bool on) { g_enabled = on; }
+bool metrics_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
 
 std::vector<double> exponential_buckets(double start, double factor,
                                         std::size_t count) {
@@ -34,12 +48,26 @@ std::vector<double> exponential_buckets(double start, double factor,
   return bounds;
 }
 
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* registry = new MetricsRegistry();  // never dies:
   // function-local statics in components hold references into it, and
   // destruction order at exit must not invalidate them.
   return *registry;
 }
+
+MetricsRegistry& MetricsRegistry::current() {
+  return t_current != nullptr ? *t_current : global();
+}
+
+ScopedMetricsRegistry::ScopedMetricsRegistry(MetricsRegistry* registry)
+    : previous_(t_current) {
+  t_current = registry;
+}
+
+ScopedMetricsRegistry::~ScopedMetricsRegistry() { t_current = previous_; }
 
 MetricsRegistry::Slot& MetricsRegistry::find_or_create(const std::string& name,
                                                        Kind kind) {
@@ -77,6 +105,29 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
     slot.histogram = std::make_unique<Histogram>(std::move(bounds));
   }
   return *slot.histogram;  // first registration's bounds win
+}
+
+void Histogram::merge(const HistogramSnapshot& other) {
+  if (other.bounds != bounds_) {
+    throw std::logic_error(
+        "obs: histogram merge with mismatched bounds (same-name histograms "
+        "must be registered with identical bounds)");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts[i];
+  count_ += other.count;
+  sum_ += other.sum;
+}
+
+void MetricsRegistry::merge_from(const Snapshot& snap) {
+  for (const auto& [name, value] : snap.counters) {
+    counter(name).merge_add(value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    gauge(name).merge_max(value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    histogram(name, h.bounds).merge(h);
+  }
 }
 
 void MetricsRegistry::reset_all() {

@@ -14,11 +14,24 @@
 // Naming convention: `component.noun_verb` (e.g. "gfw.tcb_create",
 // "tcpstack.segment_in", "netsim.packet_delivered"). Dynamic suffixes are
 // dot-separated ("tcpstack.ignored.bad-checksum").
+//
+// Threading model: a registry is NOT internally synchronized. The rule the
+// whole codebase follows is "one registry per thread": code always resolves
+// metrics through MetricsRegistry::current(), which returns the process
+// registry unless the thread carries a ScopedMetricsRegistry override. The
+// ys::runner worker threads install an override around every task, so
+// hot-path updates land in worker-private registries and are folded into
+// the orchestrating thread's registry afterwards via merge_from() — the
+// process-global registry is only ever touched from the orchestrating
+// thread. Components cache resolved metric references per thread through
+// bind_per_thread() below, which also rebinds them whenever the thread's
+// current() registry changes.
 #pragma once
 
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -46,6 +59,11 @@ class Counter {
   u64 value() const { return value_; }
   void reset() { value_ = 0; }
 
+  /// Fold another registry's observations in (snapshot merging). Unlike
+  /// inc(), this is bookkeeping, not a measurement: it bypasses the
+  /// runtime kill switch.
+  void merge_add(u64 n) { value_ += n; }
+
  private:
   u64 value_ = 0;
 };
@@ -65,6 +83,14 @@ class Gauge {
   }
   double value() const { return value_; }
   void reset() { value_ = 0.0; }
+
+  /// Merge policy for gauges is max: every cross-registry gauge in the
+  /// codebase is a high-water mark or a 0/1 flag, and max is the only
+  /// associative, commutative fold that is correct for both — so merge
+  /// order can never change a merged snapshot. Bypasses the kill switch.
+  void merge_max(double v) {
+    if (v > value_) value_ = v;
+  }
 
  private:
   double value_ = 0.0;
@@ -99,6 +125,12 @@ class Histogram {
     count_ = 0;
     sum_ = 0.0;
   }
+
+  /// Bucket-wise fold of another histogram's state. The source must have
+  /// identical bounds (all registration sites use fixed per-name bounds,
+  /// so a mismatch is a programming error and throws). Bypasses the kill
+  /// switch.
+  void merge(const struct HistogramSnapshot& other);
 
  private:
   std::vector<double> bounds_;  // ascending upper bounds
@@ -135,8 +167,17 @@ struct Snapshot {
 /// bounds (first writer wins).
 class MetricsRegistry {
  public:
-  /// The process-wide registry every component publishes into.
+  MetricsRegistry();
+
+  /// The process-wide registry. Must only be mutated from the
+  /// orchestrating thread; worker threads publish into their own registry
+  /// via current() + ScopedMetricsRegistry.
   static MetricsRegistry& global();
+
+  /// The registry this thread publishes into: the innermost
+  /// ScopedMetricsRegistry override, or global() when none is installed.
+  /// Every instrumentation site resolves through this.
+  static MetricsRegistry& current();
 
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
@@ -149,10 +190,24 @@ class MetricsRegistry {
   }
   std::size_t size() const { return slots_.size(); }
 
+  /// Process-unique, never-reused identity of this registry instance.
+  /// Caches key on this rather than the address: a short-lived registry's
+  /// storage can be reused for a successor at the same address, which a
+  /// pointer compare cannot distinguish.
+  u64 uid() const { return uid_; }
+
   /// Zero every metric (between trials); registrations survive.
   void reset_all();
 
   Snapshot snapshot() const;
+
+  /// Fold a snapshot of another registry into this one: counters and
+  /// histograms add, gauges take the max (see the per-kind merge methods
+  /// for why those folds are the deterministic ones). Metrics absent here
+  /// are registered on the fly, so merging into a fresh registry
+  /// reproduces the source. Associative and commutative: merging worker
+  /// snapshots in any order yields the same registry state.
+  void merge_from(const Snapshot& snap);
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -166,9 +221,48 @@ class MetricsRegistry {
 
   Slot& find_or_create(const std::string& name, Kind kind);
 
+  const u64 uid_;
+
   // std::map keeps iteration (and thus every exporter) name-sorted and
   // deterministic; pointers to mapped values are stable across inserts.
   std::map<std::string, Slot> slots_;
 };
+
+/// RAII thread-local registry override: while alive, every
+/// MetricsRegistry::current() resolution on this thread lands in
+/// `registry`. Nests (the previous override is restored on destruction).
+/// The ys::runner workers wrap each worker's lifetime in one of these so
+/// per-packet instrumentation never touches the process registry.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry);
+  ~ScopedMetricsRegistry();
+
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Per-thread cache of a component's resolved metric handles (a struct of
+/// Counter& / Gauge& / Histogram& members). Returns the handles bound to
+/// the thread's current() registry, re-resolving through `make(registry)`
+/// only when the registry changed — one pointer compare on the hot path.
+/// This keeps design goal 1 (resolve once, bump a stable reference) while
+/// staying correct on threads that switch registries mid-life: a plain
+/// `static thread_local` cache would keep dangling references into a
+/// ScopedMetricsRegistry's registry after it is destroyed.
+template <typename Handles, typename Factory>
+Handles& bind_per_thread(Factory&& make) {
+  thread_local u64 bound_uid = 0;  // no registry has uid 0
+  thread_local std::optional<Handles> handles;
+  MetricsRegistry& reg = MetricsRegistry::current();
+  if (bound_uid != reg.uid()) {
+    handles.emplace(make(reg));
+    bound_uid = reg.uid();
+  }
+  return *handles;
+}
 
 }  // namespace ys::obs

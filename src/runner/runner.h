@@ -1,0 +1,111 @@
+// ys::runner — declarative trial grids over the work-stealing pool.
+//
+// The paper's measurement campaigns are grids: (strategy/option cell) ×
+// vantage point × server × trial. TrialGrid names those dimensions, maps
+// coordinates to dense slot indices, and run_grid() executes the whole
+// grid on the pool with the determinism contract the benches rely on:
+//
+//   * the per-trial seed is a pure function of the grid coordinates
+//     (callers keep using Rng::mix_seed({seed, cell, vantage, server,
+//     trial}) exactly as the serial loops did);
+//   * results are written into a pre-sized slot array at index(coord), so
+//     aggregation walks the slots in deterministic order no matter which
+//     worker ran what when;
+//   * metrics land in worker-private registries and merge order-
+//     independently (counters add, gauges max) after the join.
+//
+// Together these guarantee `--jobs=N` is bit-identical to `--jobs=1` for
+// every grid result and every counter in the merged snapshot.
+//
+// Sequential dependencies: grids whose trials share mutable state across
+// the trial axis — INTANG's StrategySelector / KvStore accumulating
+// knowledge across repeated probes of one server (HttpTrialOptions::
+// shared_selector and friends) — are NOT independent along that axis and
+// MUST set `chain_trials`. The scheduling unit then becomes the chain
+// (cell, vantage, server): all its trials run in ascending order on one
+// worker, serializing every access to the chain's selector while distinct
+// chains still spread across the pool. Sharing one selector across
+// *chains* is a data race; give each chain its own (see bench_table4's
+// INTANG row for the pattern).
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "runner/worker_pool.h"
+
+namespace ys::runner {
+
+struct GridCoord {
+  std::size_t cell = 0;     // strategy row, variant, resolver, ...
+  std::size_t vantage = 0;
+  std::size_t server = 0;
+  std::size_t trial = 0;
+};
+
+struct TrialGrid {
+  std::size_t cells = 1;
+  std::size_t vantages = 1;
+  std::size_t servers = 1;
+  std::size_t trials = 1;
+  /// Serialize the trial axis: schedule per (cell, vantage, server) chain,
+  /// trials in ascending order on one worker. Required for selector-backed
+  /// grids (see the header comment).
+  bool chain_trials = false;
+
+  std::size_t total() const { return cells * vantages * servers * trials; }
+  std::size_t chains() const { return cells * vantages * servers; }
+
+  /// Dense slot index; trial varies fastest, cell slowest.
+  std::size_t index(const GridCoord& c) const {
+    return ((c.cell * vantages + c.vantage) * servers + c.server) * trials +
+           c.trial;
+  }
+  GridCoord coord(std::size_t index) const {
+    GridCoord c;
+    c.trial = index % trials;
+    index /= trials;
+    c.server = index % servers;
+    index /= servers;
+    c.vantage = index % vantages;
+    c.cell = index / vantages;
+    return c;
+  }
+  /// Chain id of a coordinate (its slot index with the trial axis removed).
+  std::size_t chain(const GridCoord& c) const {
+    return (c.cell * vantages + c.vantage) * servers + c.server;
+  }
+};
+
+/// Execute `fn(coord, ctx)` for every coordinate of the grid. With
+/// `grid.chain_trials`, the pool schedules chains and fn still sees one
+/// coordinate per call, trials in order within the chain.
+RunnerReport run_grid(const TrialGrid& grid, const PoolOptions& opt,
+                      const std::function<void(const GridCoord&, TaskContext&)>& fn);
+
+/// run_grid + a pre-sized slot array: fn's return value for each
+/// coordinate lands at slots[grid.index(coord)]. R must be
+/// default-constructible; slots for trials skipped by cancellation keep
+/// their default value.
+template <typename R>
+struct GridOutcome {
+  std::vector<R> slots;
+  RunnerReport report;
+};
+
+template <typename Fn>
+auto collect_grid(const TrialGrid& grid, const PoolOptions& opt, Fn&& fn) {
+  using R = std::decay_t<
+      std::invoke_result_t<Fn&, const GridCoord&, TaskContext&>>;
+  static_assert(std::is_default_constructible_v<R>,
+                "grid slot types must be default-constructible");
+  GridOutcome<R> out;
+  out.slots.resize(grid.total());
+  out.report = run_grid(grid, opt,
+                        [&](const GridCoord& c, TaskContext& ctx) {
+                          out.slots[grid.index(c)] = fn(c, ctx);
+                        });
+  return out;
+}
+
+}  // namespace ys::runner

@@ -1,0 +1,252 @@
+#include "runner/worker_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace ys::runner {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A contiguous block of task indices.
+struct Shard {
+  std::size_t begin = 0;
+  std::size_t end = 0;  // exclusive
+};
+
+/// Per-worker deque of shards. The owner pops from the back (LIFO keeps
+/// its working set warm); thieves pop from the front (FIFO grabs the
+/// coldest block). One small mutex per deque: contention only occurs when
+/// a thief visits, which the shard granularity keeps rare.
+struct ShardDeque {
+  std::mutex mu;
+  std::vector<Shard> shards;
+
+  bool pop_back(Shard* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    *out = shards.back();
+    shards.pop_back();
+    return true;
+  }
+
+  bool pop_front(Shard* out) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (shards.empty()) return false;
+    *out = shards.front();
+    shards.erase(shards.begin());
+    return true;
+  }
+};
+
+std::size_t pick_shard_size(const PoolOptions& opt, std::size_t count,
+                            int jobs) {
+  if (opt.shard_size > 0) return opt.shard_size;
+  // Aim for ~8 shards per worker: enough imbalance absorption for grids
+  // whose trials vary in cost, small enough that deque traffic stays
+  // negligible next to millisecond-scale trials.
+  const std::size_t target = static_cast<std::size_t>(jobs) * 8;
+  return std::max<std::size_t>(1, count / std::max<std::size_t>(1, target));
+}
+
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+double RunnerReport::utilization(std::size_t worker) const {
+  if (worker >= workers.size() || wall_seconds <= 0.0) return 0.0;
+  return std::min(1.0, workers[worker].busy_seconds / wall_seconds);
+}
+
+std::string RunnerReport::to_string() const {
+  char line[256];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "runner: %llu/%llu trials in %.3f s (%.0f trials/s) on %d "
+                "worker%s, %llu steals%s\n",
+                static_cast<unsigned long long>(trials_executed),
+                static_cast<unsigned long long>(trials),
+                wall_seconds, trials_per_sec, jobs, jobs == 1 ? "" : "s",
+                static_cast<unsigned long long>(steals),
+                cancelled ? ", CANCELLED" : "");
+  out += line;
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const WorkerStats& ws = workers[w];
+    std::snprintf(line, sizeof(line),
+                  "  worker %2zu: %6llu tasks, %4llu shards (%llu stolen), "
+                  "busy %.3f s, utilization %4.1f %%\n",
+                  w, static_cast<unsigned long long>(ws.tasks_executed),
+                  static_cast<unsigned long long>(ws.shards_served +
+                                                  ws.shards_stolen),
+                  static_cast<unsigned long long>(ws.shards_stolen),
+                  ws.busy_seconds, utilization(w) * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+void RunnerReport::publish(obs::MetricsRegistry& registry) const {
+  registry.gauge("runner.jobs").set(static_cast<double>(jobs));
+  registry.gauge("runner.wall_seconds").set(wall_seconds);
+  registry.gauge("runner.trials_per_sec").set(trials_per_sec);
+  registry.gauge("runner.cancelled").set(cancelled ? 1.0 : 0.0);
+  registry.counter("runner.trials_total").inc(trials_executed);
+  registry.counter("runner.tasks_total").inc(tasks_executed);
+  registry.counter("runner.steals_total").inc(steals);
+  registry.counter("runner.runs_total").inc();
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    const std::string prefix = "runner.worker." + std::to_string(w) + ".";
+    registry.gauge(prefix + "utilization").set(utilization(w));
+    registry.counter(prefix + "tasks").inc(workers[w].tasks_executed);
+    registry.counter(prefix + "steals").inc(workers[w].shards_stolen);
+  }
+}
+
+RunnerReport run_sharded(
+    const PoolOptions& opt, std::size_t count,
+    const std::function<void(std::size_t, TaskContext&)>& task) {
+  RunnerReport report;
+  const int jobs = resolve_jobs(opt.jobs);
+  report.jobs = jobs;
+  report.tasks = count;
+  report.trials = count;
+  const auto start = Clock::now();
+
+  CancelToken cancel;
+
+  if (jobs == 1 || count <= 1) {
+    // Serial reference path: inline on the caller, no threads, no registry
+    // scoping — instrumentation keeps hitting the caller's current()
+    // registry exactly like the historical single-threaded loops.
+    report.jobs = 1;
+    report.workers.resize(1);
+    Rng rng(Rng::mix_seed({0x72756e6e6572ULL, 0}));  // "runner"
+    TaskContext ctx{0, &obs::MetricsRegistry::current(), &rng, &cancel};
+    WorkerStats& ws = report.workers[0];
+    for (std::size_t i = 0; i < count && !cancel.cancelled(); ++i) {
+      task(i, ctx);
+      ++ws.tasks_executed;
+    }
+    ++ws.shards_served;
+    report.wall_seconds = seconds_since(start);
+    ws.busy_seconds = report.wall_seconds;
+    report.tasks_executed = ws.tasks_executed;
+    report.trials_executed = ws.tasks_executed;
+    report.cancelled = cancel.cancelled();
+    report.trials_per_sec = report.wall_seconds > 0.0
+                                ? report.trials_executed / report.wall_seconds
+                                : 0.0;
+    return report;
+  }
+
+  // Pre-shard [0, count) into blocks and deal them round-robin, so every
+  // worker starts with an interleaved slice of the grid.
+  const std::size_t shard_size = pick_shard_size(opt, count, jobs);
+  std::vector<ShardDeque> deques(static_cast<std::size_t>(jobs));
+  {
+    std::size_t begin = 0;
+    std::size_t next_worker = 0;
+    while (begin < count) {
+      const std::size_t end = std::min(count, begin + shard_size);
+      deques[next_worker].shards.push_back(Shard{begin, end});
+      begin = end;
+      next_worker = (next_worker + 1) % static_cast<std::size_t>(jobs);
+    }
+    // Owners pop from the back: reverse so each worker serves its blocks
+    // in ascending index order (pure aesthetics — determinism never
+    // depends on it).
+    for (auto& dq : deques) {
+      std::reverse(dq.shards.begin(), dq.shards.end());
+    }
+  }
+
+  report.workers.resize(static_cast<std::size_t>(jobs));
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> worker_registries;
+  worker_registries.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) {
+    worker_registries.push_back(std::make_unique<obs::MetricsRegistry>());
+  }
+
+  auto worker_main = [&](int worker_id) {
+    // All instrumentation on this thread — including the components'
+    // obs::bind_per_thread metric caches, which rebind whenever the
+    // thread's current() registry changes — lands in the worker-private
+    // registry.
+    obs::ScopedMetricsRegistry scope(
+        worker_registries[static_cast<std::size_t>(worker_id)].get());
+    Rng rng(Rng::mix_seed({0x72756e6e6572ULL, static_cast<u64>(worker_id)}));
+    TaskContext ctx{worker_id,
+                    worker_registries[static_cast<std::size_t>(worker_id)].get(),
+                    &rng, &cancel};
+    WorkerStats& ws = report.workers[static_cast<std::size_t>(worker_id)];
+    ShardDeque& own = deques[static_cast<std::size_t>(worker_id)];
+
+    const auto worker_start = Clock::now();
+    Shard shard;
+    for (;;) {
+      bool have = own.pop_back(&shard);
+      if (have) {
+        ++ws.shards_served;
+      } else {
+        // Steal sweep: visit every other worker once, starting just past
+        // ourselves so thieves fan out instead of mobbing worker 0.
+        for (int hop = 1; hop < jobs && !have; ++hop) {
+          const std::size_t victim = static_cast<std::size_t>(
+              (worker_id + hop) % jobs);
+          have = deques[victim].pop_front(&shard);
+        }
+        if (!have) break;  // every deque empty: the grid is drained
+        ++ws.shards_stolen;
+      }
+      for (std::size_t i = shard.begin; i < shard.end; ++i) {
+        if (cancel.cancelled()) break;
+        task(i, ctx);
+        ++ws.tasks_executed;
+      }
+      if (cancel.cancelled()) break;
+    }
+    ws.busy_seconds = seconds_since(worker_start);
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(jobs));
+  for (int w = 0; w < jobs; ++w) threads.emplace_back(worker_main, w);
+  for (auto& t : threads) t.join();
+
+  report.wall_seconds = seconds_since(start);
+  report.cancelled = cancel.cancelled();
+  for (const WorkerStats& ws : report.workers) {
+    report.tasks_executed += ws.tasks_executed;
+    report.steals += ws.shards_stolen;
+  }
+  report.trials_executed = report.tasks_executed;
+  report.trials_per_sec = report.wall_seconds > 0.0
+                              ? report.trials_executed / report.wall_seconds
+                              : 0.0;
+
+  // Deterministic fold: worker snapshots merge in worker order (the merge
+  // itself is order-independent — counters add, gauges max — but a fixed
+  // order keeps even pathological cases reproducible).
+  obs::MetricsRegistry& target = obs::MetricsRegistry::current();
+  for (const auto& reg : worker_registries) {
+    target.merge_from(reg->snapshot());
+  }
+  return report;
+}
+
+}  // namespace ys::runner

@@ -21,13 +21,13 @@ struct StackMetrics {
 };
 
 StackMetrics& metrics() {
-  auto& reg = obs::MetricsRegistry::global();
-  static StackMetrics m{reg.counter("tcpstack.segment_in"),
+  return obs::bind_per_thread<StackMetrics>([](obs::MetricsRegistry& reg) {
+    return StackMetrics{reg.counter("tcpstack.segment_in"),
                         reg.counter("tcpstack.segment_out"),
                         reg.counter("tcpstack.segment_retransmit"),
                         reg.counter("tcpstack.challenge_ack_sent"),
                         reg.counter("tcpstack.segment_ignored")};
-  return m;
+  });
 }
 
 /// Ignore-path hits split by reason and by Linux profile — the §5.3 view
@@ -35,7 +35,7 @@ StackMetrics& metrics() {
 /// Ignores are rare relative to segments, so the by-name lookup here is off
 /// the hot path.
 void count_ignore(IgnoreReason reason, LinuxVersion version) {
-  auto& reg = obs::MetricsRegistry::global();
+  auto& reg = obs::MetricsRegistry::current();
   metrics().ignored_total.inc();
   reg.counter(std::string("tcpstack.ignored.") + to_string(reason)).inc();
   std::string profile = to_string(version);  // "Linux 4.4" -> "linux-4.4"

@@ -1,0 +1,324 @@
+// ys::runner — determinism contract, work-stealing bookkeeping, metrics
+// merge semantics, cancellation, and chained (selector-backed) grids.
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "exp/vantage.h"
+#include "intang/selector.h"
+#include "obs/metrics.h"
+#include "runner/runner.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::exp;
+
+TEST(TrialGrid, IndexCoordRoundTrip) {
+  runner::TrialGrid grid;
+  grid.cells = 3;
+  grid.vantages = 4;
+  grid.servers = 5;
+  grid.trials = 6;
+  ASSERT_EQ(grid.total(), 3u * 4u * 5u * 6u);
+  ASSERT_EQ(grid.chains(), 3u * 4u * 5u);
+  for (std::size_t i = 0; i < grid.total(); ++i) {
+    const runner::GridCoord c = grid.coord(i);
+    EXPECT_EQ(grid.index(c), i);
+    EXPECT_LT(c.cell, grid.cells);
+    EXPECT_LT(c.vantage, grid.vantages);
+    EXPECT_LT(c.server, grid.servers);
+    EXPECT_LT(c.trial, grid.trials);
+    // The chain id is the slot index with the trial axis removed.
+    EXPECT_EQ(grid.chain(c), i / grid.trials);
+  }
+}
+
+TEST(TrialGrid, TrialAxisVariesFastest) {
+  runner::TrialGrid grid;
+  grid.cells = 2;
+  grid.trials = 4;
+  const std::size_t base = grid.index({1, 0, 0, 0});
+  for (std::size_t t = 0; t < grid.trials; ++t) {
+    EXPECT_EQ(grid.index({1, 0, 0, t}), base + t);
+  }
+}
+
+/// Run a small real-trial grid and capture (outcomes, counter snapshot).
+/// All instrumentation is redirected into a local registry so runs are
+/// isolated from each other and from the process registry.
+struct GridRun {
+  std::vector<Outcome> outcomes;
+  obs::Snapshot snapshot;
+  runner::RunnerReport report;
+};
+
+GridRun run_reference_grid(int jobs, u64 seed) {
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const Calibration cal = Calibration::standard();
+  const auto vps = china_vantage_points();
+  const strategy::StrategyId strategies[] = {
+      strategy::StrategyId::kNone, strategy::StrategyId::kInOrderTtl};
+
+  runner::TrialGrid grid;
+  grid.cells = 2;
+  grid.vantages = 3;
+  grid.servers = 2;
+  grid.trials = 4;
+  runner::PoolOptions pool;
+  pool.jobs = jobs;
+  pool.shard_size = 2;  // force many shards so steals actually happen
+
+  obs::MetricsRegistry local;
+  GridRun run;
+  {
+    obs::ScopedMetricsRegistry scope(&local);
+    auto out = runner::collect_grid(
+        grid, pool,
+        [&](const runner::GridCoord& c, runner::TaskContext&) {
+          ScenarioOptions opt;
+          opt.vp = vps[c.vantage];
+          opt.server.host = "server-" + std::to_string(c.server);
+          opt.server.ip = net::make_ip(93, 184, 216,
+                                       static_cast<u8>(30 + c.server));
+          opt.cal = cal;
+          opt.seed = Rng::mix_seed({seed, c.cell, c.vantage, c.server,
+                                    c.trial});
+          Scenario sc(&rules, opt);
+          HttpTrialOptions http;
+          http.with_keyword = true;
+          http.strategy = strategies[c.cell];
+          return run_http_trial(sc, http).outcome;
+        });
+    run.outcomes = std::move(out.slots);
+    run.report = out.report;
+  }
+  run.snapshot = local.snapshot();
+  return run;
+}
+
+TEST(Runner, ParallelReproducesSerialOutcomes) {
+  const GridRun serial = run_reference_grid(1, 2017);
+  const GridRun parallel = run_reference_grid(8, 2017);
+  ASSERT_EQ(serial.outcomes.size(), parallel.outcomes.size());
+  EXPECT_EQ(serial.outcomes, parallel.outcomes);
+}
+
+TEST(Runner, ParallelReproducesSerialCounters) {
+  const GridRun serial = run_reference_grid(1, 2017);
+  const GridRun parallel = run_reference_grid(8, 2017);
+  // Counters are exact trial-behaviour counts: bit-identical by contract.
+  EXPECT_EQ(serial.snapshot.counters, parallel.snapshot.counters);
+  // Virtual-time histograms are functions of simulated time only, so they
+  // merge to identical state too. (Wall-clock histograms would not.)
+  for (const auto& [name, h] : serial.snapshot.histograms) {
+    if (name.rfind("exp.vtime.", 0) != 0) continue;
+    auto it = parallel.snapshot.histograms.find(name);
+    ASSERT_NE(it, parallel.snapshot.histograms.end()) << name;
+    EXPECT_EQ(h.count, it->second.count) << name;
+    EXPECT_EQ(h.counts, it->second.counts) << name;
+    EXPECT_DOUBLE_EQ(h.sum, it->second.sum) << name;
+  }
+}
+
+TEST(Runner, SeedChangesResults) {
+  // Sanity check that the comparison above is not vacuous.
+  const GridRun a = run_reference_grid(1, 2017);
+  const GridRun b = run_reference_grid(1, 4242);
+  EXPECT_NE(a.outcomes, b.outcomes);
+}
+
+TEST(Runner, WorkerBookkeepingAddsUp) {
+  constexpr std::size_t kCount = 103;  // deliberately not shard-aligned
+  runner::PoolOptions pool;
+  pool.jobs = 4;
+  pool.shard_size = 5;
+  std::vector<std::atomic<int>> hits(kCount);
+  const runner::RunnerReport report = runner::run_sharded(
+      pool, kCount, [&](std::size_t i, runner::TaskContext&) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+
+  // Exactly-once execution.
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+  EXPECT_EQ(report.jobs, 4);
+  ASSERT_EQ(report.workers.size(), 4u);
+  EXPECT_EQ(report.tasks, kCount);
+  EXPECT_EQ(report.tasks_executed, kCount);
+  u64 per_worker_sum = 0;
+  u64 shard_sum = 0;
+  u64 steal_sum = 0;
+  for (const runner::WorkerStats& ws : report.workers) {
+    per_worker_sum += ws.tasks_executed;
+    shard_sum += ws.shards_served + ws.shards_stolen;
+    steal_sum += ws.shards_stolen;
+  }
+  EXPECT_EQ(per_worker_sum, kCount);
+  // ceil(103 / 5) shards were dealt; every one was served exactly once.
+  EXPECT_EQ(shard_sum, (kCount + pool.shard_size - 1) / pool.shard_size);
+  EXPECT_EQ(steal_sum, report.steals);
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(Runner, JobsZeroResolvesToHardwareConcurrency) {
+  runner::PoolOptions pool;
+  pool.jobs = 0;
+  const runner::RunnerReport report =
+      runner::run_sharded(pool, 8, [](std::size_t, runner::TaskContext&) {});
+  EXPECT_GE(report.jobs, 1);
+  EXPECT_EQ(report.tasks_executed, 8u);
+}
+
+TEST(Runner, MetricsMergeIsAssociativeAndCommutative) {
+  // Three worker-shaped registries with overlapping names.
+  auto make = [](u64 c1, u64 c2, double g, double v1, double v2) {
+    auto reg = std::make_unique<obs::MetricsRegistry>();
+    obs::ScopedMetricsRegistry scope(reg.get());
+    reg->counter("m.a").inc(c1);
+    reg->counter("m.b").inc(c2);
+    reg->gauge("m.hwm").max_of(g);
+    auto& h = reg->histogram("m.lat", obs::exponential_buckets(1.0, 2.0, 4));
+    h.observe(v1);
+    h.observe(v2);
+    return reg;
+  };
+  const auto r1 = make(1, 10, 0.25, 1.0, 3.0);
+  const auto r2 = make(2, 20, 0.75, 9.0, 0.5);
+  const auto r3 = make(3, 0, 0.50, 100.0, 2.0);
+
+  obs::MetricsRegistry left;   // (r1 + r2) + r3
+  left.merge_from(r1->snapshot());
+  left.merge_from(r2->snapshot());
+  left.merge_from(r3->snapshot());
+  obs::MetricsRegistry right;  // r3 + (r2 + r1)
+  right.merge_from(r3->snapshot());
+  right.merge_from(r2->snapshot());
+  right.merge_from(r1->snapshot());
+
+  const obs::Snapshot ls = left.snapshot();
+  const obs::Snapshot rs = right.snapshot();
+  EXPECT_EQ(ls.counters, rs.counters);
+  EXPECT_EQ(ls.counters.at("m.a"), 6u);
+  EXPECT_EQ(ls.counters.at("m.b"), 30u);
+  EXPECT_EQ(ls.gauges, rs.gauges);
+  EXPECT_DOUBLE_EQ(ls.gauges.at("m.hwm"), 0.75);
+  ASSERT_EQ(ls.histograms.count("m.lat"), 1u);
+  EXPECT_EQ(ls.histograms.at("m.lat").count, 6u);
+  EXPECT_EQ(ls.histograms.at("m.lat").counts,
+            rs.histograms.at("m.lat").counts);
+  EXPECT_DOUBLE_EQ(ls.histograms.at("m.lat").sum,
+                   rs.histograms.at("m.lat").sum);
+}
+
+TEST(Runner, MergedParallelCountersEqualSerial) {
+  // The merge path (jobs > 1) and the inline path (jobs == 1) must land on
+  // the same registry totals for a pure counting workload.
+  auto count_grid = [](int jobs) {
+    runner::PoolOptions pool;
+    pool.jobs = jobs;
+    pool.shard_size = 3;
+    obs::MetricsRegistry local;
+    {
+      obs::ScopedMetricsRegistry scope(&local);
+      runner::run_sharded(pool, 50, [](std::size_t i, runner::TaskContext&) {
+        obs::MetricsRegistry::current().counter("t.ticks").inc(i + 1);
+      });
+    }
+    return local.snapshot();
+  };
+  const obs::Snapshot serial = count_grid(1);
+  const obs::Snapshot parallel = count_grid(8);
+  EXPECT_EQ(serial.counters.at("t.ticks"), 50u * 51u / 2u);
+  EXPECT_EQ(serial.counters, parallel.counters);
+}
+
+TEST(Runner, CancellationStopsEarly) {
+  runner::PoolOptions pool;
+  pool.jobs = 2;
+  pool.shard_size = 1;
+  std::atomic<u64> executed{0};
+  const runner::RunnerReport report = runner::run_sharded(
+      pool, 1000, [&](std::size_t, runner::TaskContext& ctx) {
+        if (executed.fetch_add(1, std::memory_order_relaxed) >= 3) {
+          ctx.cancel->cancel();
+        }
+      });
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.tasks_executed, 1000u);
+  EXPECT_EQ(report.tasks_executed, executed.load());
+}
+
+TEST(Runner, ChainedGridRunsTrialsInOrder) {
+  runner::TrialGrid grid;
+  grid.cells = 6;
+  grid.trials = 9;
+  grid.chain_trials = true;
+  runner::PoolOptions pool;
+  pool.jobs = 4;
+  pool.shard_size = 1;
+
+  // One order log per chain: a chain is serialized on one worker, so its
+  // log needs no lock; distinct chains write distinct vectors.
+  std::vector<std::vector<std::size_t>> order(grid.chains());
+  for (auto& v : order) v.reserve(grid.trials);
+  runner::run_grid(grid, pool,
+                   [&](const runner::GridCoord& c, runner::TaskContext&) {
+                     order[grid.chain(c)].push_back(c.trial);
+                   });
+
+  std::vector<std::size_t> expected(grid.trials);
+  std::iota(expected.begin(), expected.end(), 0u);
+  for (std::size_t chain = 0; chain < grid.chains(); ++chain) {
+    EXPECT_EQ(order[chain], expected) << "chain " << chain;
+  }
+}
+
+TEST(Runner, SelectorChainMatchesSerial) {
+  // A selector-backed (INTANG) grid: trials share per-chain state, so the
+  // trial axis is chained. jobs=8 must still reproduce jobs=1 exactly.
+  auto run = [](int jobs) {
+    const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+    const Calibration cal = Calibration::standard();
+    const auto vps = china_vantage_points();
+
+    runner::TrialGrid grid;
+    grid.vantages = 3;
+    grid.trials = 5;
+    grid.chain_trials = true;
+    runner::PoolOptions pool;
+    pool.jobs = jobs;
+
+    std::vector<intang::StrategySelector> selectors(
+        grid.chains(), intang::StrategySelector{intang::StrategySelector::Config{}});
+    obs::MetricsRegistry local;
+    obs::ScopedMetricsRegistry scope(&local);
+    auto out = runner::collect_grid(
+        grid, pool,
+        [&](const runner::GridCoord& c, runner::TaskContext&) {
+          ScenarioOptions opt;
+          opt.vp = vps[c.vantage];
+          opt.server.host = "chain.example";
+          opt.server.ip = net::make_ip(93, 184, 216, 34);
+          opt.cal = cal;
+          opt.seed = Rng::mix_seed({99, c.vantage, c.trial});
+          Scenario sc(&rules, opt);
+          HttpTrialOptions http;
+          http.with_keyword = true;
+          http.use_intang = true;
+          http.shared_selector = &selectors[grid.chain(c)];
+          return run_http_trial(sc, http).outcome;
+        });
+    return out.slots;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+}  // namespace
+}  // namespace ys

@@ -15,9 +15,12 @@
 //   --keyword=0|1        include the sensitive keyword (default 1)
 //   --seed=N             trial seed        --path-seed=N   path draw seed
 //   --trials=N           session length for `stats` (default 5)
+//   --jobs=N             worker threads for `stats` grids (default 1 = the
+//                        exact serial reference; 0 = hardware concurrency)
 //   --trace              print the packet ladder
 //   --pcap=FILE          capture the client's wire to a pcap file
 //   --metrics[=json|table]  dump the obs registry after any command
+//   --metrics-out=FILE   write the metrics snapshot to FILE as JSON on exit
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +35,7 @@
 #include "netsim/pcap.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "runner/runner.h"
 
 namespace ys {
 namespace {
@@ -49,9 +53,11 @@ struct CliOptions {
   u64 seed = 1;
   u64 path_seed = 0;
   int trials = 5;
+  int jobs = 1;
   bool dump_metrics = false;
   bool metrics_as_table = false;
   std::string pcap;
+  std::string metrics_out;
   std::string domain = "www.dropbox.com";
 };
 
@@ -60,6 +66,45 @@ void print_metrics(const CliOptions& cli) {
   std::fputs(cli.metrics_as_table ? obs::to_table(snap).c_str()
                                   : obs::to_json(snap).c_str(),
              stdout);
+}
+
+void write_metrics_out(const CliOptions& cli) {
+  if (cli.metrics_out.empty()) return;
+  const std::string json =
+      obs::to_json(obs::MetricsRegistry::global().snapshot());
+  if (cli.metrics_out == "-") {
+    std::fwrite(json.data(), 1, json.size(), stdout);
+    std::fputc('\n', stdout);
+    return;
+  }
+  std::FILE* f = std::fopen(cli.metrics_out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --metrics-out file %s\n",
+                 cli.metrics_out.c_str());
+    return;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+/// Per-strategy success-time profile from the exp.vtime.success.* virtual
+/// time histograms collected during the session.
+void print_vtime_profile() {
+  const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
+  bool header = false;
+  for (const auto& [name, h] : snap.histograms) {
+    constexpr const char* kPrefix = "exp.vtime.success.";
+    if (name.rfind(kPrefix, 0) != 0 || h.count == 0) continue;
+    if (!header) {
+      std::printf("success virtual-time profile (sim ms):\n");
+      header = true;
+    }
+    std::printf("  %-32s n=%-6llu mean=%.1f\n",
+                name.c_str() + std::strlen(kPrefix),
+                static_cast<unsigned long long>(h.count), h.sum / h.count);
+  }
+  if (header) std::printf("\n");
 }
 
 std::optional<net::IpAddr> parse_ip(const std::string& text) {
@@ -89,8 +134,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: yourstate <list|trial|probe|dns|tor|stats> [--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
-               "[--seed=N] [--path-seed=N] [--trials=N] [--trace] "
-               "[--pcap=FILE] [--domain=NAME] [--metrics[=json|table]]\n");
+               "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
+               "[--pcap=FILE] [--domain=NAME] [--metrics[=json|table]] "
+               "[--metrics-out=FILE]\n");
   return 2;
 }
 
@@ -196,29 +242,47 @@ int cmd_dns(const CliOptions& cli, const VantagePoint& vp) {
 
 /// Run a short INTANG browsing session (several HTTP fetches with the
 /// sensitive keyword, shared strategy knowledge) and dump the metrics
-/// registry: the "what did every layer of the ecosystem do" view.
+/// registry: the "what did every layer of the ecosystem do" view. The
+/// session runs as a runner grid: one chained cell per foreign server
+/// port offset is overkill for a single vantage point, so the grid is a
+/// single chain whose trial axis carries the session — the selector's
+/// history accumulates in trial order exactly as the serial loop did.
 int cmd_stats(const CliOptions& cli, const VantagePoint& vp) {
   obs::MetricsRegistry::global().reset_all();
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();
 
-  intang::StrategySelector selector{intang::StrategySelector::Config{}};
-  RateTally tally;
-  for (int i = 0; i < cli.trials; ++i) {
-    CliOptions per_trial = cli;
-    per_trial.seed = cli.seed + static_cast<u64>(i);
-    Scenario sc = make_scenario(&rules, per_trial, vp);
-    HttpTrialOptions http;
-    http.with_keyword = cli.keyword;
-    http.strategy = cli.strategy;
-    // The point of `stats` is to light up every component, INTANG
-    // included, unless the user pinned a fixed strategy.
-    http.use_intang =
-        cli.use_intang || cli.strategy == strategy::StrategyId::kNone;
-    http.shared_selector = &selector;
-    tally.add(run_http_trial(sc, http).outcome);
-  }
-  tally.publish(vp.name);
+  runner::TrialGrid grid;
+  grid.trials = static_cast<std::size_t>(cli.trials);
+  grid.chain_trials = true;  // one selector, history in trial order
+  runner::PoolOptions pool;
+  pool.jobs = cli.jobs;
 
+  std::vector<intang::StrategySelector> selectors(
+      grid.chains(), intang::StrategySelector{intang::StrategySelector::Config{}});
+  auto out = runner::collect_grid(
+      grid, pool,
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        CliOptions per_trial = cli;
+        per_trial.seed = cli.seed + static_cast<u64>(c.trial);
+        Scenario sc = make_scenario(&rules, per_trial, vp);
+        HttpTrialOptions http;
+        http.with_keyword = cli.keyword;
+        http.strategy = cli.strategy;
+        // The point of `stats` is to light up every component, INTANG
+        // included, unless the user pinned a fixed strategy.
+        http.use_intang =
+            cli.use_intang || cli.strategy == strategy::StrategyId::kNone;
+        http.shared_selector = &selectors[grid.chain(c)];
+        return run_http_trial(sc, http).outcome;
+      });
+
+  RateTally tally;
+  for (const Outcome o : out.slots) tally.add(o);
+  tally.publish(vp.name);
+  out.report.publish(obs::MetricsRegistry::global());
+
+  std::printf("%s\n", out.report.to_string().c_str());
+  print_vtime_profile();
   print_metrics(cli);
   return 0;
 }
@@ -279,6 +343,10 @@ int run(int argc, char** argv) {
       cli.path_seed = static_cast<u64>(std::atoll(v->c_str()));
     } else if (auto v = value("--trials")) {
       cli.trials = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value("--jobs")) {
+      cli.jobs = std::atoi(v->c_str());
+    } else if (auto v = value("--metrics-out")) {
+      cli.metrics_out = *v;
     } else if (arg == "--trace") {
       cli.trace = true;
     } else if (arg == "--metrics") {
@@ -316,6 +384,7 @@ int run(int argc, char** argv) {
   else if (cli.command == "stats") rc = cmd_stats(cli, *vp);
   if (rc < 0) return usage();
   if (cli.dump_metrics && cli.command != "stats") print_metrics(cli);
+  write_metrics_out(cli);
   return rc;
 }
 
