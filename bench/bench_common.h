@@ -12,6 +12,10 @@
 //                     Results are bit-identical for every N.
 //   --metrics-out=F   write the final merged metrics snapshot to F as JSON
 //                     at exit (use "-" for stdout)
+//   --flight-dir=D    enable the flight recorder: cells whose success rate
+//                     falls outside the paper-expected band get one
+//                     representative trial re-run traced, archived to D as
+//                     Chrome trace JSON + pcap named by grid coordinates
 #pragma once
 
 #include <cstdio>
@@ -36,6 +40,7 @@ struct RunConfig {
   u64 seed = 2017;
   int jobs = 1;         // 1 = serial reference; 0 = hardware concurrency
   std::string metrics_out;
+  std::string flight_dir;  // empty = flight recorder off
 };
 
 inline runner::PoolOptions pool_options(const RunConfig& cfg) {
@@ -86,10 +91,12 @@ inline RunConfig parse_args(int argc, char** argv) {
       cfg.jobs = std::atoi(argv[i] + 7);
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       cfg.metrics_out = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--flight-dir=", 13) == 0) {
+      cfg.flight_dir = argv[i] + 13;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials=N] [--servers=N] [--seed=S]"
-                   " [--jobs=N] [--metrics-out=FILE]\n",
+                   " [--jobs=N] [--metrics-out=FILE] [--flight-dir=DIR]\n",
                    argv[0]);
       std::exit(2);
     }

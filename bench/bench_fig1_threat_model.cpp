@@ -44,6 +44,7 @@ int run(int argc, char** argv) {
         opt.cal.detection_miss = 0.0;
         opt.cal.per_link_loss = 0.0;
         opt.seed = cfg.seed;
+        opt.tracing = true;  // the figure prints the full ladder
         Scenario sc(&rules, opt);
 
         FigureData fig;

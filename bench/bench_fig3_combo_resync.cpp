@@ -12,16 +12,6 @@ namespace {
 using namespace ys::bench;
 using namespace ys::exp;
 
-bool trace_contains(const TraceRecorder& trace, const char* actor,
-                    const char* kind, const char* needle) {
-  for (const auto& e : trace.events()) {
-    if (e.actor == actor && e.kind == kind &&
-        e.detail.find(needle) != std::string::npos) {
-      return true;
-    }
-  }
-  return false;
-}
 
 int run(int argc, char** argv) {
   RunConfig cfg = parse_args(argc, argv);
@@ -52,6 +42,7 @@ int run(int argc, char** argv) {
         opt.cal.ttl_estimate_error_prob = 0.0;
         opt.cal.old_model_fraction = 0.0;
         opt.seed = cfg.seed;
+        opt.tracing = true;  // the figure IS the ladder
         Scenario sc(&rules, opt);
 
         HttpTrialOptions http;
@@ -66,13 +57,11 @@ int run(int argc, char** argv) {
         // third SYN (the resync trigger) followed by the 1-byte desync
         // packet.
         for (const auto& e : sc.trace().events()) {
-          if (e.actor != "client" || e.kind != "send") continue;
-          if (e.detail.find("[S]") != std::string::npos) {
-            ++fig.syns_from_client;
+          if (e.actor != "client" || e.kind != obs::TraceKind::kSend) {
+            continue;
           }
-          if (e.detail.find("len=1") != std::string::npos) {
-            fig.desync_seen = true;
-          }
+          if ((e.packet.flags & 0x02) != 0) ++fig.syns_from_client;  // SYN
+          if (e.packet.payload_len == 1) fig.desync_seen = true;
         }
         fig.resyncs_entered = sc.gfw_type2().resyncs_entered();
         return fig;
@@ -86,7 +75,6 @@ int run(int argc, char** argv) {
               fig.desync_seen ? "yes" : "no");
   std::printf("evolved GFW resyncs entered: type2=%d\n", fig.resyncs_entered);
   std::printf("outcome: %s\n", to_string(fig.result.outcome));
-  (void)trace_contains;
   print_runner_report(out.report);
 
   const bool ok = fig.result.outcome == Outcome::kSuccess &&

@@ -31,6 +31,7 @@ LegData run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
   opt.cal.ttl_estimate_error_prob = 0.0;
   opt.cal.old_model_fraction = old_model ? 1.0 : 0.0;
   opt.seed = seed;
+  opt.tracing = !old_model;  // the evolved leg prints the ladder
   Scenario sc(&rules, opt);
 
   HttpTrialOptions http;
@@ -43,11 +44,12 @@ LegData run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
   if (!old_model) {
     leg.trace = sc.trace().render();
     for (const auto& e : sc.trace().events()) {
-      if (e.actor != "client" || e.kind != "send") continue;
-      if (e.detail.find("[S.]") != std::string::npos) {
-        ++leg.syn_acks_from_client;
-      }
-      if (e.detail.find("[R]") != std::string::npos) ++leg.rsts_from_client;
+      if (e.actor != "client" || e.kind != obs::TraceKind::kSend) continue;
+      const bool syn = (e.packet.flags & 0x02) != 0;
+      const bool ack = (e.packet.flags & 0x10) != 0;
+      const bool rst = (e.packet.flags & 0x04) != 0;
+      if (syn && ack) ++leg.syn_acks_from_client;
+      if (rst && !ack) ++leg.rsts_from_client;
     }
     const gfw::GfwTcb* tcb =
         sc.gfw_type2().find_tcb(net::FourTuple{opt.vp.address, 40001,

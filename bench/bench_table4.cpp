@@ -12,9 +12,15 @@
 //   TCB Teardown + TCB Reversal      96.2 / 2.6 / 1.1
 //   INTANG                           98.3 / 0.9 / 0.6
 // Outside China (avg): 89.8/92.7/84.6/89.5 for the four strategies.
+//
+// The inside direction runs through exp/benchdef.h (the shared grid
+// definition) so --flight-dir can re-run any anomalous cell's trial traced,
+// and `yourstate explain` can replay the exact same coordinates.
 #include <iterator>
 
 #include "bench_common.h"
+#include "exp/benchdef.h"
+#include "runner/flight_recorder.h"
 
 namespace ys {
 namespace {
@@ -27,7 +33,7 @@ struct Row {
   const char* label;
 };
 
-constexpr Row kRows[] = {
+constexpr Row kOutsideRows[] = {
     {strategy::StrategyId::kImprovedTeardown, "Improved TCB Teardown"},
     {strategy::StrategyId::kImprovedInOrder,
      "Improved In-order Data Overlapping"},
@@ -46,27 +52,165 @@ std::string mma(const MinMaxAvg& v) {
   return pct(v.min) + " / " + pct(v.max) + " / " + pct(v.avg);
 }
 
-void run_direction(const char* label, const std::vector<VantagePoint>& vps,
-                   const std::vector<ServerSpec>& servers, int trials,
-                   u64 seed, const Calibration& cal,
-                   const gfw::DetectionRules& rules, TextTable& table,
-                   bool with_intang_row, const runner::PoolOptions& pool) {
+/// How far a cell's sampled success rate may drift from the paper value
+/// before the flight recorder archives a trace. Wide enough that honest
+/// sampling noise at --trials=10 passes, tight enough that a genuinely
+/// shifted cell (or a deliberately small --trials=1 --servers=3 smoke run,
+/// which trace_lint's ctest script exploits) trips it.
+constexpr double kBandTolerance = 0.05;
+
+/// Inside-China direction via the shared bench definition, with the
+/// flight recorder checking every cell against its paper band.
+void run_inside(const RunConfig& cfg, int trials, TextTable& table) {
+  BenchScale scale;
+  scale.trials = trials;
+  scale.servers = cfg.servers > 0 ? cfg.servers : 77;
+  scale.seed = cfg.seed;
+  const Table4Inside bench(scale);
+  const auto& vps = bench.vantage_points();
+  const std::size_t n_servers = bench.server_population().size();
+
+  runner::FlightRecorderOptions fopt;
+  fopt.dir = cfg.flight_dir;
+  fopt.bench = "table4-inside";
+  runner::FlightRecorder fixed_recorder(
+      fopt, [&bench](const runner::GridCoord& c, const std::string& trace,
+                     const std::string& pcap) {
+        return bench.replay_fixed(c, trace, pcap).attribution.verdict;
+      });
+  fopt.bench = "table4-intang";
+  runner::FlightRecorder intang_recorder(
+      fopt, [&bench](const runner::GridCoord& c, const std::string& trace,
+                     const std::string& pcap) {
+        return bench.replay_intang(c, trace, pcap).attribution.verdict;
+      });
+
   // Fixed-strategy rows: every trial is independent, plain grid.
+  const runner::TrialGrid grid = bench.fixed_grid();
+  auto out = runner::collect_grid(
+      grid, pool_options(cfg),
+      [&bench](const runner::GridCoord& c, runner::TaskContext&) {
+        return bench.run_fixed(c).outcome;
+      });
+  print_runner_report(out.report);
+
+  for (std::size_t r = 0; r < Table4Inside::rows().size(); ++r) {
+    Agg agg;
+    RateTally cell_tally;
+    for (std::size_t v = 0; v < vps.size(); ++v) {
+      RateTally tally;
+      for (std::size_t s = 0; s < n_servers; ++s) {
+        for (std::size_t t = 0; t < grid.trials; ++t) {
+          tally.add(out.slots[grid.index({r, v, s, t})]);
+          cell_tally.add(out.slots[grid.index({r, v, s, t})]);
+        }
+      }
+      agg.success.push_back(tally.success_rate());
+      agg.f1.push_back(tally.failure1_rate());
+      agg.f2.push_back(tally.failure2_rate());
+    }
+    table.add_row({"Inside China", Table4Inside::rows()[r].label,
+                   mma(aggregate(agg.success)), mma(aggregate(agg.f1)),
+                   mma(aggregate(agg.f2))});
+
+    // Band check: archive the cell's first off-script trial when the
+    // aggregate drifts from the paper value.
+    const double paper = Table4Inside::rows()[r].paper_success;
+    runner::AnomalyBand band{paper - kBandTolerance, paper + kBandTolerance};
+    const double rate = cell_tally.success_rate();
+    runner::GridCoord example{r, 0, 0, 0};
+    const Outcome want =
+        rate < band.success_min ? Outcome::kSuccess : Outcome::kFailure1;
+    for (std::size_t i = 0; i < grid.total(); ++i) {
+      const runner::GridCoord c = grid.coord(i);
+      if (c.cell == r && out.slots[i] != want) {
+        example = c;
+        break;
+      }
+    }
+    fixed_recorder.check_band(Table4Inside::rows()[r].label, band, rate,
+                              example);
+  }
+
+  // INTANG row: one persistent selector per (vantage point, server) pair,
+  // so knowledge accumulates across the repeated trials exactly like the
+  // tool's Redis cache does across page loads. The trial axis is a
+  // sequential dependency, so the grid is chained: each chain runs its
+  // trials in order on one worker against its own selector.
+  const runner::TrialGrid igrid = bench.intang_grid();
+  std::vector<intang::StrategySelector> selectors(
+      igrid.chains(),
+      intang::StrategySelector{intang::StrategySelector::Config{}});
+  auto iout = runner::collect_grid(
+      igrid, pool_options(cfg),
+      [&bench, &igrid, &selectors](const runner::GridCoord& c,
+                                   runner::TaskContext&) {
+        return bench.run_intang(c, selectors[igrid.chain(c)]).outcome;
+      });
+  print_runner_report(iout.report);
+
+  Agg agg;
+  RateTally cell_tally;
+  for (std::size_t v = 0; v < vps.size(); ++v) {
+    RateTally tally;
+    for (std::size_t s = 0; s < n_servers; ++s) {
+      for (std::size_t t = 0; t < igrid.trials; ++t) {
+        tally.add(iout.slots[igrid.index({0, v, s, t})]);
+        cell_tally.add(iout.slots[igrid.index({0, v, s, t})]);
+      }
+    }
+    agg.success.push_back(tally.success_rate());
+    agg.f1.push_back(tally.failure1_rate());
+    agg.f2.push_back(tally.failure2_rate());
+  }
+  table.add_row({"Inside China", "INTANG Performance",
+                 mma(aggregate(agg.success)), mma(aggregate(agg.f1)),
+                 mma(aggregate(agg.f2))});
+
+  runner::AnomalyBand band{Table4Inside::kIntangPaperSuccess - kBandTolerance,
+                           Table4Inside::kIntangPaperSuccess + kBandTolerance};
+  const double rate = cell_tally.success_rate();
+  runner::GridCoord example{0, 0, 0, 0};
+  const Outcome want =
+      rate < band.success_min ? Outcome::kSuccess : Outcome::kFailure1;
+  for (std::size_t i = 0; i < igrid.total(); ++i) {
+    if (iout.slots[i] != want) {
+      example = igrid.coord(i);
+      break;
+    }
+  }
+  intang_recorder.check_band("INTANG Performance", band, rate, example);
+
+  const std::string freport =
+      fixed_recorder.report() + intang_recorder.report();
+  if (!freport.empty()) std::printf("\n%s", freport.c_str());
+}
+
+/// Outside-China direction: the legacy inline grid (no INTANG row, no
+/// flight recorder — the paper gives only per-strategy averages here).
+void run_outside(const RunConfig& cfg, int trials,
+                 const Calibration& cal, const gfw::DetectionRules& rules,
+                 TextTable& table) {
+  const auto vps = foreign_vantage_points();
+  const int n = cfg.servers > 0 ? cfg.servers : 33;
+  const auto servers = make_server_population(n, cfg.seed, cal, false);
+
   runner::TrialGrid grid;
-  grid.cells = std::size(kRows);
+  grid.cells = std::size(kOutsideRows);
   grid.vantages = vps.size();
   grid.servers = servers.size();
   grid.trials = static_cast<std::size_t>(trials);
   auto out = runner::collect_grid(
-      grid, pool, [&](const runner::GridCoord& c, runner::TaskContext&) {
-        const Row& row = kRows[c.cell];
+      grid, pool_options(cfg),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const Row& row = kOutsideRows[c.cell];
         const auto& vp = vps[c.vantage];
         const auto& srv = servers[c.server];
         ScenarioOptions opt;
         opt.vp = vp;
         opt.server = srv;
         opt.cal = cal;
-        opt.seed = Rng::mix_seed({seed, static_cast<u64>(row.id),
+        opt.seed = Rng::mix_seed({cfg.seed, static_cast<u64>(row.id),
                                   Rng::hash_label(vp.name), srv.ip,
                                   static_cast<u64>(c.trial)});
         Scenario sc(&rules, opt);
@@ -77,7 +221,7 @@ void run_direction(const char* label, const std::vector<VantagePoint>& vps,
       });
   print_runner_report(out.report);
 
-  for (std::size_t r = 0; r < std::size(kRows); ++r) {
+  for (std::size_t r = 0; r < std::size(kOutsideRows); ++r) {
     Agg agg;
     for (std::size_t v = 0; v < vps.size(); ++v) {
       RateTally tally;
@@ -90,58 +234,10 @@ void run_direction(const char* label, const std::vector<VantagePoint>& vps,
       agg.f1.push_back(tally.failure1_rate());
       agg.f2.push_back(tally.failure2_rate());
     }
-    table.add_row({label, kRows[r].label, mma(aggregate(agg.success)),
-                   mma(aggregate(agg.f1)), mma(aggregate(agg.f2))});
+    table.add_row({"Outside China", kOutsideRows[r].label,
+                   mma(aggregate(agg.success)), mma(aggregate(agg.f1)),
+                   mma(aggregate(agg.f2))});
   }
-
-  if (!with_intang_row) return;
-
-  // INTANG row: one persistent selector per (vantage point, server) pair,
-  // so knowledge accumulates across the repeated trials exactly like the
-  // tool's Redis cache does across page loads. The trial axis is a
-  // sequential dependency, so the grid is chained: each chain runs its
-  // trials in order on one worker against its own selector.
-  runner::TrialGrid igrid;
-  igrid.vantages = vps.size();
-  igrid.servers = servers.size();
-  igrid.trials = static_cast<std::size_t>(trials);
-  igrid.chain_trials = true;
-  std::vector<intang::StrategySelector> selectors(
-      igrid.chains(),
-      intang::StrategySelector{intang::StrategySelector::Config{}});
-  auto iout = runner::collect_grid(
-      igrid, pool, [&](const runner::GridCoord& c, runner::TaskContext&) {
-        const auto& vp = vps[c.vantage];
-        const auto& srv = servers[c.server];
-        ScenarioOptions opt;
-        opt.vp = vp;
-        opt.server = srv;
-        opt.cal = cal;
-        opt.seed = Rng::mix_seed({seed, 0x1474a6ULL, Rng::hash_label(vp.name),
-                                  srv.ip, static_cast<u64>(c.trial)});
-        Scenario sc(&rules, opt);
-        HttpTrialOptions http;
-        http.with_keyword = true;
-        http.use_intang = true;
-        http.shared_selector = &selectors[igrid.chain(c)];
-        return run_http_trial(sc, http).outcome;
-      });
-  print_runner_report(iout.report);
-
-  Agg agg;
-  for (std::size_t v = 0; v < vps.size(); ++v) {
-    RateTally tally;
-    for (std::size_t s = 0; s < servers.size(); ++s) {
-      for (std::size_t t = 0; t < igrid.trials; ++t) {
-        tally.add(iout.slots[igrid.index({0, v, s, t})]);
-      }
-    }
-    agg.success.push_back(tally.success_rate());
-    agg.f1.push_back(tally.failure1_rate());
-    agg.f2.push_back(tally.failure2_rate());
-  }
-  table.add_row({label, "INTANG Performance", mma(aggregate(agg.success)),
-                 mma(aggregate(agg.f1)), mma(aggregate(agg.f2))});
 }
 
 int run(int argc, char** argv) {
@@ -158,17 +254,8 @@ int run(int argc, char** argv) {
   TextTable table({"Vantage Points", "Strategy", "Success (min/max/avg)",
                    "Failure 1 (min/max/avg)", "Failure 2 (min/max/avg)"});
 
-  const int inside_servers = cfg.servers > 0 ? cfg.servers : 77;
-  run_direction("Inside China", china_vantage_points(),
-                make_server_population(inside_servers, cfg.seed, cal, true),
-                trials, cfg.seed, cal, rules, table,
-                /*with_intang_row=*/true, pool_options(cfg));
-
-  const int outside_servers = cfg.servers > 0 ? cfg.servers : 33;
-  run_direction("Outside China", foreign_vantage_points(),
-                make_server_population(outside_servers, cfg.seed, cal, false),
-                trials, cfg.seed, cal, rules, table,
-                /*with_intang_row=*/false, pool_options(cfg));
+  run_inside(cfg, trials, table);
+  run_outside(cfg, trials, cal, rules, table);
 
   std::printf("%s\n", table.render().c_str());
   return 0;

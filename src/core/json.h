@@ -1,0 +1,43 @@
+// Minimal recursive-descent JSON reader.
+//
+// Exists so tools/trace_lint and the trace round-trip tests can validate
+// exported Chrome trace-event files without an external dependency. Reads
+// the full JSON grammar (objects, arrays, strings with escapes, numbers,
+// bool, null); numbers are held as double, which is exact for every id the
+// tracer emits (< 2^53).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ys::json {
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document. std::nullopt on any syntax error or
+/// trailing garbage.
+std::optional<Value> parse(std::string_view text);
+
+}  // namespace ys::json

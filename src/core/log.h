@@ -1,15 +1,9 @@
-// Lightweight leveled logging.
-//
-// The structured event trace (TraceRecorder) that used to live here moved
-// to obs/trace.h when the observability layer grew; the include below keeps
-// `ys::TraceRecorder` reachable through this header for the figure benches
-// and every other historical user.
+// Lightweight leveled logging. The structured event trace lives in
+// obs/trace.h (ys::obs::TraceRecorder).
 #pragma once
 
 #include <functional>
 #include <string>
-
-#include "obs/trace.h"
 
 namespace ys {
 

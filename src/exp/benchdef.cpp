@@ -1,0 +1,164 @@
+#include "exp/benchdef.h"
+
+#include <cstdio>
+
+#include "netsim/pcap.h"
+#include "obs/trace_export.h"
+
+namespace ys::exp {
+
+const std::array<Table4Inside::Row, 4>& Table4Inside::rows() {
+  static const std::array<Row, 4> kRows = {{
+      {strategy::StrategyId::kImprovedTeardown, "Improved TCB Teardown",
+       0.958},
+      {strategy::StrategyId::kImprovedInOrder,
+       "Improved In-order Data Overlapping", 0.945},
+      {strategy::StrategyId::kCreationResyncDesync,
+       "TCB Creation + Resync/Desync", 0.956},
+      {strategy::StrategyId::kTeardownReversal,
+       "TCB Teardown + TCB Reversal", 0.962},
+  }};
+  return kRows;
+}
+
+Table4Inside::Table4Inside(BenchScale scale)
+    : scale_(scale),
+      cal_(Calibration::standard()),
+      rules_(gfw::DetectionRules::standard()),
+      vps_(china_vantage_points()),
+      servers_(make_server_population(scale_.servers, scale_.seed, cal_,
+                                      /*inside_china=*/true)) {}
+
+runner::TrialGrid Table4Inside::fixed_grid() const {
+  runner::TrialGrid grid;
+  grid.cells = rows().size();
+  grid.vantages = vps_.size();
+  grid.servers = servers_.size();
+  grid.trials = static_cast<std::size_t>(scale_.trials);
+  return grid;
+}
+
+runner::TrialGrid Table4Inside::intang_grid() const {
+  runner::TrialGrid grid;
+  grid.vantages = vps_.size();
+  grid.servers = servers_.size();
+  grid.trials = static_cast<std::size_t>(scale_.trials);
+  grid.chain_trials = true;
+  return grid;
+}
+
+u64 Table4Inside::fixed_seed(const runner::GridCoord& c) const {
+  return Rng::mix_seed({scale_.seed,
+                        static_cast<u64>(rows()[c.cell].id),
+                        Rng::hash_label(vps_[c.vantage].name),
+                        servers_[c.server].ip, static_cast<u64>(c.trial)});
+}
+
+u64 Table4Inside::intang_seed(const runner::GridCoord& c) const {
+  return Rng::mix_seed({scale_.seed, 0x1474a6ULL,
+                        Rng::hash_label(vps_[c.vantage].name),
+                        servers_[c.server].ip, static_cast<u64>(c.trial)});
+}
+
+ScenarioOptions Table4Inside::options_for(const runner::GridCoord& c,
+                                          u64 trial_seed,
+                                          bool tracing) const {
+  ScenarioOptions opt;
+  opt.vp = vps_[c.vantage];
+  opt.server = servers_[c.server];
+  opt.cal = cal_;
+  opt.seed = trial_seed;
+  opt.tracing = tracing;
+  return opt;
+}
+
+TrialResult Table4Inside::run_fixed(const runner::GridCoord& c) const {
+  Scenario sc(&rules_, options_for(c, fixed_seed(c), /*tracing=*/false));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = rows()[c.cell].id;
+  return run_http_trial(sc, http);
+}
+
+TrialResult Table4Inside::run_intang(const runner::GridCoord& c,
+                                     intang::StrategySelector& selector) const {
+  Scenario sc(&rules_, options_for(c, intang_seed(c), /*tracing=*/false));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.use_intang = true;
+  http.shared_selector = &selector;
+  return run_http_trial(sc, http);
+}
+
+namespace {
+
+/// Traced run of one prepared scenario: capture, run, render, attribute.
+Replay traced_run(Scenario& sc, const HttpTrialOptions& http,
+                  const std::string& trace_path,
+                  const std::string& pcap_path) {
+  net::PcapWriter writer;
+  if (!pcap_path.empty()) {
+    if (auto st = writer.open(pcap_path); st.ok()) {
+      sc.path().set_client_capture(
+          [&writer](const net::Packet& pkt, SimTime at) {
+            (void)writer.write(pkt, at);
+          });
+    } else {
+      std::fprintf(stderr, "pcap: %s\n", st.error().message.c_str());
+    }
+  }
+
+  Replay replay;
+  replay.result = run_http_trial(sc, http);
+  replay.old_model = sc.path_runs_old_model();
+  replay.ladder = sc.trace().render();
+  replay.attribution =
+      attribute_verdict(sc.trace(), replay.result.outcome, replay.old_model);
+  if (!trace_path.empty()) {
+    if (!obs::write_chrome_trace(trace_path, sc.trace())) {
+      std::fprintf(stderr, "cannot write trace file %s\n", trace_path.c_str());
+    }
+  }
+  return replay;
+}
+
+}  // namespace
+
+Replay Table4Inside::replay_fixed(const runner::GridCoord& c,
+                                  const std::string& trace_path,
+                                  const std::string& pcap_path) const {
+  Scenario sc(&rules_, options_for(c, fixed_seed(c), /*tracing=*/true));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.strategy = rows()[c.cell].id;
+  return traced_run(sc, http, trace_path, pcap_path);
+}
+
+Replay Table4Inside::replay_intang(const runner::GridCoord& c,
+                                   const std::string& trace_path,
+                                   const std::string& pcap_path) const {
+  // Rebuild the chain's selector knowledge: the grid runs trials of one
+  // (vantage, server) chain in ascending order against one selector, so an
+  // identical prefix replay puts the selector in the identical state.
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  for (std::size_t t = 0; t < c.trial; ++t) {
+    runner::GridCoord prefix = c;
+    prefix.trial = t;
+    (void)run_intang(prefix, selector);
+  }
+
+  Scenario sc(&rules_, options_for(c, intang_seed(c), /*tracing=*/true));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  http.use_intang = true;
+  http.shared_selector = &selector;
+  return traced_run(sc, http, trace_path, pcap_path);
+}
+
+const std::vector<std::string>& known_benches() {
+  static const std::vector<std::string> kNames = {"table4-inside",
+                                                  "table4-intang"};
+  return kNames;
+}
+
+}  // namespace ys::exp

@@ -1,0 +1,102 @@
+// Shared definitions of the paper-table benchmark grids.
+//
+// bench_table4, the flight recorder, and `yourstate explain` must all agree
+// on what "cell 2, vantage 5, server 13, trial 4" means — same server
+// population, same per-trial seed formula, same trial options — or a
+// flight-recorder replay would not reproduce the anomalous trial it is
+// trying to explain. This header is that single source of truth: the bench
+// binary runs the grids through the runner pool, and replay_*() re-runs any
+// one coordinate (with tracing on) deterministically.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "exp/explain.h"
+#include "exp/scenario.h"
+#include "exp/trial.h"
+#include "exp/vantage.h"
+#include "gfw/gfw_device.h"
+#include "runner/runner.h"
+
+namespace ys::exp {
+
+/// Knobs every bench exposes (--trials/--servers/--seed).
+struct BenchScale {
+  int trials = 10;
+  int servers = 77;
+  u64 seed = 2017;
+};
+
+/// One traced re-run of a grid coordinate.
+struct Replay {
+  TrialResult result;
+  std::string ladder;       ///< rendered text trace
+  Attribution attribution;  ///< causal verdict attribution
+  bool old_model = false;   ///< the path ran the prior GFW model
+};
+
+/// The inside-China direction of Table 4: fixed-strategy rows plus the
+/// INTANG adaptive row. Owns the populations and seed formulas.
+class Table4Inside {
+ public:
+  struct Row {
+    strategy::StrategyId id;
+    const char* label;
+    /// Paper Table 4 average success rate (inside China), as a fraction.
+    double paper_success;
+  };
+  static const std::array<Row, 4>& rows();
+  /// Paper average success rate of the INTANG row (98.3 %).
+  static constexpr double kIntangPaperSuccess = 0.983;
+
+  explicit Table4Inside(BenchScale scale);
+
+  const BenchScale& scale() const { return scale_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+  const std::vector<ServerSpec>& server_population() const { return servers_; }
+  const gfw::DetectionRules& rules() const { return rules_; }
+
+  /// Grid over the fixed-strategy rows (cell = row index).
+  runner::TrialGrid fixed_grid() const;
+  /// Chained grid of the INTANG row (one cell; selector state accumulates
+  /// along the trial axis).
+  runner::TrialGrid intang_grid() const;
+
+  /// Run one fixed-row trial, untraced (the grid hot path).
+  TrialResult run_fixed(const runner::GridCoord& c) const;
+  /// Run one INTANG trial against `selector` (which carries the chain's
+  /// accumulated knowledge), untraced.
+  TrialResult run_intang(const runner::GridCoord& c,
+                         intang::StrategySelector& selector) const;
+
+  /// Deterministically re-run coordinate `c` with tracing on; writes the
+  /// Chrome trace JSON to `trace_path` and the client wire capture to
+  /// `pcap_path` when non-empty. For the INTANG row the chain's earlier
+  /// trials are replayed untraced first so the selector state matches the
+  /// grid run exactly.
+  Replay replay_fixed(const runner::GridCoord& c,
+                      const std::string& trace_path = {},
+                      const std::string& pcap_path = {}) const;
+  Replay replay_intang(const runner::GridCoord& c,
+                       const std::string& trace_path = {},
+                       const std::string& pcap_path = {}) const;
+
+ private:
+  ScenarioOptions options_for(const runner::GridCoord& c, u64 trial_seed,
+                              bool tracing) const;
+  u64 fixed_seed(const runner::GridCoord& c) const;
+  u64 intang_seed(const runner::GridCoord& c) const;
+
+  BenchScale scale_;
+  Calibration cal_;
+  gfw::DetectionRules rules_;
+  std::vector<VantagePoint> vps_;
+  std::vector<ServerSpec> servers_;
+};
+
+/// Bench names `yourstate explain --bench=` accepts.
+const std::vector<std::string>& known_benches();
+
+}  // namespace ys::exp

@@ -1,0 +1,210 @@
+#include "exp/explain.h"
+
+#include <unordered_map>
+
+namespace ys::exp {
+
+namespace {
+
+using obs::GfwBehavior;
+using obs::TraceEvent;
+using obs::TraceKind;
+
+struct Index {
+  std::vector<TraceEvent> events;
+  std::unordered_map<u64, std::size_t> by_id;
+
+  explicit Index(const obs::TraceRecorder& trace) : events(trace.events()) {
+    by_id.reserve(events.size());
+    for (std::size_t i = 0; i < events.size(); ++i) by_id[events[i].id] = i;
+  }
+
+  const TraceEvent* get(u64 id) const {
+    auto it = by_id.find(id);
+    return it == by_id.end() ? nullptr : &events[it->second];
+  }
+};
+
+/// Walk caused_by links from `start` to the root (bounded against cycles,
+/// which a correct trace never has).
+std::vector<u64> chain_from(const Index& ix, u64 start) {
+  std::vector<u64> chain;
+  u64 id = start;
+  while (id != 0 && chain.size() < 64) {
+    chain.push_back(id);
+    const TraceEvent* ev = ix.get(id);
+    if (ev == nullptr) break;  // link points at an evicted event
+    id = ev->caused_by;
+  }
+  return chain;
+}
+
+std::string packet_blurb(const obs::PacketRef& p) {
+  if (p.id == 0) return "?";
+  std::string out = "packet #" + std::to_string(p.id);
+  if (p.is_tcp) {
+    out += " (seq=" + std::to_string(p.seq);
+    if (p.payload_len != 0) {
+      out += ", " + std::to_string(p.payload_len) + "B";
+    }
+    out += ")";
+  }
+  if (p.crafted) out += " [insertion]";
+  return out;
+}
+
+/// Find the last event matching `pred`, or nullptr.
+template <typename Pred>
+const TraceEvent* find_last(const Index& ix, Pred pred) {
+  for (auto it = ix.events.rbegin(); it != ix.events.rend(); ++it) {
+    if (pred(*it)) return &*it;
+  }
+  return nullptr;
+}
+
+bool is_gfw_actor(const TraceEvent& ev) {
+  return ev.actor.rfind("gfw", 0) == 0;
+}
+
+/// Fill chain/insertion/decision fields from the decisive event.
+void resolve_chain(const Index& ix, Attribution& out) {
+  out.chain = chain_from(ix, out.decisive_event);
+  for (u64 id : out.chain) {
+    const TraceEvent* ev = ix.get(id);
+    if (ev == nullptr) continue;
+    if (ev->kind == TraceKind::kSend && ev->packet.crafted &&
+        out.causal_insertion_event == 0) {
+      out.causal_insertion_event = ev->id;
+    }
+    if (ev->kind == TraceKind::kDecision) {
+      out.strategy_decision_event = ev->id;  // deepest decision wins (root)
+    }
+  }
+}
+
+}  // namespace
+
+Attribution attribute_verdict(const obs::TraceRecorder& trace,
+                              Outcome outcome, bool old_model) {
+  Attribution out;
+  out.outcome = outcome;
+  const Index ix(trace);
+
+  const char* model = old_model ? "prior-model" : "evolved-model";
+
+  if (outcome == Outcome::kFailure2) {
+    // The censor won: the decisive event is the detection (or block-period
+    // / IP-block hit) that triggered the reset volley.
+    const TraceEvent* decisive = find_last(ix, [](const TraceEvent& ev) {
+      return ev.gfw.behavior == GfwBehavior::kDetection ||
+             ev.gfw.behavior == GfwBehavior::kBlockPeriod ||
+             ev.gfw.behavior == GfwBehavior::kIpBlock;
+    });
+    if (decisive == nullptr) {
+      out.verdict = "failure-2: GFW resets observed but no detection event "
+                    "was retained in the trace";
+      return out;
+    }
+    out.decisive_event = decisive->id;
+    out.behavior = decisive->gfw.behavior;
+    resolve_chain(ix, out);
+    std::string trigger = "?";
+    if (const TraceEvent* cause = ix.get(decisive->caused_by)) {
+      trigger = packet_blurb(cause->packet);
+    }
+    out.verdict = std::string("failure-2: ") + decisive->actor + " " +
+                  to_string(decisive->gfw.behavior) + " (" + decisive->detail +
+                  "); trigger: " + trigger;
+    return out;
+  }
+
+  if (outcome == Outcome::kFailure1) {
+    // Silent death: usually a middlebox (not the GFW) tearing its
+    // connection tracking down, often because of our own insertion packet.
+    const TraceEvent* decisive = find_last(ix, [](const TraceEvent& ev) {
+      return !is_gfw_actor(ev) && ev.kind == TraceKind::kState &&
+             (ev.gfw.behavior == GfwBehavior::kRstTeardown ||
+              ev.gfw.behavior == GfwBehavior::kFinTeardown);
+    });
+    if (decisive != nullptr) {
+      out.decisive_event = decisive->id;
+      out.behavior = decisive->gfw.behavior;
+      resolve_chain(ix, out);
+      out.verdict = std::string("failure-1: ") + decisive->actor +
+                    " tore down connection tracking on " +
+                    packet_blurb(decisive->packet) +
+                    "; the flow was blackholed from there";
+      return out;
+    }
+    // No middlebox event: look for loss/expiry of a client packet, else
+    // call it a timeout.
+    const TraceEvent* lost = find_last(ix, [](const TraceEvent& ev) {
+      return ev.kind == TraceKind::kLoss || ev.kind == TraceKind::kExpire;
+    });
+    if (lost != nullptr) {
+      out.decisive_event = lost->id;
+      resolve_chain(ix, out);
+      out.verdict = std::string("failure-1: ") + packet_blurb(lost->packet) +
+                    (lost->kind == TraceKind::kExpire ? " expired in transit"
+                                                      : " lost in transit") +
+                    "; no response before the trial ended";
+      return out;
+    }
+    out.verdict = "failure-1: no response and no decisive trace event — "
+                  "the connection silently timed out";
+    return out;
+  }
+
+  // Success: the evasion worked. The decisive event is the last GFW
+  // state-machine move caused (transitively) by a crafted insertion
+  // packet — the mechanism the strategy exploited.
+  const TraceEvent* decisive = find_last(ix, [&](const TraceEvent& ev) {
+    if (!is_gfw_actor(ev) || ev.kind != TraceKind::kState) return false;
+    if (!ev.gfw.valid()) return false;
+    for (u64 id : chain_from(ix, ev.caused_by)) {
+      const TraceEvent* hop = ix.get(id);
+      if (hop != nullptr && hop->kind == TraceKind::kSend &&
+          hop->packet.crafted) {
+        return true;
+      }
+    }
+    return false;
+  });
+  if (decisive != nullptr) {
+    out.decisive_event = decisive->id;
+    out.behavior = decisive->gfw.behavior;
+    resolve_chain(ix, out);
+    std::string via;
+    if (const TraceEvent* ins = ix.get(out.causal_insertion_event)) {
+      via = " via insertion " + packet_blurb(ins->packet);
+    }
+    std::string decided;
+    if (const TraceEvent* dec = ix.get(out.strategy_decision_event)) {
+      decided = "; decision: " + dec->detail;
+    }
+    out.verdict = std::string("success: ") + decisive->actor + " " +
+                  to_string(decisive->gfw.behavior) + " [" + model + "] (" +
+                  decisive->detail + ")" + via + decided;
+    return out;
+  }
+
+  // No crafted-caused state move: either no strategy ran and the censor
+  // just missed, or the detector was overloaded.
+  const TraceEvent* missed = find_last(ix, [](const TraceEvent& ev) {
+    return ev.gfw.behavior == GfwBehavior::kDetectionMissed;
+  });
+  if (missed != nullptr) {
+    out.decisive_event = missed->id;
+    out.behavior = missed->gfw.behavior;
+    resolve_chain(ix, out);
+    out.verdict = std::string("success: ") + missed->actor +
+                  " detector fired but injection was skipped (overload) — "
+                  "the paper's no-strategy success path";
+    return out;
+  }
+  out.verdict = std::string("success: no GFW detection event [") + model +
+                "] — the censored content was never flagged";
+  return out;
+}
+
+}  // namespace ys::exp

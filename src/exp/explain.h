@@ -1,0 +1,43 @@
+// Verdict attribution: walk a trial's causal trace backwards from the
+// decisive event to the packet (and the strategy decision) that caused it.
+//
+// This is the analysis half of `yourstate explain`: given the structured
+// trace of one trial and its §3.4 outcome, name the mechanism — which GFW
+// behavior fired (or failed to), which insertion packet made it fire, and
+// which selector/strategy decision crafted that packet.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/trial.h"
+#include "obs/trace.h"
+
+namespace ys::exp {
+
+/// The causal story of one trial verdict.
+struct Attribution {
+  Outcome outcome = Outcome::kFailure1;
+  /// One line: "failure-2: gfw-2 keyword detected ..." — the headline
+  /// `yourstate explain` prints under the ladder.
+  std::string verdict;
+  /// The trace event that decided the outcome (0 if none found).
+  u64 decisive_event = 0;
+  /// The kSend of the crafted insertion packet that caused the decisive
+  /// event, when the chain reaches one (success stories).
+  u64 causal_insertion_event = 0;
+  /// The kDecision (strategy armed / selector pick) at the chain's root.
+  u64 strategy_decision_event = 0;
+  /// The named GFW/middlebox behavior of the decisive event.
+  obs::GfwBehavior behavior = obs::GfwBehavior::kNone;
+  /// The full caused_by chain, decisive event first, root last.
+  std::vector<u64> chain;
+};
+
+/// Attribute `outcome` to its causal mechanism using the trial's trace.
+/// `old_model` is Scenario::path_runs_old_model() — it only flavors the
+/// wording for success stories with no explicit state event.
+Attribution attribute_verdict(const obs::TraceRecorder& trace,
+                              Outcome outcome, bool old_model);
+
+}  // namespace ys::exp

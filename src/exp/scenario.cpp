@@ -108,7 +108,9 @@ Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
   net::PathConfig path_cfg;
   path_cfg.server_hops = server_hops_;
   path_cfg.per_link_loss = cal.per_link_loss;
-  path_ = std::make_unique<net::Path>(loop_, rng_.fork(), path_cfg, &trace_);
+  path_ = std::make_unique<net::Path>(loop_, rng_.fork(), path_cfg,
+                                      opt_.tracing ? &trace_ : nullptr);
+  if (opt_.tracing) loop_.set_trace(&trace_);
 
   // ----------------------------------------------------------- middleboxes
   mbox::MiddleboxConfig client_box = client_mbox_for(opt_.vp.provider);

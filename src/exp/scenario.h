@@ -60,6 +60,10 @@ struct ScenarioOptions {
   /// Build both hosts as measurement tools: raw scripted flows only, no
   /// kernel RSTs for unknown segments (the GFW prober uses this).
   bool stealth_hosts = false;
+  /// Enable structured causal tracing for this trial. Off by default so
+  /// the hot path stays string-free; the flight recorder re-runs anomalous
+  /// trials with this on (determinism guarantees the same outcome).
+  bool tracing = false;
 
   /// §8 countermeasure ablations applied to both GFW devices.
   struct HardenOptions {
@@ -83,7 +87,7 @@ class Scenario {
   gfw::GfwDevice& gfw_type1() { return *type1_; }
   gfw::GfwDevice& gfw_type2() { return *type2_; }
   gfw::DnsPoisoner& dns_poisoner() { return *poisoner_; }
-  TraceRecorder& trace() { return trace_; }
+  obs::TraceRecorder& trace() { return trace_; }
   const ScenarioOptions& options() const { return opt_; }
 
   /// What the client measured about the path before the trial (possibly
@@ -104,7 +108,7 @@ class Scenario {
  private:
   ScenarioOptions opt_;
   net::EventLoop loop_;
-  TraceRecorder trace_;
+  obs::TraceRecorder trace_;
   Rng path_rng_;
   Rng rng_;
 

@@ -92,7 +92,29 @@ void GfwDevice::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
   // device reads a copy and may inject.
   net::Packet copy = pkt;
   fwd.forward(std::move(pkt));
+  trace_ = fwd.trace();
+  trace_now_ = fwd.now();
+  current_pkt_ = copy.trace_id;
   inspect(copy, dir, fwd);
+}
+
+void GfwDevice::trace_state(obs::GfwState from, obs::GfwState to,
+                            obs::GfwBehavior b, const char* detail) {
+  if (trace_ == nullptr) return;
+  obs::TraceEvent ev;
+  ev.at = trace_now_;
+  ev.kind = obs::TraceKind::kState;
+  ev.actor = name_;
+  ev.gfw = obs::GfwTransition{from, to, b};
+  ev.caused_by = trace_->event_for_packet(current_pkt_);
+  ev.detail = detail;
+  trace_->record(std::move(ev));
+}
+
+void GfwDevice::trace_ignore(const char* detail) {
+  if (trace_ == nullptr) return;
+  trace_->note(trace_now_, name_, obs::TraceKind::kIgnore, detail,
+               trace_->event_for_packet(current_pkt_));
 }
 
 void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
@@ -108,6 +130,9 @@ void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
   if (ip_blocklist_.contains(whole->ip.dst) ||
       ip_blocklist_.contains(whole->ip.src)) {
     metrics().ip_block_hits.inc();
+    trace_state(obs::GfwState::kNone, obs::GfwState::kNone,
+                obs::GfwBehavior::kIpBlock,
+                "endpoint on the IP blocklist; injecting response");
     inject_all(injector_.ip_block_response(*whole, dir), fwd);
     return;
   }
@@ -116,6 +141,9 @@ void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
   if (cfg_.enforce_block_period &&
       host_pair_blocked(whole->ip.src, whole->ip.dst, fwd.now())) {
     metrics().block_period_hits.inc();
+    trace_state(obs::GfwState::kNone, obs::GfwState::kNone,
+                obs::GfwBehavior::kBlockPeriod,
+                "host pair inside the 90 s block period; forging responses");
     auto injections = injector_.block_period_response(*whole, dir);
     for (const auto& inj : injections) {
       if (inj.packet.tcp->flags.syn && inj.packet.tcp->flags.ack) {
@@ -134,9 +162,11 @@ void GfwDevice::inspect(const net::Packet& pkt, net::Dir dir,
   // all processed as if valid (Table 3's GFW column). The harden_* flags
   // below model the §8 countermeasures and default off.
   if (cfg_.harden_validate_checksum && !net::transport_checksum_ok(*whole)) {
+    trace_ignore("bad transport checksum dropped by hardened GFW");
     return;
   }
   if (cfg_.harden_reject_md5 && t.options.md5_signature.has_value()) {
+    trace_ignore("unsolicited MD5 option dropped by hardened GFW");
     return;
   }
 
@@ -168,20 +198,30 @@ bool GfwDevice::handle_rst(const net::Packet& pkt, net::Dir dir) {
     const u32 expected = from_assumed_client(*tcb, pkt)
                              ? tcb->client_next
                              : tcb->server_next;
-    if (pkt.tcp->seq != expected) return true;  // ignored
+    if (pkt.tcp->seq != expected) {
+      trace_ignore("RST at unexpected seq ignored (strict-rst hardening)");
+      return true;  // ignored
+    }
   }
 
   if (!cfg_.evolved) {
+    trace_state(to_obs(tcb->state), obs::GfwState::kGone,
+                obs::GfwBehavior::kRstTeardown,
+                "prior model: RST tears the TCB down");
     erase_tcb(pkt.tuple());
     return true;
   }
-  const RstReaction reaction = tcb->in_handshake_phase()
-                                   ? cfg_.rst_reaction_handshake
-                                   : cfg_.rst_reaction_established;
+  const bool handshake = tcb->in_handshake_phase();
+  const RstReaction reaction = handshake ? cfg_.rst_reaction_handshake
+                                         : cfg_.rst_reaction_established;
   if (reaction == RstReaction::kTeardown) {
+    trace_state(to_obs(tcb->state), obs::GfwState::kGone,
+                obs::GfwBehavior::kRstTeardown,
+                handshake ? "B3: RST during handshake tears the TCB down"
+                          : "B3: RST after handshake tears the TCB down");
     erase_tcb(pkt.tuple());
   } else {
-    enter_resync(*tcb, "rst");
+    enter_resync(*tcb, obs::GfwBehavior::kB3RstResync);
   }
   return true;
 }
@@ -189,13 +229,19 @@ bool GfwDevice::handle_rst(const net::Packet& pkt, net::Dir dir) {
 bool GfwDevice::handle_fin_teardown(const net::Packet& pkt) {
   // Prior model only: any FIN tears the TCB down.
   if (!pkt.tcp->flags.fin) return false;
-  if (lookup(pkt.tuple()) != nullptr) erase_tcb(pkt.tuple());
+  if (lookup(pkt.tuple()) != nullptr) {
+    trace_state(to_obs(lookup(pkt.tuple())->state), obs::GfwState::kGone,
+                obs::GfwBehavior::kFinTeardown,
+                "prior model: FIN tears the TCB down");
+    erase_tcb(pkt.tuple());
+  }
   return true;
 }
 
-void GfwDevice::enter_resync(GfwTcb& tcb, const char* why) {
-  (void)why;
+void GfwDevice::enter_resync(GfwTcb& tcb, obs::GfwBehavior why) {
   if (tcb.state != TcbState::kResync) {
+    trace_state(to_obs(tcb.state), obs::GfwState::kResync, why,
+                "TCB enters resync; next client data re-anchors the stream");
     tcb.state = TcbState::kResync;
     ++resyncs_;
     metrics().tcb_resync.inc();
@@ -209,13 +255,18 @@ void GfwDevice::handle_syn(const net::Packet& pkt, net::Dir dir) {
     // client and its sequence number anchors the monitored stream.
     GfwTcb& fresh = create_tcb(pkt.tuple(), dir, /*reversed=*/false);
     fresh.client_next = pkt.tcp->seq + 1;
+    trace_state(obs::GfwState::kNone, obs::GfwState::kEstablished,
+                obs::GfwBehavior::kB1CreateOnSyn, "TCB created on SYN");
     return;
   }
-  if (!cfg_.evolved) return;  // prior model ignores later SYNs
+  if (!cfg_.evolved) {
+    trace_ignore("prior model: later SYN ignored");
+    return;  // prior model ignores later SYNs
+  }
 
   if (from_assumed_client(*tcb, pkt)) {
     // Behavior 2a: multiple SYNs from the client side → resync state.
-    enter_resync(*tcb, "multiple-syn");
+    enter_resync(*tcb, obs::GfwBehavior::kB2aMultipleSyn);
   }
   // A SYN from the assumed-server side is meaningless; ignored.
 }
@@ -235,6 +286,11 @@ void GfwDevice::handle_syn_ack(const net::Packet& pkt, net::Dir dir) {
     fresh.server_next = pkt.tcp->seq + 1;
     fresh.server_seq_known = true;
     fresh.syn_ack_seen = true;
+    trace_state(obs::GfwState::kNone, obs::GfwState::kEstablished,
+                obs::GfwBehavior::kB1CreateOnSynAck,
+                dir == net::Dir::kC2S
+                    ? "B1: TCB created on client-sent SYN/ACK (roles reversed)"
+                    : "B1: TCB created on SYN/ACK");
     return;
   }
 
@@ -255,6 +311,9 @@ void GfwDevice::handle_syn_ack(const net::Packet& pkt, net::Dir dir) {
     tcb->server_seq_known = true;
     tcb->syn_ack_seen = true;
     tcb->state = TcbState::kEstablished;
+    trace_state(obs::GfwState::kResync, obs::GfwState::kEstablished,
+                obs::GfwBehavior::kResyncReanchor,
+                "re-anchored on server SYN/ACK");
     return;
   }
   if (!tcb->syn_ack_seen) {
@@ -263,13 +322,13 @@ void GfwDevice::handle_syn_ack(const net::Packet& pkt, net::Dir dir) {
     tcb->server_seq_known = true;
     if (pkt.tcp->ack != tcb->client_next) {
       // Behavior 2c: acknowledgment disagrees with the SYN we tracked.
-      enter_resync(*tcb, "synack-ack-mismatch");
+      enter_resync(*tcb, obs::GfwBehavior::kB2cSynAckAckMismatch);
     }
     return;
   }
   // Behavior 2b: multiple SYN/ACKs from the server side.
   tcb->server_next = pkt.tcp->seq + 1;
-  enter_resync(*tcb, "multiple-synack");
+  enter_resync(*tcb, obs::GfwBehavior::kB2bMultipleSynAck);
 }
 
 void GfwDevice::handle_payload(const net::Packet& pkt, net::Dir dir,
@@ -311,6 +370,9 @@ void GfwDevice::handle_payload(const net::Packet& pkt, net::Dir dir,
       // hole the desync building block drives through).
       tcb->reanchor(t.seq);
       tcb->state = TcbState::kEstablished;
+      trace_state(obs::GfwState::kResync, obs::GfwState::kEstablished,
+                  obs::GfwBehavior::kResyncReanchor,
+                  "re-anchored on next client data");
     }
     if (tcb->detected) return;
     if (cfg_.device_type == DeviceType::kType1) {
@@ -362,6 +424,9 @@ void GfwDevice::release_acked_bytes(GfwTcb& tcb, u32 server_ack,
       if (tcp::seq_lt(seq, server_ack) && tcp::seq_le(end, server_ack)) {
         tcb.reanchor(seq);
         tcb.state = TcbState::kEstablished;
+        trace_state(obs::GfwState::kResync, obs::GfwState::kEstablished,
+                    obs::GfwBehavior::kResyncReanchor,
+                    "hardened resync: re-anchored on server-acked candidate");
         tcb.ingest(seq, payload, cfg_.tcp_segment_overlap, cfg_.window);
         Bytes confirmed = tcb.drain();
         if (!confirmed.empty() && !tcb.detected) {
@@ -423,12 +488,18 @@ void GfwDevice::scan_monitored(GfwTcb& tcb, ByteView fresh,
     if (cfg_.tor_filtering && app::is_tor_client_hello(tcb.stream())) {
       ++detections_;
       metrics().keyword_hits.inc();
+      trace_state(to_obs(tcb.state), to_obs(tcb.state),
+                  obs::GfwBehavior::kDetection,
+                  "Tor client hello fingerprinted; probing suspected bridge");
       if (tor_probe_(tcb.tuple().dst_ip)) {
         // Active probe confirms a bridge: block the IP outright (§7.3 —
         // "any node in China can no longer connect to this IP via any
         // port") and kill the current connection.
         ip_blocklist_.insert(tcb.tuple().dst_ip);
         tcb.detected = true;
+        trace_state(to_obs(tcb.state), to_obs(tcb.state),
+                    obs::GfwBehavior::kIpBlock,
+                    "probe confirmed Tor bridge; IP blocked on every port");
         inject_all(injector_.type2_resets(tcb), fwd);
         ++reset_volleys_;
         metrics().rst_type2_injected.inc();
@@ -462,15 +533,19 @@ void GfwDevice::scan_monitored(GfwTcb& tcb, ByteView fresh,
 
 void GfwDevice::on_sensitive(GfwTcb& tcb, net::Forwarder& fwd,
                              const char* what) {
-  (void)what;
   tcb.detected = true;
   ++detections_;
   metrics().keyword_hits.inc();
+  trace_state(to_obs(tcb.state), to_obs(tcb.state),
+              obs::GfwBehavior::kDetection, what);
   if (rng_.chance(cfg_.detection_miss_rate)) {
     // Overload: the detection engine fired but injection didn't happen —
     // the paper's stubborn 2.8 % success-without-strategy rate.
     ++missed_;
     metrics().detection_missed.inc();
+    trace_state(to_obs(tcb.state), to_obs(tcb.state),
+                obs::GfwBehavior::kDetectionMissed,
+                "detector fired but the injector was overloaded; no resets");
     return;
   }
   ++reset_volleys_;
@@ -482,6 +557,9 @@ void GfwDevice::on_sensitive(GfwTcb& tcb, net::Forwarder& fwd,
     inject_all(injector_.type2_resets(tcb), fwd);
     if (cfg_.enforce_block_period) {
       metrics().block_period_starts.inc();
+      trace_state(to_obs(tcb.state), to_obs(tcb.state),
+                  obs::GfwBehavior::kBlockPeriod,
+                  "host-pair block period started (90 s)");
       blocklist_[net::HostPair::of(tcb.tuple().src_ip, tcb.tuple().dst_ip)] =
           fwd.now() + cfg_.block_duration;
     }
@@ -492,7 +570,9 @@ void GfwDevice::inject_all(std::vector<Injection> injections,
                            net::Forwarder& fwd) {
   SimTime delay = cfg_.reaction_delay;
   for (auto& inj : injections) {
-    fwd.inject(std::move(inj.packet), inj.dir, delay);
+    // Attribute each injected packet to the packet under inspection, so
+    // the trace links forged RSTs back to the sensitive request.
+    fwd.inject_caused_by(std::move(inj.packet), inj.dir, delay, current_pkt_);
     // Successive packets of a volley leave back-to-back.
     delay = delay + SimTime::from_us(30);
   }

@@ -80,7 +80,18 @@ class GfwDevice final : public net::PathElement {
                          net::Forwarder& fwd);
   void on_sensitive(GfwTcb& tcb, net::Forwarder& fwd, const char* what);
   void inject_all(std::vector<Injection> injections, net::Forwarder& fwd);
-  void enter_resync(GfwTcb& tcb, const char* why);
+  void enter_resync(GfwTcb& tcb, obs::GfwBehavior why);
+
+  /// Record a state-machine transition attributed to the packet currently
+  /// under inspection. No-op (no strings built) when tracing is off.
+  void trace_state(obs::GfwState from, obs::GfwState to, obs::GfwBehavior b,
+                   const char* detail);
+  /// Record a silently-ignored packet (hardened-mode validations).
+  void trace_ignore(const char* detail);
+  static obs::GfwState to_obs(TcbState s) {
+    return s == TcbState::kResync ? obs::GfwState::kResync
+                                  : obs::GfwState::kEstablished;
+  }
 
   GfwTcb* lookup(const net::FourTuple& tuple);
   GfwTcb& create_tcb(net::FourTuple assumed_c2s, net::Dir monitored_dir,
@@ -97,6 +108,12 @@ class GfwDevice final : public net::PathElement {
   GfwConfig cfg_;
   const DetectionRules* rules_;
   Rng rng_;
+
+  // Tracing context for the packet currently being inspected, refreshed at
+  // the top of process(); null/zero when the path runs untraced.
+  obs::TraceRecorder* trace_ = nullptr;
+  SimTime trace_now_{};
+  u64 current_pkt_ = 0;
   ResetInjector injector_;
   net::FragmentReassembler reassembler_;
   std::function<bool(net::IpAddr)> tor_probe_;

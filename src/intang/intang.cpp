@@ -1,5 +1,8 @@
 #include "intang/intang.h"
 
+#include "netsim/addr.h"
+#include "obs/trace.h"
+
 namespace ys::intang {
 
 Intang::Intang(tcp::Host& client, Config cfg, Rng rng,
@@ -14,10 +17,17 @@ Intang::Intang(tcp::Host& client, Config cfg, Rng rng,
   engine_ = std::make_unique<strategy::StrategyEngine>(
       client,
       [this](const net::FourTuple& tuple) {
-        const strategy::StrategyId id =
-            selector_->choose(tuple.dst_ip, client_.loop().now());
-        conns_[tuple] = ConnRecord{id, false};
-        return strategy::make_strategy(id);
+        const StrategySelector::Choice choice =
+            selector_->choose_explained(tuple.dst_ip, client_.loop().now());
+        conns_[tuple] = ConnRecord{choice.id, false};
+        if (obs::TraceRecorder* tr = client_.path().trace()) {
+          tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
+                   std::string("selector picked ") +
+                       strategy::to_string(choice.id) + " for " +
+                       net::ip_to_string(tuple.dst_ip) + " (" +
+                       to_string(choice.source) + ")");
+        }
+        return strategy::make_strategy(choice.id);
       },
       cfg.knowledge, std::move(rng));
 
@@ -59,6 +69,13 @@ tcp::Host::Verdict Intang::ingress(net::Packet& pkt) {
         ++failures_;
         selector_->report(it->first.dst_ip, it->second.id, /*success=*/false,
                          client_.loop().now());
+        if (obs::TraceRecorder* tr = client_.path().trace()) {
+          tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
+                   std::string("feedback: ") +
+                       strategy::to_string(it->second.id) + " failed against " +
+                       net::ip_to_string(it->first.dst_ip) + " (RST seen)",
+                   tr->event_for_packet(pkt.trace_id));
+        }
         // Loss adaptation (§7.1): repeated failures toward one server
         // suggest insertion packets are not surviving the path — double
         // down on redundancy for future connections.
@@ -71,6 +88,15 @@ tcp::Host::Verdict Intang::ingress(net::Packet& pkt) {
         consecutive_failures_[it->first.dst_ip] = 0;
         selector_->report(it->first.dst_ip, it->second.id, /*success=*/true,
                          client_.loop().now());
+        if (obs::TraceRecorder* tr = client_.path().trace()) {
+          tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
+                   std::string("feedback: ") +
+                       strategy::to_string(it->second.id) +
+                       " succeeded against " +
+                       net::ip_to_string(it->first.dst_ip) +
+                       " (server payload seen)",
+                   tr->event_for_packet(pkt.trace_id));
+        }
       }
     }
   }

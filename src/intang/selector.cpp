@@ -47,14 +47,14 @@ std::string StrategySelector::tally_key(net::IpAddr server,
          std::to_string(static_cast<int>(id));
 }
 
-strategy::StrategyId StrategySelector::choose(net::IpAddr server,
-                                              SimTime now) {
+StrategySelector::Choice StrategySelector::choose_explained(net::IpAddr server,
+                                                            SimTime now) {
   obs::ScopedTimer timer(metrics().choose_wall_us);
   metrics().picks.inc();
   // Fast path: LRU-cached known-good strategy.
   if (auto cached = cache_.get(server)) {
     metrics().cache_hits.inc();
-    return *cached;
+    return Choice{*cached, Choice::Source::kCacheHit};
   }
   // Store path: a persisted known-good record.
   if (auto good = store_.get(good_key(server), now)) {
@@ -63,7 +63,7 @@ strategy::StrategyId StrategySelector::choose(net::IpAddr server,
     std::from_chars(good->data(), good->data() + good->size(), id);
     const auto sid = static_cast<strategy::StrategyId>(id);
     cache_.put(server, sid);
-    return sid;
+    return Choice{sid, Choice::Source::kStoreHit};
   }
   // Cold path: prefer untried candidates in order, then the best success
   // ratio (Laplace-smoothed so sparse data doesn't pin a loser).
@@ -72,7 +72,9 @@ strategy::StrategyId StrategySelector::choose(net::IpAddr server,
   double best_score = -1.0;
   for (auto id : cfg_.candidates) {
     auto [ok, bad] = tallies(server, id, now);
-    if (ok + bad == 0) return id;  // untried: measure it
+    if (ok + bad == 0) {
+      return Choice{id, Choice::Source::kUntried};  // untried: measure it
+    }
     const double score =
         (static_cast<double>(ok) + 1.0) / (static_cast<double>(ok + bad) + 2.0);
     if (score > best_score) {
@@ -80,7 +82,17 @@ strategy::StrategyId StrategySelector::choose(net::IpAddr server,
       best = id;
     }
   }
-  return best;
+  return Choice{best, Choice::Source::kBestScore};
+}
+
+const char* to_string(StrategySelector::Choice::Source source) {
+  switch (source) {
+    case StrategySelector::Choice::Source::kCacheHit: return "cache-hit";
+    case StrategySelector::Choice::Source::kStoreHit: return "store-hit";
+    case StrategySelector::Choice::Source::kUntried: return "untried";
+    case StrategySelector::Choice::Source::kBestScore: return "best-score";
+  }
+  return "?";
 }
 
 void StrategySelector::report(net::IpAddr server, strategy::StrategyId id,

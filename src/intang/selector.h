@@ -27,8 +27,25 @@ class StrategySelector {
   explicit StrategySelector(Config cfg)
       : cfg_(std::move(cfg)), cache_(cfg_.lru_capacity) {}
 
+  /// One pick with provenance: where the decision came from (§6's
+  /// measurement-driven loop exposed for tracing and `yourstate explain`).
+  struct Choice {
+    strategy::StrategyId id;
+    enum class Source : u8 {
+      kCacheHit,    ///< LRU-cached known-good strategy
+      kStoreHit,    ///< persisted known-good record
+      kUntried,     ///< cold pick: first candidate with no tallies yet
+      kBestScore,   ///< cold pick: best Laplace-smoothed success ratio
+    } source;
+  };
+
   /// Pick the strategy for a new connection to `server`.
-  strategy::StrategyId choose(net::IpAddr server, SimTime now);
+  strategy::StrategyId choose(net::IpAddr server, SimTime now) {
+    return choose_explained(server, now).id;
+  }
+
+  /// As choose(), but also reports which selection path fired.
+  Choice choose_explained(net::IpAddr server, SimTime now);
 
   /// Feed back one trial result.
   void report(net::IpAddr server, strategy::StrategyId id, bool success,
@@ -51,5 +68,7 @@ class StrategySelector {
   /// Front cache: server → last known good strategy.
   LruCache<net::IpAddr, strategy::StrategyId> cache_;
 };
+
+const char* to_string(StrategySelector::Choice::Source source);
 
 }  // namespace ys::intang

@@ -65,10 +65,32 @@ void Middlebox::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
       fwd.drop(pkt, "FIN policy");
       return;
     }
+    const int torn_before = torn_;
     if (!track(pkt)) {
       ++dropped_;
       fwd.drop(pkt, "connection state torn down / out of window");
       return;
+    }
+    if (torn_ != torn_before) {
+      // This packet (an accepted RST/FIN — often a strategy's insertion
+      // packet) just tore the tracked connection down: the Failure-1
+      // mechanism where a middlebox, not the GFW, kills the flow.
+      if (obs::TraceRecorder* tr = fwd.trace()) {
+        obs::TraceEvent ev;
+        ev.at = fwd.now();
+        ev.kind = obs::TraceKind::kState;
+        ev.actor = cfg_.name;
+        ev.gfw = obs::GfwTransition{obs::GfwState::kEstablished,
+                                    obs::GfwState::kGone,
+                                    pkt.tcp->flags.rst
+                                        ? obs::GfwBehavior::kRstTeardown
+                                        : obs::GfwBehavior::kFinTeardown};
+        ev.packet = net::to_trace_ref(pkt, dir);
+        ev.caused_by = tr->event_for_packet(pkt.trace_id);
+        ev.detail = "middlebox connection tracking torn down; "
+                    "later packets on this flow are blackholed";
+        tr->record(std::move(ev));
+      }
     }
   }
 

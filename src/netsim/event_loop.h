@@ -11,6 +11,7 @@
 #include "core/log.h"
 #include "core/types.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ys::net {
 
@@ -79,6 +80,10 @@ class EventLoop {
   bool idle() const { return queue_.empty(); }
   std::size_t pending() const { return queue_.size(); }
 
+  /// Attach a trace recorder; the loop annotates anomalies (today: the
+  /// livelock guard tripping) as kNote events so they show up in replays.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct LoopMetrics {
     obs::Counter& events_executed;
@@ -111,11 +116,14 @@ class EventLoop {
     if (result.hit_max_events) {
       m.max_events_hits.inc();
       m.max_events_hit.set(1.0);
-      YS_LOG(LogLevel::kWarn,
-             "event loop stopped at the max_events bound after " +
-                 std::to_string(result.executed) +
-                 " events with " + std::to_string(queue_.size()) +
-                 " still pending (possible livelock)");
+      const std::string msg =
+          "event loop stopped at the max_events bound after " +
+          std::to_string(result.executed) + " events with " +
+          std::to_string(queue_.size()) + " still pending (possible livelock)";
+      YS_LOG(LogLevel::kWarn, msg);
+      if (trace_ != nullptr) {
+        trace_->note(now(), "loop", obs::TraceKind::kNote, msg);
+      }
     }
   }
   struct Event {
@@ -131,6 +139,7 @@ class EventLoop {
 
   VirtualClock clock_;
   u64 next_seq_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
 };
 

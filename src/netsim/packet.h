@@ -158,6 +158,14 @@ struct Packet {
   /// Simulator-unique id for tracing; assigned by the path when sent.
   u64 trace_id = 0;
 
+  /// Trace-event id of the decision that crafted this packet (strategy
+  /// insertion packets); 0 for organic traffic. Carried so the path can
+  /// link the packet's send event back to its strategy step.
+  u64 cause_hint = 0;
+
+  /// True for packets a strategy built and sent raw (insertion packets).
+  bool crafted = false;
+
   bool is_tcp() const { return tcp.has_value(); }
   bool is_udp() const { return udp.has_value(); }
   bool is_trailing_fragment() const {

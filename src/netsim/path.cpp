@@ -20,6 +20,22 @@ std::string sanitize_actor(const std::string& name) {
 
 }  // namespace
 
+obs::PacketRef to_trace_ref(const Packet& pkt, Dir dir) {
+  obs::PacketRef ref;
+  ref.id = pkt.trace_id;
+  ref.ttl = pkt.ip.ttl;
+  ref.dir = dir == Dir::kC2S ? 0 : 1;
+  ref.crafted = pkt.crafted;
+  ref.payload_len = static_cast<u16>(pkt.payload.size());
+  if (pkt.tcp) {
+    ref.is_tcp = true;
+    ref.seq = pkt.tcp->seq;
+    ref.ack = pkt.tcp->ack;
+    ref.flags = pkt.tcp->flags.to_byte();
+  }
+  return ref;
+}
+
 Path::PathMetrics& Path::metrics() {
   return obs::bind_per_thread<PathMetrics>([](obs::MetricsRegistry& reg) {
     return PathMetrics{reg.counter("netsim.packet_delivered_client"),
@@ -45,27 +61,46 @@ class Path::ForwarderImpl final : public Forwarder {
   }
 
   void inject(Packet pkt, Dir dir, SimTime delay) override {
+    inject_caused_by(std::move(pkt), dir, delay, 0);
+  }
+
+  void inject_caused_by(Packet pkt, Dir dir, SimTime delay,
+                        u64 cause_packet_id) override {
     finalize(pkt);
     Path::metrics().injected.inc();
     pkt.trace_id = path_.next_trace_id_++;
+    // Resolve the causal link now: at injection-decision time the trigger
+    // packet's latest trace event is the one that reached this element.
+    const u64 cause_event =
+        (path_.trace_ != nullptr && cause_packet_id != 0)
+            ? path_.trace_->event_for_packet(cause_packet_id)
+            : 0;
     const std::string actor = path_.elements_[static_cast<std::size_t>(index_)]
                                   .element->name();
     const int position = position_;
     const int index = index_;
     Path* path = &path_;
     path_.loop_.schedule_after(delay, [path, actor, position, index, dir,
+                                       cause_event,
                                        pkt = std::move(pkt)]() mutable {
-      path->record(actor, "inject", pkt.summary());
+      path->trace_packet(obs::TraceKind::kInject, actor, pkt, dir,
+                         cause_event);
       path->transit(std::move(pkt), dir, position, index);
     });
   }
 
   void drop(const Packet& pkt, std::string_view reason) override {
     Path::metrics().element_drops.inc();
-    const std::string actor =
-        path_.elements_[static_cast<std::size_t>(index_)].element->name();
-    path_.record(actor, "drop", pkt.summary() + "  (" + std::string(reason) + ")");
+    if (path_.trace_ != nullptr) {
+      const std::string actor =
+          path_.elements_[static_cast<std::size_t>(index_)].element->name();
+      path_.trace_packet(obs::TraceKind::kDrop, actor, pkt, dir_,
+                         path_.trace_->event_for_packet(pkt.trace_id),
+                         std::string(reason).c_str());
+    }
   }
+
+  obs::TraceRecorder* trace() const override { return path_.trace_; }
 
   SimTime now() const override { return path_.loop_.now(); }
   Rng& rng() override { return path_.rng_; }
@@ -78,8 +113,28 @@ class Path::ForwarderImpl final : public Forwarder {
   u64 trace_id_;
 };
 
-Path::Path(EventLoop& loop, Rng rng, PathConfig cfg, TraceRecorder* trace)
+Path::Path(EventLoop& loop, Rng rng, PathConfig cfg, obs::TraceRecorder* trace)
     : loop_(loop), rng_(rng), cfg_(cfg), trace_(trace) {}
+
+u64 Path::trace_packet(obs::TraceKind kind, const std::string& actor,
+                       const Packet& pkt, Dir dir, u64 caused_by,
+                       const char* extra) {
+  if (trace_ == nullptr) return 0;
+  obs::TraceEvent ev;
+  ev.at = loop_.now();
+  ev.kind = kind;
+  ev.actor = actor;
+  ev.caused_by = caused_by;
+  ev.packet = to_trace_ref(pkt, dir);
+  ev.detail = pkt.summary();
+  if (extra != nullptr) {
+    ev.detail += "  (";
+    ev.detail += extra;
+    ev.detail += ')';
+  }
+  if (pkt.crafted) ev.detail += "  [insertion]";
+  return trace_->record(std::move(ev));
+}
 
 void Path::attach(int position, PathElement* element) {
   auto it = std::upper_bound(
@@ -93,7 +148,10 @@ void Path::attach(int position, PathElement* element) {
 void Path::send_from_client(Packet pkt) {
   finalize(pkt);
   pkt.trace_id = next_trace_id_++;
-  record("client", "send", pkt.summary());
+  // Insertion packets carry the trace-event id of the strategy decision
+  // that crafted them; the send event chains to it.
+  trace_packet(obs::TraceKind::kSend, "client", pkt, Dir::kC2S,
+               pkt.cause_hint);
   if (client_capture_) client_capture_(pkt, loop_.now());
   transit(std::move(pkt), Dir::kC2S, 0, -1);
 }
@@ -101,7 +159,8 @@ void Path::send_from_client(Packet pkt) {
 void Path::send_from_server(Packet pkt) {
   finalize(pkt);
   pkt.trace_id = next_trace_id_++;
-  record("server", "send", pkt.summary());
+  trace_packet(obs::TraceKind::kSend, "server", pkt, Dir::kS2C,
+               pkt.cause_hint);
   transit(std::move(pkt), Dir::kS2C, endpoint_position(Dir::kC2S),
           static_cast<int>(elements_.size()));
 }
@@ -130,9 +189,13 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
   if (distance > 0) {
     if (pkt.ip.ttl < distance) {
       metrics().ttl_expired.inc();
-      record("path", "expire",
-             pkt.summary() + "  (ttl expired " +
-                 std::to_string(from_pos + pkt.ip.ttl) + " hops from client)");
+      if (trace_ != nullptr) {
+        const std::string extra = "ttl expired " +
+                                  std::to_string(from_pos + pkt.ip.ttl) +
+                                  " hops from client";
+        trace_packet(obs::TraceKind::kExpire, "path", pkt, dir,
+                     trace_->event_for_packet(pkt.trace_id), extra.c_str());
+      }
       return;
     }
     pkt.ip.ttl = static_cast<u8>(pkt.ip.ttl - distance);
@@ -141,7 +204,10 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
       const double survive = std::pow(1.0 - cfg_.per_link_loss, distance);
       if (!rng_.chance(survive)) {
         metrics().dropped_loss.inc();
-        record("path", "loss", pkt.summary());
+        if (trace_ != nullptr) {
+          trace_packet(obs::TraceKind::kLoss, "path", pkt, dir,
+                       trace_->event_for_packet(pkt.trace_id));
+        }
         return;
       }
     }
@@ -191,12 +257,18 @@ void Path::deliver_to_endpoint(Packet pkt, Dir dir) {
   if (dir == Dir::kC2S) {
     ++to_server_count_;
     metrics().delivered_server.inc();
-    record("server", "recv", pkt.summary());
+    if (trace_ != nullptr) {
+      trace_packet(obs::TraceKind::kRecv, "server", pkt, dir,
+                   trace_->event_for_packet(pkt.trace_id));
+    }
     if (server_sink_) server_sink_(std::move(pkt));
   } else {
     ++to_client_count_;
     metrics().delivered_client.inc();
-    record("client", "recv", pkt.summary());
+    if (trace_ != nullptr) {
+      trace_packet(obs::TraceKind::kRecv, "client", pkt, dir,
+                   trace_->event_for_packet(pkt.trace_id));
+    }
     if (client_capture_) client_capture_(pkt, loop_.now());
     if (client_sink_) client_sink_(std::move(pkt));
   }

@@ -19,6 +19,7 @@
 #include "netsim/event_loop.h"
 #include "netsim/packet.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ys::net {
 
@@ -29,6 +30,10 @@ enum class Dir {
 
 constexpr Dir opposite(Dir d) { return d == Dir::kC2S ? Dir::kS2C : Dir::kC2S; }
 inline const char* dir_name(Dir d) { return d == Dir::kC2S ? "c2s" : "s2c"; }
+
+/// Typed trace summary of a packet (obs cannot depend on netsim, so the
+/// conversion lives here).
+obs::PacketRef to_trace_ref(const Packet& pkt, Dir dir);
 
 /// Interface handed to a PathElement while it processes one packet.
 class Forwarder {
@@ -45,8 +50,22 @@ class Forwarder {
   /// write primitive an on-path device has.
   virtual void inject(Packet pkt, Dir dir, SimTime delay) = 0;
 
+  /// inject(), attributing the new packet to the packet that triggered it
+  /// (by trace id) so the trace links e.g. an injected RST back to the
+  /// sensitive request. The default forwards to inject() — harness/test
+  /// Forwarders that don't trace need not override.
+  virtual void inject_caused_by(Packet pkt, Dir dir, SimTime delay,
+                                u64 cause_packet_id) {
+    (void)cause_packet_id;
+    inject(std::move(pkt), dir, delay);
+  }
+
   /// Record an intentional drop (in-path devices only).
   virtual void drop(const Packet& pkt, std::string_view reason) = 0;
+
+  /// The trace recorder for this path visit, nullptr when tracing is off.
+  /// Elements use it to record state-machine transitions and ignores.
+  virtual obs::TraceRecorder* trace() const { return nullptr; }
 
   virtual SimTime now() const = 0;
   virtual Rng& rng() = 0;
@@ -80,7 +99,7 @@ class Path {
   using CaptureFn = std::function<void(const Packet&, SimTime)>;
 
   Path(EventLoop& loop, Rng rng, PathConfig cfg,
-       TraceRecorder* trace = nullptr);
+       obs::TraceRecorder* trace = nullptr);
 
   /// Attach an element at `position` (0 < position < server_hops). Elements
   /// sharing a position process packets in attachment order (C2S) and the
@@ -98,7 +117,7 @@ class Path {
 
   const PathConfig& config() const { return cfg_; }
   EventLoop& loop() { return loop_; }
-  TraceRecorder* trace() { return trace_; }
+  obs::TraceRecorder* trace() { return trace_; }
 
   /// Live hop-count estimate from client to server, as a tcptraceroute-like
   /// probe would measure it right now (reflects route changes).
@@ -148,15 +167,16 @@ class Path {
   void deliver_to_element(Packet pkt, Dir dir, int index);
   void deliver_to_endpoint(Packet pkt, Dir dir);
 
-  void record(const std::string& actor, const std::string& kind,
-              const std::string& detail) {
-    if (trace_ != nullptr) trace_->record(loop_.now(), actor, kind, detail);
-  }
+  /// Record a packet-lifecycle event; no-op (and builds no strings) when
+  /// tracing is off. Returns the event id (0 untraced).
+  u64 trace_packet(obs::TraceKind kind, const std::string& actor,
+                   const Packet& pkt, Dir dir, u64 caused_by = 0,
+                   const char* extra = nullptr);
 
   EventLoop& loop_;
   Rng rng_;
   PathConfig cfg_;
-  TraceRecorder* trace_;
+  obs::TraceRecorder* trace_;
   std::vector<Attachment> elements_;  // sorted by position (stable)
   PacketSink client_sink_;
   PacketSink server_sink_;

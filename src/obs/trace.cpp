@@ -2,7 +2,119 @@
 
 #include <cstdio>
 
+#include "core/log.h"
+#include "obs/metrics.h"
+
 namespace ys::obs {
+
+const char* to_string(TraceKind k) {
+  switch (k) {
+    case TraceKind::kSend: return "send";
+    case TraceKind::kRecv: return "recv";
+    case TraceKind::kInject: return "inject";
+    case TraceKind::kDrop: return "drop";
+    case TraceKind::kExpire: return "expire";
+    case TraceKind::kLoss: return "loss";
+    case TraceKind::kState: return "state";
+    case TraceKind::kIgnore: return "ignore";
+    case TraceKind::kDecision: return "decide";
+    case TraceKind::kNote: return "note";
+  }
+  return "?";
+}
+
+const char* to_string(GfwState s) {
+  switch (s) {
+    case GfwState::kNone: return "none";
+    case GfwState::kEstablished: return "established";
+    case GfwState::kResync: return "resync";
+    case GfwState::kGone: return "gone";
+  }
+  return "?";
+}
+
+const char* to_string(GfwBehavior b) {
+  switch (b) {
+    case GfwBehavior::kNone: return "none";
+    case GfwBehavior::kB1CreateOnSyn: return "tcb-create-on-syn";
+    case GfwBehavior::kB1CreateOnSynAck: return "HB1-create-on-synack";
+    case GfwBehavior::kB2aMultipleSyn: return "HB2a-multiple-syn-resync";
+    case GfwBehavior::kB2bMultipleSynAck: return "HB2b-multiple-synack-resync";
+    case GfwBehavior::kB2cSynAckAckMismatch:
+      return "HB2c-synack-ack-mismatch-resync";
+    case GfwBehavior::kB3RstResync: return "HB3-rst-resync";
+    case GfwBehavior::kRstTeardown: return "rst-teardown";
+    case GfwBehavior::kFinTeardown: return "fin-teardown";
+    case GfwBehavior::kResyncReanchor: return "resync-reanchor";
+    case GfwBehavior::kDetection: return "detection";
+    case GfwBehavior::kDetectionMissed: return "detection-missed";
+    case GfwBehavior::kBlockPeriod: return "block-period";
+    case GfwBehavior::kIpBlock: return "ip-block";
+  }
+  return "?";
+}
+
+namespace {
+struct TraceMetrics {
+  Counter& dropped;
+};
+TraceMetrics& trace_metrics() {
+  return bind_per_thread<TraceMetrics>([](MetricsRegistry& reg) {
+    return TraceMetrics{reg.counter("obs.trace.dropped")};
+  });
+}
+}  // namespace
+
+void TraceRecorder::evict_note() {
+  ++dropped_;
+  trace_metrics().dropped.inc();
+  if (!warned_overflow_) {
+    warned_overflow_ = true;
+    YS_LOG(LogLevel::kWarn,
+           "trace ring overflowed (capacity " + std::to_string(capacity_) +
+               "); oldest events are being evicted — see obs.trace.dropped");
+  }
+}
+
+u64 TraceRecorder::record(TraceEvent ev) {
+  ev.id = next_id_++;
+  if (ev.packet.id != 0) packet_index_[ev.packet.id] = ev.id;
+  if (ev.kind == TraceKind::kDecision) last_decision_ = ev.id;
+  const u64 id = ev.id;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return id;
+  }
+  ring_[head_] = std::move(ev);
+  head_ = (head_ + 1) % capacity_;
+  evict_note();
+  return id;
+}
+
+u64 TraceRecorder::note(SimTime at, std::string actor, TraceKind kind,
+                        std::string detail, u64 caused_by) {
+  TraceEvent ev;
+  ev.at = at;
+  ev.kind = kind;
+  ev.actor = std::move(actor);
+  ev.detail = std::move(detail);
+  ev.caused_by = caused_by;
+  return record(std::move(ev));
+}
+
+u64 TraceRecorder::event_for_packet(u64 packet_id) const {
+  auto it = packet_index_.find(packet_id);
+  return it == packet_index_.end() ? 0 : it->second;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
 
 void TraceRecorder::set_capacity(std::size_t capacity) {
   if (capacity == 0) capacity = 1;
@@ -17,9 +129,19 @@ void TraceRecorder::set_capacity(std::size_t capacity) {
   head_ = 0;
 }
 
+void TraceRecorder::clear() {
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  warned_overflow_ = false;
+  next_id_ = 1;
+  last_decision_ = 0;
+  packet_index_.clear();
+}
+
 std::string TraceRecorder::render() const {
   std::string out;
-  char head[96];
+  char head[128];
   if (dropped_ > 0) {
     std::snprintf(head, sizeof(head),
                   "... %llu earlier events evicted (capacity %zu) ...\n",
@@ -27,10 +149,25 @@ std::string TraceRecorder::render() const {
     out += head;
   }
   for (const auto& e : events()) {
-    std::snprintf(head, sizeof(head), "%10.6fs  %-12s %-7s ",
-                  e.at.seconds(), e.actor.c_str(), e.kind.c_str());
+    std::snprintf(head, sizeof(head), "#%-5llu %10.6fs  %-12s %-7s ",
+                  static_cast<unsigned long long>(e.id), e.at.seconds(),
+                  e.actor.c_str(), to_string(e.kind));
     out += head;
     out += e.detail;
+    if (e.gfw.valid()) {
+      out += "  [";
+      out += to_string(e.gfw.behavior);
+      out += ": ";
+      out += to_string(e.gfw.from);
+      out += " -> ";
+      out += to_string(e.gfw.to);
+      out += ']';
+    }
+    if (e.caused_by != 0) {
+      std::snprintf(head, sizeof(head), "  <= #%llu",
+                    static_cast<unsigned long long>(e.caused_by));
+      out += head;
+    }
     out += '\n';
   }
   return out;

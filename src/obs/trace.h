@@ -1,14 +1,24 @@
-// Structured event trace (the packet "ladder" the figure benches print).
+// Structured causal event trace (the packet "ladder" the figure benches
+// print, and the machine-readable record `yourstate explain` replays).
 //
-// Migrated here from core/log.h and given a ring-buffer capacity so
-// million-event runs keep the newest window of events instead of growing
-// without bound; `dropped()` says how many fell off the front. core/log.h
-// re-exports the `ys::TraceRecorder` name so existing includes keep
-// compiling.
+// v2: events are no longer rendered strings. Every event carries a typed
+// payload — a PacketRef naming the packet it is about, an optional GFW
+// state-machine transition, and a `caused_by` link to the event that
+// triggered it (an injected RST links back to the packet that tripped the
+// detector; a strategy insertion packet links back to the selector/strategy
+// decision that crafted it). Consumers: TraceRecorder::render() prints the
+// human ladder, obs/trace_export.h emits Chrome trace-event JSON with flow
+// arrows, and exp/explain.h turns the causal chain into a one-line verdict
+// attribution.
+//
+// Bounded: once `capacity` events are held, each new event evicts the
+// oldest; `dropped()` says how many fell off the front, mirrored into the
+// `obs.trace.dropped` counter (plus a one-time warn log on first overflow).
 #pragma once
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/clock.h"
@@ -16,20 +26,89 @@
 
 namespace ys::obs {
 
-/// One structured event: where it happened, what happened, and a rendered
-/// description. `actor` is a short component name ("client", "gfw#1",
-/// "server", "mbox:nat", ...).
+enum class TraceKind : u8 {
+  kSend,      // endpoint handed a packet to the path
+  kRecv,      // path delivered a packet to an endpoint
+  kInject,    // an on-path element forged a packet (GFW resets, probes)
+  kDrop,      // an element terminated a packet
+  kExpire,    // TTL reached zero in transit
+  kLoss,      // random path loss
+  kState,     // a device's per-flow state machine moved (GFW, middlebox)
+  kIgnore,    // a receiver silently discarded a packet (stack/profile/GFW)
+  kDecision,  // a selector/strategy choice (intang, strategy engine)
+  kNote,      // free-form annotation (loop livelock guard, harness marks)
+};
+const char* to_string(TraceKind k);
+
+/// Typed summary of the packet an event is about. Deliberately a plain
+/// value struct: obs must not depend on netsim, so netsim provides the
+/// conversion (net::to_trace_ref). `id == 0` means "no packet attached".
+struct PacketRef {
+  u64 id = 0;        // Path-assigned per-trial packet id
+  u32 seq = 0;       // TCP sequence number (0 for non-TCP)
+  u32 ack = 0;       // TCP acknowledgment number
+  u16 payload_len = 0;
+  u8 flags = 0;      // raw TCP flag byte (TcpFlags::to_byte())
+  u8 ttl = 0;
+  u8 dir = 0;        // 0 = client->server, 1 = server->client
+  bool is_tcp = false;
+  bool crafted = false;  // built by a strategy (insertion packet)
+};
+
+/// GFW per-flow state as the trace reports it (a projection of
+/// gfw::TcbState plus "no TCB").
+enum class GfwState : u8 { kNone, kEstablished, kResync, kGone };
+const char* to_string(GfwState s);
+
+/// Which hypothesized censor behavior (paper §5, HB1–HB3) or verdict-level
+/// action fired. Attached to kState events so `explain` can name the
+/// mechanism, not just the transition.
+enum class GfwBehavior : u8 {
+  kNone,
+  kB1CreateOnSyn,        // TCB created from a SYN
+  kB1CreateOnSynAck,     // HB1: TCB created from a SYN/ACK (incl. reversal)
+  kB2aMultipleSyn,       // HB2a: later SYN forces resync
+  kB2bMultipleSynAck,    // HB2b: later SYN/ACK forces resync
+  kB2cSynAckAckMismatch, // HB2c: SYN/ACK ack mismatch forces resync
+  kB3RstResync,          // HB3: RST after handshake forces resync
+  kRstTeardown,          // RST tore the TCB down
+  kFinTeardown,          // FIN/ACK sequence tore the TCB down (prior model)
+  kResyncReanchor,       // resync state re-anchored on observed traffic
+  kDetection,            // keyword/protocol detector fired
+  kDetectionMissed,      // detector fired but injection was skipped (miss)
+  kBlockPeriod,          // flow hit (or started) a 90 s block period
+  kIpBlock,              // destination IP is on the block list
+};
+const char* to_string(GfwBehavior b);
+
+/// A state-machine move. `valid()` distinguishes "this event carries a
+/// transition" from the default-constructed blank on non-state events.
+struct GfwTransition {
+  GfwState from = GfwState::kNone;
+  GfwState to = GfwState::kNone;
+  GfwBehavior behavior = GfwBehavior::kNone;
+
+  bool valid() const { return behavior != GfwBehavior::kNone; }
+};
+
+/// One structured event. `actor` is a short component name ("client",
+/// "gfw-1", "server", "mbox-client", "intang", ...). `caused_by` is the id
+/// of the event that triggered this one, 0 when unknown/none.
 struct TraceEvent {
+  u64 id = 0;         // assigned by TraceRecorder::record(), starts at 1
+  u64 caused_by = 0;  // id of the triggering event (0 = none)
   SimTime at;
+  TraceKind kind = TraceKind::kNote;
   std::string actor;
-  std::string kind;    // e.g. "send", "recv", "inject", "drop", "state"
-  std::string detail;  // rendered packet summary or state transition
+  PacketRef packet;   // packet.id == 0 when no packet is attached
+  GfwTransition gfw;  // valid() only on state-machine events
+  std::string detail; // human-readable annotation
 };
 
 /// Collects TraceEvents during a simulation run. Components hold a pointer
 /// to the recorder owned by the simulation; a null recorder disables
-/// tracing with zero cost. Bounded: once `capacity` events are held, each
-/// new event evicts the oldest.
+/// tracing with zero cost (instrumentation sites must check before building
+/// an event). Bounded ring, oldest evicted first.
 class TraceRecorder {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
@@ -37,27 +116,26 @@ class TraceRecorder {
   explicit TraceRecorder(std::size_t capacity = kDefaultCapacity)
       : capacity_(capacity == 0 ? 1 : capacity) {}
 
-  void record(SimTime at, std::string actor, std::string kind,
-              std::string detail) {
-    TraceEvent ev{at, std::move(actor), std::move(kind), std::move(detail)};
-    if (ring_.size() < capacity_) {
-      ring_.push_back(std::move(ev));
-      return;
-    }
-    ring_[head_] = std::move(ev);
-    head_ = (head_ + 1) % capacity_;
-    ++dropped_;
-  }
+  /// Append an event; assigns and returns its id. Ignores any id already
+  /// set on `ev`. Updates the packet-id and decision indexes.
+  u64 record(TraceEvent ev);
+
+  /// Convenience for packet-less annotations.
+  u64 note(SimTime at, std::string actor, TraceKind kind, std::string detail,
+           u64 caused_by = 0);
+
+  /// The most recent event recorded about packet `packet_id` (its send,
+  /// or a later hop event), 0 if none/evicted-from-index-never (the index
+  /// survives eviction: causal links may point at evicted events).
+  u64 event_for_packet(u64 packet_id) const;
+
+  /// Id of the most recent kDecision event (0 if none). Lets a strategy
+  /// "armed" event chain to the selector decision recorded just before it
+  /// in the same call stack.
+  u64 last_decision() const { return last_decision_; }
 
   /// Retained events, oldest first (a copy: the ring stays internal).
-  std::vector<TraceEvent> events() const {
-    std::vector<TraceEvent> out;
-    out.reserve(ring_.size());
-    for (std::size_t i = 0; i < ring_.size(); ++i) {
-      out.push_back(ring_[(head_ + i) % ring_.size()]);
-    }
-    return out;
-  }
+  std::vector<TraceEvent> events() const;
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -67,28 +145,27 @@ class TraceRecorder {
   /// Change the bound; keeps the newest `capacity` events.
   void set_capacity(std::size_t capacity);
 
-  void clear() {
-    ring_.clear();
-    head_ = 0;
-    dropped_ = 0;
-  }
+  void clear();
 
   /// Render the retained trace as an aligned text ladder (one line per
-  /// event); notes up front how many earlier events were evicted.
+  /// event) with causal `<= #id` annotations; notes up front how many
+  /// earlier events were evicted.
   std::string render() const;
 
  private:
+  void evict_note();
+
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // index of the oldest event once the ring is full
   u64 dropped_ = 0;
+  bool warned_overflow_ = false;
+  u64 next_id_ = 1;
+  u64 last_decision_ = 0;
+  // packet id -> id of the latest event about that packet. Grows one entry
+  // per packet; cleared with clear(). Traced runs are single trials, so
+  // this stays small.
+  std::unordered_map<u64, u64> packet_index_;
 };
 
 }  // namespace ys::obs
-
-namespace ys {
-// Historical home of these names; every module referred to them as
-// ys::TraceRecorder / ys::TraceEvent before the obs layer existed.
-using obs::TraceEvent;
-using obs::TraceRecorder;
-}  // namespace ys

@@ -1,0 +1,29 @@
+// Chrome trace-event JSON exporter for TraceRecorder.
+//
+// Emits the "JSON Object Format" ({"traceEvents": [...]}) understood by
+// Perfetto and chrome://tracing. Mapping:
+//   - one track (pid 1, tid N) per actor, named via "M"/thread_name
+//     metadata, tids assigned in first-appearance order;
+//   - every trace event becomes a ph "X" slice, ts = virtual time in µs,
+//     dur = 1, with the structured payload under "args" (event id,
+//     caused_by, packet fields, GFW transition, detail);
+//   - causal links become flow-event pairs (ph "s" on the causing event's
+//     track, ph "f" on the effect's) so the UI draws arrows from the
+//     trigger packet to the injected response. Pairs are emitted only when
+//     both ends are still retained in the ring, so every flow id in the
+//     file resolves (tools/trace_lint checks this).
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace ys::obs {
+
+/// Render the retained trace as a Chrome trace-event JSON document.
+std::string to_chrome_trace(const TraceRecorder& trace);
+
+/// Write to_chrome_trace() to `path`; false on I/O failure.
+bool write_chrome_trace(const std::string& path, const TraceRecorder& trace);
+
+}  // namespace ys::obs

@@ -6,6 +6,8 @@
 namespace ys::strategy {
 
 void StrategyContext::raw_send_after(SimTime delay, net::Packet pkt) {
+  pkt.crafted = true;
+  pkt.cause_hint = decision_event;
   tcp::Host* host = host_;
   host_->loop().schedule_after(delay, [host, pkt = std::move(pkt)]() mutable {
     host->send_raw_unhooked(std::move(pkt));
@@ -135,6 +137,18 @@ StrategyEngine::Conn& StrategyEngine::conn_for(
              .emplace(client_tuple,
                       Conn{factory_(client_tuple), std::move(ctx)})
              .first;
+    Conn& conn = it->second;
+    if (obs::TraceRecorder* tr = host_.path().trace()) {
+      // The factory just ran; if it was INTANG's selector it recorded a
+      // kDecision we chain to, attributing insertion packets selector ->
+      // armed strategy -> packet.
+      const u64 selector_decision = tr->last_decision();
+      conn.ctx.decision_event = tr->note(
+          host_.loop().now(), "strategy", obs::TraceKind::kDecision,
+          "strategy " + conn.strategy->name() + " armed for " +
+              client_tuple.to_string(),
+          selector_decision);
+    }
   }
   return it->second;
 }

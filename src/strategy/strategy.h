@@ -47,7 +47,14 @@ class StrategyContext {
       : host_(&host), knowledge_(knowledge), rng_(std::move(rng)) {}
 
   /// Immediate raw injection, below the interception hook (no recursion).
-  void raw_send(net::Packet pkt) { host_->send_raw_unhooked(std::move(pkt)); }
+  /// All insertion packets funnel through here (or raw_send_after), so this
+  /// is where they get marked crafted and causally linked to the strategy
+  /// decision that armed this connection.
+  void raw_send(net::Packet pkt) {
+    pkt.crafted = true;
+    pkt.cause_hint = decision_event;
+    host_->send_raw_unhooked(std::move(pkt));
+  }
 
   /// Delayed raw injection — used to space insertion packets so they are
   /// processed in order despite path jitter, and to implement the paper's
@@ -80,6 +87,10 @@ class StrategyContext {
   u32 rcv_nxt = 0;  // next expected server sequence number
   u32 last_ts_val = 0;
   bool handshake_done = false;
+
+  /// Trace-event id of the "strategy armed" decision for this connection
+  /// (0 when tracing is off); stamped onto every insertion packet.
+  u64 decision_event = 0;
 
  private:
   tcp::Host* host_;

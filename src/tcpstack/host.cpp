@@ -27,6 +27,9 @@ TcpEndpoint& Host::connect(net::IpAddr dst_ip, u16 dst_port, u16 src_port,
   cb.send = [this](net::Packet pkt) { transmit(std::move(pkt)); };
   auto ep = std::make_unique<TcpEndpoint>(loop_, rng_.fork(), cfg_.profile,
                                           tuple, std::move(cb));
+  ep->set_trace(path_.trace(), cfg_.name,
+                cfg_.side == HostSide::kClient ? net::Dir::kS2C
+                                               : net::Dir::kC2S);
   TcpEndpoint& ref = *ep;
   endpoints_[tuple] = std::move(ep);
   ref.open_active();
@@ -107,6 +110,9 @@ void Host::handle_tcp(const net::Packet& pkt) {
     }
     auto ep = std::make_unique<TcpEndpoint>(loop_, rng_.fork(), cfg_.profile,
                                             local, std::move(cb));
+    ep->set_trace(path_.trace(), cfg_.name,
+                  cfg_.side == HostSide::kClient ? net::Dir::kS2C
+                                                 : net::Dir::kC2S);
     *holder = ep.get();
     TcpEndpoint* raw = ep.get();
     raw->open_passive();
@@ -120,6 +126,12 @@ void Host::handle_tcp(const net::Packet& pkt) {
   demux_ignores_.push_back(
       IgnoreEvent{TcpState::kClosed, IgnoreReason::kNotListening,
                   pkt.summary()});
+  if (obs::TraceRecorder* tr = path_.trace()) {
+    tr->note(loop_.now(), cfg_.name, obs::TraceKind::kIgnore,
+             std::string(to_string(IgnoreReason::kNotListening)) +
+                 " [no endpoint, no listener]",
+             tr->event_for_packet(pkt.trace_id));
+  }
   if (!pkt.tcp->flags.rst && !cfg_.suppress_kernel_resets) {
     u32 rst_seq = pkt.tcp->flags.ack ? pkt.tcp->ack : 0;
     net::Packet rst = net::make_tcp_packet(local, net::TcpFlags::only_rst(),

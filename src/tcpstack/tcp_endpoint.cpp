@@ -67,6 +67,19 @@ void TcpEndpoint::ignore(const net::Packet& pkt, IgnoreReason reason,
                          std::string detail) {
   if (detail.empty()) detail = pkt.summary();
   count_ignore(reason, profile_.version);
+  if (trace_ != nullptr) {
+    // The §5.3 "server ignore path" record: which profile discarded the
+    // packet, on which path, in which TCP state — linked to the packet.
+    obs::TraceEvent ev;
+    ev.at = loop_.now();
+    ev.kind = obs::TraceKind::kIgnore;
+    ev.actor = trace_actor_;
+    ev.packet = net::to_trace_ref(pkt, trace_dir_);
+    ev.caused_by = trace_->event_for_packet(pkt.trace_id);
+    ev.detail = std::string(to_string(reason)) + " [" +
+                to_string(profile_.version) + ", " + to_string(state_) + "]";
+    trace_->record(std::move(ev));
+  }
   ignore_log_.push_back(IgnoreEvent{state_, reason, std::move(detail)});
 }
 

@@ -17,6 +17,7 @@
 #include "core/rng.h"
 #include "netsim/event_loop.h"
 #include "netsim/packet.h"
+#include "netsim/path.h"
 #include "tcpstack/tcp_types.h"
 
 namespace ys::tcp {
@@ -75,6 +76,17 @@ class TcpEndpoint {
   const net::FourTuple& tuple() const { return local_; }
   const StackProfile& profile() const { return profile_; }
   bool was_reset() const { return reset_seen_; }
+
+  /// Attach causal tracing: every ignore path emits a kIgnore event naming
+  /// this endpoint's Linux profile, linked to the discarded packet's last
+  /// trace event. `inbound_dir` is the direction packets travel to reach
+  /// this endpoint (kC2S for servers, kS2C for clients).
+  void set_trace(obs::TraceRecorder* trace, std::string actor,
+                 net::Dir inbound_dir) {
+    trace_ = trace;
+    trace_actor_ = std::move(actor);
+    trace_dir_ = inbound_dir;
+  }
 
   /// Every discarded segment with its ignore path (§5.3 instrumentation).
   const std::vector<IgnoreEvent>& ignore_log() const { return ignore_log_; }
@@ -154,6 +166,10 @@ class TcpEndpoint {
   Bytes received_stream_;
   std::vector<IgnoreEvent> ignore_log_;
   int challenge_acks_sent_ = 0;
+
+  obs::TraceRecorder* trace_ = nullptr;
+  std::string trace_actor_;
+  net::Dir trace_dir_ = net::Dir::kC2S;
 };
 
 }  // namespace ys::tcp

@@ -9,6 +9,7 @@
 #include "core/log.h"
 #include "core/result.h"
 #include "core/rng.h"
+#include "obs/trace.h"
 
 namespace ys {
 namespace {
@@ -265,9 +266,9 @@ TEST(HexLine, CompactFormat) {
 // ------------------------------------------------------------- trace/log
 
 TEST(TraceRecorder, RecordsAndRenders) {
-  TraceRecorder trace;
-  trace.record(SimTime::from_ms(1), "client", "send", "SYN");
-  trace.record(SimTime::from_ms(2), "gfw", "inject", "RST");
+  obs::TraceRecorder trace;
+  trace.note(SimTime::from_ms(1), "client", obs::TraceKind::kSend, "SYN");
+  trace.note(SimTime::from_ms(2), "gfw", obs::TraceKind::kInject, "RST");
   ASSERT_EQ(trace.events().size(), 2u);
   const std::string rendered = trace.render();
   EXPECT_NE(rendered.find("client"), std::string::npos);

@@ -138,10 +138,10 @@ TEST(Span, SimSpanRecordsVirtualTime) {
 }
 
 TEST(Trace, RingBufferEvictsOldest) {
-  TraceRecorder trace(3);
+  obs::TraceRecorder trace(3);
   for (int i = 0; i < 5; ++i) {
-    trace.record(SimTime::from_us(i), "actor", "kind",
-                 "event-" + std::to_string(i));
+    trace.note(SimTime::from_us(i), "actor", obs::TraceKind::kNote,
+               "event-" + std::to_string(i));
   }
   EXPECT_EQ(trace.size(), 3u);
   EXPECT_EQ(trace.dropped(), 2u);
@@ -156,9 +156,10 @@ TEST(Trace, RingBufferEvictsOldest) {
 }
 
 TEST(Trace, SetCapacityTrimsToNewest) {
-  TraceRecorder trace(10);
+  obs::TraceRecorder trace(10);
   for (int i = 0; i < 6; ++i) {
-    trace.record(SimTime::from_us(i), "a", "k", std::to_string(i));
+    trace.note(SimTime::from_us(i), "a", obs::TraceKind::kNote,
+               std::to_string(i));
   }
   trace.set_capacity(2);
   const auto events = trace.events();
@@ -167,7 +168,7 @@ TEST(Trace, SetCapacityTrimsToNewest) {
   EXPECT_EQ(events[1].detail, "5");
   EXPECT_EQ(trace.dropped(), 4u);
   // And the new bound is enforced going forward.
-  trace.record(SimTime::from_us(6), "a", "k", "6");
+  trace.note(SimTime::from_us(6), "a", obs::TraceKind::kNote, "6");
   EXPECT_EQ(trace.size(), 2u);
   EXPECT_EQ(trace.events()[1].detail, "6");
 }

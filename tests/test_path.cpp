@@ -79,7 +79,7 @@ TEST(EventLoop, MaxEventsBoundsRunawayLoops) {
 
 struct PathFixture {
   EventLoop loop;
-  TraceRecorder trace;
+  obs::TraceRecorder trace;
   Path path;
   std::vector<Packet> at_server;
   std::vector<Packet> at_client;
@@ -123,7 +123,7 @@ TEST(Path, TtlOneShortExpires) {
   // The expiry is visible in the trace.
   bool expired = false;
   for (const auto& e : fx.trace.events()) {
-    if (e.kind == "expire") expired = true;
+    if (e.kind == obs::TraceKind::kExpire) expired = true;
   }
   EXPECT_TRUE(expired);
 }
@@ -191,7 +191,9 @@ TEST(Path, DropsAreTerminalAndTraced) {
   EXPECT_TRUE(fx.at_server.empty());
   bool dropped = false;
   for (const auto& e : fx.trace.events()) {
-    if (e.kind == "drop" && e.actor == "blackhole") dropped = true;
+    if (e.kind == obs::TraceKind::kDrop && e.actor == "blackhole") {
+      dropped = true;
+    }
   }
   EXPECT_TRUE(dropped);
 }

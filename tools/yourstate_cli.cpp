@@ -6,6 +6,9 @@
 //   yourstate dns    [options]            one censored DNS lookup
 //   yourstate tor    [options]            one Tor bridge connection
 //   yourstate stats  [options]            simulated session + metrics dump
+//   yourstate explain [options]           replay one bench grid coordinate
+//                                         traced: annotated ladder + verdict
+//                                         attribution
 //
 // Common options:
 //   --vp=NAME            vantage point (default aliyun-sh)
@@ -18,9 +21,17 @@
 //   --jobs=N             worker threads for `stats` grids (default 1 = the
 //                        exact serial reference; 0 = hardware concurrency)
 //   --trace              print the packet ladder
+//   --trace-out=FILE     write the structured trace as Chrome trace-event
+//                        JSON (chrome://tracing / Perfetto)
 //   --pcap=FILE          capture the client's wire to a pcap file
 //   --metrics[=json|table]  dump the obs registry after any command
 //   --metrics-out=FILE   write the metrics snapshot to FILE as JSON on exit
+//
+// `explain` options (grid coordinates; --server is the server INDEX here):
+//   --bench=NAME         table4-inside | table4-intang
+//   --cell=N --vantage=N --server=N --trial=N   the coordinate
+//   --trials=N --servers=N --seed=S             the bench scale (must match
+//                        the run being explained for identical replay)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +39,8 @@
 #include <optional>
 #include <string>
 
+#include "exp/benchdef.h"
+#include "exp/explain.h"
 #include "exp/prober.h"
 #include "exp/scenario.h"
 #include "exp/stats.h"
@@ -35,6 +48,7 @@
 #include "netsim/pcap.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/trace_export.h"
 #include "runner/runner.h"
 
 namespace ys {
@@ -50,10 +64,18 @@ struct CliOptions {
   bool use_intang = false;
   bool keyword = true;
   bool trace = false;
+  std::string trace_out;
   u64 seed = 1;
   u64 path_seed = 0;
   int trials = 5;
   int jobs = 1;
+  // `explain` coordinates and scale (--server doubles as the server index).
+  std::string bench = "table4-intang";
+  int cell = 0;
+  int vantage = 0;
+  int server_index = 0;
+  int trial = 0;
+  int servers_scale = 0;  // 0 = the bench default
   bool dump_metrics = false;
   bool metrics_as_table = false;
   std::string pcap;
@@ -132,11 +154,15 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: yourstate <list|trial|probe|dns|tor|stats> [--vp=NAME] "
+               "usage: yourstate <list|trial|probe|dns|tor|stats|explain> "
+               "[--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
                "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
-               "[--pcap=FILE] [--domain=NAME] [--metrics[=json|table]] "
-               "[--metrics-out=FILE]\n");
+               "[--trace-out=FILE] [--pcap=FILE] [--domain=NAME] "
+               "[--metrics[=json|table]] [--metrics-out=FILE]\n"
+               "       yourstate explain --bench=NAME --cell=N --vantage=N "
+               "--server=N --trial=N [--trials=N] [--servers=N] [--seed=S] "
+               "[--trace-out=FILE] [--pcap=FILE]\n");
   return 2;
 }
 
@@ -167,7 +193,17 @@ Scenario make_scenario(const gfw::DetectionRules* rules,
   opt.cal = Calibration::standard();
   opt.seed = cli.seed;
   opt.path_seed = cli.path_seed;
+  opt.tracing = cli.trace || !cli.trace_out.empty();
   return Scenario(rules, opt);
+}
+
+void write_trace_out(Scenario& sc, const std::string& path) {
+  if (path.empty()) return;
+  if (obs::write_chrome_trace(path, sc.trace())) {
+    std::printf("trace written to %s\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write --trace-out file %s\n", path.c_str());
+  }
 }
 
 void attach_pcap(Scenario& sc, net::PcapWriter& writer,
@@ -196,6 +232,7 @@ int cmd_trial(const CliOptions& cli, const VantagePoint& vp) {
   const TrialResult result = run_http_trial(sc, http);
 
   if (cli.trace) std::printf("%s\n", sc.trace().render().c_str());
+  write_trace_out(sc, cli.trace_out);
   std::printf("vantage=%s server=%s strategy=%s keyword=%d\n",
               vp.name.c_str(), net::ip_to_string(cli.server).c_str(),
               strategy::to_string(result.strategy_used), cli.keyword ? 1 : 0);
@@ -304,6 +341,85 @@ int cmd_tor(const CliOptions& cli, const VantagePoint& vp) {
   return result.outcome == Outcome::kSuccess ? 0 : 1;
 }
 
+/// Replay one bench grid coordinate traced and attribute its verdict.
+int cmd_explain(const CliOptions& cli) {
+  bool known = false;
+  for (const std::string& name : known_benches()) {
+    if (name == cli.bench) known = true;
+  }
+  if (!known) {
+    std::fprintf(stderr, "unknown --bench=%s (want:", cli.bench.c_str());
+    for (const std::string& name : known_benches()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+
+  BenchScale scale;
+  scale.trials = cli.trials;
+  scale.servers = cli.servers_scale > 0 ? cli.servers_scale : 77;
+  scale.seed = cli.seed != 1 ? cli.seed : 2017;  // bench default seed
+  const Table4Inside bench(scale);
+
+  const bool intang = cli.bench == "table4-intang";
+  const runner::TrialGrid grid =
+      intang ? bench.intang_grid() : bench.fixed_grid();
+  const runner::GridCoord coord{
+      static_cast<std::size_t>(cli.cell), static_cast<std::size_t>(cli.vantage),
+      static_cast<std::size_t>(cli.server_index),
+      static_cast<std::size_t>(cli.trial)};
+  if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+      coord.server >= grid.servers || coord.trial >= grid.trials) {
+    std::fprintf(stderr,
+                 "coordinate out of range: grid is cells=%zu vantages=%zu "
+                 "servers=%zu trials=%zu\n",
+                 grid.cells, grid.vantages, grid.servers, grid.trials);
+    return 2;
+  }
+
+  const Replay replay = intang
+                            ? bench.replay_intang(coord, cli.trace_out,
+                                                  cli.pcap)
+                            : bench.replay_fixed(coord, cli.trace_out,
+                                                 cli.pcap);
+
+  std::printf("%s cell=%d vantage=%s server=%s trial=%d seed=%llu\n",
+              cli.bench.c_str(), cli.cell,
+              bench.vantage_points()[coord.vantage].name.c_str(),
+              bench.server_population()[coord.server].host.c_str(), cli.trial,
+              static_cast<unsigned long long>(scale.seed));
+  std::printf("%s\n", replay.ladder.c_str());
+  std::printf("outcome=%s strategy=%s model=%s\n",
+              to_string(replay.result.outcome),
+              strategy::to_string(replay.result.strategy_used),
+              replay.old_model ? "prior" : "evolved");
+  std::printf("verdict: %s\n", replay.attribution.verdict.c_str());
+  if (replay.attribution.decisive_event != 0) {
+    std::printf("decisive event: #%llu",
+                static_cast<unsigned long long>(
+                    replay.attribution.decisive_event));
+    if (replay.attribution.causal_insertion_event != 0) {
+      std::printf("  insertion send: #%llu",
+                  static_cast<unsigned long long>(
+                      replay.attribution.causal_insertion_event));
+    }
+    if (replay.attribution.strategy_decision_event != 0) {
+      std::printf("  decision: #%llu",
+                  static_cast<unsigned long long>(
+                      replay.attribution.strategy_decision_event));
+    }
+    std::printf("\n");
+  }
+  if (!cli.trace_out.empty()) {
+    std::printf("trace written to %s\n", cli.trace_out.c_str());
+  }
+  if (!cli.pcap.empty()) {
+    std::printf("pcap written to %s\n", cli.pcap.c_str());
+  }
+  return replay.result.outcome == Outcome::kSuccess ? 0 : 1;
+}
+
 int run(int argc, char** argv) {
   if (argc < 2) return usage();
   CliOptions cli;
@@ -319,12 +435,28 @@ int run(int argc, char** argv) {
     if (auto v = value("--vp")) {
       cli.vp = *v;
     } else if (auto v = value("--server")) {
-      auto ip = parse_ip(*v);
-      if (!ip) {
-        std::fprintf(stderr, "bad --server address: %s\n", v->c_str());
-        return 2;
+      if (cli.command == "explain") {
+        cli.server_index = std::atoi(v->c_str());
+      } else {
+        auto ip = parse_ip(*v);
+        if (!ip) {
+          std::fprintf(stderr, "bad --server address: %s\n", v->c_str());
+          return 2;
+        }
+        cli.server = *ip;
       }
-      cli.server = *ip;
+    } else if (auto v = value("--bench")) {
+      cli.bench = *v;
+    } else if (auto v = value("--cell")) {
+      cli.cell = std::atoi(v->c_str());
+    } else if (auto v = value("--vantage")) {
+      cli.vantage = std::atoi(v->c_str());
+    } else if (auto v = value("--trial")) {
+      cli.trial = std::atoi(v->c_str());
+    } else if (auto v = value("--servers")) {
+      cli.servers_scale = std::atoi(v->c_str());
+    } else if (auto v = value("--trace-out")) {
+      cli.trace_out = *v;
     } else if (auto v = value("--strategy")) {
       auto id = strategy::strategy_from_name(*v);
       if (!id) {
@@ -370,6 +502,12 @@ int run(int argc, char** argv) {
   }
 
   if (cli.command == "list") return cmd_list();
+  if (cli.command == "explain") {
+    const int rc = cmd_explain(cli);
+    if (cli.dump_metrics) print_metrics(cli);
+    write_metrics_out(cli);
+    return rc;
+  }
   const auto vp = find_vp(cli.vp);
   if (!vp) {
     std::fprintf(stderr, "unknown vantage point: %s (see `yourstate list`)\n",
