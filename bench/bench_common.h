@@ -16,6 +16,13 @@
 //                     falls outside the paper-expected band get one
 //                     representative trial re-run traced, archived to D as
 //                     Chrome trace JSON + pcap named by grid coordinates
+//   --faults=SPEC     run the grid under a deterministic fault plan: a
+//                     shipped plan name (see EXPERIMENTS.md), inline
+//                     clauses like "loss:at=50ms,dur=2s,p=0.25", or
+//                     @plan.json
+//   --resume-dir=D    persist per-slot results under D; a rerun with the
+//                     same parameters skips completed chains and matches
+//                     the uninterrupted run exactly
 #pragma once
 
 #include <cstdio>
@@ -41,6 +48,8 @@ struct RunConfig {
   int jobs = 1;         // 1 = serial reference; 0 = hardware concurrency
   std::string metrics_out;
   std::string flight_dir;  // empty = flight recorder off
+  std::string faults;      // fault plan spec; empty = fault-free
+  std::string resume_dir;  // empty = no persistent results store
 };
 
 inline runner::PoolOptions pool_options(const RunConfig& cfg) {
@@ -93,10 +102,15 @@ inline RunConfig parse_args(int argc, char** argv) {
       cfg.metrics_out = argv[i] + 14;
     } else if (std::strncmp(argv[i], "--flight-dir=", 13) == 0) {
       cfg.flight_dir = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      cfg.faults = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--resume-dir=", 13) == 0) {
+      cfg.resume_dir = argv[i] + 13;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials=N] [--servers=N] [--seed=S]"
-                   " [--jobs=N] [--metrics-out=FILE] [--flight-dir=DIR]\n",
+                   " [--jobs=N] [--metrics-out=FILE] [--flight-dir=DIR]"
+                   " [--faults=SPEC] [--resume-dir=DIR]\n",
                    argv[0]);
       std::exit(2);
     }

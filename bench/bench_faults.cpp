@@ -1,0 +1,290 @@
+// Robustness under injected faults — the graceful-degradation guarantee.
+//
+// Runs the FaultsBench grid (every shipped fault plan × {no-INTANG
+// baseline, INTANG with failover}) and checks the property the failover
+// ladder + safe mode are designed to provide: under EVERY fault plan,
+// INTANG's success rate never falls below the no-INTANG baseline. Once a
+// server's retry budget is exhausted, the selector returns kNone (safe
+// mode) and the client behaves exactly like the baseline — so degradation
+// is bounded by construction, and this bench measures that the bound
+// holds end to end.
+//
+// --smoke additionally asserts, on a small grid:
+//   * graceful degradation: INTANG success >= baseline success per plan
+//   * safe mode engages (intang.safe_mode_pick > 0) under the rst-storm
+//     plan's sustained failures
+//   * determinism: --jobs=2 reproduces --jobs=1 bit-for-bit, results AND
+//     merged deterministic metrics, with the fault plans active
+//   * resumability: a grid "killed" half-way and resumed via a results
+//     store matches the uninterrupted run exactly
+//
+// Flags: the shared set (bench_common.h). --faults=SPEC restricts the run
+// to one plan; --resume-dir=D persists results across invocations.
+#include <filesystem>
+#include <memory>
+
+#include "bench_common.h"
+#include "exp/benchdef.h"
+#include "runner/results_store.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+using namespace ys::exp;
+
+struct SweepOut {
+  std::vector<Outcome> slots;
+  std::string metrics_digest;
+  runner::RunnerReport report;
+};
+
+/// Canonical string of the deterministic slice of a metrics snapshot:
+/// everything except wall-clock-derived values (wall/busy timers, rates,
+/// utilizations), which legitimately differ run to run.
+std::string deterministic_digest(const obs::Snapshot& snap) {
+  const auto wall_dependent = [](const std::string& name) {
+    return name.find("wall") != std::string::npos ||
+           name.find("per_sec") != std::string::npos ||
+           name.find("utilization") != std::string::npos ||
+           name.find("busy") != std::string::npos;
+  };
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    if (wall_dependent(name)) continue;
+    out += "c " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (wall_dependent(name)) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += "g " + name + " " + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (wall_dependent(name)) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", h.sum);
+    out += "h " + name + " " + std::to_string(h.count) + " " + buf;
+    for (u64 c : h.counts) out += " " + std::to_string(c);
+    out += "\n";
+  }
+  return out;
+}
+
+/// One full grid sweep in a private metrics registry. With `store`, chains
+/// whose slots are all recorded are skipped (values read back), and every
+/// executed slot is persisted.
+SweepOut sweep(const FaultsBench& bench, int jobs,
+               runner::ResultsStore* store) {
+  obs::MetricsRegistry local;
+  obs::ScopedMetricsRegistry scope(&local);
+
+  const runner::TrialGrid grid = bench.grid();
+  std::vector<intang::StrategySelector> selectors(
+      grid.chains(),
+      intang::StrategySelector{intang::StrategySelector::Config{}});
+  std::vector<char> skip(grid.chains(), 0);
+  if (store != nullptr) {
+    for (std::size_t ch = 0; ch < grid.chains(); ++ch) {
+      skip[ch] = store->range_complete(ch * grid.trials,
+                                       (ch + 1) * grid.trials)
+                     ? 1
+                     : 0;
+    }
+  }
+
+  runner::PoolOptions pool;
+  pool.jobs = jobs;
+  auto out = runner::collect_grid_or(
+      grid, pool, Outcome::kTrialError,
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const std::size_t slot = grid.index(c);
+        if (store != nullptr && skip[grid.chain(c)]) {
+          return static_cast<Outcome>(*store->get(slot));
+        }
+        const Outcome o =
+            bench.run_trial(c, selectors[grid.chain(c)]).outcome;
+        if (store != nullptr) store->put(slot, static_cast<i64>(o));
+        return o;
+      });
+
+  SweepOut res;
+  res.slots = std::move(out.slots);
+  res.report = out.report;
+  res.metrics_digest = deterministic_digest(local.snapshot());
+  // Fold the private registry into the global one so --metrics-out still
+  // archives everything at exit.
+  obs::MetricsRegistry::global().merge_from(local.snapshot());
+  return res;
+}
+
+RateTally tally_cell(const FaultsBench& bench, const std::vector<Outcome>& slots,
+                     std::size_t cell) {
+  const runner::TrialGrid grid = bench.grid();
+  RateTally tally;
+  for (std::size_t i = 0; i < grid.total(); ++i) {
+    if (grid.coord(i).cell == cell) tally.add(slots[i]);
+  }
+  return tally;
+}
+
+int run(int argc, char** argv) {
+  // Peel --smoke off before handing the rest to the shared parser (which
+  // rejects flags it does not know).
+  bool smoke = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  RunConfig cfg =
+      parse_args(static_cast<int>(passthrough.size()), passthrough.data());
+
+  BenchScale scale;
+  // The smoke grid must keep enough trials per chain for the failover
+  // ladder's learning cost (up to retry_budget early failures) to amortize;
+  // below ~8 trials the gfw-flap plan reads as spurious degradation.
+  scale.trials = cfg.trials > 0 ? cfg.trials : (smoke ? 10 : 10);
+  scale.servers = cfg.servers > 0 ? cfg.servers : (smoke ? 6 : 8);
+  scale.seed = cfg.seed;
+  scale.faults = cfg.faults;
+  const FaultsBench bench(scale);
+  const runner::TrialGrid grid = bench.grid();
+
+  print_banner("Fault injection: graceful degradation of INTANG vs baseline",
+               "robustness check (no paper section); plans in EXPERIMENTS.md");
+  std::printf("%zu plans x {baseline, INTANG} x %zu vantage points x %zu "
+              "servers x %zu trials\n\n",
+              bench.plans().size(), grid.vantages, grid.servers, grid.trials);
+
+  std::unique_ptr<runner::ResultsStore> store;
+  if (!cfg.resume_dir.empty()) {
+    const u64 sig = runner::ResultsStore::signature_of(
+        {"faults", std::to_string(grid.cells), std::to_string(grid.vantages),
+         std::to_string(grid.servers), std::to_string(grid.trials),
+         std::to_string(scale.seed), cfg.faults});
+    store = std::make_unique<runner::ResultsStore>(cfg.resume_dir, "faults",
+                                                   sig, grid.total());
+    if (store->resumed()) {
+      std::printf("resuming: %zu/%zu slots already recorded in %s\n\n",
+                  store->recorded(), grid.total(), store->path().c_str());
+    }
+  }
+
+  const SweepOut ref = sweep(bench, cfg.jobs, store.get());
+  print_runner_report(ref.report);
+
+  TextTable table({"Fault plan", "Baseline success", "INTANG success",
+                   "INTANG F1/F2/err", "Degradation"});
+  int degraded = 0;
+  for (std::size_t p = 0; p < bench.plans().size(); ++p) {
+    const RateTally base = tally_cell(bench, ref.slots, p * 2);
+    const RateTally with = tally_cell(bench, ref.slots, p * 2 + 1);
+    const bool ok = with.success_rate() >= base.success_rate();
+    if (!ok) ++degraded;
+    table.add_row({bench.plans()[p].name, pct(base.success_rate()),
+                   pct(with.success_rate()),
+                   pct(with.failure1_rate()) + " / " +
+                       pct(with.failure2_rate()) + " / " +
+                       pct(with.trial_error_rate()),
+                   ok ? "bounded" : "BELOW BASELINE"});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  if (!smoke) return degraded > 0 ? 1 : 0;
+
+  // ---- smoke assertions ----
+  int failures = 0;
+
+  if (degraded > 0) {
+    std::printf("FAIL: INTANG fell below the no-INTANG baseline under %d "
+                "plan(s)\n", degraded);
+    ++failures;
+  }
+
+  // Safe mode must have engaged somewhere (the rst-storm plan hammers
+  // every strategy until the retry budget runs out). Unverifiable when the
+  // obs layer is compiled out — every counter reads 0.
+#ifndef YS_OBS_DISABLE
+  const obs::Snapshot gsnap = obs::MetricsRegistry::global().snapshot();
+  const auto safe_it = gsnap.counters.find("intang.safe_mode_pick");
+  const u64 safe_picks = safe_it == gsnap.counters.end() ? 0 : safe_it->second;
+  if (safe_picks == 0) {
+    std::printf("FAIL: safe mode never engaged (intang.safe_mode_pick == 0) "
+                "despite sustained fault plans\n");
+    ++failures;
+  } else {
+    std::printf("safe mode engaged %llu time(s) after retry-budget "
+                "exhaustion\n", static_cast<unsigned long long>(safe_picks));
+  }
+#else
+  std::printf("safe-mode counter check skipped (YS_OBS_DISABLE)\n");
+#endif
+
+  // Determinism: jobs=2 with every fault plan active must reproduce the
+  // serial reference bit-for-bit — results and deterministic metrics.
+  const SweepOut par = sweep(bench, 2, nullptr);
+  const SweepOut ser =
+      store != nullptr ? sweep(bench, 1, nullptr) : ref;  // fault-free of store effects
+  if (par.slots != ser.slots) {
+    std::printf("FAIL: --jobs=2 outcome slots diverge from --jobs=1 under "
+                "active fault plans\n");
+    ++failures;
+  } else if (par.metrics_digest != ser.metrics_digest) {
+    std::printf("FAIL: --jobs=2 merged metrics diverge from --jobs=1 under "
+                "active fault plans\n");
+    ++failures;
+  } else {
+    std::printf("determinism: --jobs=2 == --jobs=1 (results and merged "
+                "metrics) with fault plans active\n");
+  }
+
+  // Resumability: record the first half of the chains (simulating a killed
+  // run), reopen the store, and check the resumed sweep reproduces the
+  // uninterrupted reference exactly.
+  const std::string dir = "bench_faults_smoke_resume.tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const u64 sig = runner::ResultsStore::signature_of(
+      {"faults", std::to_string(grid.cells), std::to_string(grid.vantages),
+       std::to_string(grid.servers), std::to_string(grid.trials),
+       std::to_string(scale.seed), cfg.faults});
+  {
+    runner::ResultsStore killed(dir, "faults", sig, grid.total());
+    const std::size_t half_chains = grid.chains() / 2;
+    for (std::size_t i = 0; i < half_chains * grid.trials; ++i) {
+      killed.put(i, static_cast<i64>(ser.slots[i]));
+    }
+  }
+  runner::ResultsStore resumed(dir, "faults", sig, grid.total());
+  if (!resumed.resumed()) {
+    std::printf("FAIL: results store did not recognize its own file\n");
+    ++failures;
+  }
+  const SweepOut cont = sweep(bench, cfg.jobs, &resumed);
+  if (cont.slots != ser.slots) {
+    std::printf("FAIL: killed-then-resumed sweep diverges from the "
+                "uninterrupted run\n");
+    ++failures;
+  } else {
+    std::printf("resume: killed-then-resumed sweep matches the "
+                "uninterrupted run (%zu/%zu chains skipped)\n",
+                grid.chains() / 2, grid.chains());
+  }
+  std::filesystem::remove_all(dir, ec);
+
+  if (failures > 0) {
+    std::printf("\nFAIL: %d smoke assertion(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall smoke assertions passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -31,9 +31,10 @@ struct Counts {
   long success = 0;
   long failure1 = 0;
   long failure2 = 0;
+  long trial_error = 0;
   bool operator==(const Counts& o) const {
     return success == o.success && failure1 == o.failure1 &&
-           failure2 == o.failure2;
+           failure2 == o.failure2 && trial_error == o.trial_error;
   }
 };
 
@@ -90,6 +91,7 @@ SweepResult run_grid(u64 seed, int trials, int server_count, int jobs) {
       case Outcome::kSuccess: ++res.counts.success; break;
       case Outcome::kFailure1: ++res.counts.failure1; break;
       case Outcome::kFailure2: ++res.counts.failure2; break;
+      case Outcome::kTrialError: ++res.counts.trial_error; break;
     }
   }
   return res;

@@ -66,6 +66,7 @@ void run_inside(const RunConfig& cfg, int trials, TextTable& table) {
   scale.trials = trials;
   scale.servers = cfg.servers > 0 ? cfg.servers : 77;
   scale.seed = cfg.seed;
+  scale.faults = cfg.faults;
   const Table4Inside bench(scale);
   const auto& vps = bench.vantage_points();
   const std::size_t n_servers = bench.server_population().size();
@@ -85,14 +86,28 @@ void run_inside(const RunConfig& cfg, int trials, TextTable& table) {
         return bench.replay_intang(c, trace, pcap).attribution.verdict;
       });
 
-  // Fixed-strategy rows: every trial is independent, plain grid.
+  // Fixed-strategy rows: every trial is independent, plain grid. Slots are
+  // pre-filled with kTrialError so a thrown-and-isolated trial can never
+  // read as a silent success.
   const runner::TrialGrid grid = bench.fixed_grid();
-  auto out = runner::collect_grid(
-      grid, pool_options(cfg),
+  auto out = runner::collect_grid_or(
+      grid, pool_options(cfg), Outcome::kTrialError,
       [&bench](const runner::GridCoord& c, runner::TaskContext&) {
         return bench.run_fixed(c).outcome;
       });
   print_runner_report(out.report);
+
+  // A trial error (event cap, deadline expiry, or an isolated exception)
+  // is always an anomaly: archive one representative per row, traced.
+  for (std::size_t r = 0; r < Table4Inside::rows().size(); ++r) {
+    for (std::size_t i = 0; i < grid.total(); ++i) {
+      if (grid.coord(i).cell == r && out.slots[i] == Outcome::kTrialError) {
+        fixed_recorder.record(grid.coord(i), "trial error (simulation cut "
+                                             "off, not a §3.4 outcome)");
+        break;
+      }
+    }
+  }
 
   for (std::size_t r = 0; r < Table4Inside::rows().size(); ++r) {
     Agg agg;
@@ -141,13 +156,21 @@ void run_inside(const RunConfig& cfg, int trials, TextTable& table) {
   std::vector<intang::StrategySelector> selectors(
       igrid.chains(),
       intang::StrategySelector{intang::StrategySelector::Config{}});
-  auto iout = runner::collect_grid(
-      igrid, pool_options(cfg),
+  auto iout = runner::collect_grid_or(
+      igrid, pool_options(cfg), Outcome::kTrialError,
       [&bench, &igrid, &selectors](const runner::GridCoord& c,
                                    runner::TaskContext&) {
         return bench.run_intang(c, selectors[igrid.chain(c)]).outcome;
       });
   print_runner_report(iout.report);
+
+  for (std::size_t i = 0; i < igrid.total(); ++i) {
+    if (iout.slots[i] == Outcome::kTrialError) {
+      intang_recorder.record(igrid.coord(i), "trial error (simulation cut "
+                                             "off, not a §3.4 outcome)");
+      break;
+    }
+  }
 
   Agg agg;
   RateTally cell_tally;

@@ -1,6 +1,7 @@
 #include "exp/benchdef.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "netsim/pcap.h"
 #include "obs/trace_export.h"
@@ -21,13 +22,31 @@ const std::array<Table4Inside::Row, 4>& Table4Inside::rows() {
   return kRows;
 }
 
+namespace {
+
+/// Parse a BenchScale's fault spec; a bad spec is a usage error, not a
+/// silent fault-free run.
+faults::FaultPlan parse_scale_plan(const std::string& spec) {
+  if (spec.empty()) return {};
+  std::string error;
+  faults::FaultPlan plan = faults::parse_fault_plan(spec, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "--faults: %s\n", error.c_str());
+    std::exit(2);
+  }
+  return plan;
+}
+
+}  // namespace
+
 Table4Inside::Table4Inside(BenchScale scale)
     : scale_(scale),
       cal_(Calibration::standard()),
       rules_(gfw::DetectionRules::standard()),
       vps_(china_vantage_points()),
       servers_(make_server_population(scale_.servers, scale_.seed, cal_,
-                                      /*inside_china=*/true)) {}
+                                      /*inside_china=*/true)),
+      plan_(parse_scale_plan(scale_.faults)) {}
 
 runner::TrialGrid Table4Inside::fixed_grid() const {
   runner::TrialGrid grid;
@@ -69,6 +88,7 @@ ScenarioOptions Table4Inside::options_for(const runner::GridCoord& c,
   opt.cal = cal_;
   opt.seed = trial_seed;
   opt.tracing = tracing;
+  if (!plan_.empty()) opt.faults = &plan_;
   return opt;
 }
 
@@ -155,9 +175,90 @@ Replay Table4Inside::replay_intang(const runner::GridCoord& c,
   return traced_run(sc, http, trace_path, pcap_path);
 }
 
+FaultsBench::FaultsBench(BenchScale scale)
+    : scale_(scale),
+      cal_(Calibration::standard()),
+      rules_(gfw::DetectionRules::standard()),
+      vps_(china_vantage_points()),
+      servers_(make_server_population(scale_.servers, scale_.seed, cal_,
+                                      /*inside_china=*/true)) {
+  if (scale_.faults.empty()) {
+    plans_ = faults::shipped_fault_plans();
+  } else {
+    plans_.push_back(parse_scale_plan(scale_.faults));
+  }
+}
+
+runner::TrialGrid FaultsBench::grid() const {
+  runner::TrialGrid grid;
+  grid.cells = plans_.size() * 2;
+  grid.vantages = vps_.size();
+  grid.servers = servers_.size();
+  grid.trials = static_cast<std::size_t>(scale_.trials);
+  grid.chain_trials = true;
+  return grid;
+}
+
+u64 FaultsBench::trial_seed(const runner::GridCoord& c) const {
+  return Rng::mix_seed({scale_.seed, 0xFA0175ULL, static_cast<u64>(c.cell),
+                        Rng::hash_label(vps_[c.vantage].name),
+                        servers_[c.server].ip, static_cast<u64>(c.trial)});
+}
+
+ScenarioOptions FaultsBench::options_for(const runner::GridCoord& c,
+                                         bool tracing) const {
+  ScenarioOptions opt;
+  opt.vp = vps_[c.vantage];
+  opt.server = servers_[c.server];
+  opt.cal = cal_;
+  opt.seed = trial_seed(c);
+  opt.tracing = tracing;
+  const faults::FaultPlan& plan = plans_[plan_of(c.cell)];
+  if (!plan.empty()) opt.faults = &plan;
+  // Generous virtual-time deadline: honest trials quiesce in simulated
+  // seconds, so only a trial a fault plan wedged (e.g. a reorder loop that
+  // keeps re-arming timers) hits this and becomes kTrialError.
+  opt.deadline = SimTime::from_sec(120);
+  return opt;
+}
+
+TrialResult FaultsBench::run_trial(const runner::GridCoord& c,
+                                   intang::StrategySelector& selector) const {
+  Scenario sc(&rules_, options_for(c, /*tracing=*/false));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  if (intang_cell(c.cell)) {
+    http.use_intang = true;
+    http.shared_selector = &selector;
+  }
+  return run_http_trial(sc, http);
+}
+
+Replay FaultsBench::replay(const runner::GridCoord& c,
+                           const std::string& trace_path,
+                           const std::string& pcap_path) const {
+  // Rebuild the chain's selector knowledge (no-op for baseline cells —
+  // their trials never touch the selector).
+  intang::StrategySelector selector{intang::StrategySelector::Config{}};
+  for (std::size_t t = 0; t < c.trial; ++t) {
+    runner::GridCoord prefix = c;
+    prefix.trial = t;
+    (void)run_trial(prefix, selector);
+  }
+
+  Scenario sc(&rules_, options_for(c, /*tracing=*/true));
+  HttpTrialOptions http;
+  http.with_keyword = true;
+  if (intang_cell(c.cell)) {
+    http.use_intang = true;
+    http.shared_selector = &selector;
+  }
+  return traced_run(sc, http, trace_path, pcap_path);
+}
+
 const std::vector<std::string>& known_benches() {
   static const std::vector<std::string> kNames = {"table4-inside",
-                                                  "table4-intang"};
+                                                  "table4-intang", "faults"};
   return kNames;
 }
 

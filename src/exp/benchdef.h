@@ -17,16 +17,21 @@
 #include "exp/scenario.h"
 #include "exp/trial.h"
 #include "exp/vantage.h"
+#include "faults/fault_plan.h"
 #include "gfw/gfw_device.h"
 #include "runner/runner.h"
 
 namespace ys::exp {
 
-/// Knobs every bench exposes (--trials/--servers/--seed).
+/// Knobs every bench exposes (--trials/--servers/--seed/--faults).
 struct BenchScale {
   int trials = 10;
   int servers = 77;
   u64 seed = 2017;
+  /// Fault plan spec (--faults=): a shipped plan name, inline clauses, or
+  /// @file.json. Empty = fault-free. Part of the bench definition so a
+  /// flight-recorder replay re-runs under the exact same plan.
+  std::string faults;
 };
 
 /// One traced re-run of a grid coordinate.
@@ -94,6 +99,54 @@ class Table4Inside {
   gfw::DetectionRules rules_;
   std::vector<VantagePoint> vps_;
   std::vector<ServerSpec> servers_;
+  faults::FaultPlan plan_;  // parsed from scale_.faults; empty when unset
+};
+
+/// The robustness bench behind bench_faults and `yourstate faults`: every
+/// fault plan × {no-INTANG baseline, INTANG with failover}, probing the
+/// graceful-degradation guarantee (INTANG success under faults must never
+/// fall below the baseline, because safe mode degrades to exactly the
+/// baseline behavior once the retry budget is spent).
+///
+/// Cell layout: cell = plan_index * 2 + (INTANG ? 1 : 0). The grid is
+/// chained — the INTANG cells accumulate selector state along the trial
+/// axis, and chaining the baseline cells too costs nothing.
+class FaultsBench {
+ public:
+  /// With scale.faults empty, runs every shipped plan; otherwise only the
+  /// given plan.
+  explicit FaultsBench(BenchScale scale);
+
+  const BenchScale& scale() const { return scale_; }
+  const std::vector<faults::FaultPlan>& plans() const { return plans_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+  const std::vector<ServerSpec>& server_population() const { return servers_; }
+
+  std::size_t plan_of(std::size_t cell) const { return cell / 2; }
+  bool intang_cell(std::size_t cell) const { return cell % 2 == 1; }
+
+  /// Chained grid: cells = plans × {baseline, INTANG}.
+  runner::TrialGrid grid() const;
+
+  /// Run one trial. `selector` carries the chain's accumulated knowledge
+  /// (unused by baseline cells but always passed for uniformity).
+  TrialResult run_trial(const runner::GridCoord& c,
+                        intang::StrategySelector& selector) const;
+
+  /// Traced deterministic re-run (chain prefix replayed untraced first).
+  Replay replay(const runner::GridCoord& c, const std::string& trace_path = {},
+                const std::string& pcap_path = {}) const;
+
+ private:
+  ScenarioOptions options_for(const runner::GridCoord& c, bool tracing) const;
+  u64 trial_seed(const runner::GridCoord& c) const;
+
+  BenchScale scale_;
+  Calibration cal_;
+  gfw::DetectionRules rules_;
+  std::vector<VantagePoint> vps_;
+  std::vector<ServerSpec> servers_;
+  std::vector<faults::FaultPlan> plans_;
 };
 
 /// Bench names `yourstate explain --bench=` accepts.

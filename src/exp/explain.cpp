@@ -82,15 +82,96 @@ void resolve_chain(const Index& ix, Attribution& out) {
   }
 }
 
-}  // namespace
+/// Summarize the trace's injected-fault events (TraceKind::kFault) so the
+/// verdict can be attributed to the fault plan instead of the censor. A
+/// fault on the decisive event's causal chain is called out explicitly.
+// Fault event details carry the full packet summary with the injector's
+// reason in trailing parentheses ("TCP ...  (loss burst)"); non-packet
+// notes are "reason: specifics". Reduce either shape to the bare reason so
+// the note groups hundreds of events into a handful of causes.
+std::string fault_reason(const std::string& detail) {
+  const std::size_t open = detail.rfind(" (");
+  if (open != std::string::npos) {
+    const std::size_t close = detail.find(')', open);
+    if (close != std::string::npos) {
+      return detail.substr(open + 2, close - open - 2);
+    }
+  }
+  if (const std::size_t colon = detail.find(':');
+      colon != std::string::npos) {
+    return detail.substr(0, colon);
+  }
+  return detail;
+}
 
-Attribution attribute_verdict(const obs::TraceRecorder& trace,
-                              Outcome outcome, bool old_model) {
+void attribute_faults(const Index& ix, Attribution& out) {
+  // reason -> count, in first-seen order for stable rendering.
+  std::vector<std::pair<std::string, int>> reasons;
+  std::size_t total = 0;
+  for (const TraceEvent& ev : ix.events) {
+    if (ev.kind != TraceKind::kFault) continue;
+    ++total;
+    const std::string reason = fault_reason(ev.detail);
+    bool found = false;
+    for (auto& [seen, count] : reasons) {
+      if (seen == reason) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) reasons.emplace_back(reason, 1);
+  }
+  if (total == 0) return;
+
+  bool on_chain = false;
+  for (u64 id : out.chain) {
+    const TraceEvent* ev = ix.get(id);
+    if (ev != nullptr && ev->kind == TraceKind::kFault) {
+      on_chain = true;
+      break;
+    }
+  }
+  std::string note =
+      "faults: " + std::to_string(total) + " injected fault event" +
+      (total == 1 ? "" : "s") + " (";
+  for (std::size_t i = 0; i < reasons.size(); ++i) {
+    if (i > 0) note += ", ";
+    note += reasons[i].first;
+    if (reasons[i].second > 1) {
+      note += " x" + std::to_string(reasons[i].second);
+    }
+  }
+  note += ")";
+  note += on_chain ? "; one is on the decisive causal chain"
+                   : "; none on the decisive causal chain";
+  out.fault_note = note;
+}
+
+/// The per-outcome classification; the public entry point below layers
+/// fault attribution on top of whatever this returns.
+Attribution classify(const Index& ix, Outcome outcome, bool old_model) {
   Attribution out;
   out.outcome = outcome;
-  const Index ix(trace);
 
   const char* model = old_model ? "prior-model" : "evolved-model";
+
+  if (outcome == Outcome::kTrialError) {
+    // Not a §3.4 class: the simulation itself was cut off (event cap or
+    // virtual-time deadline) before the trial could reach a verdict. The
+    // decisive event, if any, is the loop's own kNote about the cap.
+    const TraceEvent* note = find_last(ix, [](const TraceEvent& ev) {
+      return ev.kind == TraceKind::kNote && ev.actor == "loop";
+    });
+    if (note != nullptr) {
+      out.decisive_event = note->id;
+      resolve_chain(ix, out);
+    }
+    out.verdict = "trial-error: the simulation was cut off (event cap or "
+                  "deadline) before reaching a verdict — not a censorship "
+                  "outcome";
+    return out;
+  }
 
   if (outcome == Outcome::kFailure2) {
     // The censor won: the decisive event is the detection (or block-period
@@ -204,6 +285,16 @@ Attribution attribute_verdict(const obs::TraceRecorder& trace,
   }
   out.verdict = std::string("success: no GFW detection event [") + model +
                 "] — the censored content was never flagged";
+  return out;
+}
+
+}  // namespace
+
+Attribution attribute_verdict(const obs::TraceRecorder& trace,
+                              Outcome outcome, bool old_model) {
+  const Index ix(trace);
+  Attribution out = classify(ix, outcome, old_model);
+  attribute_faults(ix, out);
   return out;
 }
 

@@ -32,6 +32,11 @@ struct Attribution {
   obs::GfwBehavior behavior = obs::GfwBehavior::kNone;
   /// The full caused_by chain, decisive event first, root last.
   std::vector<u64> chain;
+  /// Injected-fault attribution: non-empty when the trace carries kFault
+  /// events (an active fault plan touched this trial). Summarizes the
+  /// injected faults by reason, and says whether one sits on the causal
+  /// chain of the decisive event.
+  std::string fault_note;
 };
 
 /// Attribute `outcome` to its causal mechanism using the trial's trace.

@@ -201,6 +201,40 @@ Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
   server_ = std::make_unique<tcp::Host>(server_cfg, *path_, loop_,
                                         rng_.fork());
   server_->attach();
+
+  // ---------------------------------------------------------------- faults
+  // Wired last so a scenario without a plan makes exactly the same rng_
+  // forks (and therefore the same draws) as one built before the fault
+  // layer existed.
+  if (opt_.faults != nullptr && !opt_.faults->empty()) {
+    fault_injector_ =
+        std::make_unique<faults::FaultInjector>(*opt_.faults, rng_.fork());
+    fault_injector_->arm(loop_, *path_);
+    if (!opt_.faults->rst_storms.empty()) {
+      chaos_box_ =
+          std::make_unique<faults::ChaosBox>(*opt_.faults, rng_.fork());
+      const int pos = std::clamp(opt_.faults->rst_storms.front().position, 1,
+                                 server_hops_ - 1);
+      path_->attach(pos, chaos_box_.get());
+    }
+  }
+}
+
+Scenario::RunStatus Scenario::run(std::size_t max_events) {
+  if (max_events == 0) max_events = opt_.max_events;
+  net::RunResult r;
+  if (opt_.deadline > SimTime::zero()) {
+    r = loop_.run_until(opt_.deadline, max_events);
+    // Events still queued past the deadline mean the trial never quiesced
+    // within its virtual-time budget.
+    last_run_.deadline_expired = !r.hit_max_events && !loop_.idle();
+  } else {
+    r = loop_.run(max_events);
+    last_run_.deadline_expired = false;
+  }
+  last_run_.executed = r.executed;
+  last_run_.hit_max_events = r.hit_max_events;
+  return last_run_;
 }
 
 }  // namespace ys::exp

@@ -10,6 +10,7 @@
 
 #include "exp/calibration.h"
 #include "exp/vantage.h"
+#include "faults/injector.h"
 #include "gfw/dns_poisoner.h"
 #include "gfw/gfw_device.h"
 #include "middlebox/middlebox.h"
@@ -65,6 +66,17 @@ struct ScenarioOptions {
   /// trials with this on (determinism guarantees the same outcome).
   bool tracing = false;
 
+  /// Active fault plan (nullptr or empty = clean path, bit-identical to a
+  /// build without the fault layer). The plan must outlive the scenario;
+  /// benches keep plans in the grid definition.
+  const faults::FaultPlan* faults = nullptr;
+  /// Virtual-time budget for run(): a trial still busy at the deadline is
+  /// cut off and reports deadline_expired (-> Outcome::kTrialError).
+  /// zero() = no deadline (run to quiescence, bounded by max_events).
+  SimTime deadline = SimTime::zero();
+  /// Event budget for run() when the caller doesn't pass one.
+  std::size_t max_events = 500'000;
+
   /// §8 countermeasure ablations applied to both GFW devices.
   struct HardenOptions {
     bool validate_checksum = false;
@@ -99,8 +111,21 @@ class Scenario {
   int gfw_position() const { return gfw_position_; }
   bool path_runs_old_model() const { return old_model_; }
 
-  /// Drive the simulation until quiescent (bounded).
-  void run(std::size_t max_events = 500'000) { loop_.run(max_events); }
+  /// How the last run() ended. A trial that hit either bound produced a
+  /// *partial* simulation whose verdict must not be read as a §3.4
+  /// classification — trial runners surface it as Outcome::kTrialError.
+  struct RunStatus {
+    std::size_t executed = 0;
+    bool hit_max_events = false;
+    bool deadline_expired = false;
+    bool aborted() const { return hit_max_events || deadline_expired; }
+  };
+
+  /// Drive the simulation until quiescent, the options' deadline, or the
+  /// event bound (0 = use the options' max_events). Returns how it ended;
+  /// also retrievable afterwards via last_run().
+  RunStatus run(std::size_t max_events = 0);
+  const RunStatus& last_run() const { return last_run_; }
 
   /// Independent random stream for trial-level draws.
   Rng fork_rng() { return rng_.fork(); }
@@ -117,7 +142,11 @@ class Scenario {
   bool old_model_ = false;
   strategy::PathKnowledge knowledge_;
 
+  RunStatus last_run_;
+
   std::unique_ptr<net::Path> path_;
+  std::unique_ptr<faults::FaultInjector> fault_injector_;
+  std::unique_ptr<faults::ChaosBox> chaos_box_;
   std::unique_ptr<mbox::Middlebox> client_mbox_;
   std::unique_ptr<mbox::Middlebox> server_mbox_;
   std::unique_ptr<gfw::GfwDevice> type1_;

@@ -12,6 +12,7 @@ void RateTally::publish(const std::string& label,
   registry.gauge(prefix + "success_rate").set(success_rate());
   registry.gauge(prefix + "failure1_rate").set(failure1_rate());
   registry.gauge(prefix + "failure2_rate").set(failure2_rate());
+  registry.gauge(prefix + "trial_error_rate").set(trial_error_rate());
 }
 
 MinMaxAvg aggregate(const std::vector<double>& rates) {

@@ -14,20 +14,23 @@ struct RateTally {
   int success = 0;
   int failure1 = 0;
   int failure2 = 0;
+  int trial_error = 0;  // cut-off simulations; counted in total()
 
   void add(Outcome o) {
     switch (o) {
       case Outcome::kSuccess: ++success; break;
       case Outcome::kFailure1: ++failure1; break;
       case Outcome::kFailure2: ++failure2; break;
+      case Outcome::kTrialError: ++trial_error; break;
     }
   }
   void merge(const RateTally& other) {
     success += other.success;
     failure1 += other.failure1;
     failure2 += other.failure2;
+    trial_error += other.trial_error;
   }
-  int total() const { return success + failure1 + failure2; }
+  int total() const { return success + failure1 + failure2 + trial_error; }
   double success_rate() const {
     return total() == 0 ? 0.0 : static_cast<double>(success) / total();
   }
@@ -36,6 +39,9 @@ struct RateTally {
   }
   double failure2_rate() const {
     return total() == 0 ? 0.0 : static_cast<double>(failure2) / total();
+  }
+  double trial_error_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(trial_error) / total();
   }
 
   /// Publish this tally into `registry` under `exp.rate.<label>.*` so

@@ -31,6 +31,7 @@ struct TrialCounters {
   obs::Counter& success;
   obs::Counter& failure1;
   obs::Counter& failure2;
+  obs::Counter& trial_error;
 };
 
 void count_outcome(const char* kind, Outcome o, strategy::StrategyId used,
@@ -41,17 +42,20 @@ void count_outcome(const char* kind, Outcome o, strategy::StrategyId used,
         return TrialCounters{r.counter("exp.trial_total"),
                              r.counter("exp.trial_success"),
                              r.counter("exp.trial_failure1"),
-                             r.counter("exp.trial_failure2")};
+                             r.counter("exp.trial_failure2"),
+                             r.counter("exp.trial_error")};
       });
   obs::Counter& total = m.total;
   obs::Counter& success = m.success;
   obs::Counter& failure1 = m.failure1;
   obs::Counter& failure2 = m.failure2;
+  obs::Counter& trial_error = m.trial_error;
   total.inc();
   switch (o) {
     case Outcome::kSuccess: success.inc(); break;
     case Outcome::kFailure1: failure1.inc(); break;
     case Outcome::kFailure2: failure2.inc(); break;
+    case Outcome::kTrialError: trial_error.inc(); break;
   }
   reg.counter(std::string("exp.") + kind + "_trials").inc();
   reg.histogram(std::string("exp.vtime.") + to_string(o) + "." +
@@ -67,6 +71,7 @@ const char* to_string(Outcome o) {
     case Outcome::kSuccess: return "success";
     case Outcome::kFailure1: return "failure-1";
     case Outcome::kFailure2: return "failure-2";
+    case Outcome::kTrialError: return "trial-error";
   }
   return "?";
 }
@@ -208,10 +213,12 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
   } else {
     result.outcome = Outcome::kFailure1;
   }
+  // A cut-off simulation is not a verdict (and not strategy feedback).
+  if (scenario.last_run().aborted()) result.outcome = Outcome::kTrialError;
 
   // INTANG also counts a timed-out connection against the strategy it
   // chose; without this it could never learn around Failure 1 paths.
-  if (intang_choice) {
+  if (intang_choice && result.outcome != Outcome::kTrialError) {
     evasion.intang->selector().report(scenario.options().server.ip,
                                       *intang_choice,
                                       result.outcome == Outcome::kSuccess,
@@ -284,6 +291,10 @@ DnsTrialResult run_dns_trial(Scenario& scenario, const DnsTrialOptions& opt) {
     classify_resets(scenario.client().received_log(), &gfw, &other);
     result.outcome = gfw ? Outcome::kFailure2 : Outcome::kFailure1;
   }
+  if (scenario.last_run().aborted()) {
+    result.outcome = Outcome::kTrialError;
+    result.answered = false;
+  }
   count_outcome("dns", result.outcome, opt.strategy, scenario.loop().now());
   return result;
 }
@@ -334,8 +345,9 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
   } else {
     result.outcome = Outcome::kFailure1;
   }
+  if (scenario.last_run().aborted()) result.outcome = Outcome::kTrialError;
 
-  if (intang_choice) {
+  if (intang_choice && result.outcome != Outcome::kTrialError) {
     evasion.intang->selector().report(scenario.options().server.ip,
                                       *intang_choice,
                                       result.outcome == Outcome::kSuccess,
@@ -386,7 +398,8 @@ TrialResult run_vpn_trial(Scenario& scenario, const VpnTrialOptions& opt) {
   } else {
     result.outcome = Outcome::kFailure1;
   }
-  if (intang_choice) {
+  if (scenario.last_run().aborted()) result.outcome = Outcome::kTrialError;
+  if (intang_choice && result.outcome != Outcome::kTrialError) {
     evasion.intang->selector().report(scenario.options().server.ip,
                                       *intang_choice,
                                       result.outcome == Outcome::kSuccess,

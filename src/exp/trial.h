@@ -12,7 +12,10 @@ namespace ys::exp {
 
 /// §3.4: Success = application response received and no GFW resets seen;
 /// Failure 1 = no response, no GFW resets; Failure 2 = GFW resets seen.
-enum class Outcome { kSuccess, kFailure1, kFailure2 };
+/// kTrialError is not a §3.4 class: the simulation itself was cut off
+/// (event-loop cap or virtual-time deadline), so the verdict would be read
+/// off a partial run — surfaced distinctly so it can never pass as one.
+enum class Outcome { kSuccess, kFailure1, kFailure2, kTrialError };
 
 const char* to_string(Outcome o);
 

@@ -1,0 +1,100 @@
+// Declarative, seeded fault plans (the "chaos layer").
+//
+// A FaultPlan is pure data: *what* goes wrong and *when*, on the virtual
+// clock. The injector (faults/injector.h) turns a plan plus a forked Rng
+// into deterministic per-segment decisions, so a grid swept under an active
+// plan is exactly as reproducible as a clean one — same seed, same faults,
+// same verdicts, across any --jobs value.
+//
+// Plans come from three places, all through parse_fault_plan():
+//   - a shipped name ("loss-burst", "rst-storm", "chaos", ...),
+//   - a compact inline spec: clauses separated by ';', fields by ',':
+//       loss:at=50ms,dur=2s,p=0.25;dup:p=0.08;pathflap:at=60ms,delta=3
+//   - "@plan.json": a JSON file with the same fields per clause.
+// Durations accept us/ms/s suffixes; a bare number means milliseconds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys::faults {
+
+/// Window of elevated per-link loss, stacked on top of the path's base
+/// per_link_loss (applied per segment crossing).
+struct LossBurst {
+  SimTime at;
+  SimTime duration;
+  double p = 0.0;  // per-link loss probability while the burst is active
+};
+
+/// Window in which segment latency gets a uniform extra delay and the FIFO
+/// clamp is bypassed — true reordering beyond what jitter can produce.
+struct ReorderWindow {
+  SimTime at;
+  SimTime duration;
+  i64 max_extra_delay_us = 0;
+};
+
+/// A middlebox at `position` forging RSTs toward the client for a while
+/// (the paper's unruly-middlebox failure mode; injected RSTs carry default
+/// TTL so the classifier attributes them like censor resets).
+struct RstStorm {
+  SimTime at;
+  SimTime duration;
+  int position = 1;       // path hop of the chaos middlebox
+  double per_packet = 0;  // RST probability per C2S data packet seen
+};
+
+/// GFW injector flap: during the window the censor's own injections are
+/// suppressed (outage) or delayed (latency). The paper's "your state is not
+/// mine" asymmetry cuts both ways — the censor is unreliable too.
+struct GfwFlap {
+  SimTime at;
+  SimTime duration;
+  bool outage = false;
+  i64 extra_latency_us = 0;
+};
+
+/// A route change at a point in time: the client-to-server hop count moves
+/// by `delta`, invalidating earlier TTL estimates (network dynamics).
+struct PathFlap {
+  SimTime at;
+  int delta = 0;
+};
+
+struct FaultPlan {
+  std::string name;  // shipped name, "inline", or "file:<path>"
+  std::vector<LossBurst> loss_bursts;
+  double duplicate_p = 0.0;  // per-segment duplication probability
+  double corrupt_p = 0.0;    // per-segment corruption probability
+  std::vector<ReorderWindow> reorder_windows;
+  std::vector<RstStorm> rst_storms;
+  std::vector<GfwFlap> gfw_flaps;
+  std::vector<PathFlap> path_flaps;
+
+  bool empty() const {
+    return loss_bursts.empty() && duplicate_p <= 0.0 && corrupt_p <= 0.0 &&
+           reorder_windows.empty() && rst_storms.empty() &&
+           gfw_flaps.empty() && path_flaps.empty();
+  }
+
+  /// Compact one-line description ("loss-burst: loss@50ms+2000ms p=0.25"),
+  /// used for banners and for the resume-store grid signature.
+  std::string summary() const;
+};
+
+/// The plans bench_faults sweeps and the CLI accepts by name. Each isolates
+/// one failure mode except "chaos", which combines several.
+const std::vector<FaultPlan>& shipped_fault_plans();
+
+/// Look up a shipped plan by name; nullptr if unknown.
+const FaultPlan* find_shipped_plan(const std::string& name);
+
+/// Parse `spec` (shipped name | inline clauses | "@file.json"). On failure
+/// returns an empty plan and sets `error`; on success clears `error`.
+FaultPlan parse_fault_plan(const std::string& spec, std::string& error);
+
+}  // namespace ys::faults

@@ -1,0 +1,144 @@
+#include "faults/injector.h"
+
+#include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ys::faults {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter& loss_burst_drop;
+  obs::Counter& duplicate;
+  obs::Counter& corrupt;
+  obs::Counter& reorder_delay;
+  obs::Counter& rst_injected;
+  obs::Counter& gfw_suppressed;
+  obs::Counter& gfw_delayed;
+  obs::Counter& path_flap;
+};
+
+FaultMetrics& metrics() {
+  return obs::bind_per_thread<FaultMetrics>([](obs::MetricsRegistry& reg) {
+    return FaultMetrics{reg.counter("faults.loss_burst_drop"),
+                        reg.counter("faults.duplicate"),
+                        reg.counter("faults.corrupt"),
+                        reg.counter("faults.reorder_delay"),
+                        reg.counter("faults.rst_injected"),
+                        reg.counter("faults.gfw_inject_suppressed"),
+                        reg.counter("faults.gfw_inject_delayed"),
+                        reg.counter("faults.path_flap")};
+  });
+}
+
+bool active(SimTime at, SimTime duration, SimTime now) {
+  return now >= at && now < at + duration;
+}
+
+}  // namespace
+
+void FaultInjector::arm(net::EventLoop& loop, net::Path& path) {
+  path.set_fault_hook(this);
+  for (const PathFlap& flap : plan_.path_flaps) {
+    net::Path* p = &path;
+    const int delta = flap.delta;
+    loop.schedule_at(flap.at, [p, delta]() {
+      p->shift_route(delta);
+      metrics().path_flap.inc();
+      if (p->trace() != nullptr) {
+        p->trace()->note(p->loop().now(), "faults", obs::TraceKind::kFault,
+                         "route flap: " + std::to_string(delta) +
+                             " hops, server now " +
+                             std::to_string(p->current_server_hops()) +
+                             " hops away");
+      }
+    });
+  }
+}
+
+net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
+                                                     net::Dir dir,
+                                                     int from_pos, int to_pos,
+                                                     SimTime now) {
+  (void)pkt;
+  (void)dir;
+  LinkAction act;
+  const int distance =
+      to_pos > from_pos ? to_pos - from_pos : from_pos - to_pos;
+
+  for (const LossBurst& b : plan_.loss_bursts) {
+    if (!active(b.at, b.duration, now)) continue;
+    // One draw for the whole segment: the burst is a window property, so a
+    // per-hop attribution adds nothing (the base per_link_loss already
+    // interleaves with TTL inside the path).
+    if (rng_.chance(1.0 - std::pow(1.0 - b.p, distance))) {
+      metrics().loss_burst_drop.inc();
+      act.drop = true;
+      act.reason = "loss burst";
+      return act;
+    }
+  }
+  if (plan_.duplicate_p > 0 && rng_.chance(plan_.duplicate_p)) {
+    metrics().duplicate.inc();
+    act.duplicate = true;
+    act.reason = "duplication";
+  }
+  if (plan_.corrupt_p > 0 && rng_.chance(plan_.corrupt_p)) {
+    metrics().corrupt.inc();
+    act.corrupt = true;
+    act.reason = "corruption";
+  }
+  for (const ReorderWindow& w : plan_.reorder_windows) {
+    if (!active(w.at, w.duration, now)) continue;
+    act.extra_delay_us = rng_.uniform_range(0, w.max_extra_delay_us);
+    act.bypass_fifo = true;
+    act.reason = "reorder window";
+    metrics().reorder_delay.inc();
+    break;
+  }
+  return act;
+}
+
+net::FaultHook::InjectAction FaultInjector::on_inject(const std::string& actor,
+                                                      SimTime now) {
+  InjectAction act;
+  if (actor.compare(0, 3, "gfw") != 0) return act;
+  for (const GfwFlap& f : plan_.gfw_flaps) {
+    if (!active(f.at, f.duration, now)) continue;
+    if (f.outage) {
+      metrics().gfw_suppressed.inc();
+      act.suppress = true;
+      act.reason = "gfw outage flap";
+      return act;
+    }
+    metrics().gfw_delayed.inc();
+    act.extra_delay_us += f.extra_latency_us;
+    act.reason = "gfw latency flap";
+  }
+  return act;
+}
+
+void ChaosBox::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
+  if (dir == net::Dir::kC2S && pkt.tcp && !pkt.payload.empty()) {
+    for (const RstStorm& s : plan_.rst_storms) {
+      if (!active(s.at, s.duration, fwd.now())) continue;
+      if (!rng_.chance(s.per_packet)) continue;
+      // Spoof a server->client RST for this flow. seq = the data packet's
+      // ack is exactly what the client expects next from the server, so the
+      // reset lands in-window; default TTL means the client's fingerprinter
+      // reads it like a censor reset.
+      net::Packet rst =
+          net::make_tcp_packet(pkt.tuple().reversed(),
+                               net::TcpFlags::only_rst(), pkt.tcp->ack, 0);
+      metrics().rst_injected.inc();
+      fwd.inject_caused_by(std::move(rst), net::Dir::kS2C,
+                           SimTime::from_us(200), pkt.trace_id);
+      break;
+    }
+  }
+  fwd.forward(std::move(pkt));
+}
+
+}  // namespace ys::faults

@@ -1,0 +1,60 @@
+// Turns a FaultPlan into deterministic runtime behavior.
+//
+// Two actors:
+//   - FaultInjector implements net::FaultHook: per-segment loss bursts,
+//     duplication, corruption, and reorder windows, plus GFW injector
+//     outage/latency flaps; arm() additionally schedules the plan's route
+//     flaps on the event loop.
+//   - ChaosBox is a PathElement middlebox that forges RST storms toward the
+//     client (the paper's unruly-middlebox failure mode).
+//
+// Both own a forked Rng, so the path's own stream never sees an extra draw:
+// a scenario without a plan is bit-identical to one built before the fault
+// layer existed, and a planful run is reproducible from its seed alone.
+#pragma once
+
+#include <string>
+
+#include "core/rng.h"
+#include "faults/fault_plan.h"
+#include "netsim/event_loop.h"
+#include "netsim/path.h"
+
+namespace ys::faults {
+
+class FaultInjector final : public net::FaultHook {
+ public:
+  FaultInjector(const FaultPlan& plan, Rng rng)
+      : plan_(plan), rng_(std::move(rng)) {}
+
+  /// Schedule the plan's time-driven faults (route flaps) and install this
+  /// hook on the path. Call once, before the simulation starts.
+  void arm(net::EventLoop& loop, net::Path& path);
+
+  LinkAction on_segment(const net::Packet& pkt, net::Dir dir, int from_pos,
+                        int to_pos, SimTime now) override;
+  InjectAction on_inject(const std::string& actor, SimTime now) override;
+
+ private:
+  const FaultPlan& plan_;  // owned by the scenario options / bench
+  Rng rng_;
+};
+
+/// On-path middlebox that injects spoofed RSTs toward the client during the
+/// plan's storm windows. Injected RSTs carry the default TTL (64), so the
+/// client's TTL fingerprinting attributes them like censor resets — which
+/// is exactly the confusion the paper's §7.1 failure analysis describes.
+class ChaosBox final : public net::PathElement {
+ public:
+  ChaosBox(const FaultPlan& plan, Rng rng)
+      : plan_(plan), rng_(std::move(rng)) {}
+
+  std::string name() const override { return "chaosbox"; }
+  void process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) override;
+
+ private:
+  const FaultPlan& plan_;
+  Rng rng_;
+};
+
+}  // namespace ys::faults

@@ -56,7 +56,8 @@ std::optional<std::string> KvStore::get(const std::string& key, SimTime now) {
   return it->second.value;
 }
 
-i64 KvStore::incr(const std::string& key, SimTime now, i64 delta) {
+i64 KvStore::incr(const std::string& key, SimTime now, i64 delta,
+                  SimTime ttl) {
   metrics().incrs.inc();
   auto it = map_.find(key);
   i64 current = 0;
@@ -67,6 +68,10 @@ i64 KvStore::incr(const std::string& key, SimTime now, i64 delta) {
     std::from_chars(v.data(), v.data() + v.size(), current);
     expiry = it->second.expiry;
     expires = it->second.expires;
+  }
+  if (ttl > SimTime::zero()) {
+    expires = true;
+    expiry = now + ttl;
   }
   current += delta;
   Entry e;

@@ -23,8 +23,11 @@ class KvStore {
   std::optional<std::string> get(const std::string& key, SimTime now);
 
   /// Atomic increment of an integer value (absent/expired counts as 0);
-  /// returns the new value. Preserves the key's remaining TTL.
-  i64 incr(const std::string& key, SimTime now, i64 delta = 1);
+  /// returns the new value. With ttl zero the key's remaining TTL is
+  /// preserved; a positive ttl refreshes the expiry to now + ttl (the
+  /// INCR+EXPIRE idiom the selector's decaying health counters use).
+  i64 incr(const std::string& key, SimTime now, i64 delta = 1,
+           SimTime ttl = SimTime::zero());
 
   bool erase(const std::string& key);
 

@@ -16,6 +16,8 @@ struct SelectorMetrics {
   obs::Counter& cache_hits;
   obs::Counter& store_hits;
   obs::Counter& cold_picks;
+  obs::Counter& failover_picks;
+  obs::Counter& safe_mode_picks;
   obs::Counter& report_success;
   obs::Counter& report_failure;
   obs::Histogram& choose_wall_us;
@@ -28,6 +30,8 @@ SelectorMetrics& metrics() {
                                reg.counter("intang.pick_cache_hit"),
                                reg.counter("intang.pick_store_hit"),
                                reg.counter("intang.pick_cold"),
+                               reg.counter("intang.pick_failover"),
+                               reg.counter("intang.safe_mode_pick"),
                                reg.counter("intang.report_success"),
                                reg.counter("intang.report_failure"),
                                reg.histogram("intang.choose_wall_us")};
@@ -47,33 +51,91 @@ std::string StrategySelector::tally_key(net::IpAddr server,
          std::to_string(static_cast<int>(id));
 }
 
+std::string StrategySelector::fail_key(net::IpAddr server) const {
+  return "fail:" + ip_key(server);
+}
+
+std::string StrategySelector::cool_key(net::IpAddr server,
+                                       strategy::StrategyId id) const {
+  return "cool:" + ip_key(server) + ":" + std::to_string(static_cast<int>(id));
+}
+
+bool StrategySelector::cooling(net::IpAddr server, strategy::StrategyId id,
+                               SimTime now) {
+  return cfg_.failure_backoff > SimTime::zero() &&
+         store_.get(cool_key(server, id), now).has_value();
+}
+
+i64 StrategySelector::consecutive_failures(net::IpAddr server, SimTime now) {
+  i64 n = 0;
+  if (auto v = store_.get(fail_key(server), now)) {
+    std::from_chars(v->data(), v->data() + v->size(), n);
+  }
+  return n;
+}
+
 StrategySelector::Choice StrategySelector::choose_explained(net::IpAddr server,
                                                             SimTime now) {
   obs::ScopedTimer timer(metrics().choose_wall_us);
   metrics().picks.inc();
-  // Fast path: LRU-cached known-good strategy.
+  // Safe mode: the retry budget for this server is exhausted. Insertion
+  // packets have been making things *worse* here, so stop crafting them —
+  // kNone degrades to the no-INTANG baseline until the probation counter
+  // decays (its TTL refreshes on each new failure).
+  if (cfg_.retry_budget > 0 &&
+      consecutive_failures(server, now) >= cfg_.retry_budget) {
+    metrics().safe_mode_picks.inc();
+    return Choice{strategy::StrategyId::kNone, Choice::Source::kSafeMode};
+  }
+  // Fast path: LRU-cached known-good strategy — unless it is cooling off
+  // after a recent failure, in which case the ladder moves on.
+  bool skipped_cooling = false;
   if (auto cached = cache_.get(server)) {
-    metrics().cache_hits.inc();
-    return Choice{*cached, Choice::Source::kCacheHit};
+    if (!cooling(server, *cached, now)) {
+      metrics().cache_hits.inc();
+      return Choice{*cached, Choice::Source::kCacheHit};
+    }
+    skipped_cooling = true;
   }
   // Store path: a persisted known-good record.
   if (auto good = store_.get(good_key(server), now)) {
-    metrics().store_hits.inc();
     int id = 0;
     std::from_chars(good->data(), good->data() + good->size(), id);
     const auto sid = static_cast<strategy::StrategyId>(id);
-    cache_.put(server, sid);
-    return Choice{sid, Choice::Source::kStoreHit};
+    if (!cooling(server, sid, now)) {
+      metrics().store_hits.inc();
+      cache_.put(server, sid);
+      return Choice{sid, Choice::Source::kStoreHit};
+    }
+    skipped_cooling = true;
   }
   // Cold path: prefer untried candidates in order, then the best success
-  // ratio (Laplace-smoothed so sparse data doesn't pin a loser).
+  // ratio (Laplace-smoothed so sparse data doesn't pin a loser). Cooling
+  // candidates sit out a round — unless every rung is cooling, when the
+  // backoff is moot and the full ladder competes again.
   metrics().cold_picks.inc();
-  strategy::StrategyId best = cfg_.candidates.front();
-  double best_score = -1.0;
+  std::vector<strategy::StrategyId> pool;
+  pool.reserve(cfg_.candidates.size());
   for (auto id : cfg_.candidates) {
+    if (!cooling(server, id, now)) pool.push_back(id);
+  }
+  if (pool.empty()) {
+    pool = cfg_.candidates;
+  } else if (pool.size() != cfg_.candidates.size()) {
+    skipped_cooling = true;
+  }
+  const auto source_for = [&](Choice::Source cold_source) {
+    if (!skipped_cooling) return cold_source;
+    metrics().failover_picks.inc();
+    return Choice::Source::kFailover;
+  };
+  strategy::StrategyId best = pool.front();
+  double best_score = -1.0;
+  for (auto id : pool) {
     auto [ok, bad] = tallies(server, id, now);
     if (ok + bad == 0) {
-      return Choice{id, Choice::Source::kUntried};  // untried: measure it
+      // untried: measure it
+      return Choice{id, source_for(Choice::Source::kUntried)};
     }
     const double score =
         (static_cast<double>(ok) + 1.0) / (static_cast<double>(ok + bad) + 2.0);
@@ -82,7 +144,7 @@ StrategySelector::Choice StrategySelector::choose_explained(net::IpAddr server,
       best = id;
     }
   }
-  return Choice{best, Choice::Source::kBestScore};
+  return Choice{best, source_for(Choice::Source::kBestScore)};
 }
 
 const char* to_string(StrategySelector::Choice::Source source) {
@@ -91,6 +153,8 @@ const char* to_string(StrategySelector::Choice::Source source) {
     case StrategySelector::Choice::Source::kStoreHit: return "store-hit";
     case StrategySelector::Choice::Source::kUntried: return "untried";
     case StrategySelector::Choice::Source::kBestScore: return "best-score";
+    case StrategySelector::Choice::Source::kFailover: return "failover";
+    case StrategySelector::Choice::Source::kSafeMode: return "safe-mode";
   }
   return "?";
 }
@@ -98,16 +162,39 @@ const char* to_string(StrategySelector::Choice::Source source) {
 void StrategySelector::report(net::IpAddr server, strategy::StrategyId id,
                               bool success, SimTime now) {
   (success ? metrics().report_success : metrics().report_failure).inc();
-  store_.incr(tally_key(server, id, success), now);
+  if (id == strategy::StrategyId::kNone) {
+    // Safe-mode probe: no strategy was exercised, so there is nothing to
+    // tally or cool. Either way probation ends: a success means the plain
+    // path works (strategies are not needed), a failure means the path is
+    // censored and safe mode cannot help — re-arm the ladder, whose
+    // cool-offs steer it away from the rungs that just failed.
+    store_.erase(fail_key(server));
+    return;
+  }
+  store_.incr(tally_key(server, id, success), now, 1, cfg_.tally_ttl);
   if (success) {
+    store_.erase(fail_key(server));
     store_.set(good_key(server), std::to_string(static_cast<int>(id)), now,
                cfg_.record_ttl);
     cache_.put(server, id);
   } else {
-    // A failed known-good record must not keep winning the fast path.
+    // Consecutive-failure probation (TTL refreshes with each failure) and
+    // a per-(server, strategy) cool-off for the failover ladder.
+    store_.incr(fail_key(server), now, 1, cfg_.safe_mode_ttl);
+    if (cfg_.failure_backoff > SimTime::zero()) {
+      store_.set(cool_key(server, id), "1", now, cfg_.failure_backoff);
+    }
+    // A failed known-good record must not keep winning the fast path —
+    // but only the record for *this* strategy is invalidated.
     if (auto cached = cache_.get(server); cached && *cached == id) {
       cache_.erase(server);
-      store_.erase(good_key(server));
+    }
+    if (auto good = store_.get(good_key(server), now)) {
+      int gid = 0;
+      std::from_chars(good->data(), good->data() + good->size(), gid);
+      if (static_cast<strategy::StrategyId>(gid) == id) {
+        store_.erase(good_key(server));
+      }
     }
   }
 }

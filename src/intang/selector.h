@@ -22,6 +22,21 @@ class StrategySelector {
     /// How long a "known good" verdict stays authoritative.
     SimTime record_ttl = SimTime::from_sec(3600);
     std::size_t lru_capacity = 1024;
+    /// Consecutive failures against one server before the selector stops
+    /// inserting packets entirely (safe mode: kNone = the no-INTANG
+    /// baseline, the floor §8 promises degradation never drops below).
+    /// 0 disables safe mode.
+    int retry_budget = 3;
+    /// After a failure, the failed strategy cools off for this long before
+    /// the failover ladder will pick it for that server again. zero()
+    /// disables backoff.
+    SimTime failure_backoff = SimTime::from_sec(180);
+    /// Probation length: the consecutive-failure counter decays away after
+    /// this long without a new failure, ending safe mode.
+    SimTime safe_mode_ttl = SimTime::from_sec(600);
+    /// Health decay for ok:/bad: tallies — measurements idle this long stop
+    /// influencing cold picks (networks change; §6's records must age).
+    SimTime tally_ttl = SimTime::from_sec(7200);
   };
 
   explicit StrategySelector(Config cfg)
@@ -36,6 +51,8 @@ class StrategySelector {
       kStoreHit,    ///< persisted known-good record
       kUntried,     ///< cold pick: first candidate with no tallies yet
       kBestScore,   ///< cold pick: best Laplace-smoothed success ratio
+      kFailover,    ///< preferred pick was cooling off; next rung chosen
+      kSafeMode,    ///< retry budget exhausted: kNone, no insertion packets
     } source;
   };
 
@@ -58,10 +75,16 @@ class StrategySelector {
   std::pair<i64, i64> tallies(net::IpAddr server, strategy::StrategyId id,
                               SimTime now);
 
+  /// Live consecutive-failure count for `server` (0 = healthy).
+  i64 consecutive_failures(net::IpAddr server, SimTime now);
+
  private:
   std::string good_key(net::IpAddr server) const;
   std::string tally_key(net::IpAddr server, strategy::StrategyId id,
                         bool success) const;
+  std::string fail_key(net::IpAddr server) const;
+  std::string cool_key(net::IpAddr server, strategy::StrategyId id) const;
+  bool cooling(net::IpAddr server, strategy::StrategyId id, SimTime now);
 
   Config cfg_;
   KvStore store_;

@@ -44,7 +44,11 @@ Path::PathMetrics& Path::metrics() {
                        reg.counter("netsim.packet_ttl_expired"),
                        reg.counter("netsim.packet_injected"),
                        reg.counter("netsim.packet_element_drop"),
-                       reg.counter("netsim.packet_reorder_clamped")};
+                       reg.counter("netsim.packet_reorder_clamped"),
+                       reg.counter("netsim.fault_drop"),
+                       reg.counter("netsim.fault_duplicate"),
+                       reg.counter("netsim.fault_corrupt"),
+                       reg.counter("netsim.fault_inject_suppressed")};
   });
 }
 
@@ -67,7 +71,6 @@ class Path::ForwarderImpl final : public Forwarder {
   void inject_caused_by(Packet pkt, Dir dir, SimTime delay,
                         u64 cause_packet_id) override {
     finalize(pkt);
-    Path::metrics().injected.inc();
     pkt.trace_id = path_.next_trace_id_++;
     // Resolve the causal link now: at injection-decision time the trigger
     // packet's latest trace event is the one that reached this element.
@@ -77,6 +80,20 @@ class Path::ForwarderImpl final : public Forwarder {
             : 0;
     const std::string actor = path_.elements_[static_cast<std::size_t>(index_)]
                                   .element->name();
+    if (path_.fault_hook_ != nullptr) {
+      const FaultHook::InjectAction act =
+          path_.fault_hook_->on_inject(actor, path_.loop_.now());
+      if (act.suppress) {
+        // The injector is "down" (e.g. a GFW outage flap): the forged
+        // packet never makes it onto the wire.
+        Path::metrics().fault_inject_suppressed.inc();
+        path_.trace_packet(obs::TraceKind::kFault, actor, pkt, dir,
+                           cause_event, act.reason);
+        return;
+      }
+      delay = delay + SimTime::from_us(act.extra_delay_us);
+    }
+    Path::metrics().injected.inc();
     const int position = position_;
     const int index = index_;
     Path* path = &path_;
@@ -184,25 +201,28 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
   const int distance = std::max(0, dir == Dir::kC2S ? next_pos - from_pos
                                                     : from_pos - next_pos);
 
-  // TTL: each link crossing decrements; a packet with insufficient TTL dies
-  // on the link and nothing downstream ever sees it.
+  // TTL and loss are evaluated link by link, interleaved: a packet with
+  // TTL k crosses exactly k links, and each crossing is an independent
+  // Bernoulli loss trial — so an element at hop k sees packets that later
+  // die at hop k+1 (one end-to-end draw could not represent that, and
+  // insertion-packet fault tests depend on the distinction).
   if (distance > 0) {
-    if (pkt.ip.ttl < distance) {
-      metrics().ttl_expired.inc();
-      if (trace_ != nullptr) {
-        const std::string extra = "ttl expired " +
-                                  std::to_string(from_pos + pkt.ip.ttl) +
-                                  " hops from client";
-        trace_packet(obs::TraceKind::kExpire, "path", pkt, dir,
-                     trace_->event_for_packet(pkt.trace_id), extra.c_str());
+    const int step = dir == Dir::kC2S ? 1 : -1;
+    int pos = from_pos;
+    for (int hop = 0; hop < distance; ++hop) {
+      if (pkt.ip.ttl == 0) {
+        metrics().ttl_expired.inc();
+        if (trace_ != nullptr) {
+          const std::string extra =
+              "ttl expired " + std::to_string(pos) + " hops from client";
+          trace_packet(obs::TraceKind::kExpire, "path", pkt, dir,
+                       trace_->event_for_packet(pkt.trace_id), extra.c_str());
+        }
+        return;
       }
-      return;
-    }
-    pkt.ip.ttl = static_cast<u8>(pkt.ip.ttl - distance);
-
-    if (cfg_.per_link_loss > 0.0) {
-      const double survive = std::pow(1.0 - cfg_.per_link_loss, distance);
-      if (!rng_.chance(survive)) {
+      pkt.ip.ttl = static_cast<u8>(pkt.ip.ttl - 1);
+      pos += step;
+      if (cfg_.per_link_loss > 0.0 && rng_.chance(cfg_.per_link_loss)) {
         metrics().dropped_loss.inc();
         if (trace_ != nullptr) {
           trace_packet(obs::TraceKind::kLoss, "path", pkt, dir,
@@ -213,26 +233,61 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
     }
   }
 
+  // Fault layer: one consultation per surviving segment. No hook installed
+  // means no extra draws and no behavior change whatsoever.
+  FaultHook::LinkAction fault;
+  if (fault_hook_ != nullptr && distance > 0) {
+    fault = fault_hook_->on_segment(pkt, dir, from_pos, next_pos, loop_.now());
+    if (fault.any() && trace_ != nullptr) {
+      trace_packet(obs::TraceKind::kFault, "faults", pkt, dir,
+                   trace_->event_for_packet(pkt.trace_id), fault.reason);
+    }
+    if (fault.drop) {
+      metrics().fault_drops.inc();
+      return;
+    }
+    if (fault.corrupt) {
+      // Mutate the content but leave the already-finalized checksum stale,
+      // like a flaky link flipping bits after the NIC computed the sums.
+      metrics().fault_corruptions.inc();
+      if (!pkt.payload.empty()) {
+        pkt.payload[0] ^= 0x20;
+      } else if (pkt.tcp) {
+        pkt.tcp->checksum = static_cast<u16>(pkt.tcp->checksum ^ 0x5555);
+      } else if (pkt.udp) {
+        pkt.udp->checksum = static_cast<u16>(pkt.udp->checksum ^ 0x5555);
+      }
+    }
+  }
+
   const SimTime delay = SimTime::from_us(
       distance * cfg_.per_hop_latency_us +
       (cfg_.jitter_us > 0
            ? rng_.uniform_range(0, cfg_.jitter_us)
-           : 0));
+           : 0) +
+      fault.extra_delay_us);
 
   // Enforce FIFO per (stop, direction): a packet entering this segment
-  // later never arrives earlier (router queues don't reorder a flow).
+  // later never arrives earlier (router queues don't reorder a flow). A
+  // fault-layer reorder window bypasses the clamp — true reordering beyond
+  // what jitter can produce — without lowering the floor for others.
   const u64 fifo_key =
       (static_cast<u64>(next_index + 2) << 1) |
       (dir == Dir::kC2S ? 0u : 1u);
   SimTime deliver_at = loop_.now() + delay;
-  SimTime& floor = fifo_floor_[fifo_key];
-  if (deliver_at < floor) {
-    // Jitter alone would have reordered this packet past an earlier one on
-    // the same segment; the FIFO clamp is where "reordering pressure" shows.
-    metrics().reorder_clamped.inc();
-    deliver_at = floor;
+  if (!fault.bypass_fifo) {
+    SimTime& floor = fifo_floor_[fifo_key];
+    if (deliver_at < floor) {
+      // Jitter alone would have reordered this packet past an earlier one on
+      // the same segment; the FIFO clamp is where "reordering pressure" shows.
+      metrics().reorder_clamped.inc();
+      deliver_at = floor;
+    }
+    floor = deliver_at;
   }
-  floor = deliver_at;
+
+  Packet dup;
+  if (fault.duplicate) dup = pkt;  // copy before the schedule moves it
 
   if (next_index >= 0) {
     loop_.schedule_at(deliver_at,
@@ -243,6 +298,28 @@ void Path::transit(Packet pkt, Dir dir, int from_pos, int after_index) {
     loop_.schedule_at(deliver_at, [this, pkt = std::move(pkt), dir]() mutable {
       deliver_to_endpoint(std::move(pkt), dir);
     });
+  }
+
+  if (fault.duplicate) {
+    // The copy trails the original by one hop latency and respects the
+    // same FIFO floor, like a retransmitting link layer.
+    metrics().fault_duplicates.inc();
+    SimTime dup_at = deliver_at + SimTime::from_us(cfg_.per_hop_latency_us);
+    if (!fault.bypass_fifo) {
+      SimTime& floor = fifo_floor_[fifo_key];
+      if (dup_at < floor) dup_at = floor;
+      floor = dup_at;
+    }
+    if (next_index >= 0) {
+      loop_.schedule_at(dup_at,
+                        [this, pkt = std::move(dup), dir, next_index]() mutable {
+                          deliver_to_element(std::move(pkt), dir, next_index);
+                        });
+    } else {
+      loop_.schedule_at(dup_at, [this, pkt = std::move(dup), dir]() mutable {
+        deliver_to_endpoint(std::move(pkt), dir);
+      });
+    }
   }
 }
 

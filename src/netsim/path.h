@@ -79,6 +79,49 @@ class PathElement {
   virtual void process(Packet pkt, Dir dir, Forwarder& fwd) = 0;
 };
 
+/// Deterministic fault-injection hook consulted by the path (ys::faults
+/// implements it; netsim only defines the contract so the dependency points
+/// faults -> netsim). The hook owns its own seeded RNG: with no hook
+/// installed the path makes exactly the same draws as before the fault
+/// layer existed, which is what keeps fault-free runs bit-identical.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  /// What the fault layer did to one packet crossing one path segment.
+  /// `reason` must point at storage that outlives the call (string
+  /// literals); it is only read when an action fired.
+  struct LinkAction {
+    bool drop = false;         ///< packet dies on this segment
+    bool duplicate = false;    ///< a second copy is delivered
+    bool corrupt = false;      ///< payload mutated, checksum left stale
+    i64 extra_delay_us = 0;    ///< added to the segment latency
+    bool bypass_fifo = false;  ///< skip the FIFO clamp (true reordering)
+    const char* reason = nullptr;
+
+    bool any() const {
+      return drop || duplicate || corrupt || extra_delay_us != 0 ||
+             bypass_fifo;
+    }
+  };
+
+  /// Consulted once per surviving segment crossing (after TTL and base
+  /// loss), for the segment `from_pos` -> `to_pos` in direction `dir`.
+  virtual LinkAction on_segment(const Packet& pkt, Dir dir, int from_pos,
+                                int to_pos, SimTime now) = 0;
+
+  /// What the fault layer did to one on-path injection attempt.
+  struct InjectAction {
+    bool suppress = false;   ///< the injector is "down": packet never sent
+    i64 extra_delay_us = 0;  ///< injector latency flap
+    const char* reason = nullptr;
+  };
+
+  /// Consulted when element `actor` injects a packet (GFW outage and
+  /// latency flaps key on the actor name).
+  virtual InjectAction on_inject(const std::string& actor, SimTime now) = 0;
+};
+
 /// Per-path link characteristics.
 struct PathConfig {
   /// Server sits this many links from the client (positions 1..hops-1 hold
@@ -109,6 +152,11 @@ class Path {
   void set_client_sink(PacketSink sink) { client_sink_ = std::move(sink); }
   void set_server_sink(PacketSink sink) { server_sink_ = std::move(sink); }
   void set_client_capture(CaptureFn fn) { client_capture_ = std::move(fn); }
+
+  /// Install (or clear, with nullptr) the fault-injection hook. The hook
+  /// must outlive the path. No hook = the exact pre-fault-layer behavior.
+  void set_fault_hook(FaultHook* hook) { fault_hook_ = hook; }
+  FaultHook* fault_hook() const { return fault_hook_; }
 
   /// Endpoint send APIs. The packet is finalized (lengths/checksums
   /// autofilled) unless fields were pre-set.
@@ -150,6 +198,10 @@ class Path {
     obs::Counter& injected;
     obs::Counter& element_drops;
     obs::Counter& reorder_clamped;
+    obs::Counter& fault_drops;
+    obs::Counter& fault_duplicates;
+    obs::Counter& fault_corruptions;
+    obs::Counter& fault_inject_suppressed;
   };
   static PathMetrics& metrics();
 
@@ -177,6 +229,7 @@ class Path {
   Rng rng_;
   PathConfig cfg_;
   obs::TraceRecorder* trace_;
+  FaultHook* fault_hook_ = nullptr;
   std::vector<Attachment> elements_;  // sorted by position (stable)
   PacketSink client_sink_;
   PacketSink server_sink_;

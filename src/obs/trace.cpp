@@ -19,6 +19,7 @@ const char* to_string(TraceKind k) {
     case TraceKind::kIgnore: return "ignore";
     case TraceKind::kDecision: return "decide";
     case TraceKind::kNote: return "note";
+    case TraceKind::kFault: return "fault";
   }
   return "?";
 }

@@ -37,6 +37,7 @@ enum class TraceKind : u8 {
   kIgnore,    // a receiver silently discarded a packet (stack/profile/GFW)
   kDecision,  // a selector/strategy choice (intang, strategy engine)
   kNote,      // free-form annotation (loop livelock guard, harness marks)
+  kFault,     // an injected fault fired (ys::faults chaos layer)
 };
 const char* to_string(TraceKind k);
 

@@ -1,0 +1,146 @@
+#include "runner/results_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/log.h"
+#include "obs/metrics.h"
+
+namespace ys::runner {
+
+namespace {
+
+constexpr const char* kMagic = "yourstate-results";
+constexpr const char* kVersion = "v1";
+
+std::string hex64(u64 v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace
+
+u64 ResultsStore::signature_of(const std::vector<std::string>& parts) {
+  // FNV-1a over each part, with a separator byte so {"ab","c"} and
+  // {"a","bc"} hash differently.
+  u64 h = 1469598103934665603ULL;
+  for (const std::string& p : parts) {
+    for (char c : p) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0x1f;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+ResultsStore::ResultsStore(std::string dir, std::string bench, u64 signature,
+                           std::size_t total)
+    : bench_(std::move(bench)), signature_(signature), total_(total) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    YS_LOG(LogLevel::kWarn, "results store: cannot create " + dir + ": " +
+                                ec.message() + " (running without resume)");
+  }
+  path_ = dir + "/" + bench_ + ".results";
+  load();
+}
+
+void ResultsStore::load() {
+  std::ifstream in(path_);
+  if (!in) return;  // no prior run: start fresh
+  std::string magic, version, bench, sig_field, total_field;
+  std::string header;
+  if (!std::getline(in, header)) return;
+  std::istringstream hs(header);
+  hs >> magic >> version >> bench >> sig_field >> total_field;
+  const std::string want_sig = "sig=" + hex64(signature_);
+  const std::string want_total = "total=" + std::to_string(total_);
+  if (magic != kMagic || version != kVersion || bench != bench_ ||
+      sig_field != want_sig || total_field != want_total) {
+    YS_LOG(LogLevel::kWarn,
+           "results store: " + path_ +
+               " header does not match this run (different grid, plan, or "
+               "seed) — ignoring it and starting fresh");
+    return;
+  }
+  std::size_t slot = 0;
+  i64 value = 0;
+  std::size_t loaded = 0;
+  while (in >> slot >> value) {
+    if (slot >= total_) continue;  // tolerate a torn trailing line
+    slots_[slot] = value;
+    ++loaded;
+  }
+  resumed_ = true;
+  header_written_ = true;
+  obs::MetricsRegistry::current()
+      .counter("runner.resume_slots_loaded")
+      .inc(loaded);
+  YS_LOG(LogLevel::kInfo, "results store: resumed " + std::to_string(loaded) +
+                              "/" + std::to_string(total_) + " slots from " +
+                              path_);
+}
+
+void ResultsStore::rewrite_locked() {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) {
+    YS_LOG(LogLevel::kWarn, "results store: cannot write " + path_);
+    return;
+  }
+  out << kMagic << ' ' << kVersion << ' ' << bench_ << " sig=" << hex64(signature_)
+      << " total=" << total_ << '\n';
+  for (const auto& [slot, value] : slots_) {
+    out << slot << ' ' << value << '\n';
+  }
+  out.flush();
+  header_written_ = true;
+}
+
+bool ResultsStore::has(std::size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(slot) > 0;
+}
+
+std::optional<i64> ResultsStore::get(std::size_t slot) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(slot);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultsStore::put(std::size_t slot, i64 value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[slot] = value;
+  if (!header_written_) {
+    // First write of a fresh (or invalidated) run: lay down the header and
+    // everything recorded so far in one pass.
+    rewrite_locked();
+    return;
+  }
+  std::ofstream out(path_, std::ios::app);
+  if (!out) return;
+  out << slot << ' ' << value << '\n';
+  out.flush();
+}
+
+bool ResultsStore::range_complete(std::size_t begin, std::size_t end) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (slots_.count(i) == 0) return false;
+  }
+  return true;
+}
+
+std::size_t ResultsStore::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+}  // namespace ys::runner

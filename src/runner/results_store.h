@@ -1,0 +1,77 @@
+// Persistent slot store for resumable sweeps (`--resume-dir`).
+//
+// A grid run writes one plain-text file per bench into the resume
+// directory: a header naming the bench, a signature over everything that
+// shapes the results (grid dimensions, fault plan, seed), and the slot
+// count, followed by one `<slot> <value>` line per completed slot. A rerun
+// pointed at the same directory loads the file, skips every chain whose
+// slots are all present, and appends the rest — so a killed sweep resumed
+// with identical parameters produces byte-identical results to an
+// uninterrupted run.
+//
+// The signature guards against stale files: if the header's signature does
+// not match the current run's, the file is ignored (with a warning) and
+// the sweep starts fresh. Values are stored as i64; callers encode their
+// slot type (e.g. static_cast of an exp::Outcome) — the store does not
+// interpret them.
+//
+// Granularity note for chained grids: because a chain's trials share
+// selector state, a partially-recorded chain cannot be resumed mid-way —
+// chain_complete() only reports true when *every* trial slot of the chain
+// is present, and callers re-run the whole chain otherwise.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ys::runner {
+
+class ResultsStore {
+ public:
+  /// Open (creating the directory if needed) the store for `bench` under
+  /// `dir`. `signature` must cover every input that shapes the results.
+  /// `total` is the grid's slot count. An existing file with a matching
+  /// header is loaded; a mismatched one is ignored and overwritten on the
+  /// first put().
+  ResultsStore(std::string dir, std::string bench, u64 signature,
+               std::size_t total);
+
+  /// Build a signature by FNV-1a-mixing the parts (dimension sizes, plan
+  /// summary, seed, ...). Order matters; keep call sites stable.
+  static u64 signature_of(const std::vector<std::string>& parts);
+
+  bool has(std::size_t slot) const;
+  std::optional<i64> get(std::size_t slot) const;
+
+  /// Record a slot and append it to the file (the line is flushed
+  /// immediately so a kill loses at most the line being written).
+  void put(std::size_t slot, i64 value);
+
+  /// True when every slot in [begin, end) is recorded.
+  bool range_complete(std::size_t begin, std::size_t end) const;
+
+  std::size_t recorded() const;
+  const std::string& path() const { return path_; }
+  /// True when an existing file was loaded (signature matched).
+  bool resumed() const { return resumed_; }
+
+ private:
+  void load();
+  void rewrite_locked();
+
+  std::string path_;
+  std::string bench_;
+  u64 signature_ = 0;
+  std::size_t total_ = 0;
+  bool resumed_ = false;
+  bool header_written_ = false;
+  mutable std::mutex mu_;
+  std::unordered_map<std::size_t, i64> slots_;
+};
+
+}  // namespace ys::runner

@@ -108,4 +108,22 @@ auto collect_grid(const TrialGrid& grid, const PoolOptions& opt, Fn&& fn) {
   return out;
 }
 
+/// collect_grid with an explicit error value: every slot is pre-filled with
+/// `error_value`, and only a normal return from fn overwrites it. A trial
+/// that throws (the pool isolates the exception), is skipped by
+/// cancellation, or — in a chained grid — never ran because an earlier
+/// trial of its chain threw, therefore reads as `error_value` instead of a
+/// default-constructed (and often success-like) R.
+template <typename R, typename Fn>
+GridOutcome<R> collect_grid_or(const TrialGrid& grid, const PoolOptions& opt,
+                               const R& error_value, Fn&& fn) {
+  GridOutcome<R> out;
+  out.slots.assign(grid.total(), error_value);
+  out.report = run_grid(grid, opt,
+                        [&](const GridCoord& c, TaskContext& ctx) {
+                          out.slots[grid.index(c)] = fn(c, ctx);
+                        });
+  return out;
+}
+
 }  // namespace ys::runner

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/log.h"
 #include "obs/metrics.h"
 
 namespace ys::runner {
@@ -14,6 +15,29 @@ namespace ys::runner {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Crash isolation: one bad trial must not take down the pool (or, under
+/// jobs==1, the whole sweep). The exception is swallowed after counting —
+/// callers pre-fill slots with an error value (collect_grid_or) so the
+/// task's slot still reads as a failure, never as a silent success.
+void run_isolated(const std::function<void(std::size_t, TaskContext&)>& task,
+                  std::size_t index, TaskContext& ctx, WorkerStats& ws) {
+  try {
+    task(index, ctx);
+  } catch (const std::exception& e) {
+    ++ws.task_exceptions;
+    obs::MetricsRegistry::current().counter("runner.task_exception").inc();
+    YS_LOG(LogLevel::kWarn, "task " + std::to_string(index) +
+                                " threw: " + e.what() +
+                                " (isolated; pool continues)");
+  } catch (...) {
+    ++ws.task_exceptions;
+    obs::MetricsRegistry::current().counter("runner.task_exception").inc();
+    YS_LOG(LogLevel::kWarn, "task " + std::to_string(index) +
+                                " threw a non-std exception (isolated; pool "
+                                "continues)");
+  }
+}
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -85,6 +109,13 @@ std::string RunnerReport::to_string() const {
                 static_cast<unsigned long long>(steals),
                 cancelled ? ", CANCELLED" : "");
   out += line;
+  if (task_exceptions > 0) {
+    std::snprintf(line, sizeof(line),
+                  "  WARNING: %llu task%s threw (isolated; see log)\n",
+                  static_cast<unsigned long long>(task_exceptions),
+                  task_exceptions == 1 ? "" : "s");
+    out += line;
+  }
   for (std::size_t w = 0; w < workers.size(); ++w) {
     const WorkerStats& ws = workers[w];
     std::snprintf(line, sizeof(line),
@@ -108,6 +139,7 @@ void RunnerReport::publish(obs::MetricsRegistry& registry) const {
   registry.counter("runner.trials_total").inc(trials_executed);
   registry.counter("runner.tasks_total").inc(tasks_executed);
   registry.counter("runner.steals_total").inc(steals);
+  registry.counter("runner.task_exceptions_total").inc(task_exceptions);
   registry.counter("runner.runs_total").inc();
   for (std::size_t w = 0; w < workers.size(); ++w) {
     const std::string prefix = "runner.worker." + std::to_string(w) + ".";
@@ -139,7 +171,7 @@ RunnerReport run_sharded(
     TaskContext ctx{0, &obs::MetricsRegistry::current(), &rng, &cancel};
     WorkerStats& ws = report.workers[0];
     for (std::size_t i = 0; i < count && !cancel.cancelled(); ++i) {
-      task(i, ctx);
+      run_isolated(task, i, ctx, ws);
       ++ws.tasks_executed;
     }
     ++ws.shards_served;
@@ -147,6 +179,7 @@ RunnerReport run_sharded(
     ws.busy_seconds = report.wall_seconds;
     report.tasks_executed = ws.tasks_executed;
     report.trials_executed = ws.tasks_executed;
+    report.task_exceptions = ws.task_exceptions;
     report.cancelled = cancel.cancelled();
     report.trials_per_sec = report.wall_seconds > 0.0
                                 ? report.trials_executed / report.wall_seconds
@@ -215,7 +248,7 @@ RunnerReport run_sharded(
       }
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         if (cancel.cancelled()) break;
-        task(i, ctx);
+        run_isolated(task, i, ctx, ws);
         ++ws.tasks_executed;
       }
       if (cancel.cancelled()) break;
@@ -233,6 +266,7 @@ RunnerReport run_sharded(
   for (const WorkerStats& ws : report.workers) {
     report.tasks_executed += ws.tasks_executed;
     report.steals += ws.shards_stolen;
+    report.task_exceptions += ws.task_exceptions;
   }
   report.trials_executed = report.tasks_executed;
   report.trials_per_sec = report.wall_seconds > 0.0

@@ -74,6 +74,7 @@ struct TaskContext {
 
 struct WorkerStats {
   u64 tasks_executed = 0;
+  u64 task_exceptions = 0;  // tasks that threw (isolated, pool survived)
   u64 shards_served = 0;   // shards taken from the worker's own deque
   u64 shards_stolen = 0;   // shards this worker stole from a victim
   double busy_seconds = 0.0;
@@ -86,6 +87,10 @@ struct RunnerReport {
   u64 trials = 0;          // scheduled trials (grid layer; == tasks for raw pools)
   u64 trials_executed = 0;
   u64 steals = 0;          // total successful steal operations
+  /// Tasks that threw. The pool catches per task (crash isolation): the
+  /// exception is counted and logged, the worker moves on, and the slot the
+  /// task owned keeps whatever value the caller pre-filled.
+  u64 task_exceptions = 0;
   bool cancelled = false;
   double wall_seconds = 0.0;
   double trials_per_sec = 0.0;

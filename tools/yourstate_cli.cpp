@@ -26,12 +26,16 @@
 //   --pcap=FILE          capture the client's wire to a pcap file
 //   --metrics[=json|table]  dump the obs registry after any command
 //   --metrics-out=FILE   write the metrics snapshot to FILE as JSON on exit
+//   --faults=SPEC        run under a deterministic fault plan: a shipped
+//                        plan name, inline clauses ("loss:at=50ms,dur=2s,
+//                        p=0.25"), or @plan.json — see EXPERIMENTS.md
 //
 // `explain` options (grid coordinates; --server is the server INDEX here):
-//   --bench=NAME         table4-inside | table4-intang
+//   --bench=NAME         table4-inside | table4-intang | faults
 //   --cell=N --vantage=N --server=N --trial=N   the coordinate
-//   --trials=N --servers=N --seed=S             the bench scale (must match
-//                        the run being explained for identical replay)
+//   --trials=N --servers=N --seed=S --faults=SPEC  the bench scale (must
+//                        match the run being explained for identical
+//                        replay; for `faults`, cell = plan*2 + intang)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +49,7 @@
 #include "exp/scenario.h"
 #include "exp/stats.h"
 #include "exp/trial.h"
+#include "faults/fault_plan.h"
 #include "netsim/pcap.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
@@ -81,7 +86,26 @@ struct CliOptions {
   std::string pcap;
   std::string metrics_out;
   std::string domain = "www.dropbox.com";
+  std::string faults;  // fault plan spec; empty = fault-free
 };
+
+/// Parse --faults once into storage that outlives every scenario built
+/// from it (ScenarioOptions::faults is a borrowed pointer).
+const faults::FaultPlan* cli_fault_plan(const CliOptions& cli) {
+  if (cli.faults.empty()) return nullptr;
+  static faults::FaultPlan plan;
+  static bool parsed = false;
+  if (!parsed) {
+    std::string error;
+    plan = faults::parse_fault_plan(cli.faults, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "--faults: %s\n", error.c_str());
+      std::exit(2);
+    }
+    parsed = true;
+  }
+  return &plan;
+}
 
 void print_metrics(const CliOptions& cli) {
   const obs::Snapshot snap = obs::MetricsRegistry::global().snapshot();
@@ -194,6 +218,7 @@ Scenario make_scenario(const gfw::DetectionRules* rules,
   opt.seed = cli.seed;
   opt.path_seed = cli.path_seed;
   opt.tracing = cli.trace || !cli.trace_out.empty();
+  opt.faults = cli_fault_plan(cli);
   return Scenario(rules, opt);
 }
 
@@ -358,43 +383,68 @@ int cmd_explain(const CliOptions& cli) {
 
   BenchScale scale;
   scale.trials = cli.trials;
-  scale.servers = cli.servers_scale > 0 ? cli.servers_scale : 77;
   scale.seed = cli.seed != 1 ? cli.seed : 2017;  // bench default seed
-  const Table4Inside bench(scale);
+  scale.faults = cli.faults;
+  const bool is_faults = cli.bench == "faults";
+  scale.servers = cli.servers_scale > 0 ? cli.servers_scale
+                                        : (is_faults ? 8 : 77);
 
-  const bool intang = cli.bench == "table4-intang";
-  const runner::TrialGrid grid =
-      intang ? bench.intang_grid() : bench.fixed_grid();
   const runner::GridCoord coord{
       static_cast<std::size_t>(cli.cell), static_cast<std::size_t>(cli.vantage),
       static_cast<std::size_t>(cli.server_index),
       static_cast<std::size_t>(cli.trial)};
-  if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
-      coord.server >= grid.servers || coord.trial >= grid.trials) {
-    std::fprintf(stderr,
-                 "coordinate out of range: grid is cells=%zu vantages=%zu "
-                 "servers=%zu trials=%zu\n",
-                 grid.cells, grid.vantages, grid.servers, grid.trials);
-    return 2;
+  Replay replay;
+  std::string vantage_name;
+  std::string server_host;
+  std::string extra;
+  if (is_faults) {
+    const FaultsBench bench(scale);
+    const runner::TrialGrid grid = bench.grid();
+    if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+        coord.server >= grid.servers || coord.trial >= grid.trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is cells=%zu vantages=%zu "
+                   "servers=%zu trials=%zu\n",
+                   grid.cells, grid.vantages, grid.servers, grid.trials);
+      return 2;
+    }
+    replay = bench.replay(coord, cli.trace_out, cli.pcap);
+    vantage_name = bench.vantage_points()[coord.vantage].name;
+    server_host = bench.server_population()[coord.server].host;
+    extra = " plan=" + bench.plans()[bench.plan_of(coord.cell)].name +
+            (bench.intang_cell(coord.cell) ? " [intang]" : " [baseline]");
+  } else {
+    const Table4Inside bench(scale);
+    const bool intang = cli.bench == "table4-intang";
+    const runner::TrialGrid grid =
+        intang ? bench.intang_grid() : bench.fixed_grid();
+    if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+        coord.server >= grid.servers || coord.trial >= grid.trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is cells=%zu vantages=%zu "
+                   "servers=%zu trials=%zu\n",
+                   grid.cells, grid.vantages, grid.servers, grid.trials);
+      return 2;
+    }
+    replay = intang ? bench.replay_intang(coord, cli.trace_out, cli.pcap)
+                    : bench.replay_fixed(coord, cli.trace_out, cli.pcap);
+    vantage_name = bench.vantage_points()[coord.vantage].name;
+    server_host = bench.server_population()[coord.server].host;
   }
 
-  const Replay replay = intang
-                            ? bench.replay_intang(coord, cli.trace_out,
-                                                  cli.pcap)
-                            : bench.replay_fixed(coord, cli.trace_out,
-                                                 cli.pcap);
-
-  std::printf("%s cell=%d vantage=%s server=%s trial=%d seed=%llu\n",
-              cli.bench.c_str(), cli.cell,
-              bench.vantage_points()[coord.vantage].name.c_str(),
-              bench.server_population()[coord.server].host.c_str(), cli.trial,
-              static_cast<unsigned long long>(scale.seed));
+  std::printf("%s cell=%d vantage=%s server=%s trial=%d seed=%llu%s\n",
+              cli.bench.c_str(), cli.cell, vantage_name.c_str(),
+              server_host.c_str(), cli.trial,
+              static_cast<unsigned long long>(scale.seed), extra.c_str());
   std::printf("%s\n", replay.ladder.c_str());
   std::printf("outcome=%s strategy=%s model=%s\n",
               to_string(replay.result.outcome),
               strategy::to_string(replay.result.strategy_used),
               replay.old_model ? "prior" : "evolved");
   std::printf("verdict: %s\n", replay.attribution.verdict.c_str());
+  if (!replay.attribution.fault_note.empty()) {
+    std::printf("%s\n", replay.attribution.fault_note.c_str());
+  }
   if (replay.attribution.decisive_event != 0) {
     std::printf("decisive event: #%llu",
                 static_cast<unsigned long long>(
@@ -495,6 +545,8 @@ int run(int argc, char** argv) {
       cli.pcap = *v;
     } else if (auto v = value("--domain")) {
       cli.domain = *v;
+    } else if (auto v = value("--faults")) {
+      cli.faults = *v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
