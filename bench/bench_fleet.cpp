@@ -1,0 +1,331 @@
+// Deployment-scale fleet simulation: N INTANG clients per vantage point
+// sharing one strategy cache, multiplexed over pooled netsim scenarios on
+// a single virtual timeline (src/fleet/).
+//
+// The sweep answers the deployment question §6 of the paper leaves open:
+// how fast does a *population* of clients converge on working strategies
+// per server when measurements are shared, and what does that convergence
+// survive (session churn, mid-sweep fault plans from a soak schedule)?
+//
+// --smoke asserts, on a small grid with a soak schedule that flaps the
+// rst-storm plan mid-sweep:
+//   * throughput: the sweep clears a conservative flows/s floor
+//   * convergence: shared caching produces cache hits and converged
+//     servers, and cross-client supplies exist (one client's measurement
+//     served another's flow)
+//   * determinism: --jobs=2 reproduces --jobs=1 bit-for-bit, results AND
+//     merged deterministic fleet.* metrics, with the soak plan flapping
+//   * resumability: a sweep "killed" half-way and resumed via a results
+//     store matches the uninterrupted run exactly
+//
+// Flags: the shared set (bench_common.h) plus --fleet=SPEC (inline spec or
+// @file.json; see src/fleet/fleet_config.h). --trials/--servers override
+// flows-per-vantage / server-population for quick scaling experiments;
+// --resume-dir=D persists results across invocations.
+#include <filesystem>
+#include <memory>
+
+#include "bench_common.h"
+#include "fleet/fleet.h"
+#include "runner/results_store.h"
+
+namespace ys {
+namespace {
+
+using namespace ys::bench;
+
+struct SweepOut {
+  std::vector<i64> slots;
+  std::string metrics_digest;
+  runner::RunnerReport report;
+};
+
+/// Canonical string of the deterministic slice of a metrics snapshot:
+/// everything except wall-clock-derived values (wall/busy timers, rates,
+/// utilizations), which legitimately differ run to run.
+std::string deterministic_digest(const obs::Snapshot& snap) {
+  const auto wall_dependent = [](const std::string& name) {
+    return name.find("wall") != std::string::npos ||
+           name.find("per_sec") != std::string::npos ||
+           name.find("utilization") != std::string::npos ||
+           name.find("busy") != std::string::npos;
+  };
+  std::string out;
+  for (const auto& [name, v] : snap.counters) {
+    if (wall_dependent(name)) continue;
+    out += "c " + name + " " + std::to_string(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    if (wall_dependent(name)) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += "g " + name + " " + buf + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    if (wall_dependent(name)) continue;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", h.sum);
+    out += "h " + name + " " + std::to_string(h.count) + " " + buf;
+    for (u64 c : h.counts) out += " " + std::to_string(c);
+    out += "\n";
+  }
+  return out;
+}
+
+/// One full fleet sweep in a private metrics registry. With `store`,
+/// chains whose slots are all recorded are skipped (values read back), and
+/// every executed slot is persisted. Chain state (shared KV store, client
+/// selectors, writers) lives per vantage; the runner's chain contract
+/// keeps each state single-threaded even at --jobs=N.
+SweepOut sweep(const fleet::Fleet& fl, int jobs, runner::ResultsStore* store) {
+  obs::MetricsRegistry local;
+  obs::ScopedMetricsRegistry scope(&local);
+
+  const runner::TrialGrid grid = fl.grid();
+  std::vector<std::unique_ptr<fleet::Fleet::VantageState>> states;
+  states.reserve(grid.chains());
+  std::vector<char> skip(grid.chains(), 0);
+  for (std::size_t ch = 0; ch < grid.chains(); ++ch) {
+    skip[ch] = store != nullptr &&
+                       store->range_complete(ch * grid.trials,
+                                             (ch + 1) * grid.trials)
+                   ? 1
+                   : 0;
+    // Skipped chains never run a flow, so they need no state.
+    states.push_back(skip[ch] ? nullptr : fl.make_vantage_state(ch));
+  }
+
+  runner::PoolOptions pool;
+  pool.jobs = jobs;
+  auto out = runner::collect_grid_or(
+      grid, pool, static_cast<i64>(-1),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        const std::size_t slot = grid.index(c);
+        if (store != nullptr && skip[grid.chain(c)]) {
+          return *store->get(slot);
+        }
+        const i64 encoded =
+            fl.run_flow(c, *states[grid.chain(c)]).encode();
+        if (store != nullptr) store->put(slot, encoded);
+        return encoded;
+      });
+
+  SweepOut res;
+  res.slots = std::move(out.slots);
+  res.report = out.report;
+  res.metrics_digest = deterministic_digest(local.snapshot());
+  // Fold the private registry into the global one so --metrics-out still
+  // archives everything at exit.
+  obs::MetricsRegistry::global().merge_from(local.snapshot());
+  return res;
+}
+
+u64 store_signature(const fleet::FleetConfig& cfg) {
+  return runner::ResultsStore::signature_of({"fleet", cfg.signature()});
+}
+
+int run(int argc, char** argv) {
+  // Peel --smoke and --fleet= off before handing the rest to the shared
+  // parser (which rejects flags it does not know).
+  bool smoke = false;
+  std::string fleet_spec;
+  bool fleet_spec_given = false;
+  std::vector<char*> passthrough = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--fleet=", 0) == 0) {
+      fleet_spec = arg.substr(8);
+      fleet_spec_given = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  RunConfig cfg =
+      parse_args(static_cast<int>(passthrough.size()), passthrough.data());
+
+  if (!fleet_spec_given && smoke) {
+    // The smoke grid exercises everything the full sweep does: shared
+    // caching with churn, and a soak schedule that turns the rst-storm
+    // plan on at 2s of virtual time and back off at 4s (~40 flows per
+    // phase at 20 flows/s of arrivals).
+    fleet_spec =
+        "clients=12;flows=120;servers=5;vantages=4;arrival=20;churn=0.08;"
+        "soak=2s:rst-storm,4s:none";
+  }
+  std::string err;
+  fleet::FleetConfig fcfg = fleet::parse_fleet_config(fleet_spec, err);
+  if (!err.empty()) {
+    std::fprintf(stderr, "--fleet: %s\n", err.c_str());
+    return 2;
+  }
+  if (cfg.trials > 0) fcfg.flows = cfg.trials;
+  if (cfg.servers > 0) fcfg.servers = cfg.servers;
+  if (cfg.seed != 2017) fcfg.seed = cfg.seed;
+  if (!cfg.faults.empty()) {
+    std::fprintf(stderr,
+                 "--faults is not supported here; use the soak= field of "
+                 "--fleet to schedule fault plans\n");
+    return 2;
+  }
+
+  const fleet::Fleet fl(fcfg);
+  const runner::TrialGrid grid = fl.grid();
+
+  print_banner("Fleet simulation: multi-client INTANG deployment convergence",
+               "deployment-scale extension of §6; spec in EXPERIMENTS.md");
+  std::printf("%s\n%zu vantage points x %d clients x %d flows = %zu flows "
+              "over %d servers\n\n",
+              fcfg.summary().c_str(), grid.vantages, fcfg.clients, fcfg.flows,
+              grid.total(), fcfg.servers);
+
+  std::unique_ptr<runner::ResultsStore> store;
+  if (!cfg.resume_dir.empty()) {
+    store = std::make_unique<runner::ResultsStore>(
+        cfg.resume_dir, "fleet", store_signature(fcfg), grid.total());
+    if (store->resumed()) {
+      std::printf("resuming: %zu/%zu slots already recorded in %s\n\n",
+                  store->recorded(), grid.total(), store->path().c_str());
+    }
+  }
+
+  const SweepOut ref = sweep(fl, cfg.jobs, store.get());
+  print_runner_report(ref.report);
+
+  const fleet::Fleet::Report report = fl.analyze(ref.slots);
+  std::printf("%s", report.render().c_str());
+  std::printf("throughput: %.0f flows/s over %.2fs wall\n\n",
+              ref.report.trials_per_sec, ref.report.wall_seconds);
+
+  if (!smoke) return 0;
+
+  // ---- smoke assertions ----
+  int failures = 0;
+
+  // Throughput floor. Deliberately conservative (an order of magnitude
+  // under typical machines) — this gates "the multiplexing didn't
+  // catastrophically regress", not a benchmark score.
+  const double kFloorFlowsPerSec = 25.0;
+  if (ref.report.trials_per_sec < kFloorFlowsPerSec) {
+    std::printf("FAIL: throughput %.0f flows/s below the %.0f flows/s floor\n",
+                ref.report.trials_per_sec, kFloorFlowsPerSec);
+    ++failures;
+  } else {
+    std::printf("throughput: %.0f flows/s clears the %.0f flows/s floor\n",
+                ref.report.trials_per_sec, kFloorFlowsPerSec);
+  }
+
+  // Convergence: shared caching must actually share. Some cache hits, at
+  // least one converged server somewhere, and at least one cross-client
+  // supply (a flow served by a record another client wrote).
+  int converged = 0;
+  for (const auto& vr : report.vantages) converged += vr.servers_converged;
+  if (report.cache_hit_rate <= 0.0) {
+    std::printf("FAIL: shared-cache sweep produced no cache hits\n");
+    ++failures;
+  } else if (converged == 0) {
+    std::printf("FAIL: no server's population converged on a strategy\n");
+    ++failures;
+  } else if (report.cross_client_supplies == 0) {
+    std::printf("FAIL: no cross-client supplies — the cache never actually "
+                "shared a measurement\n");
+    ++failures;
+  } else {
+    std::printf("convergence: %.1f%% cache hits, %d server(s) converged, "
+                "%d cross-client supplies\n",
+                report.cache_hit_rate * 100.0, converged,
+                report.cross_client_supplies);
+  }
+
+  // The soak schedule must have flapped mid-sweep: flows exist in the
+  // clean phase, the faulted phase, and the recovery phase.
+  if (report.phases < 3) {
+    std::printf("FAIL: smoke config lost its soak schedule (%zu phase(s))\n",
+                report.phases);
+    ++failures;
+  } else {
+    std::vector<std::size_t> per_phase(report.phases, 0);
+    for (std::size_t v = 0; v < grid.vantages; ++v) {
+      const auto schedule =
+          fleet::build_flow_schedule(fcfg, fl.vantage_points()[v].name);
+      for (const auto& flow : schedule) {
+        per_phase[static_cast<std::size_t>(flow.soak_phase + 1)]++;
+      }
+    }
+    bool all_phases_hit = true;
+    for (std::size_t p = 0; p < per_phase.size(); ++p) {
+      if (per_phase[p] == 0) all_phases_hit = false;
+    }
+    if (!all_phases_hit) {
+      std::printf("FAIL: a soak phase saw zero flows — the plan never "
+                  "flapped mid-sweep\n");
+      ++failures;
+    } else {
+      std::printf("soak: rst-storm flapped mid-sweep (%zu/%zu/%zu flows in "
+                  "clean/storm/recovery phases)\n",
+                  per_phase[0], per_phase[1], per_phase[2]);
+    }
+  }
+
+  // Determinism: jobs=2 with the soak plan flapping must reproduce the
+  // serial reference bit-for-bit — results and deterministic metrics.
+  const SweepOut par = sweep(fl, 2, nullptr);
+  const SweepOut ser =
+      store != nullptr ? sweep(fl, 1, nullptr) : ref;  // free of store effects
+  if (par.slots != ser.slots) {
+    std::printf("FAIL: --jobs=2 flow records diverge from --jobs=1 with the "
+                "soak schedule active\n");
+    ++failures;
+  } else if (par.metrics_digest != ser.metrics_digest) {
+    std::printf("FAIL: --jobs=2 merged fleet.* metrics diverge from "
+                "--jobs=1\n");
+    ++failures;
+  } else {
+    std::printf("determinism: --jobs=2 == --jobs=1 (flow records and merged "
+                "metrics) with the soak schedule active\n");
+  }
+
+  // Resumability: record the first half of the chains (simulating a killed
+  // run), reopen the store, and check the resumed sweep reproduces the
+  // uninterrupted reference exactly.
+  const std::string dir = "bench_fleet_smoke_resume.tmp";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  const u64 sig = store_signature(fcfg);
+  {
+    runner::ResultsStore killed(dir, "fleet", sig, grid.total());
+    const std::size_t half_chains = grid.chains() / 2;
+    for (std::size_t i = 0; i < half_chains * grid.trials; ++i) {
+      killed.put(i, ser.slots[i]);
+    }
+  }
+  runner::ResultsStore resumed(dir, "fleet", sig, grid.total());
+  if (!resumed.resumed()) {
+    std::printf("FAIL: results store did not recognize its own file\n");
+    ++failures;
+  }
+  const SweepOut cont = sweep(fl, cfg.jobs, &resumed);
+  if (cont.slots != ser.slots) {
+    std::printf("FAIL: killed-then-resumed sweep diverges from the "
+                "uninterrupted run\n");
+    ++failures;
+  } else {
+    std::printf("resume: killed-then-resumed sweep matches the "
+                "uninterrupted run (%zu/%zu chains skipped)\n",
+                grid.chains() / 2, grid.chains());
+  }
+  std::filesystem::remove_all(dir, ec);
+
+  if (failures > 0) {
+    std::printf("\nFAIL: %d smoke assertion(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("\nall smoke assertions passed\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ys
+
+int main(int argc, char** argv) { return ys::run(argc, argv); }

@@ -15,6 +15,7 @@
 //   --jobs-list=1,2,4,8 worker counts to sweep              [default 1,2,4,8]
 //   --assert-speedup[=X] fail unless speedup at max jobs >= X
 //   --smoke             tiny grid (ctest): 2 trials, 4 servers, jobs 1,2,4
+#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <vector>
@@ -55,6 +56,9 @@ SweepResult run_grid(u64 seed, int trials, int server_count, int jobs) {
   const Calibration cal = Calibration::standard();
   const auto vps = china_vantage_points();
   const auto servers = make_server_population(server_count, seed, cal, true);
+  // Batched scenario construction: per-(vantage, server) path profiles
+  // are drawn once up front and shared by every task's scenario.
+  const PathProfileCache profiles(vps, servers, cal);
 
   runner::TrialGrid grid;
   grid.cells = std::size(kStrategies);
@@ -77,6 +81,7 @@ SweepResult run_grid(u64 seed, int trials, int server_count, int jobs) {
         opt.seed = Rng::mix_seed({seed, static_cast<u64>(id),
                                   Rng::hash_label(vp.name), srv.ip,
                                   static_cast<u64>(c.trial)});
+        opt.profile = profiles.get(c.vantage, c.server);
         Scenario sc(&rules, opt);
         HttpTrialOptions http;
         http.with_keyword = true;
@@ -177,6 +182,61 @@ int run(int argc, char** argv) {
                    match ? "yes" : "MISMATCH"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  // Batched scenario construction, before/after. "Before" re-draws the
+  // path profile inside every Scenario constructor (the historical per-
+  // task behavior); "after" draws all per-(vantage, server) profiles once
+  // into a PathProfileCache and hands scenarios a pointer. Construction
+  // only — no trials run — so the delta is pure setup work.
+  {
+    const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+    const Calibration cal = Calibration::standard();
+    const auto vps = china_vantage_points();
+    const auto servers = make_server_population(server_count, seed, cal, true);
+    runner::TrialGrid grid;
+    grid.cells = std::size(kStrategies);
+    grid.vantages = vps.size();
+    grid.servers = servers.size();
+    grid.trials = static_cast<std::size_t>(trials);
+
+    const auto construct_all = [&](const PathProfileCache* profiles) {
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < grid.total(); ++i) {
+        const runner::GridCoord c = grid.coord(i);
+        ScenarioOptions opt;
+        opt.vp = vps[c.vantage];
+        opt.server = servers[c.server];
+        opt.cal = cal;
+        opt.seed = Rng::mix_seed(
+            {seed, static_cast<u64>(kStrategies[c.cell]),
+             Rng::hash_label(vps[c.vantage].name), servers[c.server].ip,
+             static_cast<u64>(c.trial)});
+        if (profiles != nullptr) {
+          opt.profile = profiles->get(c.vantage, c.server);
+        }
+        Scenario sc(&rules, opt);
+      }
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start)
+          .count();
+    };
+
+    const double before = construct_all(nullptr);
+    const auto cache_start = std::chrono::steady_clock::now();
+    const PathProfileCache profiles(vps, servers, cal);
+    const double cache_cost = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() -
+                                  cache_start)
+                                  .count();
+    const double after = construct_all(&profiles) + cache_cost;
+    std::printf(
+        "batched scenario construction (%zu scenarios, construction only):\n"
+        "  before (profile re-drawn per task): %.3fs (%.0f/s)\n"
+        "  after  (pooled per-(vantage,server) profiles): %.3fs (%.0f/s, "
+        "incl. one-time %zu-profile draw)\n\n",
+        grid.total(), before, grid.total() / before, after,
+        grid.total() / after, profiles.size());
+  }
 
   if (mismatches > 0) {
     std::printf("FAIL: %d worker count(s) diverged from the serial "

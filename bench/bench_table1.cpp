@@ -3,6 +3,10 @@
 // Success / Failure 1 without one. 11 vantage points × 77 websites, paper
 // scale 50 repetitions per pair.
 //
+// The grid definition lives in exp/benchdef.h (Table1Bench) so any cell
+// is `yourstate explain --bench=table1`-able; this binary only runs it
+// through the pool and renders the table.
+//
 // Paper reference values (w/ keyword, Success/F1/F2):
 //   No Strategy                    2.8 /  0.4 / 96.8
 //   TCB creation SYN (TTL)         6.9 /  4.2 / 88.9
@@ -19,9 +23,8 @@
 //   Teardown RST/ACK (bad csum)   68.9 /  1.9 / 29.2
 //   Teardown FIN (TTL)            11.1 /  1.0 / 87.9
 //   Teardown FIN (bad csum)        8.4 /  0.8 / 90.7
-#include <iterator>
-
 #include "bench_common.h"
+#include "exp/benchdef.h"
 
 namespace ys {
 namespace {
@@ -29,102 +32,41 @@ namespace {
 using namespace ys::exp;
 using namespace ys::bench;
 
-struct Row {
-  strategy::StrategyId id;
-  const char* label;
-  const char* discrepancy;
-};
-
-constexpr Row kRows[] = {
-    {strategy::StrategyId::kNone, "No Strategy", "N/A"},
-    {strategy::StrategyId::kTcbCreationSynTtl, "TCB creation with SYN", "TTL"},
-    {strategy::StrategyId::kTcbCreationSynBadChecksum, "TCB creation with SYN",
-     "Bad checksum"},
-    {strategy::StrategyId::kOutOfOrderIpFragments,
-     "Reassembly out-of-order data", "IP fragments"},
-    {strategy::StrategyId::kOutOfOrderTcpSegments,
-     "Reassembly out-of-order data", "TCP segments"},
-    {strategy::StrategyId::kInOrderTtl, "Reassembly in-order data", "TTL"},
-    {strategy::StrategyId::kInOrderBadAck, "Reassembly in-order data",
-     "Bad ACK number"},
-    {strategy::StrategyId::kInOrderBadChecksum, "Reassembly in-order data",
-     "Bad checksum"},
-    {strategy::StrategyId::kInOrderNoFlags, "Reassembly in-order data",
-     "No TCP flag"},
-    {strategy::StrategyId::kTeardownRstTtl, "TCB teardown with RST", "TTL"},
-    {strategy::StrategyId::kTeardownRstBadChecksum, "TCB teardown with RST",
-     "Bad checksum"},
-    {strategy::StrategyId::kTeardownRstAckTtl, "TCB teardown with RST/ACK",
-     "TTL"},
-    {strategy::StrategyId::kTeardownRstAckBadChecksum,
-     "TCB teardown with RST/ACK", "Bad checksum"},
-    {strategy::StrategyId::kTeardownFinTtl, "TCB teardown with FIN", "TTL"},
-    {strategy::StrategyId::kTeardownFinBadChecksum, "TCB teardown with FIN",
-     "Bad checksum"},
-    // Extra row (not in Table 1): the West Chamber Project's tool, which
-    // §1/§9 report as no longer effective.
-    {strategy::StrategyId::kWestChamber, "West Chamber [25] (extra row)",
-     "TTL"},
-};
-
 int run(int argc, char** argv) {
   RunConfig cfg = parse_args(argc, argv);
-  const int trials = cfg.trials > 0 ? cfg.trials : 6;
-  const int server_count = cfg.servers > 0 ? cfg.servers : 77;
+
+  BenchScale scale;
+  scale.trials = cfg.trials > 0 ? cfg.trials : 6;
+  scale.servers = cfg.servers > 0 ? cfg.servers : 77;
+  scale.seed = cfg.seed;
+  scale.faults = cfg.faults;
+  const Table1Bench bench(scale);
+  const runner::TrialGrid grid = bench.grid();
 
   print_banner("Table 1: existing evasion strategies vs. the evolved GFW",
                "Wang et al., IMC'17, Table 1 (11 vantage points x 77 sites)");
-  std::printf("trials per pair: %d (paper: 50)\n\n", trials);
-
-  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
-  const Calibration cal = Calibration::standard();
-  const auto vps = china_vantage_points();
-  const auto servers =
-      make_server_population(server_count, cfg.seed, cal, true);
-
-  TextTable table({"Strategy", "Discrepancy", "Success", "Failure 1",
-                   "Failure 2", "Success w/o kw", "Failure 1 w/o kw"});
-
-  // One grid cell per (strategy row, with/without keyword); the seed is a
-  // pure function of the coordinates, so --jobs=N reproduces --jobs=1
-  // exactly.
-  constexpr std::size_t kRowCount = std::size(kRows);
-  runner::TrialGrid grid;
-  grid.cells = kRowCount * 2;
-  grid.vantages = vps.size();
-  grid.servers = servers.size();
-  grid.trials = static_cast<std::size_t>(trials);
+  std::printf("trials per pair: %d (paper: 50)\n\n", scale.trials);
 
   auto out = runner::collect_grid(
       grid, pool_options(cfg),
       [&](const runner::GridCoord& c, runner::TaskContext&) {
-        const Row& row = kRows[c.cell / 2];
-        const bool keyword = (c.cell % 2) == 0;
-        const auto& vp = vps[c.vantage];
-        const auto& srv = servers[c.server];
-        ScenarioOptions opt;
-        opt.vp = vp;
-        opt.server = srv;
-        opt.cal = cal;
-        opt.seed = Rng::mix_seed(
-            {cfg.seed, static_cast<u64>(row.id), Rng::hash_label(vp.name),
-             srv.ip, static_cast<u64>(c.trial), keyword ? 1u : 0u});
-        Scenario sc(&rules, opt);
-        HttpTrialOptions http;
-        http.with_keyword = keyword;
-        http.strategy = row.id;
-        return run_http_trial(sc, http).outcome;
+        return bench.run_trial(c).outcome;
       });
 
-  std::vector<RateTally> with_kw(kRowCount);
-  std::vector<RateTally> without_kw(kRowCount);
+  const std::size_t row_count = Table1Bench::rows().size();
+  std::vector<RateTally> with_kw(row_count);
+  std::vector<RateTally> without_kw(row_count);
   for (std::size_t i = 0; i < out.slots.size(); ++i) {
     const runner::GridCoord c = grid.coord(i);
-    ((c.cell % 2) == 0 ? with_kw : without_kw)[c.cell / 2].add(out.slots[i]);
+    (bench.keyword_cell(c.cell) ? with_kw
+                                : without_kw)[bench.row_of(c.cell)]
+        .add(out.slots[i]);
   }
 
-  for (std::size_t r = 0; r < kRowCount; ++r) {
-    const Row& row = kRows[r];
+  TextTable table({"Strategy", "Discrepancy", "Success", "Failure 1",
+                   "Failure 2", "Success w/o kw", "Failure 1 w/o kw"});
+  for (std::size_t r = 0; r < row_count; ++r) {
+    const Table1Bench::Row& row = Table1Bench::rows()[r];
     // Without a keyword nothing is censored, so F2 folds into F1 (any
     // stray reset is a strategy side effect, reported as Failure 1 in the
     // paper's two-column layout).

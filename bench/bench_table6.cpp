@@ -3,15 +3,18 @@
 // DNS-over-TCP toward Dyn's public resolvers under the improved TCB
 // teardown strategy; 100 queries per vantage point per resolver.
 //
+// The grid definition lives in exp/benchdef.h (Table6Dns) so any cell is
+// `yourstate explain --bench=table6-dns`-able; this binary only runs it
+// through the pool and renders the table.
+//
 // Paper reference (success):
 //   Dyn 1 (216.146.35.35):  except Tianjin 98.6%   all 92.7%
 //   Dyn 2 (216.146.36.36):  except Tianjin 99.6%   all 93.1%
 //   (Tianjin alone: 38% / 24% — heavy client-side interference.)
 // Plus the OpenDNS anecdote: their resolvers drew no censorship at all,
 // even without INTANG.
-#include <iterator>
-
 #include "bench_common.h"
+#include "exp/benchdef.h"
 
 namespace ys {
 namespace {
@@ -19,45 +22,24 @@ namespace {
 using namespace ys::bench;
 using namespace ys::exp;
 
-struct Resolver {
-  const char* label;
-  net::IpAddr ip;
-  bool censored;  // OpenDNS resolver paths drew no DNS censorship (§7.2)
-};
-
 int run(int argc, char** argv) {
   RunConfig cfg = parse_args(argc, argv);
-  const int queries = cfg.trials > 0 ? cfg.trials : 40;
+
+  BenchScale scale;
+  scale.trials = cfg.trials > 0 ? cfg.trials : 40;
+  scale.seed = cfg.seed;
+  scale.faults = cfg.faults;
+  const Table6Dns bench(scale);
+  const runner::TrialGrid grid = bench.grid();
+  const auto& vps = bench.vantage_points();
 
   print_banner("Table 6: TCP DNS censorship evasion via INTANG",
                "Wang et al., IMC'17, Table 6 (plus the OpenDNS anecdote)");
-  std::printf("queries per vantage point: %d (paper: 100)\n\n", queries);
-
-  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
-  gfw::DetectionRules uncensored = gfw::DetectionRules::standard();
-  uncensored.dns_blacklist.clear();  // OpenDNS paths: no DNS censorship
-
-  const Calibration cal = Calibration::standard();
-  const auto vps = china_vantage_points();
-
-  const Resolver resolvers[] = {
-      {"Dyn 1 (216.146.35.35)", net::make_ip(216, 146, 35, 35), true},
-      {"Dyn 2 (216.146.36.36)", net::make_ip(216, 146, 36, 36), true},
-      {"OpenDNS (208.67.222.222, no INTANG)",
-       net::make_ip(208, 67, 222, 222), false},
-  };
-
-  TextTable table({"DNS resolver", "IP", "except Tianjin", "All",
-                   "Tianjin only"});
+  std::printf("queries per vantage point: %d (paper: 100)\n\n", scale.trials);
 
   // One persistent selector per (resolver, vantage point) chain: INTANG
   // converges on the strategy that works on this resolver path, so the
   // query axis is a sequential dependency and the grid is chained.
-  runner::TrialGrid grid;
-  grid.cells = std::size(resolvers);
-  grid.vantages = vps.size();
-  grid.trials = static_cast<std::size_t>(queries);
-  grid.chain_trials = true;
   std::vector<intang::StrategySelector> selectors(
       grid.chains(),
       intang::StrategySelector{intang::StrategySelector::Config{}});
@@ -65,39 +47,13 @@ int run(int argc, char** argv) {
   auto out = runner::collect_grid(
       grid, pool_options(cfg),
       [&](const runner::GridCoord& c, runner::TaskContext&) {
-        const Resolver& resolver = resolvers[c.cell];
-        const auto& vp = vps[c.vantage];
-        ServerSpec spec;
-        spec.host = resolver.label;
-        spec.ip = resolver.ip;
-        spec.version = tcp::LinuxVersion::k4_4;
-
-        ScenarioOptions opt;
-        opt.vp = vp;
-        opt.server = spec;
-        opt.cal = cal;
-        opt.seed = Rng::mix_seed({cfg.seed, resolver.ip,
-                                  Rng::hash_label(vp.name),
-                                  static_cast<u64>(c.trial)});
-        // Tianjin's resolver paths suffer stateful interference that
-        // blackholes a large share of the TCP DNS flows (Table 6).
-        Rng interference(Rng::mix_seed({opt.seed, 0xd45ULL}));
-        opt.extra_stateful_client_box =
-            vp.dns_path_interference &&
-            interference.chance(cal.tianjin_dns_interference);
-
-        Scenario sc(resolver.censored ? &rules : &uncensored, opt);
-        DnsTrialOptions dns;
-        dns.domain = "www.dropbox.com";
-        dns.resolver_ip = resolver.ip;
-        dns.use_intang = resolver.censored;  // OpenDNS row runs bare UDP
-        dns.strategy = strategy::StrategyId::kImprovedTeardown;
-        dns.shared_selector =
-            resolver.censored ? &selectors[grid.chain(c)] : nullptr;
-        return run_dns_trial(sc, dns).outcome;
+        return bench.run_query(c, selectors[grid.chain(c)]).outcome;
       });
 
-  for (std::size_t r = 0; r < std::size(resolvers); ++r) {
+  TextTable table({"DNS resolver", "IP", "except Tianjin", "All",
+                   "Tianjin only"});
+  for (std::size_t r = 0; r < Table6Dns::resolvers().size(); ++r) {
+    const Table6Dns::Resolver& resolver = Table6Dns::resolvers()[r];
     RateTally all;
     RateTally non_tj;
     RateTally tj;
@@ -108,7 +64,7 @@ int run(int argc, char** argv) {
         (vps[v].dns_path_interference ? tj : non_tj).add(o);
       }
     }
-    table.add_row({resolvers[r].label, net::ip_to_string(resolvers[r].ip),
+    table.add_row({resolver.label, net::ip_to_string(resolver.ip),
                    pct(non_tj.success_rate()), pct(all.success_rate()),
                    pct(tj.success_rate())});
   }

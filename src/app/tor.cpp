@@ -49,4 +49,22 @@ bool is_tor_bridge_response(ByteView payload) {
          contains_fingerprint(payload);
 }
 
+bool is_tor_bridge_response_lenient(ByteView payload) {
+  if (payload.size() < 6 || payload[0] != 0x16 || payload[5] != 0x02) {
+    return false;
+  }
+  if (contains_fingerprint(payload)) return true;
+  // Hamming-distance-1 scan over every alignment of the fingerprint.
+  const std::size_t n = kTorCipherFingerprint.size();
+  if (payload.size() < n) return false;
+  for (std::size_t off = 0; off + n <= payload.size(); ++off) {
+    int mismatches = 0;
+    for (std::size_t i = 0; i < n && mismatches <= 1; ++i) {
+      if (payload[off + i] != kTorCipherFingerprint[i]) ++mismatches;
+    }
+    if (mismatches <= 1) return true;
+  }
+  return false;
+}
+
 }  // namespace ys::app

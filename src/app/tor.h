@@ -28,4 +28,11 @@ bool is_tor_client_hello(ByteView payload);
 Bytes build_probe_hello();
 bool is_tor_bridge_response(ByteView payload);
 
+/// As is_tor_bridge_response(), but tolerates one corrupted byte in the
+/// cipher fingerprint — a real TLS client survives single-byte damage at
+/// this position (the record is re-validated at higher layers), so the
+/// Tor workload under corruption fault plans uses this variant to keep
+/// degradation attributable to the path, not to an over-strict matcher.
+bool is_tor_bridge_response_lenient(ByteView payload);
+
 }  // namespace ys::app

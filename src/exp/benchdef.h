@@ -42,6 +42,50 @@ struct Replay {
   bool old_model = false;   ///< the path ran the prior GFW model
 };
 
+/// Table 1: every *existing* evasion strategy against today's GFW, with
+/// and without a sensitive keyword. Cell layout: cell = row * 2 +
+/// (keyword ? 0 : 1), matching bench_table1's historical order.
+class Table1Bench {
+ public:
+  struct Row {
+    strategy::StrategyId id;
+    const char* label;
+    const char* discrepancy;
+  };
+  static const std::array<Row, 16>& rows();
+
+  explicit Table1Bench(BenchScale scale);
+
+  const BenchScale& scale() const { return scale_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+  const std::vector<ServerSpec>& server_population() const { return servers_; }
+
+  std::size_t row_of(std::size_t cell) const { return cell / 2; }
+  bool keyword_cell(std::size_t cell) const { return cell % 2 == 0; }
+
+  /// Unchained grid: cells = rows × {keyword, no keyword}.
+  runner::TrialGrid grid() const;
+
+  /// Run one trial, untraced (the grid hot path).
+  TrialResult run_trial(const runner::GridCoord& c) const;
+
+  /// Traced deterministic re-run of coordinate `c`.
+  Replay replay(const runner::GridCoord& c, const std::string& trace_path = {},
+                const std::string& pcap_path = {}) const;
+
+ private:
+  ScenarioOptions options_for(const runner::GridCoord& c, bool tracing) const;
+  u64 trial_seed(const runner::GridCoord& c) const;
+
+  BenchScale scale_;
+  Calibration cal_;
+  gfw::DetectionRules rules_;
+  std::vector<VantagePoint> vps_;
+  std::vector<ServerSpec> servers_;
+  faults::FaultPlan plan_;
+  PathProfileCache profiles_;
+};
+
 /// The inside-China direction of Table 4: fixed-strategy rows plus the
 /// INTANG adaptive row. Owns the populations and seed formulas.
 class Table4Inside {
@@ -100,6 +144,55 @@ class Table4Inside {
   std::vector<VantagePoint> vps_;
   std::vector<ServerSpec> servers_;
   faults::FaultPlan plan_;  // parsed from scale_.faults; empty when unset
+  PathProfileCache profiles_;
+};
+
+/// Table 6: TCP DNS censorship evasion (§7.2) — INTANG's DNS forwarder
+/// toward Dyn's public resolvers, plus the uncensored OpenDNS anecdote
+/// row. The query axis is chained: one persistent selector per
+/// (resolver, vantage point) converges on the resolver path's strategy.
+class Table6Dns {
+ public:
+  struct Resolver {
+    const char* label;
+    net::IpAddr ip;
+    bool censored;  // OpenDNS resolver paths drew no DNS censorship (§7.2)
+  };
+  static const std::array<Resolver, 3>& resolvers();
+
+  explicit Table6Dns(BenchScale scale);
+
+  const BenchScale& scale() const { return scale_; }
+  const std::vector<VantagePoint>& vantage_points() const { return vps_; }
+  /// One ServerSpec per resolver (the grid's cell axis, not its server
+  /// axis — grids here have servers=1).
+  const std::vector<ServerSpec>& resolver_specs() const { return servers_; }
+
+  /// Chained grid: cells = resolvers, servers = 1, trials = queries.
+  runner::TrialGrid grid() const;
+
+  /// Run one query. `selector` carries the chain's accumulated knowledge
+  /// (unused by the uncensored OpenDNS cell but always passed).
+  DnsTrialResult run_query(const runner::GridCoord& c,
+                           intang::StrategySelector& selector) const;
+
+  /// Traced deterministic re-run (chain prefix replayed untraced first).
+  /// Only Replay::result.outcome is meaningful for a DNS trial.
+  Replay replay(const runner::GridCoord& c, const std::string& trace_path = {},
+                const std::string& pcap_path = {}) const;
+
+ private:
+  ScenarioOptions options_for(const runner::GridCoord& c, bool tracing) const;
+  u64 query_seed(const runner::GridCoord& c) const;
+
+  BenchScale scale_;
+  Calibration cal_;
+  gfw::DetectionRules rules_;
+  gfw::DetectionRules uncensored_;
+  std::vector<VantagePoint> vps_;
+  std::vector<ServerSpec> servers_;
+  faults::FaultPlan plan_;
+  PathProfileCache profiles_;
 };
 
 /// The robustness bench behind bench_faults and `yourstate faults`: every
@@ -147,6 +240,7 @@ class FaultsBench {
   std::vector<VantagePoint> vps_;
   std::vector<ServerSpec> servers_;
   std::vector<faults::FaultPlan> plans_;
+  PathProfileCache profiles_;
 };
 
 /// Bench names `yourstate explain --bench=` accepts.

@@ -116,13 +116,18 @@ std::string GfwFindings::to_string() const {
   return out;
 }
 
-GfwFindings probe_gfw(const gfw::DetectionRules* rules,
-                      ScenarioOptions options) {
+namespace {
+
+/// One battery pass. `index_offset` shifts every probe's seed so repeated
+/// batteries draw independent dynamic randomness (jitter, fault timing)
+/// against the same path.
+GfwFindings run_battery(const gfw::DetectionRules* rules,
+                        const ScenarioOptions& options, u64 index_offset) {
   GfwFindings findings;
 
   // Probe 0 — responsiveness: classic handshake + censored request.
   {
-    ProbeRun run(rules, options, 0);
+    ProbeRun run(rules, options, index_offset + 0);
     run.handshake();
     run.censored_request();
     findings.responsive = run.resets_seen();
@@ -132,7 +137,7 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
   // Probe 1 — Behavior 1: omit the SYN; only the server's SYN/ACK plus a
   // censored request. Resets ⇒ a TCB existed ⇒ created from the SYN/ACK.
   {
-    ProbeRun run(rules, options, 1);
+    ProbeRun run(rules, options, index_offset + 1);
     run.syn_ack();
     run.censored_request();
     findings.creates_tcb_on_synack = run.resets_seen();
@@ -143,7 +148,7 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
   // re-anchored on the junk (resync state); resets ⇒ it kept the first
   // SYN's anchor (prior model).
   {
-    ProbeRun run(rules, options, 2);
+    ProbeRun run(rules, options, index_offset + 2);
     run.syn(kClientIsn);
     run.syn(kClientIsn + 99'999);
     run.client_data(0x40000000, "XXXXXXXXXXXX");
@@ -154,7 +159,7 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
   // Probe 3 — Behavior 3: handshake, RST, censored request. Resets ⇒ the
   // RST did not tear the TCB down.
   {
-    ProbeRun run(rules, options, 3);
+    ProbeRun run(rules, options, index_offset + 3);
     run.handshake();
     run.client_send_x3(net::make_tcp_packet(run.tuple(),
                                             net::TcpFlags::only_rst(),
@@ -168,7 +173,7 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
   // strategy whose FIN never reached the server. Resets ⇒ the FIN was
   // ignored (evolved); silence ⇒ it tore the TCB down (prior model).
   {
-    ProbeRun run(rules, options, 4);
+    ProbeRun run(rules, options, index_offset + 4);
     run.handshake();
     run.client_send_x3(net::make_tcp_packet(run.tuple(),
                                             net::TcpFlags::fin_ack(),
@@ -181,7 +186,7 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
   // request's range, then the censored request. NO resets ⇒ the junk was
   // processed as data and blinded the device.
   {
-    ProbeRun run(rules, options, 5);
+    ProbeRun run(rules, options, index_offset + 5);
     run.handshake();
     run.client_data(kClientIsn + 1, "JUNKJUNKJUNKJUNKJUNKJUNKJUNKJU",
                     net::TcpFlags::none());
@@ -189,6 +194,44 @@ GfwFindings probe_gfw(const gfw::DetectionRules* rules,
     findings.accepts_no_flag_data = !run.resets_seen();
   }
 
+  return findings;
+}
+
+}  // namespace
+
+GfwFindings probe_gfw(const gfw::DetectionRules* rules,
+                      ScenarioOptions options) {
+  return run_battery(rules, options, 0);
+}
+
+GfwFindings probe_gfw(const gfw::DetectionRules* rules,
+                      ScenarioOptions options, int repeats) {
+  if (repeats <= 1) return run_battery(rules, options, 0);
+
+  // Majority vote per finding. An unresponsive pass skips probes 1–5 and
+  // votes "no" on every behavior — deliberately: a path a fault plan
+  // silenced should read as "nothing inferred", not as evolved-model
+  // evidence.
+  int votes[6] = {0, 0, 0, 0, 0, 0};
+  for (int r = 0; r < repeats; ++r) {
+    // 16 seeds per battery keeps repeat streams disjoint (6 probes used).
+    const GfwFindings f =
+        run_battery(rules, options, static_cast<u64>(r) * 16);
+    votes[0] += f.responsive ? 1 : 0;
+    votes[1] += f.creates_tcb_on_synack ? 1 : 0;
+    votes[2] += f.resyncs_on_second_syn ? 1 : 0;
+    votes[3] += f.rst_resyncs_after_handshake ? 1 : 0;
+    votes[4] += f.fin_ignored ? 1 : 0;
+    votes[5] += f.accepts_no_flag_data ? 1 : 0;
+  }
+  const auto majority = [repeats](int v) { return 2 * v > repeats; };
+  GfwFindings findings;
+  findings.responsive = majority(votes[0]);
+  findings.creates_tcb_on_synack = majority(votes[1]);
+  findings.resyncs_on_second_syn = majority(votes[2]);
+  findings.rst_resyncs_after_handshake = majority(votes[3]);
+  findings.fin_ignored = majority(votes[4]);
+  findings.accepts_no_flag_data = majority(votes[5]);
   return findings;
 }
 

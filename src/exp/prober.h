@@ -52,8 +52,19 @@ struct GfwFindings {
 
 /// Run the full probe battery. Each probe uses a fresh Scenario built from
 /// `options` (same path_seed → same devices) with its dynamic seed offset
-/// per probe. `rules` must outlive the call.
+/// per probe. `rules` must outlive the call. When `options.faults` names a
+/// plan, every probe scenario runs under it — the battery degrades
+/// gracefully (a confounded probe reads as a "no" vote) instead of
+/// crashing or hanging.
 GfwFindings probe_gfw(const gfw::DetectionRules* rules,
                       ScenarioOptions options);
+
+/// Majority-vote variant for noisy paths — the defense the paper's §3.4
+/// measurement methodology uses against middlebox interference, applied
+/// to injected faults: the battery runs `repeats` times with independent
+/// probe seeds and each finding becomes the majority verdict. With
+/// repeats <= 1 this is exactly probe_gfw(rules, options).
+GfwFindings probe_gfw(const gfw::DetectionRules* rules,
+                      ScenarioOptions options, int repeats);
 
 }  // namespace ys::exp

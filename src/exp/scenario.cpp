@@ -44,6 +44,61 @@ std::vector<ServerSpec> make_server_population(int count, u64 seed,
 
 namespace {
 
+/// The single source of truth for the systematic draw sequence. Both
+/// make_path_profile() and the Scenario constructor (when no pooled
+/// profile is supplied) go through here, so pooled and unpooled
+/// construction consume the path stream identically by construction.
+PathProfile draw_path_profile(Rng& rng, const VantagePoint& vp,
+                              const Calibration& cal) {
+  PathProfile p;
+  const bool inside = vp.inside_china;
+  p.server_hops = static_cast<int>(rng.uniform_range(cal.hop_min, cal.hop_max));
+  if (inside) {
+    const double frac =
+        cal.gfw_position_min +
+        rng.uniform01() * (cal.gfw_position_max - cal.gfw_position_min);
+    p.gfw_position = std::clamp(static_cast<int>(p.server_hops * frac), 2,
+                                p.server_hops - 2);
+  } else {
+    // Outside-China probes: the GFW sits within a few hops of the
+    // (Chinese) server (§7.1).
+    p.gfw_position =
+        p.server_hops - static_cast<int>(rng.uniform_range(
+                            cal.foreign_gfw_server_gap_min,
+                            cal.foreign_gfw_server_gap_max));
+    p.gfw_position = std::clamp(p.gfw_position, 2, p.server_hops - 1);
+  }
+  p.old_model = rng.chance(cal.old_model_fraction);
+
+  // The client's path knowledge (tcptraceroute estimate, §7.1), possibly
+  // stale per the calibrated route-dynamics error. The error is a property
+  // of the path measurement, so it persists across repeated probes.
+  p.knowledge.hop_estimate = p.server_hops;
+  p.knowledge.ttl_delta = 2;
+  const double err_prob = inside ? cal.ttl_estimate_error_prob
+                                 : cal.ttl_estimate_error_prob_foreign;
+  if (rng.chance(err_prob)) {
+    p.knowledge.hop_estimate += rng.chance(0.5) ? cal.ttl_estimate_error_hops
+                                                : -cal.ttl_estimate_error_hops;
+  }
+
+  p.rst_reaction_handshake = rng.chance(cal.rst_resync_handshake)
+                                 ? gfw::RstReaction::kResync
+                                 : gfw::RstReaction::kTeardown;
+  p.rst_reaction_established = rng.chance(cal.rst_resync_established)
+                                   ? gfw::RstReaction::kResync
+                                   : gfw::RstReaction::kTeardown;
+  p.accepts_no_flag_data = rng.chance(cal.no_flag_accept);
+  p.tcp_segment_overlap = rng.chance(cal.segment_overlap_prefer_last)
+                              ? net::OverlapPolicy::kPreferLast
+                              : net::OverlapPolicy::kPreferFirst;
+  if (p.old_model) {
+    // The prior model preferred the latter copy of overlapping segments.
+    p.tcp_segment_overlap = net::OverlapPolicy::kPreferLast;
+  }
+  return p;
+}
+
 mbox::MiddleboxConfig client_mbox_for(Provider provider) {
   switch (provider) {
     case Provider::kAliyun: return mbox::aliyun_profile();
@@ -59,6 +114,27 @@ mbox::MiddleboxConfig client_mbox_for(Provider provider) {
 
 }  // namespace
 
+PathProfile make_path_profile(const VantagePoint& vp, const ServerSpec& server,
+                              const Calibration& cal, u64 path_seed) {
+  Rng rng(path_seed != 0
+              ? path_seed
+              : Rng::mix_seed({0xA117ULL, Rng::hash_label(vp.name),
+                               server.ip}));
+  return draw_path_profile(rng, vp, cal);
+}
+
+PathProfileCache::PathProfileCache(const std::vector<VantagePoint>& vps,
+                                   const std::vector<ServerSpec>& servers,
+                                   const Calibration& cal)
+    : servers_(servers.size()) {
+  profiles_.reserve(vps.size() * servers.size());
+  for (const VantagePoint& vp : vps) {
+    for (const ServerSpec& srv : servers) {
+      profiles_.push_back(make_path_profile(vp, srv, cal));
+    }
+  }
+}
+
 Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
     : opt_(std::move(opt)),
       path_rng_(opt_.path_seed != 0
@@ -68,41 +144,23 @@ Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
       rng_(Rng::mix_seed({opt_.seed, Rng::hash_label(opt_.vp.name),
                           opt_.server.ip})) {
   const Calibration& cal = opt_.cal;
-  const bool inside = opt_.vp.inside_china;
+
+  // A fleet flow's scenario begins at its arrival instant on the shared
+  // virtual timeline; everything below schedules relative to now().
+  loop_.start_at(opt_.start_time);
 
   // ------------------------------------------- systematic per-path draws
-  server_hops_ =
-      static_cast<int>(path_rng_.uniform_range(cal.hop_min, cal.hop_max));
-  if (inside) {
-    const double frac =
-        cal.gfw_position_min +
-        path_rng_.uniform01() *
-            (cal.gfw_position_max - cal.gfw_position_min);
-    gfw_position_ = std::clamp(static_cast<int>(server_hops_ * frac), 2,
-                               server_hops_ - 2);
-  } else {
-    // Outside-China probes: the GFW sits within a few hops of the
-    // (Chinese) server (§7.1).
-    gfw_position_ =
-        server_hops_ - static_cast<int>(path_rng_.uniform_range(
-                           cal.foreign_gfw_server_gap_min,
-                           cal.foreign_gfw_server_gap_max));
-    gfw_position_ = std::clamp(gfw_position_, 2, server_hops_ - 1);
-  }
-  old_model_ = path_rng_.chance(cal.old_model_fraction);
-
-  // The client's path knowledge (tcptraceroute estimate, §7.1), possibly
-  // stale per the calibrated route-dynamics error. The error is a property
-  // of the path measurement, so it persists across repeated probes.
-  knowledge_.hop_estimate = server_hops_;
-  knowledge_.ttl_delta = 2;
-  const double err_prob = inside ? cal.ttl_estimate_error_prob
-                                 : cal.ttl_estimate_error_prob_foreign;
-  if (path_rng_.chance(err_prob)) {
-    knowledge_.hop_estimate += path_rng_.chance(0.5)
-                                   ? cal.ttl_estimate_error_hops
-                                   : -cal.ttl_estimate_error_hops;
-  }
+  // Pooled construction: a precomputed profile skips the draws entirely
+  // (the pool made identical ones from the same path seed). Otherwise draw
+  // here; path_rng_ is an independent stream, so both routes leave the
+  // dynamic rng_ draws untouched.
+  const PathProfile profile = opt_.profile != nullptr
+                                  ? *opt_.profile
+                                  : draw_path_profile(path_rng_, opt_.vp, cal);
+  server_hops_ = profile.server_hops;
+  gfw_position_ = profile.gfw_position;
+  old_model_ = profile.old_model;
+  knowledge_ = profile.knowledge;
 
   // ----------------------------------------------------------------- path
   net::PathConfig path_cfg;
@@ -139,21 +197,10 @@ Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
   // paper's 2.8 % no-strategy success could never be observed — one of the
   // two devices would always fire).
   base.detection_miss_rate = rng_.chance(cal.detection_miss) ? 1.0 : 0.0;
-  base.rst_reaction_handshake = path_rng_.chance(cal.rst_resync_handshake)
-                                    ? gfw::RstReaction::kResync
-                                    : gfw::RstReaction::kTeardown;
-  base.rst_reaction_established =
-      path_rng_.chance(cal.rst_resync_established)
-          ? gfw::RstReaction::kResync
-          : gfw::RstReaction::kTeardown;
-  base.accepts_no_flag_data = path_rng_.chance(cal.no_flag_accept);
-  base.tcp_segment_overlap = path_rng_.chance(cal.segment_overlap_prefer_last)
-                                 ? net::OverlapPolicy::kPreferLast
-                                 : net::OverlapPolicy::kPreferFirst;
-  if (old_model_) {
-    // The prior model preferred the latter copy of overlapping segments.
-    base.tcp_segment_overlap = net::OverlapPolicy::kPreferLast;
-  }
+  base.rst_reaction_handshake = profile.rst_reaction_handshake;
+  base.rst_reaction_established = profile.rst_reaction_established;
+  base.accepts_no_flag_data = profile.accepts_no_flag_data;
+  base.tcp_segment_overlap = profile.tcp_segment_overlap;
   base.tor_filtering = tor_filtering;
   base.vpn_dpi = opt_.vpn_dpi;
   base.harden_validate_checksum = opt_.harden.validate_checksum;
@@ -207,12 +254,15 @@ Scenario::Scenario(const gfw::DetectionRules* rules, ScenarioOptions opt)
   // forks (and therefore the same draws) as one built before the fault
   // layer existed.
   if (opt_.faults != nullptr && !opt_.faults->empty()) {
-    fault_injector_ =
-        std::make_unique<faults::FaultInjector>(*opt_.faults, rng_.fork());
+    // Plans are flow-relative: clause times count from this scenario's
+    // start_time (a no-op for the default zero() start).
+    fault_injector_ = std::make_unique<faults::FaultInjector>(
+        *opt_.faults, rng_.fork(), opt_.start_time);
     fault_injector_->arm(loop_, *path_);
     if (!opt_.faults->rst_storms.empty()) {
-      chaos_box_ =
-          std::make_unique<faults::ChaosBox>(*opt_.faults, rng_.fork());
+      chaos_box_ = std::make_unique<faults::ChaosBox>(*opt_.faults,
+                                                      rng_.fork(),
+                                                      opt_.start_time);
       const int pos = std::clamp(opt_.faults->rst_storms.front().position, 1,
                                  server_hops_ - 1);
       path_->attach(pos, chaos_box_.get());
@@ -224,7 +274,7 @@ Scenario::RunStatus Scenario::run(std::size_t max_events) {
   if (max_events == 0) max_events = opt_.max_events;
   net::RunResult r;
   if (opt_.deadline > SimTime::zero()) {
-    r = loop_.run_until(opt_.deadline, max_events);
+    r = loop_.run_until(opt_.start_time + opt_.deadline, max_events);
     // Events still queued past the deadline mean the trial never quiesced
     // within its virtual-time budget.
     last_run_.deadline_expired = !r.hit_max_events && !loop_.idle();

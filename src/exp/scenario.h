@@ -37,6 +37,48 @@ std::vector<ServerSpec> make_server_population(int count, u64 seed,
                                                const Calibration& cal,
                                                bool inside_china);
 
+/// The *systematic* draws of one (vantage point, server) pair — everything
+/// path_seed drives: hop count, GFW position, device generation and quirk
+/// coins, and the client's (possibly stale) hop estimate. These stay fixed
+/// across repeated probes of one pair, so grids that revisit a pair can
+/// compute the profile once and reuse it for every trial (batched scenario
+/// construction) instead of re-drawing it per Scenario. A Scenario built
+/// from a precomputed profile is bit-identical to one that draws its own:
+/// make_path_profile() performs exactly the constructor's draw sequence.
+struct PathProfile {
+  int server_hops = 0;
+  int gfw_position = 0;
+  bool old_model = false;
+  strategy::PathKnowledge knowledge;
+  gfw::RstReaction rst_reaction_handshake = gfw::RstReaction::kTeardown;
+  gfw::RstReaction rst_reaction_established = gfw::RstReaction::kTeardown;
+  bool accepts_no_flag_data = false;
+  net::OverlapPolicy tcp_segment_overlap = net::OverlapPolicy::kPreferFirst;
+};
+
+/// Compute the systematic draws for one (vp, server) pair. path_seed = 0
+/// derives the seed from (vp, server) exactly as Scenario does.
+PathProfile make_path_profile(const VantagePoint& vp, const ServerSpec& server,
+                              const Calibration& cal, u64 path_seed = 0);
+
+/// Eagerly-built per-(vantage, server) profile pool for grid benches: build
+/// once, point every ScenarioOptions::profile at it. Read-only after
+/// construction, so sharing across runner workers is safe.
+class PathProfileCache {
+ public:
+  PathProfileCache(const std::vector<VantagePoint>& vps,
+                   const std::vector<ServerSpec>& servers,
+                   const Calibration& cal);
+  const PathProfile* get(std::size_t vantage, std::size_t server) const {
+    return &profiles_[vantage * servers_ + server];
+  }
+  std::size_t size() const { return profiles_.size(); }
+
+ private:
+  std::size_t servers_ = 0;
+  std::vector<PathProfile> profiles_;
+};
+
 struct ScenarioOptions {
   VantagePoint vp;
   ServerSpec server;
@@ -65,6 +107,17 @@ struct ScenarioOptions {
   /// the hot path stays string-free; the flight recorder re-runs anomalous
   /// trials with this on (determinism guarantees the same outcome).
   bool tracing = false;
+
+  /// Precomputed systematic draws (batched scenario construction). nullptr
+  /// = draw them here from path_seed, bit-identical to the pooled path.
+  /// Must outlive the scenario; benches keep a PathProfileCache.
+  const PathProfile* profile = nullptr;
+  /// Virtual time at which this trial begins. Fleet sweeps multiplex many
+  /// flows over one shared timeline: each flow's scenario starts at its
+  /// arrival instant so TTL-bearing state (selector records, block
+  /// periods) ages consistently across the sweep. The deadline and any
+  /// fault plan are relative to this start.
+  SimTime start_time = SimTime::zero();
 
   /// Active fault plan (nullptr or empty = clean path, bit-identical to a
   /// build without the fault layer). The plan must outlive the scenario;

@@ -197,8 +197,11 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
 
   std::optional<strategy::StrategyId> intang_choice;
   if (opt.use_intang && evasion.intang) {
-    intang_choice = evasion.intang->strategy_for(conn->tuple());
-    if (intang_choice) result.strategy_used = *intang_choice;
+    if (auto choice = evasion.intang->choice_for(conn->tuple())) {
+      intang_choice = choice->id;
+      result.strategy_used = choice->id;
+      result.pick_source = choice->source;
+    }
   }
 
   result.response_received =
@@ -225,7 +228,7 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("http", result.outcome, result.strategy_used,
-                scenario.loop().now());
+                scenario.loop().now() - scenario.options().start_time);
   return result;
 }
 
@@ -295,7 +298,8 @@ DnsTrialResult run_dns_trial(Scenario& scenario, const DnsTrialOptions& opt) {
     result.outcome = Outcome::kTrialError;
     result.answered = false;
   }
-  count_outcome("dns", result.outcome, opt.strategy, scenario.loop().now());
+  count_outcome("dns", result.outcome, opt.strategy,
+                scenario.loop().now() - scenario.options().start_time);
   return result;
 }
 
@@ -324,14 +328,23 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
 
   std::optional<strategy::StrategyId> intang_choice;
   if (opt.use_intang && evasion.intang) {
-    intang_choice = evasion.intang->strategy_for(conn->tuple());
-    if (intang_choice) result.strategy_used = *intang_choice;
+    if (auto choice = evasion.intang->choice_for(conn->tuple())) {
+      intang_choice = choice->id;
+      result.strategy_used = choice->id;
+    }
   } else {
     result.strategy_used = opt.strategy;
   }
 
+  // Under an active fault plan, single-byte corruption must degrade the
+  // trial gracefully (Failure 1), not flip the matcher: accept a reply
+  // whose fingerprint is off by at most one byte. Clean runs keep the
+  // strict predicate, so fault-free results are unchanged bit for bit.
+  const faults::FaultPlan* plan = scenario.options().faults;
   result.handshake_completed =
-      app::is_tor_bridge_response(conn->received_stream());
+      (plan != nullptr && !plan->empty())
+          ? app::is_tor_bridge_response_lenient(conn->received_stream())
+          : app::is_tor_bridge_response(conn->received_stream());
   result.bridge_ip_blocked =
       scenario.gfw_type2().ip_blocked(scenario.options().server.ip);
 
@@ -354,7 +367,7 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("tor", result.outcome, result.strategy_used,
-                scenario.loop().now());
+                scenario.loop().now() - scenario.options().start_time);
   return result;
 }
 
@@ -406,7 +419,7 @@ TrialResult run_vpn_trial(Scenario& scenario, const VpnTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("vpn", result.outcome, result.strategy_used,
-                scenario.loop().now());
+                scenario.loop().now() - scenario.options().start_time);
   return result;
 }
 

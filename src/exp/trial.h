@@ -25,6 +25,10 @@ struct TrialResult {
   bool gfw_reset_seen = false;
   bool other_reset_seen = false;  // e.g. a server RST (insertion side effect)
   strategy::StrategyId strategy_used = strategy::StrategyId::kNone;
+  /// Where INTANG's pick came from (cache hit, store hit, cold, ...);
+  /// absent for fixed-strategy trials. Fleet sweeps read this to credit
+  /// the cache entry that supplied a flow's strategy.
+  std::optional<intang::StrategySelector::Choice::Source> pick_source;
 };
 
 /// Classify the reset packets a client received: GFW-injected resets are

@@ -44,7 +44,7 @@ void FaultInjector::arm(net::EventLoop& loop, net::Path& path) {
   for (const PathFlap& flap : plan_.path_flaps) {
     net::Path* p = &path;
     const int delta = flap.delta;
-    loop.schedule_at(flap.at, [p, delta]() {
+    loop.schedule_at(origin_ + flap.at, [p, delta]() {
       p->shift_route(delta);
       metrics().path_flap.inc();
       if (p->trace() != nullptr) {
@@ -69,7 +69,7 @@ net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
       to_pos > from_pos ? to_pos - from_pos : from_pos - to_pos;
 
   for (const LossBurst& b : plan_.loss_bursts) {
-    if (!active(b.at, b.duration, now)) continue;
+    if (!active(b.at, b.duration, now - origin_)) continue;
     // One draw for the whole segment: the burst is a window property, so a
     // per-hop attribution adds nothing (the base per_link_loss already
     // interleaves with TTL inside the path).
@@ -91,7 +91,7 @@ net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
     act.reason = "corruption";
   }
   for (const ReorderWindow& w : plan_.reorder_windows) {
-    if (!active(w.at, w.duration, now)) continue;
+    if (!active(w.at, w.duration, now - origin_)) continue;
     act.extra_delay_us = rng_.uniform_range(0, w.max_extra_delay_us);
     act.bypass_fifo = true;
     act.reason = "reorder window";
@@ -106,7 +106,7 @@ net::FaultHook::InjectAction FaultInjector::on_inject(const std::string& actor,
   InjectAction act;
   if (actor.compare(0, 3, "gfw") != 0) return act;
   for (const GfwFlap& f : plan_.gfw_flaps) {
-    if (!active(f.at, f.duration, now)) continue;
+    if (!active(f.at, f.duration, now - origin_)) continue;
     if (f.outage) {
       metrics().gfw_suppressed.inc();
       act.suppress = true;
@@ -123,7 +123,7 @@ net::FaultHook::InjectAction FaultInjector::on_inject(const std::string& actor,
 void ChaosBox::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
   if (dir == net::Dir::kC2S && pkt.tcp && !pkt.payload.empty()) {
     for (const RstStorm& s : plan_.rst_storms) {
-      if (!active(s.at, s.duration, fwd.now())) continue;
+      if (!active(s.at, s.duration, fwd.now() - origin_)) continue;
       if (!rng_.chance(s.per_packet)) continue;
       // Spoof a server->client RST for this flow. seq = the data packet's
       // ack is exactly what the client expects next from the server, so the

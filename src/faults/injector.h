@@ -24,8 +24,12 @@ namespace ys::faults {
 
 class FaultInjector final : public net::FaultHook {
  public:
-  FaultInjector(const FaultPlan& plan, Rng rng)
-      : plan_(plan), rng_(std::move(rng)) {}
+  /// `origin` shifts the whole plan: clause times are relative to it, so a
+  /// fleet flow starting mid-sweep sees the plan as if the sweep began at
+  /// its own arrival. zero() (the default) keeps absolute-time semantics.
+  FaultInjector(const FaultPlan& plan, Rng rng,
+                SimTime origin = SimTime::zero())
+      : plan_(plan), rng_(std::move(rng)), origin_(origin) {}
 
   /// Schedule the plan's time-driven faults (route flaps) and install this
   /// hook on the path. Call once, before the simulation starts.
@@ -38,6 +42,7 @@ class FaultInjector final : public net::FaultHook {
  private:
   const FaultPlan& plan_;  // owned by the scenario options / bench
   Rng rng_;
+  SimTime origin_;
 };
 
 /// On-path middlebox that injects spoofed RSTs toward the client during the
@@ -46,8 +51,8 @@ class FaultInjector final : public net::FaultHook {
 /// is exactly the confusion the paper's §7.1 failure analysis describes.
 class ChaosBox final : public net::PathElement {
  public:
-  ChaosBox(const FaultPlan& plan, Rng rng)
-      : plan_(plan), rng_(std::move(rng)) {}
+  ChaosBox(const FaultPlan& plan, Rng rng, SimTime origin = SimTime::zero())
+      : plan_(plan), rng_(std::move(rng)), origin_(origin) {}
 
   std::string name() const override { return "chaosbox"; }
   void process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) override;
@@ -55,6 +60,7 @@ class ChaosBox final : public net::PathElement {
  private:
   const FaultPlan& plan_;
   Rng rng_;
+  SimTime origin_;
 };
 
 }  // namespace ys::faults

@@ -1,0 +1,77 @@
+#include "fleet/arrival.h"
+
+#include <cmath>
+
+namespace ys::fleet {
+
+std::vector<FlowSpec> build_flow_schedule(const FleetConfig& cfg,
+                                          const std::string& vantage_name) {
+  // Distinct salt: the schedule stream is independent of every trial seed,
+  // so adding fleet scheduling changes nothing about existing benches.
+  Rng rng(Rng::mix_seed({cfg.seed, 0xF1EE7ULL,
+                         Rng::hash_label(vantage_name)}));
+
+  // Heterogeneous client activity: weight in [0.1, 1.1) so every client
+  // participates but a few dominate, like real per-user traffic.
+  std::vector<double> client_weight(static_cast<std::size_t>(cfg.clients));
+  double client_total = 0.0;
+  for (double& w : client_weight) {
+    w = 0.1 + rng.uniform01();
+    client_total += w;
+  }
+
+  // Popularity-skewed server draw (Zipf-ish 1/(rank+1)): the cache's hot
+  // keys concentrate on a few servers, which is exactly the regime where
+  // sharing the store pays off.
+  std::vector<double> server_weight(static_cast<std::size_t>(cfg.servers));
+  double server_total = 0.0;
+  for (std::size_t j = 0; j < server_weight.size(); ++j) {
+    server_weight[j] = 1.0 / static_cast<double>(j + 1);
+    server_total += server_weight[j];
+  }
+
+  const auto weighted_pick = [&rng](const std::vector<double>& weights,
+                                    double total) {
+    double x = rng.uniform01() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x <= 0.0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size() - 1);
+  };
+
+  std::vector<FlowSpec> schedule;
+  schedule.reserve(static_cast<std::size_t>(cfg.flows));
+  std::vector<char> client_seen(static_cast<std::size_t>(cfg.clients), 0);
+  SimTime t = SimTime::zero();
+  for (int i = 0; i < cfg.flows; ++i) {
+    // Poisson arrivals: exponential inter-arrival times at the configured
+    // mean rate.
+    const double u = rng.uniform01();
+    const double gap_sec = -std::log(1.0 - u) / cfg.arrival_rate;
+    t = t + SimTime::from_us(static_cast<i64>(gap_sec * 1e6) + 1);
+
+    FlowSpec flow;
+    flow.index = i;
+    flow.at = t;
+    flow.client = weighted_pick(client_weight, client_total);
+    flow.server = weighted_pick(server_weight, server_total);
+    // Churn applies between consecutive flows of one client; a client's
+    // first flow is by definition a fresh session.
+    if (client_seen[static_cast<std::size_t>(flow.client)]) {
+      flow.fresh_session = cfg.churn > 0.0 && rng.chance(cfg.churn);
+    } else {
+      flow.fresh_session = true;
+      client_seen[static_cast<std::size_t>(flow.client)] = 1;
+    }
+    // Soak phase: the latest boundary at or before the arrival. Phases are
+    // sorted by `at` (parse_fleet_config guarantees it).
+    for (std::size_t p = 0; p < cfg.soak.size(); ++p) {
+      if (cfg.soak[p].at <= flow.at) flow.soak_phase = static_cast<int>(p);
+    }
+    schedule.push_back(flow);
+  }
+  return schedule;
+}
+
+}  // namespace ys::fleet

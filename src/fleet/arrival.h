@@ -1,0 +1,45 @@
+// Seeded arrival and session-churn processes for one vantage point's
+// client population.
+//
+// The whole schedule is a pure function of (fleet seed, vantage name):
+// every flow's client, target server, arrival instant, fresh-session flag,
+// and soak phase are fixed before the sweep starts. That is what lets the
+// runner execute a vantage's flows as one deterministic chain — and lets
+// `yourstate explain` rebuild the exact same schedule when replaying one
+// flow out of a hundred thousand.
+//
+// The generator draws from its own salted stream, so trial-level RNG is
+// untouched: a fleet-free run of the same seed makes exactly the draws it
+// made before this subsystem existed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/rng.h"
+#include "fleet/fleet_config.h"
+
+namespace ys::fleet {
+
+/// One scheduled flow of a vantage's population.
+struct FlowSpec {
+  int client = 0;
+  int server = 0;
+  int index = 0;  ///< position in the vantage's schedule (= trial coord)
+  SimTime at;     ///< arrival instant on the sweep's shared timeline
+  /// The client's process restarted since its previous flow: its private
+  /// LRU memory is gone (persistent store survives per the share mode).
+  bool fresh_session = false;
+  /// Index into FleetConfig::soak of the phase active at `at`; -1 = none.
+  int soak_phase = -1;
+};
+
+/// Build the complete flow schedule for one vantage point: `cfg.flows`
+/// entries, ordered by arrival time. Clients have heterogeneous activity
+/// weights and servers a popularity-skewed draw, so caches see realistic
+/// hot/cold key distributions rather than uniform traffic.
+std::vector<FlowSpec> build_flow_schedule(const FleetConfig& cfg,
+                                          const std::string& vantage_name);
+
+}  // namespace ys::fleet

@@ -1,0 +1,72 @@
+// Fleet run description: how many simulated INTANG clients per vantage
+// point, how their flows arrive, how sessions churn, how the strategy
+// cache is shared, and (optionally) a soak schedule that swaps fault plans
+// mid-sweep at virtual-time boundaries.
+//
+// Parsed from the CLI `--fleet=` value: either an inline ';'-separated
+// spec —
+//   clients=64;flows=400;servers=8;arrival=20;churn=0.05;share=shared;
+//   soak=0s:none,30s:rst-storm
+// — or "@file.json" with the same keys (where soak entries may carry full
+// inline fault-plan clauses, which the inline grammar cannot express
+// because ';' already separates fields).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+#include "faults/fault_plan.h"
+
+namespace ys::fleet {
+
+/// Who sees whose strategy measurements (§6's deployment shapes).
+enum class ShareMode : u8 {
+  kShared,     ///< one store per vantage, every client reads/writes it
+  kPerClient,  ///< each client keeps its own store across sessions
+  kCold,       ///< no persistence at all: every flow starts from scratch
+};
+
+const char* to_string(ShareMode mode);
+
+/// One soak-schedule phase: from virtual time `at` (on the sweep's shared
+/// timeline) the named fault plan applies to newly arriving flows.
+struct SoakPhase {
+  SimTime at;
+  std::string spec;       ///< "none", a shipped plan name, or inline clauses
+  faults::FaultPlan plan; ///< parsed; empty() for "none"
+};
+
+struct FleetConfig {
+  /// Simulated INTANG clients per vantage point.
+  int clients = 64;
+  /// Flows per vantage point over the whole sweep.
+  int flows = 400;
+  /// Target server population size.
+  int servers = 8;
+  /// Vantage points to simulate (0 = all inside-China vantages).
+  int vantages = 0;
+  /// Mean flow arrivals per virtual second per vantage (Poisson process).
+  double arrival_rate = 20.0;
+  /// Probability that a client's next flow starts a fresh session (the
+  /// process restarted: private LRU memory is lost, persistent store
+  /// survives per the share mode).
+  double churn = 0.05;
+  ShareMode share = ShareMode::kShared;
+  u64 seed = 2017;
+  /// Soak schedule, sorted by `at`. Empty = fault-free sweep.
+  std::vector<SoakPhase> soak;
+
+  /// One-line description for banners.
+  std::string summary() const;
+  /// Canonical spec string for resume-store signatures: every field that
+  /// changes what a slot means.
+  std::string signature() const;
+};
+
+/// Parse a `--fleet=` value (inline spec or @file.json). On failure
+/// returns a default config and sets `error`; on success clears `error`.
+FleetConfig parse_fleet_config(const std::string& spec, std::string& error);
+
+}  // namespace ys::fleet

@@ -19,7 +19,7 @@ Intang::Intang(tcp::Host& client, Config cfg, Rng rng,
       [this](const net::FourTuple& tuple) {
         const StrategySelector::Choice choice =
             selector_->choose_explained(tuple.dst_ip, client_.loop().now());
-        conns_[tuple] = ConnRecord{choice.id, false};
+        conns_[tuple] = ConnRecord{choice, false};
         if (obs::TraceRecorder* tr = client_.path().trace()) {
           tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
                    std::string("selector picked ") +
@@ -47,7 +47,14 @@ std::optional<strategy::StrategyId> Intang::strategy_for(
     const net::FourTuple& tuple) const {
   auto it = conns_.find(tuple);
   if (it == conns_.end()) return std::nullopt;
-  return it->second.id;
+  return it->second.choice.id;
+}
+
+std::optional<StrategySelector::Choice> Intang::choice_for(
+    const net::FourTuple& tuple) const {
+  auto it = conns_.find(tuple);
+  if (it == conns_.end()) return std::nullopt;
+  return it->second.choice;
 }
 
 tcp::Host::Verdict Intang::egress(net::Packet& pkt) {
@@ -67,12 +74,12 @@ tcp::Host::Verdict Intang::ingress(net::Packet& pkt) {
       if (pkt.tcp->flags.rst) {
         it->second.reported = true;
         ++failures_;
-        selector_->report(it->first.dst_ip, it->second.id, /*success=*/false,
+        selector_->report(it->first.dst_ip, it->second.choice.id, /*success=*/false,
                          client_.loop().now());
         if (obs::TraceRecorder* tr = client_.path().trace()) {
           tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
                    std::string("feedback: ") +
-                       strategy::to_string(it->second.id) + " failed against " +
+                       strategy::to_string(it->second.choice.id) + " failed against " +
                        net::ip_to_string(it->first.dst_ip) + " (RST seen)",
                    tr->event_for_packet(pkt.trace_id));
         }
@@ -86,12 +93,12 @@ tcp::Host::Verdict Intang::ingress(net::Packet& pkt) {
         it->second.reported = true;
         ++successes_;
         consecutive_failures_[it->first.dst_ip] = 0;
-        selector_->report(it->first.dst_ip, it->second.id, /*success=*/true,
+        selector_->report(it->first.dst_ip, it->second.choice.id, /*success=*/true,
                          client_.loop().now());
         if (obs::TraceRecorder* tr = client_.path().trace()) {
           tr->note(client_.loop().now(), "intang", obs::TraceKind::kDecision,
                    std::string("feedback: ") +
-                       strategy::to_string(it->second.id) +
+                       strategy::to_string(it->second.choice.id) +
                        " succeeded against " +
                        net::ip_to_string(it->first.dst_ip) +
                        " (server payload seen)",

@@ -47,6 +47,13 @@ class Intang {
   std::optional<strategy::StrategyId> strategy_for(
       const net::FourTuple& tuple) const;
 
+  /// The full selector decision for a connection, including where it came
+  /// from (cache hit, store hit, cold pick, ...). Fleet sweeps use the
+  /// provenance to attribute a flow's strategy to the cache entry that
+  /// supplied it.
+  std::optional<StrategySelector::Choice> choice_for(
+      const net::FourTuple& tuple) const;
+
   int successes_reported() const { return successes_; }
   int failures_reported() const { return failures_; }
 
@@ -60,7 +67,7 @@ class Intang {
   tcp::Host::Verdict ingress(net::Packet& pkt);
 
   struct ConnRecord {
-    strategy::StrategyId id;
+    StrategySelector::Choice choice;
     bool reported = false;
   };
 

@@ -1,5 +1,6 @@
 #include "intang/kv_store.h"
 
+#include <algorithm>
 #include <charconv>
 
 #include "obs/metrics.h"
@@ -98,6 +99,22 @@ std::size_t KvStore::size(SimTime now) {
     it = expired(it->second, now) ? map_.erase(it) : std::next(it);
   }
   return map_.size();
+}
+
+std::vector<std::pair<std::string, std::string>> KvStore::items(SimTime now) {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(map_.size());
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (expired(it->second, now)) {
+      metrics().expired_reaped.inc();
+      it = map_.erase(it);
+    } else {
+      out.emplace_back(it->first, it->second.value);
+      ++it;
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace ys::intang

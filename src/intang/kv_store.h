@@ -4,9 +4,12 @@
 // key expiration, and atomic counters.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/clock.h"
 #include "core/types.h"
@@ -37,6 +40,11 @@ class KvStore {
   /// Number of live keys (sweeps expired entries).
   std::size_t size(SimTime now);
 
+  /// All live (key, value) pairs, sorted by key — a deterministic snapshot
+  /// regardless of hash-map iteration order, so fleet convergence goldens
+  /// and store digests are stable across platforms. Sweeps expired entries.
+  std::vector<std::pair<std::string, std::string>> items(SimTime now);
+
  private:
   struct Entry {
     std::string value;
@@ -49,6 +57,52 @@ class KvStore {
   }
 
   std::unordered_map<std::string, Entry> map_;
+};
+
+/// Mutex-guarded KvStore: one instance is the per-vantage shared strategy
+/// cache of a simulated INTANG deployment (§6's Redis stands behind every
+/// client on the box). Same API, every call atomic; snapshot() gives the
+/// sorted snapshot-consistent view the fleet convergence report reads. In
+/// the deterministic runner each vantage chain runs on one worker, so the
+/// lock is uncontended there — it exists so stress tests and future
+/// cross-vantage topologies can share a store across threads safely.
+class SharedKvStore {
+ public:
+  void set(const std::string& key, std::string value, SimTime now,
+           SimTime ttl = SimTime::zero()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    store_.set(key, std::move(value), now, ttl);
+  }
+  std::optional<std::string> get(const std::string& key, SimTime now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.get(key, now);
+  }
+  i64 incr(const std::string& key, SimTime now, i64 delta = 1,
+           SimTime ttl = SimTime::zero()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.incr(key, now, delta, ttl);
+  }
+  bool erase(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.erase(key);
+  }
+  std::optional<SimTime> ttl_remaining(const std::string& key, SimTime now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.ttl_remaining(key, now);
+  }
+  std::size_t size(SimTime now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.size(now);
+  }
+  /// Sorted, snapshot-consistent view of every live entry.
+  std::vector<std::pair<std::string, std::string>> snapshot(SimTime now) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return store_.items(now);
+  }
+
+ private:
+  std::mutex mu_;
+  KvStore store_;
 };
 
 }  // namespace ys::intang

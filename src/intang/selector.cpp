@@ -60,15 +60,46 @@ std::string StrategySelector::cool_key(net::IpAddr server,
   return "cool:" + ip_key(server) + ":" + std::to_string(static_cast<int>(id));
 }
 
+std::optional<std::string> StrategySelector::kv_get(const std::string& key,
+                                                    SimTime now) {
+  return backing_ != nullptr ? backing_->get(key, now) : store_.get(key, now);
+}
+
+void StrategySelector::kv_set(const std::string& key, std::string value,
+                              SimTime now, SimTime ttl) {
+  if (backing_ != nullptr) {
+    backing_->set(key, std::move(value), now, ttl);
+  } else {
+    store_.set(key, std::move(value), now, ttl);
+  }
+}
+
+void StrategySelector::kv_incr(const std::string& key, SimTime now, i64 delta,
+                               SimTime ttl) {
+  if (backing_ != nullptr) {
+    backing_->incr(key, now, delta, ttl);
+  } else {
+    store_.incr(key, now, delta, ttl);
+  }
+}
+
+void StrategySelector::kv_erase(const std::string& key) {
+  if (backing_ != nullptr) {
+    backing_->erase(key);
+  } else {
+    store_.erase(key);
+  }
+}
+
 bool StrategySelector::cooling(net::IpAddr server, strategy::StrategyId id,
                                SimTime now) {
   return cfg_.failure_backoff > SimTime::zero() &&
-         store_.get(cool_key(server, id), now).has_value();
+         kv_get(cool_key(server, id), now).has_value();
 }
 
 i64 StrategySelector::consecutive_failures(net::IpAddr server, SimTime now) {
   i64 n = 0;
-  if (auto v = store_.get(fail_key(server), now)) {
+  if (auto v = kv_get(fail_key(server), now)) {
     std::from_chars(v->data(), v->data() + v->size(), n);
   }
   return n;
@@ -98,7 +129,7 @@ StrategySelector::Choice StrategySelector::choose_explained(net::IpAddr server,
     skipped_cooling = true;
   }
   // Store path: a persisted known-good record.
-  if (auto good = store_.get(good_key(server), now)) {
+  if (auto good = kv_get(good_key(server), now)) {
     int id = 0;
     std::from_chars(good->data(), good->data() + good->size(), id);
     const auto sid = static_cast<strategy::StrategyId>(id);
@@ -168,32 +199,32 @@ void StrategySelector::report(net::IpAddr server, strategy::StrategyId id,
     // path works (strategies are not needed), a failure means the path is
     // censored and safe mode cannot help — re-arm the ladder, whose
     // cool-offs steer it away from the rungs that just failed.
-    store_.erase(fail_key(server));
+    kv_erase(fail_key(server));
     return;
   }
-  store_.incr(tally_key(server, id, success), now, 1, cfg_.tally_ttl);
+  kv_incr(tally_key(server, id, success), now, 1, cfg_.tally_ttl);
   if (success) {
-    store_.erase(fail_key(server));
-    store_.set(good_key(server), std::to_string(static_cast<int>(id)), now,
-               cfg_.record_ttl);
+    kv_erase(fail_key(server));
+    kv_set(good_key(server), std::to_string(static_cast<int>(id)), now,
+           cfg_.record_ttl);
     cache_.put(server, id);
   } else {
     // Consecutive-failure probation (TTL refreshes with each failure) and
     // a per-(server, strategy) cool-off for the failover ladder.
-    store_.incr(fail_key(server), now, 1, cfg_.safe_mode_ttl);
+    kv_incr(fail_key(server), now, 1, cfg_.safe_mode_ttl);
     if (cfg_.failure_backoff > SimTime::zero()) {
-      store_.set(cool_key(server, id), "1", now, cfg_.failure_backoff);
+      kv_set(cool_key(server, id), "1", now, cfg_.failure_backoff);
     }
     // A failed known-good record must not keep winning the fast path —
     // but only the record for *this* strategy is invalidated.
     if (auto cached = cache_.get(server); cached && *cached == id) {
       cache_.erase(server);
     }
-    if (auto good = store_.get(good_key(server), now)) {
+    if (auto good = kv_get(good_key(server), now)) {
       int gid = 0;
       std::from_chars(good->data(), good->data() + good->size(), gid);
       if (static_cast<strategy::StrategyId>(gid) == id) {
-        store_.erase(good_key(server));
+        kv_erase(good_key(server));
       }
     }
   }
@@ -204,10 +235,10 @@ std::pair<i64, i64> StrategySelector::tallies(net::IpAddr server,
                                               SimTime now) {
   i64 ok = 0;
   i64 bad = 0;
-  if (auto v = store_.get(tally_key(server, id, true), now)) {
+  if (auto v = kv_get(tally_key(server, id, true), now)) {
     std::from_chars(v->data(), v->data() + v->size(), ok);
   }
-  if (auto v = store_.get(tally_key(server, id, false), now)) {
+  if (auto v = kv_get(tally_key(server, id, false), now)) {
     std::from_chars(v->data(), v->data() + v->size(), bad);
   }
   return {ok, bad};

@@ -42,6 +42,21 @@ class StrategySelector {
   explicit StrategySelector(Config cfg)
       : cfg_(std::move(cfg)), cache_(cfg_.lru_capacity) {}
 
+  /// Selector bound to a shared backing store: many clients on one vantage
+  /// point consult the same per-server records (§6's deployment shape —
+  /// one Redis per box, many INTANG processes). The LRU front cache stays
+  /// private to this selector, modeling per-process memory. `backing` must
+  /// outlive the selector.
+  StrategySelector(Config cfg, SharedKvStore* backing)
+      : cfg_(std::move(cfg)), backing_(backing), cache_(cfg_.lru_capacity) {}
+
+  /// Drop the private LRU front cache (session churn: a restarted client
+  /// loses its process memory but keeps the persistent store).
+  void forget_cache() { cache_.clear(); }
+
+  /// The shared store this selector consults, or nullptr when private.
+  SharedKvStore* backing() const { return backing_; }
+
   /// One pick with provenance: where the decision came from (§6's
   /// measurement-driven loop exposed for tracing and `yourstate explain`).
   struct Choice {
@@ -86,7 +101,16 @@ class StrategySelector {
   std::string cool_key(net::IpAddr server, strategy::StrategyId id) const;
   bool cooling(net::IpAddr server, strategy::StrategyId id, SimTime now);
 
+  // Every record access routes through these, hitting either the private
+  // store_ or the shared backing_ — selection logic stays store-agnostic.
+  std::optional<std::string> kv_get(const std::string& key, SimTime now);
+  void kv_set(const std::string& key, std::string value, SimTime now,
+              SimTime ttl);
+  void kv_incr(const std::string& key, SimTime now, i64 delta, SimTime ttl);
+  void kv_erase(const std::string& key);
+
   Config cfg_;
+  SharedKvStore* backing_ = nullptr;
   KvStore store_;
   /// Front cache: server → last known good strategy.
   LruCache<net::IpAddr, strategy::StrategyId> cache_;

@@ -37,6 +37,13 @@ class EventLoop {
   SimTime now() const { return clock_.now(); }
   const VirtualClock& clock() const { return clock_; }
 
+  /// Move the clock to `t` before any event runs. Fleet sweeps use this to
+  /// multiplex many flows over one shared virtual timeline: each flow's
+  /// scenario starts at its arrival time, so TTL-bearing state (selector
+  /// records, block periods) ages consistently across the whole sweep.
+  /// Monotonic like everything else on the clock; a no-op for t <= now().
+  void start_at(SimTime t) { clock_.advance_to(t); }
+
   void schedule_at(SimTime when, Action action) {
     queue_.push(Event{when, next_seq_++, std::move(action)});
     metrics().queue_depth_hwm.max_of(static_cast<double>(queue_.size()));

@@ -9,6 +9,7 @@
 
 #include "core/log.h"
 #include "exp/benchdef.h"
+#include "exp/prober.h"
 #include "exp/scenario.h"
 #include "exp/stats.h"
 #include "exp/trial.h"
@@ -434,6 +435,99 @@ TEST(FaultSelector, SafeModeProbationDecays) {
 }
 
 // ----------------------------------------------------- grid determinism --
+
+// ------------------------------------------------- workload degradation --
+
+// Satellite contract for --faults= on the prober workload: under an
+// active plan the majority-voted battery still recovers the path's ground
+// truth, and the vote is deterministic (same options → same findings).
+TEST(Faults, ProberMajorityVoteSurvivesFaultPlan) {
+  std::string error;
+  static const faults::FaultPlan plan =
+      faults::parse_fault_plan("dup-corrupt", error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  const Calibration cal = Calibration::standard();
+  const auto servers = make_server_population(3, 2017, cal, true);
+
+  ScenarioOptions opt;
+  opt.vp = china_vantage_points()[0];
+  opt.server = servers[0];
+  opt.cal = cal;
+  opt.cal.ttl_estimate_error_prob = 0.0;
+  opt.seed = 2017;
+  opt.faults = &plan;
+
+  Scenario ground_truth(&rules, opt);
+  const bool truth_evolved = !ground_truth.path_runs_old_model();
+
+  const GfwFindings voted = probe_gfw(&rules, opt, 5);
+  EXPECT_TRUE(voted.responsive);
+  EXPECT_EQ(voted.evolved_model(), truth_evolved);
+
+  const GfwFindings again = probe_gfw(&rules, opt, 5);
+  EXPECT_EQ(voted.responsive, again.responsive);
+  EXPECT_EQ(voted.creates_tcb_on_synack, again.creates_tcb_on_synack);
+  EXPECT_EQ(voted.resyncs_on_second_syn, again.resyncs_on_second_syn);
+  EXPECT_EQ(voted.rst_resyncs_after_handshake,
+            again.rst_resyncs_after_handshake);
+  EXPECT_EQ(voted.fin_ignored, again.fin_ignored);
+  EXPECT_EQ(voted.accepts_no_flag_data, again.accepts_no_flag_data);
+}
+
+// Tor under a plan: single-byte corruption must degrade the bridge
+// fingerprint check to Failure 1 (lenient matcher) instead of flipping a
+// working path to "blocked" — on an unfiltered path, INTANG connections
+// keep succeeding at least as often as fault-free failures would allow,
+// and the whole thing stays deterministic.
+TEST(Faults, TorDegradesGracefullyUnderPlan) {
+  std::string error;
+  static const faults::FaultPlan plan =
+      faults::parse_fault_plan("dup-corrupt", error);
+  ASSERT_TRUE(error.empty()) << error;
+
+  const VantagePoint* unfiltered = nullptr;
+  for (const auto& vp : china_vantage_points()) {
+    if (vp.tor_unfiltered_path) unfiltered = &vp;
+  }
+  ASSERT_NE(unfiltered, nullptr);
+
+  const gfw::DetectionRules rules = gfw::DetectionRules::standard();
+  ServerSpec bridge;
+  bridge.host = "ec2-hidden-bridge";
+  bridge.ip = net::make_ip(54, 210, 7, 91);
+  bridge.version = tcp::LinuxVersion::k4_4;
+
+  auto session = [&](bool with_faults) {
+    intang::StrategySelector selector{intang::StrategySelector::Config{}};
+    int successes = 0;
+    for (int t = 0; t < 6; ++t) {
+      ScenarioOptions opt;
+      opt.vp = *unfiltered;
+      opt.server = bridge;
+      opt.cal = Calibration::standard();
+      opt.seed = Rng::mix_seed({2017u, static_cast<u64>(t)});
+      if (with_faults) opt.faults = &plan;
+      Scenario sc(&rules, opt);
+      TorTrialOptions tor;
+      tor.use_intang = true;
+      tor.shared_selector = &selector;
+      const TorTrialResult r = run_tor_trial(sc, tor);
+      // Degradation contract: a fault never invents censorship.
+      EXPECT_NE(r.outcome, Outcome::kFailure2);
+      EXPECT_FALSE(r.bridge_ip_blocked);
+      if (r.outcome == Outcome::kSuccess) ++successes;
+    }
+    return successes;
+  };
+
+  const int clean = session(false);
+  EXPECT_EQ(clean, 6);  // the unfiltered path reproduces §7.3 fault-free
+  const int faulted = session(true);
+  EXPECT_GT(faulted, 0);                     // degraded, not dead
+  EXPECT_EQ(faulted, session(true));         // and deterministic
+}
 
 TEST(Faults, GridDeterministicAcrossJobs) {
   BenchScale scale;

@@ -6,6 +6,8 @@
 //   yourstate dns    [options]            one censored DNS lookup
 //   yourstate tor    [options]            one Tor bridge connection
 //   yourstate stats  [options]            simulated session + metrics dump
+//   yourstate fleet  [options]            multi-client deployment sweep:
+//                                         convergence + cache-sharing report
 //   yourstate explain [options]           replay one bench grid coordinate
 //                                         traced: annotated ladder + verdict
 //                                         attribution
@@ -29,21 +31,30 @@
 //   --faults=SPEC        run under a deterministic fault plan: a shipped
 //                        plan name, inline clauses ("loss:at=50ms,dur=2s,
 //                        p=0.25"), or @plan.json — see EXPERIMENTS.md
+//   --fleet=SPEC         fleet run description for `fleet` and
+//                        `explain --bench=fleet`: inline spec ("clients=64;
+//                        flows=400;...") or @file.json — see EXPERIMENTS.md
 //
 // `explain` options (grid coordinates; --server is the server INDEX here):
-//   --bench=NAME         table4-inside | table4-intang | faults
+//   --bench=NAME         table1 | table4-inside | table4-intang |
+//                        table6-dns | faults | fleet
 //   --cell=N --vantage=N --server=N --trial=N   the coordinate
 //   --trials=N --servers=N --seed=S --faults=SPEC  the bench scale (must
 //                        match the run being explained for identical
-//                        replay; for `faults`, cell = plan*2 + intang)
+//                        replay; for `faults`, cell = plan*2 + intang; for
+//                        table1, cell = row*2 + (keyword ? 0 : 1); for
+//                        table6-dns, cell = resolver; for fleet, pass the
+//                        run's --fleet= and the (vantage, trial) flow)
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "exp/benchdef.h"
+#include "fleet/fleet.h"
 #include "exp/explain.h"
 #include "exp/prober.h"
 #include "exp/scenario.h"
@@ -87,6 +98,7 @@ struct CliOptions {
   std::string metrics_out;
   std::string domain = "www.dropbox.com";
   std::string faults;  // fault plan spec; empty = fault-free
+  std::string fleet;   // fleet run spec; empty = FleetConfig defaults
 };
 
 /// Parse --faults once into storage that outlives every scenario built
@@ -178,15 +190,17 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: yourstate <list|trial|probe|dns|tor|stats|explain> "
-               "[--vp=NAME] "
+               "usage: yourstate <list|trial|probe|dns|tor|stats|fleet|"
+               "explain> [--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
                "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
                "[--trace-out=FILE] [--pcap=FILE] [--domain=NAME] "
                "[--metrics[=json|table]] [--metrics-out=FILE]\n"
+               "       yourstate fleet [--fleet=SPEC|@file.json] [--seed=S] "
+               "[--jobs=N]\n"
                "       yourstate explain --bench=NAME --cell=N --vantage=N "
                "--server=N --trial=N [--trials=N] [--servers=N] [--seed=S] "
-               "[--trace-out=FILE] [--pcap=FILE]\n");
+               "[--fleet=SPEC] [--trace-out=FILE] [--pcap=FILE]\n");
   return 2;
 }
 
@@ -366,6 +380,49 @@ int cmd_tor(const CliOptions& cli, const VantagePoint& vp) {
   return result.outcome == Outcome::kSuccess ? 0 : 1;
 }
 
+/// Run a full multi-client fleet sweep (src/fleet/) from --fleet= and
+/// print the convergence report. Same grid + chain-state shape as
+/// bench_fleet's sweep, minus the results store (use bench_fleet
+/// --resume-dir= for resumable runs).
+int cmd_fleet(const CliOptions& cli) {
+  std::string error;
+  fleet::FleetConfig cfg = fleet::parse_fleet_config(cli.fleet, error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "--fleet: %s\n", error.c_str());
+    return 2;
+  }
+  if (cli.seed != 1) cfg.seed = cli.seed;
+  if (!cli.faults.empty()) {
+    std::fprintf(stderr,
+                 "fleet runs take fault plans via the soak schedule "
+                 "(--fleet=\"...;soak=0s:%s\"), not --faults\n",
+                 cli.faults.c_str());
+    return 2;
+  }
+
+  const fleet::Fleet fl(cfg);
+  const runner::TrialGrid grid = fl.grid();
+  std::printf("fleet: %s\n\n", cfg.summary().c_str());
+
+  std::vector<std::unique_ptr<fleet::Fleet::VantageState>> states;
+  states.reserve(grid.chains());
+  for (std::size_t ch = 0; ch < grid.chains(); ++ch) {
+    states.push_back(fl.make_vantage_state(ch));
+  }
+  runner::PoolOptions pool;
+  pool.jobs = cli.jobs;
+  auto out = runner::collect_grid_or(
+      grid, pool, static_cast<i64>(-1),
+      [&](const runner::GridCoord& c, runner::TaskContext&) {
+        return fl.run_flow(c, *states[grid.chain(c)]).encode();
+      });
+  out.report.publish(obs::MetricsRegistry::global());
+
+  std::printf("%s", fl.analyze(out.slots).render().c_str());
+  std::printf("\n%s\n", out.report.to_string().c_str());
+  return 0;
+}
+
 /// Replay one bench grid coordinate traced and attribute its verdict.
 int cmd_explain(const CliOptions& cli) {
   bool known = false;
@@ -413,6 +470,73 @@ int cmd_explain(const CliOptions& cli) {
     server_host = bench.server_population()[coord.server].host;
     extra = " plan=" + bench.plans()[bench.plan_of(coord.cell)].name +
             (bench.intang_cell(coord.cell) ? " [intang]" : " [baseline]");
+  } else if (cli.bench == "table1") {
+    const Table1Bench bench(scale);
+    const runner::TrialGrid grid = bench.grid();
+    if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+        coord.server >= grid.servers || coord.trial >= grid.trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is cells=%zu vantages=%zu "
+                   "servers=%zu trials=%zu\n",
+                   grid.cells, grid.vantages, grid.servers, grid.trials);
+      return 2;
+    }
+    replay = bench.replay(coord, cli.trace_out, cli.pcap);
+    vantage_name = bench.vantage_points()[coord.vantage].name;
+    server_host = bench.server_population()[coord.server].host;
+    extra = std::string(" row=") +
+            Table1Bench::rows()[bench.row_of(coord.cell)].label +
+            (bench.keyword_cell(coord.cell) ? " [keyword]" : " [no keyword]");
+  } else if (cli.bench == "table6-dns") {
+    const Table6Dns bench(scale);
+    const runner::TrialGrid grid = bench.grid();
+    if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+        coord.server >= grid.servers || coord.trial >= grid.trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is cells=%zu vantages=%zu "
+                   "servers=%zu trials=%zu (cell = resolver)\n",
+                   grid.cells, grid.vantages, grid.servers, grid.trials);
+      return 2;
+    }
+    replay = bench.replay(coord, cli.trace_out, cli.pcap);
+    vantage_name = bench.vantage_points()[coord.vantage].name;
+    const Table6Dns::Resolver& res = Table6Dns::resolvers()[coord.cell];
+    server_host = bench.resolver_specs()[coord.cell].host;
+    extra = std::string(" resolver=") + res.label +
+            (res.censored ? " [censored path]" : " [uncensored path]");
+  } else if (cli.bench == "fleet") {
+    std::string error;
+    fleet::FleetConfig fcfg = fleet::parse_fleet_config(cli.fleet, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "--fleet: %s\n", error.c_str());
+      return 2;
+    }
+    if (cli.seed != 1) fcfg.seed = cli.seed;
+    scale.seed = fcfg.seed;  // header shows the seed the flow actually used
+    const fleet::Fleet bench(fcfg);
+    const runner::TrialGrid grid = bench.grid();
+    if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
+        coord.server >= grid.servers || coord.trial >= grid.trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is cells=%zu vantages=%zu "
+                   "servers=%zu trials=%zu (trial = flow index; pass the "
+                   "run's --fleet= spec)\n",
+                   grid.cells, grid.vantages, grid.servers, grid.trials);
+      return 2;
+    }
+    replay = bench.replay_flow(coord, cli.trace_out, cli.pcap);
+    vantage_name = bench.vantage_points()[coord.vantage].name;
+    // The grid's server axis is 1; the schedule carries the real target.
+    const auto schedule = fleet::build_flow_schedule(fcfg, vantage_name);
+    const fleet::FlowSpec& flow = schedule[coord.trial];
+    server_host = bench.server_population()[flow.server].host;
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " client=%d arrival=%lldms%s soak_phase=%d", flow.client,
+                  static_cast<long long>(flow.at.us / 1000),
+                  flow.fresh_session ? " [fresh session]" : "",
+                  flow.soak_phase);
+    extra = buf;
   } else {
     const Table4Inside bench(scale);
     const bool intang = cli.bench == "table4-intang";
@@ -547,6 +671,8 @@ int run(int argc, char** argv) {
       cli.domain = *v;
     } else if (auto v = value("--faults")) {
       cli.faults = *v;
+    } else if (auto v = value("--fleet")) {
+      cli.fleet = *v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
@@ -554,6 +680,12 @@ int run(int argc, char** argv) {
   }
 
   if (cli.command == "list") return cmd_list();
+  if (cli.command == "fleet") {
+    const int rc = cmd_fleet(cli);
+    if (cli.dump_metrics) print_metrics(cli);
+    write_metrics_out(cli);
+    return rc;
+  }
   if (cli.command == "explain") {
     const int rc = cmd_explain(cli);
     if (cli.dump_metrics) print_metrics(cli);
