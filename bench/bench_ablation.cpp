@@ -42,7 +42,7 @@ constexpr StrategyRow kStrategies[] = {
 };
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "ablation");
   const int trials = cfg.trials > 0 ? cfg.trials : 30;
 
   print_banner("Section 8 ablation: hypothetical GFW countermeasures",

@@ -23,6 +23,22 @@
 //   --resume-dir=D    persist per-slot results under D; a rerun with the
 //                     same parameters skips completed chains and matches
 //                     the uninterrupted run exactly
+//   --report=F        write a versioned BenchReport (obs/perf.h) to F as
+//                     JSON at exit: environment fingerprint, wall time,
+//                     throughput, per-trial allocation churn, per-phase
+//                     timings, and the merged metrics snapshot. Feed pairs
+//                     of reports to `yourstate perf --diff` for regression
+//                     tables and CI gates. Enables the allocator hook
+//                     (perf.alloc.* counters) for the run.
+//   --heartbeat=S     print a live progress line to stderr every S seconds
+//                     (tasks done, rate, ETA, bench-specific extras).
+//                     Monitoring only — results and merged metrics stay
+//                     bit-identical; the stderr stream itself is
+//                     wall-clock-driven and outside the determinism
+//                     contract.
+//   --phase-trace=F   write the aggregated phase profile as a Chrome
+//                     trace-event JSON (chrome://tracing / Perfetto) to F
+//                     at exit.
 #pragma once
 
 #include <cstdio>
@@ -37,6 +53,8 @@
 #include "exp/trial.h"
 #include "exp/vantage.h"
 #include "obs/export.h"
+#include "obs/perf.h"
+#include "obs/phase_profiler.h"
 #include "runner/runner.h"
 
 namespace ys::bench {
@@ -50,11 +68,125 @@ struct RunConfig {
   std::string flight_dir;  // empty = flight recorder off
   std::string faults;      // fault plan spec; empty = fault-free
   std::string resume_dir;  // empty = no persistent results store
+  std::string report;      // BenchReport JSON path; empty = no report
+  double heartbeat = 0.0;  // stderr heartbeat interval; 0 = off
+  std::string phase_trace;  // Chrome trace JSON path; empty = off
 };
+
+// ------------------------------------------------------------ bench report
+//
+// The report rides the same atexit pattern as --metrics-out: parse_args
+// seeds a pending report (environment fingerprint + config), the bench
+// accumulates wall time / trial counts into it via report_note_run() (done
+// automatically by print_runner_report) and names result metrics via
+// report_add_metric(), and the atexit hook finalizes throughput +
+// allocation-churn metrics, phase totals, and the merged snapshot, then
+// writes the file. Everything is a no-op when --report was not given.
+
+struct PendingReport {
+  obs::perf::BenchReport report;
+  std::string path;
+  bool enabled = false;
+  double wall_seconds = 0.0;  // accumulated across runs (smoke = several)
+  u64 trials = 0;
+};
+
+inline PendingReport& pending_report() {
+  static PendingReport pending;
+  return pending;
+}
+
+inline bool report_enabled() { return pending_report().enabled; }
+
+/// Fold one runner run into the pending report (wall time + trial count).
+inline void report_note_run(const runner::RunnerReport& report) {
+  PendingReport& p = pending_report();
+  if (!p.enabled) return;
+  p.wall_seconds += report.wall_seconds;
+  p.trials += report.trials_executed;
+}
+
+/// Name a bench-specific result metric (success rate, flows/s, speedup...).
+inline void report_add_metric(const std::string& name, double value,
+                              const std::string& unit,
+                              obs::perf::Direction direction) {
+  PendingReport& p = pending_report();
+  if (!p.enabled) return;
+  p.report.metrics[name] = obs::perf::MetricValue{value, unit, direction};
+}
+
+/// Finalize and write the pending report (atexit: all worker registries
+/// have been merged into the global one by now).
+inline void write_bench_report() {
+  PendingReport& p = pending_report();
+  if (!p.enabled) return;
+  obs::perf::BenchReport& r = p.report;
+  r.wall_seconds = p.wall_seconds;
+  r.snapshot = obs::MetricsRegistry::global().snapshot();
+
+  using obs::perf::Direction;
+  r.metrics["wall_seconds"] =
+      obs::perf::MetricValue{p.wall_seconds, "s", Direction::kInfo};
+  if (p.trials > 0) {
+    r.config["trials_executed"] = static_cast<double>(p.trials);
+    if (p.wall_seconds > 0.0 && r.metrics.count("trials_per_sec") == 0) {
+      r.metrics["trials_per_sec"] = obs::perf::MetricValue{
+          static_cast<double>(p.trials) / p.wall_seconds, "trials/s",
+          Direction::kHigherIsBetter};
+    }
+    // Allocation churn per trial, from the counting-allocator hook the
+    // runner sampled around every task (PoolOptions::track_allocs).
+    const auto count_it = r.snapshot.counters.find("perf.alloc.count");
+    const auto bytes_it = r.snapshot.counters.find("perf.alloc.bytes");
+    if (count_it != r.snapshot.counters.end() && count_it->second > 0 &&
+        r.metrics.count("allocs_per_trial") == 0) {
+      r.metrics["allocs_per_trial"] = obs::perf::MetricValue{
+          static_cast<double>(count_it->second) / static_cast<double>(p.trials),
+          "allocs", Direction::kLowerIsBetter};
+    }
+    if (bytes_it != r.snapshot.counters.end() && bytes_it->second > 0 &&
+        r.metrics.count("bytes_per_trial") == 0) {
+      r.metrics["bytes_per_trial"] = obs::perf::MetricValue{
+          static_cast<double>(bytes_it->second) / static_cast<double>(p.trials),
+          "B", Direction::kLowerIsBetter};
+    }
+  }
+
+  for (const auto& [name, agg] : obs::perf::PhaseProfiler::snapshot()) {
+    obs::perf::PhaseTotal total;
+    total.name = name;
+    total.count = agg.count;
+    total.wall_us = static_cast<double>(agg.wall_ns) / 1e3;
+    r.phases.push_back(total);
+  }
+
+  if (!r.write(p.path)) {
+    std::fprintf(stderr, "cannot write --report file %s\n", p.path.c_str());
+  }
+}
+
+/// atexit hook for --phase-trace.
+inline std::string& phase_trace_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_phase_trace_out() {
+  const std::string& path = phase_trace_path();
+  if (path.empty()) return;
+  if (!obs::perf::write_phase_trace(path)) {
+    std::fprintf(stderr, "cannot write --phase-trace file %s\n", path.c_str());
+  }
+}
 
 inline runner::PoolOptions pool_options(const RunConfig& cfg) {
   runner::PoolOptions opt;
   opt.jobs = cfg.jobs;
+  opt.heartbeat_seconds = cfg.heartbeat;
+  // A report wants per-trial allocation churn; digests that must stay
+  // jobs-invariant exclude perf.alloc.* (see the bench determinism
+  // checks).
+  opt.track_allocs = report_enabled();
   return opt;
 }
 
@@ -87,7 +219,8 @@ inline void write_metrics_out() {
   std::fclose(f);
 }
 
-inline RunConfig parse_args(int argc, char** argv) {
+inline RunConfig parse_args(int argc, char** argv,
+                            const char* bench_name = "bench") {
   RunConfig cfg;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trials=", 9) == 0) {
@@ -106,11 +239,18 @@ inline RunConfig parse_args(int argc, char** argv) {
       cfg.faults = argv[i] + 9;
     } else if (std::strncmp(argv[i], "--resume-dir=", 13) == 0) {
       cfg.resume_dir = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      cfg.report = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--heartbeat=", 12) == 0) {
+      cfg.heartbeat = std::atof(argv[i] + 12);
+    } else if (std::strncmp(argv[i], "--phase-trace=", 14) == 0) {
+      cfg.phase_trace = argv[i] + 14;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials=N] [--servers=N] [--seed=S]"
                    " [--jobs=N] [--metrics-out=FILE] [--flight-dir=DIR]"
-                   " [--faults=SPEC] [--resume-dir=DIR]\n",
+                   " [--faults=SPEC] [--resume-dir=DIR] [--report=FILE]"
+                   " [--heartbeat=SECONDS] [--phase-trace=FILE]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -118,6 +258,21 @@ inline RunConfig parse_args(int argc, char** argv) {
   if (!cfg.metrics_out.empty()) {
     metrics_out_path() = cfg.metrics_out;
     std::atexit(write_metrics_out);
+  }
+  if (!cfg.report.empty()) {
+    PendingReport& p = pending_report();
+    p.report = obs::perf::make_report(bench_name);
+    p.report.config["trials"] = cfg.trials;
+    p.report.config["servers"] = cfg.servers;
+    p.report.config["seed"] = static_cast<double>(cfg.seed);
+    p.report.config["jobs"] = cfg.jobs;
+    p.path = cfg.report;
+    p.enabled = true;
+    std::atexit(write_bench_report);
+  }
+  if (!cfg.phase_trace.empty()) {
+    phase_trace_path() = cfg.phase_trace;
+    std::atexit(write_phase_trace_out);
   }
   return cfg;
 }
@@ -154,6 +309,7 @@ inline void print_vtime_profile() {
 /// pre-runner era.
 inline void print_runner_report(const runner::RunnerReport& report) {
   report.publish(obs::MetricsRegistry::global());
+  report_note_run(report);
   if (report.jobs == 1) return;
   std::printf("\n%s", report.to_string().c_str());
   print_vtime_profile();

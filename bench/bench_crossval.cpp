@@ -112,7 +112,7 @@ std::string react(tcp::LinuxVersion version, const char* candidate) {
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "crossval");
   print_banner("Section 5.3: ignore-path cross-validation across Linux stacks",
                "Wang et al., IMC'17, section 5.3");
 

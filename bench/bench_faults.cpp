@@ -141,7 +141,8 @@ int run(int argc, char** argv) {
     }
   }
   RunConfig cfg =
-      parse_args(static_cast<int>(passthrough.size()), passthrough.data());
+      parse_args(static_cast<int>(passthrough.size()), passthrough.data(),
+                 "faults");
 
   BenchScale scale;
   // The smoke grid must keep enough trials per chain for the failover

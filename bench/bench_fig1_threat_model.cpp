@@ -12,7 +12,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "fig1");
   print_banner("Figure 1: threat model topology and a censored exchange",
                "Wang et al., IMC'17, Figure 1");
 

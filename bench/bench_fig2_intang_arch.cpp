@@ -12,7 +12,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "fig2");
   print_banner("Figure 2: INTANG components in action",
                "Wang et al., IMC'17, Figure 2 / section 6");
 

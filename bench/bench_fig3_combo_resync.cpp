@@ -14,7 +14,7 @@ using namespace ys::exp;
 
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "fig3");
   print_banner("Figure 3: combined strategy TCB Creation + Resync/Desync",
                "Wang et al., IMC'17, Figure 3");
 

@@ -60,7 +60,7 @@ LegData run_one(u64 seed, bool old_model, const gfw::DetectionRules& rules) {
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "fig4");
   print_banner("Figure 4: combined strategy TCB Teardown + TCB Reversal",
                "Wang et al., IMC'17, Figure 4");
   const gfw::DetectionRules rules = gfw::DetectionRules::standard();

@@ -38,6 +38,8 @@ struct SweepOut {
   std::vector<i64> slots;
   std::string metrics_digest;
   runner::RunnerReport report;
+  u64 alloc_count = 0;  // perf.alloc.* totals (0 when tracking is off)
+  u64 alloc_bytes = 0;
 };
 
 /// Canonical string of the deterministic slice of a metrics snapshot:
@@ -48,7 +50,10 @@ std::string deterministic_digest(const obs::Snapshot& snap) {
     return name.find("wall") != std::string::npos ||
            name.find("per_sec") != std::string::npos ||
            name.find("utilization") != std::string::npos ||
-           name.find("busy") != std::string::npos;
+           name.find("busy") != std::string::npos ||
+           // perf.alloc.* totals include one-time per-worker setup
+           // allocations, which legitimately vary with --jobs=N.
+           name.rfind("perf.alloc", 0) == 0;
   };
   std::string out;
   for (const auto& [name, v] : snap.counters) {
@@ -77,9 +82,11 @@ std::string deterministic_digest(const obs::Snapshot& snap) {
 /// every executed slot is persisted. Chain state (shared KV store, client
 /// selectors, writers) lives per vantage; the runner's chain contract
 /// keeps each state single-threaded even at --jobs=N.
-SweepOut sweep(const fleet::Fleet& fl, int jobs, runner::ResultsStore* store) {
+SweepOut sweep(const fleet::Fleet& fl, runner::PoolOptions pool,
+               runner::ResultsStore* store) {
   obs::MetricsRegistry local;
   obs::ScopedMetricsRegistry scope(&local);
+  pool.heartbeat_extra = [&fl] { return fl.heartbeat_line(); };
 
   const runner::TrialGrid grid = fl.grid();
   std::vector<std::unique_ptr<fleet::Fleet::VantageState>> states;
@@ -95,8 +102,6 @@ SweepOut sweep(const fleet::Fleet& fl, int jobs, runner::ResultsStore* store) {
     states.push_back(skip[ch] ? nullptr : fl.make_vantage_state(ch));
   }
 
-  runner::PoolOptions pool;
-  pool.jobs = jobs;
   auto out = runner::collect_grid_or(
       grid, pool, static_cast<i64>(-1),
       [&](const runner::GridCoord& c, runner::TaskContext&) {
@@ -113,10 +118,19 @@ SweepOut sweep(const fleet::Fleet& fl, int jobs, runner::ResultsStore* store) {
   SweepOut res;
   res.slots = std::move(out.slots);
   res.report = out.report;
-  res.metrics_digest = deterministic_digest(local.snapshot());
+  const obs::Snapshot snap = local.snapshot();
+  res.metrics_digest = deterministic_digest(snap);
+  if (const auto it = snap.counters.find("perf.alloc.count");
+      it != snap.counters.end()) {
+    res.alloc_count = it->second;
+  }
+  if (const auto it = snap.counters.find("perf.alloc.bytes");
+      it != snap.counters.end()) {
+    res.alloc_bytes = it->second;
+  }
   // Fold the private registry into the global one so --metrics-out still
   // archives everything at exit.
-  obs::MetricsRegistry::global().merge_from(local.snapshot());
+  obs::MetricsRegistry::global().merge_from(snap);
   return res;
 }
 
@@ -142,8 +156,8 @@ int run(int argc, char** argv) {
       passthrough.push_back(argv[i]);
     }
   }
-  RunConfig cfg =
-      parse_args(static_cast<int>(passthrough.size()), passthrough.data());
+  RunConfig cfg = parse_args(static_cast<int>(passthrough.size()),
+                             passthrough.data(), "fleet");
 
   if (!fleet_spec_given && smoke) {
     // The smoke grid exercises everything the full sweep does: shared
@@ -190,13 +204,46 @@ int run(int argc, char** argv) {
     }
   }
 
-  const SweepOut ref = sweep(fl, cfg.jobs, store.get());
+  // Always sample the allocator hook: the allocs/flow line below is the
+  // heap-churn trajectory the zero-copy arena work tracks. The digest
+  // excludes perf.alloc.*, so determinism checks are unaffected.
+  runner::PoolOptions pool = pool_options(cfg);
+  pool.track_allocs = true;
+
+  const SweepOut ref = sweep(fl, pool, store.get());
   print_runner_report(ref.report);
 
   const fleet::Fleet::Report report = fl.analyze(ref.slots);
   std::printf("%s", report.render().c_str());
-  std::printf("throughput: %.0f flows/s over %.2fs wall\n\n",
+  std::printf("throughput: %.0f flows/s over %.2fs wall\n",
               ref.report.trials_per_sec, ref.report.wall_seconds);
+  const double flows = ref.slots.empty() ? 1.0 : double(ref.slots.size());
+  if (ref.alloc_count > 0) {
+    std::printf("alloc churn: %.0f allocs/flow, %.0f B/flow\n",
+                static_cast<double>(ref.alloc_count) / flows,
+                static_cast<double>(ref.alloc_bytes) / flows);
+  }
+  std::printf("\n");
+
+  if (report_enabled()) {
+    using obs::perf::Direction;
+    report_add_metric("flows_per_sec", ref.report.trials_per_sec, "flows/s",
+                      Direction::kHigherIsBetter);
+    report_add_metric("success_rate", report.success_rate, "ratio",
+                      Direction::kInfo);
+    report_add_metric("cache_hit_rate", report.cache_hit_rate, "ratio",
+                      Direction::kInfo);
+    if (ref.alloc_count > 0) {
+      // Per-flow churn from the reference sweep only (under --smoke the
+      // global totals also include the determinism/resume re-sweeps).
+      report_add_metric("allocs_per_trial",
+                        static_cast<double>(ref.alloc_count) / flows, "allocs",
+                        Direction::kLowerIsBetter);
+      report_add_metric("bytes_per_trial",
+                        static_cast<double>(ref.alloc_bytes) / flows, "B",
+                        Direction::kLowerIsBetter);
+    }
+  }
 
   if (!smoke) return 0;
 
@@ -270,9 +317,13 @@ int run(int argc, char** argv) {
 
   // Determinism: jobs=2 with the soak plan flapping must reproduce the
   // serial reference bit-for-bit — results and deterministic metrics.
-  const SweepOut par = sweep(fl, 2, nullptr);
+  runner::PoolOptions par_pool = pool;
+  par_pool.jobs = 2;
+  runner::PoolOptions ser_pool = pool;
+  ser_pool.jobs = 1;
+  const SweepOut par = sweep(fl, par_pool, nullptr);
   const SweepOut ser =
-      store != nullptr ? sweep(fl, 1, nullptr) : ref;  // free of store effects
+      store != nullptr ? sweep(fl, ser_pool, nullptr) : ref;  // free of store effects
   if (par.slots != ser.slots) {
     std::printf("FAIL: --jobs=2 flow records diverge from --jobs=1 with the "
                 "soak schedule active\n");
@@ -305,7 +356,7 @@ int run(int argc, char** argv) {
     std::printf("FAIL: results store did not recognize its own file\n");
     ++failures;
   }
-  const SweepOut cont = sweep(fl, cfg.jobs, &resumed);
+  const SweepOut cont = sweep(fl, pool, &resumed);
   if (cont.slots != ser.slots) {
     std::printf("FAIL: killed-then-resumed sweep diverges from the "
                 "uninterrupted run\n");

@@ -229,7 +229,7 @@ const ProbeCase kProbes[] = {
 };
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "hypotheses");
   print_banner("Section 4: probing the evolved GFW behaviors",
                "Wang et al., IMC'17, section 4 (Hypothesized Behaviors 1-3)");
 

@@ -1,7 +1,17 @@
 // Microbenchmarks (google-benchmark) for the primitives everything else is
 // built on: the keyword engine, checksums, the wire codec, fragmentation,
 // the event loop, INTANG's caches, and a complete end-to-end trial.
+//
+// Accepts --report=FILE on top of the standard google-benchmark flags:
+// per-benchmark ns/op land in a BenchReport (obs/perf.h) as informational
+// metrics for `yourstate perf --diff` side-by-side views.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/perf.h"
 
 #include "core/checksum.h"
 #include "exp/scenario.h"
@@ -135,7 +145,58 @@ void BM_FullHttpTrial(benchmark::State& state) {
 }
 BENCHMARK(BM_FullHttpTrial);
 
+/// Console output plus a BenchReport: every finished benchmark's adjusted
+/// real time is recorded as an informational `<name>_ns` metric.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(obs::perf::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::string name = run.benchmark_name();
+      for (char& c : name) {
+        if (c == '/' || c == ':') c = '_';
+      }
+      report_->metrics[name + "_ns"] = obs::perf::MetricValue{
+          run.GetAdjustedRealTime(), "ns/op",
+          obs::perf::Direction::kInfo};
+    }
+  }
+
+ private:
+  obs::perf::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace ys
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel --report= off before google-benchmark sees (and rejects) it.
+  std::string report_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  ys::obs::perf::BenchReport report = ys::obs::perf::make_report("micro");
+  ys::ReportingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!report_path.empty() && !report.write(report_path)) {
+    std::fprintf(stderr, "cannot write --report file %s\n",
+                 report_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -9,6 +9,7 @@
 // separately but not gated.
 //
 //   bench_obs_overhead [--smoke] [--trials=N] [--reps=K] [--max-overhead=P]
+//                      [--report=FILE]
 //
 // Exit status 0 iff measured metrics overhead <= P percent (default 5).
 // Each mode is measured K times and the *minimum* is compared: noise only
@@ -25,6 +26,7 @@
 #include "exp/scenario.h"
 #include "exp/trial.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 
 namespace ys {
 namespace {
@@ -55,6 +57,7 @@ int run(int argc, char** argv) {
   int trials = 120;
   int reps = 5;
   double max_overhead_pct = 5.0;
+  std::string report_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--smoke") {
@@ -66,10 +69,12 @@ int run(int argc, char** argv) {
       reps = std::max(1, std::atoi(arg.c_str() + 7));
     } else if (arg.rfind("--max-overhead=", 0) == 0) {
       max_overhead_pct = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--report=", 0) == 0) {
+      report_path = arg.substr(9);
     } else {
       std::fprintf(stderr,
                    "usage: bench_obs_overhead [--smoke] [--trials=N] "
-                   "[--reps=K] [--max-overhead=P]\n");
+                   "[--reps=K] [--max-overhead=P] [--report=FILE]\n");
       return 2;
     }
   }
@@ -110,6 +115,26 @@ int run(int argc, char** argv) {
               traced_pct);
   const bool ok = overhead_pct <= max_overhead_pct;
   std::printf("  verdict         : %s\n", ok ? "PASS" : "FAIL");
+
+  if (!report_path.empty()) {
+    using obs::perf::Direction;
+    obs::perf::BenchReport rep = obs::perf::make_report("obs_overhead");
+    rep.config["trials"] = trials;
+    rep.config["reps"] = reps;
+    rep.wall_seconds = best_on;
+    rep.metrics["trials_per_sec"] = obs::perf::MetricValue{
+        best_on > 0.0 ? trials / best_on : 0.0, "trials/s",
+        Direction::kHigherIsBetter};
+    rep.metrics["overhead_pct"] = obs::perf::MetricValue{
+        overhead_pct, "%", Direction::kLowerIsBetter};
+    rep.metrics["traced_overhead_pct"] = obs::perf::MetricValue{
+        traced_pct, "%", Direction::kInfo};
+    rep.snapshot = obs::MetricsRegistry::global().snapshot();
+    if (!rep.write(report_path)) {
+      std::fprintf(stderr, "cannot write --report file %s\n",
+                   report_path.c_str());
+    }
+  }
   return ok ? 0 : 1;
 }
 

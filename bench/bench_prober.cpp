@@ -13,7 +13,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "prober");
   print_banner("GFW prober: automatic model inference per path",
                "Wang et al., IMC'17, section 4 probes as a reusable tool");
 

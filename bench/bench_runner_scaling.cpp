@@ -15,6 +15,9 @@
 //   --jobs-list=1,2,4,8 worker counts to sweep              [default 1,2,4,8]
 //   --assert-speedup[=X] fail unless speedup at max jobs >= X
 //   --smoke             tiny grid (ctest): 2 trials, 4 servers, jobs 1,2,4
+//   --report=F          write a BenchReport JSON (serial + best throughput,
+//                       speedup at max jobs) for `yourstate perf --diff`
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iterator>
@@ -109,6 +112,7 @@ int run(int argc, char** argv) {
   std::vector<int> jobs_list = {1, 2, 4, 8};
   bool assert_speedup = false;
   double min_speedup = 3.0;
+  std::string report_path;
 
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trials=", 9) == 0) {
@@ -133,17 +137,30 @@ int run(int argc, char** argv) {
       trials = 2;
       server_count = 4;
       jobs_list = {1, 2, 4};
+    } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+      report_path = argv[i] + 9;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials=N] [--servers=N] [--seed=S]"
                    " [--jobs-list=1,2,4,8] [--assert-speedup[=X]]"
-                   " [--smoke]\n",
+                   " [--smoke] [--report=FILE]\n",
                    argv[0]);
       return 2;
     }
   }
   if (jobs_list.empty() || jobs_list.front() != 1) {
     jobs_list.insert(jobs_list.begin(), 1);  // always need the reference
+  }
+  if (!report_path.empty()) {
+    PendingReport& pr = pending_report();
+    pr.report = obs::perf::make_report("runner_scaling");
+    pr.report.config["trials"] = trials;
+    pr.report.config["servers"] = server_count;
+    pr.report.config["seed"] = static_cast<double>(seed);
+    pr.report.config["max_jobs"] = jobs_list.back();
+    pr.path = report_path;
+    pr.enabled = true;
+    std::atexit(write_bench_report);
   }
 
   print_banner("Runner scaling: parallel == serial, speedup per worker count",
@@ -157,6 +174,7 @@ int run(int argc, char** argv) {
   Counts reference;
   double ref_wall = 0.0;
   double max_jobs_speedup = 0.0;
+  double best_rate = 0.0;
   int mismatches = 0;
   for (std::size_t i = 0; i < jobs_list.size(); ++i) {
     const int jobs = jobs_list[i];
@@ -164,7 +182,11 @@ int run(int argc, char** argv) {
     if (i == 0) {
       reference = res.counts;
       ref_wall = res.report.wall_seconds;
+      // Only the serial reference feeds the report's wall/throughput, so
+      // the auto trials_per_sec metric is the jobs=1 trajectory.
+      report_note_run(res.report);
     }
+    best_rate = std::max(best_rate, res.report.trials_per_sec);
     const bool match = res.counts == reference;
     if (!match) ++mismatches;
     const double speedup =
@@ -182,6 +204,14 @@ int run(int argc, char** argv) {
                    match ? "yes" : "MISMATCH"});
   }
   std::printf("%s\n", table.render().c_str());
+
+  if (report_enabled()) {
+    using obs::perf::Direction;
+    report_add_metric("best_trials_per_sec", best_rate, "trials/s",
+                      Direction::kHigherIsBetter);
+    report_add_metric("speedup_max_jobs", max_jobs_speedup, "x",
+                      Direction::kInfo);  // core-count-dependent, not gated
+  }
 
   // Batched scenario construction, before/after. "Before" re-draws the
   // path profile inside every Scenario constructor (the historical per-

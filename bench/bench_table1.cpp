@@ -33,7 +33,7 @@ using namespace ys::exp;
 using namespace ys::bench;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table1");
 
   BenchScale scale;
   scale.trials = cfg.trials > 0 ? cfg.trials : 6;

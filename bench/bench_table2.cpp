@@ -88,7 +88,7 @@ std::string probe(const mbox::MiddleboxConfig& cfg, u64 seed,
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table2");
   const int count = cfg.trials > 0 ? cfg.trials : 40;
 
   print_banner("Table 2: client-side middlebox behaviours",

@@ -157,7 +157,7 @@ net::Packet keyword_data(u32 seq, u32 ack) {
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table3");
   print_banner(
       "Table 3: server ignore paths the GFW does not share (candidate "
       "insertion packets)",

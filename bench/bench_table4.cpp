@@ -264,7 +264,7 @@ void run_outside(const RunConfig& cfg, int trials,
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table4");
   const int trials = cfg.trials > 0 ? cfg.trials : 10;
 
   print_banner("Table 4: new strategies, inside and outside China",

@@ -129,7 +129,7 @@ bool passes_middleboxes(PacketKind kind, Discrepancy d) {
 }
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table5");
   print_banner("Table 5: preferred construction of insertion packets",
                "Wang et al., IMC'17, Table 5");
 

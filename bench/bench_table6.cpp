@@ -23,7 +23,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "table6");
 
   BenchScale scale;
   scale.trials = cfg.trials > 0 ? cfg.trials : 40;

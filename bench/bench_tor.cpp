@@ -16,7 +16,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "tor");
   const int repeats = cfg.trials > 0 ? cfg.trials : 10;
 
   print_banner("Section 7.3: Tor bridge blocking and INTANG cover",

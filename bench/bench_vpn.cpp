@@ -10,7 +10,7 @@ using namespace ys::bench;
 using namespace ys::exp;
 
 int run(int argc, char** argv) {
-  RunConfig cfg = parse_args(argc, argv);
+  RunConfig cfg = parse_args(argc, argv, "vpn");
   const int repeats = cfg.trials > 0 ? cfg.trials : 20;
 
   print_banner("Section 7.3: OpenVPN-over-TCP DPI and INTANG cover",

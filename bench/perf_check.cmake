@@ -1,0 +1,51 @@
+# Perf regression gate: re-run the baseline fleet sweep and diff the fresh
+# BenchReport against the committed BENCH_fleet.json with
+# `yourstate perf --diff --check`.
+#
+# Run via `cmake -P` rather than as a plain add_test COMMAND because the
+# fleet spec contains semicolons, which CMake would otherwise split as a
+# list separator inside the test command line.
+#
+# Required -D variables:
+#   BENCH_FLEET  path to the bench_fleet binary
+#   YOURSTATE    path to the yourstate CLI binary
+#   BASELINE     committed baseline report (BENCH_fleet.json)
+#   OUT          where to write the fresh report
+# Optional:
+#   TOLERANCE    relative regression tolerance (default 0.75: the gate runs
+#                on arbitrary CI hardware, so wall-clock metrics like
+#                flows_per_sec need a wide band; allocs/bytes per trial are
+#                deterministic and catch churn regressions at any tolerance)
+#   JOBS         worker count for the sweep (default 2)
+
+foreach(var BENCH_FLEET YOURSTATE BASELINE OUT)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "perf_check.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 0.75)
+endif()
+if(NOT DEFINED JOBS)
+  set(JOBS 2)
+endif()
+
+# Must match the spec BENCH_fleet.json was recorded with (EXPERIMENTS.md,
+# "Performance telemetry") or the diff table compares different workloads.
+set(SPEC "clients=16;flows=240;servers=6;vantages=4;arrival=25;churn=0.08;soak=2s:rst-storm,4s:none")
+
+execute_process(
+  COMMAND ${BENCH_FLEET} "--fleet=${SPEC}" --jobs=${JOBS} --seed=7
+          "--report=${OUT}"
+  RESULT_VARIABLE sweep_rc)
+if(NOT sweep_rc EQUAL 0)
+  message(FATAL_ERROR "bench_fleet exited with ${sweep_rc}")
+endif()
+
+execute_process(
+  COMMAND ${YOURSTATE} perf --diff --check --tolerance=${TOLERANCE}
+          ${BASELINE} ${OUT}
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "perf gate: regression vs ${BASELINE} (exit ${diff_rc})")
+endif()

@@ -8,6 +8,7 @@
 #include "app/tor.h"
 #include "app/vpn.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "strategy/strategy.h"
 
 namespace ys::exp {
@@ -173,6 +174,7 @@ void serve_http(tcp::Host& server) {
 }  // namespace
 
 TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
+  obs::perf::ScopedPhase phase_timer("exp.http_trial");
   TrialResult result;
   result.strategy_used = opt.strategy;
 

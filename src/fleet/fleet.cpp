@@ -1,10 +1,12 @@
 #include "fleet/fleet.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "exp/table.h"
 #include "netsim/pcap.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -157,6 +159,7 @@ Fleet::FlowRecord Fleet::run_flow_impl(const runner::GridCoord& c,
                                        exp::Replay* replay,
                                        const std::string& trace_path,
                                        const std::string& pcap_path) const {
+  obs::perf::ScopedPhase phase_timer("fleet.flow");
   const FlowSpec& flow = state.schedule[c.trial];
 
   // Session churn, by share mode. Shared: a restarted client process loses
@@ -246,6 +249,19 @@ Fleet::FlowRecord Fleet::run_flow_impl(const runner::GridCoord& c,
               strategy::to_string(rec.strategy))
       .inc();
 
+  // Live heartbeat feed (relaxed: monitoring only, never read into
+  // results).
+  live_.flows.fetch_add(1, std::memory_order_relaxed);
+  if (rec.outcome == exp::Outcome::kSuccess) {
+    live_.successes.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (is_cache_source(rec.source)) {
+    live_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::size_t live_phase = std::min<std::size_t>(
+      static_cast<std::size_t>(flow.soak_phase), kMaxLivePhases - 1);
+  live_.phase_flows[live_phase].fetch_add(1, std::memory_order_relaxed);
+
   if (tracing && replay != nullptr) {
     // Attribute the pick to its supplier in the trace, causally linked to
     // the selector's decision event so `yourstate explain` renders the
@@ -292,6 +308,25 @@ exp::Replay Fleet::replay_flow(const runner::GridCoord& c,
   (void)run_flow_impl(c, *state, /*tracing=*/true, &replay, trace_path,
                       pcap_path);
   return replay;
+}
+
+std::string Fleet::heartbeat_line() const {
+  const u64 flows = live_.flows.load(std::memory_order_relaxed);
+  const u64 ok = live_.successes.load(std::memory_order_relaxed);
+  const u64 hits = live_.cache_hits.load(std::memory_order_relaxed);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "ok %.1f%% | cache %.1f%%",
+                flows > 0 ? 100.0 * static_cast<double>(ok) / flows : 0.0,
+                flows > 0 ? 100.0 * static_cast<double>(hits) / flows : 0.0);
+  std::string out = buf;
+  for (std::size_t p = 0; p < kMaxLivePhases; ++p) {
+    const u64 n = live_.phase_flows[p].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    std::snprintf(buf, sizeof(buf), " %sp%zu:%llu", p == 0 ? "| " : "",
+                  p + 1, static_cast<unsigned long long>(n));
+    out += buf;
+  }
+  return out;
 }
 
 Fleet::Report Fleet::analyze(const std::vector<i64>& slots) const {

@@ -19,6 +19,7 @@
 // the flow that wrote the entry.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -130,6 +131,28 @@ class Fleet {
   /// or freshly-run results alike.
   Report analyze(const std::vector<i64>& slots) const;
 
+  // ------------------------------------------------------- live telemetry
+  /// Soak phases the live stats break flows down by (phase indices beyond
+  /// this clamp into the last bucket).
+  static constexpr std::size_t kMaxLivePhases = 8;
+
+  /// Relaxed atomics bumped by run_flow on whichever worker executes it,
+  /// for the stderr heartbeat of long sweeps (bench_fleet --heartbeat).
+  /// Monitoring only: nothing reads them back into results, so they sit
+  /// outside the determinism contract.
+  struct LiveStats {
+    std::atomic<u64> flows{0};
+    std::atomic<u64> successes{0};
+    std::atomic<u64> cache_hits{0};
+    std::atomic<u64> phase_flows[kMaxLivePhases] = {};
+  };
+
+  const LiveStats& live() const { return live_; }
+
+  /// One-line summary of live(), e.g. "ok 61.8% | cache 40.2% | p1:120
+  /// p2:240" — the heartbeat_extra payload for PoolOptions.
+  std::string heartbeat_line() const;
+
  private:
   FlowRecord run_flow_impl(const runner::GridCoord& c, VantageState& state,
                            bool tracing, exp::Replay* replay,
@@ -145,6 +168,7 @@ class Fleet {
   std::vector<exp::VantagePoint> vps_;
   std::vector<exp::ServerSpec> servers_;
   exp::PathProfileCache profiles_;
+  mutable LiveStats live_;
 };
 
 }  // namespace ys::fleet

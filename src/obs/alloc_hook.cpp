@@ -1,0 +1,103 @@
+#include "obs/alloc_hook.h"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizer detection: gcc defines __SANITIZE_*__; clang speaks
+// __has_feature. The overrides are compiled out under either sanitizer —
+// ASan/TSan interpose operator new themselves and must keep doing so for
+// their poisoning/race bookkeeping to work.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define YS_ALLOC_HOOK_ACTIVE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define YS_ALLOC_HOOK_ACTIVE 0
+#else
+#define YS_ALLOC_HOOK_ACTIVE 1
+#endif
+#else
+#define YS_ALLOC_HOOK_ACTIVE 1
+#endif
+
+namespace ys::obs::perf {
+
+namespace {
+// Trivially-initialized thread locals: safe to touch from operator new
+// even during thread setup (no dynamic initialization, no allocation).
+thread_local u64 t_alloc_count = 0;
+thread_local u64 t_alloc_bytes = 0;
+}  // namespace
+
+bool alloc_hook_available() { return YS_ALLOC_HOOK_ACTIVE != 0; }
+
+AllocCounters thread_alloc_counters() {
+  return AllocCounters{t_alloc_count, t_alloc_bytes};
+}
+
+namespace detail {
+inline void note_alloc(std::size_t size) {
+  ++t_alloc_count;
+  t_alloc_bytes += size;
+}
+}  // namespace detail
+
+}  // namespace ys::obs::perf
+
+#if YS_ALLOC_HOOK_ACTIVE
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  ys::obs::perf::detail::note_alloc(size);
+  // malloc(0) may return null; operator new must not.
+  void* p = std::malloc(size != 0 ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  ys::obs::perf::detail::note_alloc(size);
+  // aligned_alloc wants size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ys::obs::perf::detail::note_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  ys::obs::perf::detail::note_alloc(size);
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#endif  // YS_ALLOC_HOOK_ACTIVE

@@ -1,0 +1,44 @@
+// ys::obs::perf — counting allocator hook.
+//
+// alloc_hook.cpp replaces the global operator new/delete family with
+// thin wrappers that bump *plain thread-local* counters (no atomics, no
+// locks — a thread only ever reads its own counts), then forward to
+// malloc/free. Linking any code that calls thread_alloc_counters() pulls
+// the overrides into the binary; binaries that never ask for allocation
+// counts keep the stock allocator.
+//
+// The point: quantify per-trial heap churn. The ROADMAP's zero-copy packet
+// arena promises a steady state with zero allocations; the runner samples
+// these counters around every trial (PoolOptions::track_allocs) and
+// publishes the deltas as `perf.alloc.count` / `perf.alloc.bytes`, giving
+// the arena refactor its before-number (see BENCH_fleet.json).
+//
+// Determinism caveat: a trial's own allocation sequence is deterministic,
+// but the *first* trial on each worker additionally pays one-time
+// registry/cache setup allocations, so merged perf.alloc.* totals vary
+// with --jobs=N by a few dozen allocations. Determinism digests therefore
+// exclude the perf.alloc.* names, exactly like wall-clock metrics.
+//
+// Under ASan/TSan the overrides are compiled out (the sanitizers interpose
+// their own allocator and double interposition is fragile):
+// alloc_hook_available() returns false and the counters stay zero.
+#pragma once
+
+#include "core/types.h"
+
+namespace ys::obs::perf {
+
+struct AllocCounters {
+  u64 count = 0;  // operator new / new[] calls
+  u64 bytes = 0;  // bytes requested (not allocator-rounded)
+};
+
+/// True when the counting overrides are linked and active in this build.
+bool alloc_hook_available();
+
+/// This thread's allocation totals since thread start. Sample before and
+/// after a section and subtract; single-threaded sections (one trial on
+/// one worker) get exact per-section churn.
+AllocCounters thread_alloc_counters();
+
+}  // namespace ys::obs::perf

@@ -61,8 +61,11 @@ std::string to_table(const Snapshot& snap) {
   }
   for (const auto& [name, h] : snap.histograms) {
     std::snprintf(line, sizeof(line),
-                  "%-44s histogram %12llu  sum=%.1f\n", name.c_str(),
-                  static_cast<unsigned long long>(h.count), h.sum);
+                  "%-44s histogram %12llu  sum=%.1f  p50=%.1f  p95=%.1f  "
+                  "p99=%.1f\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum, h.percentile(0.50), h.percentile(0.95),
+                  h.percentile(0.99));
     out += line;
   }
   return out;

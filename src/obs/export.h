@@ -9,8 +9,10 @@
 
 namespace ys::obs {
 
-/// Aligned text table, one metric per line:
+/// Aligned text table, one metric per line; histograms additionally carry
+/// bucket-interpolated p50/p95/p99 summaries:
 ///   gfw.packets_seen              counter        42
+///   exp.vtime.success.intang      histogram      12  sum=1841.0  p50=...
 std::string to_table(const Snapshot& snap);
 
 /// JSON document:

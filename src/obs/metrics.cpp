@@ -118,6 +118,32 @@ void Histogram::merge(const HistogramSnapshot& other) {
   sum_ += other.sum;
 }
 
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in (0, count]; walk the cumulative distribution to the
+  // bucket that holds it.
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts[i]);
+    if (rank <= next || i + 1 == counts.size()) {
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate toward.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double hi = bounds[i];
+      const double frac = (rank - cum) / static_cast<double>(counts[i]);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : frac > 1.0 ? 1.0 : frac);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
 void MetricsRegistry::merge_from(const Snapshot& snap) {
   for (const auto& [name, value] : snap.counters) {
     counter(name).merge_add(value);

@@ -149,6 +149,14 @@ struct HistogramSnapshot {
   std::vector<u64> counts;
   u64 count = 0;
   double sum = 0.0;
+
+  /// Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  /// bucket holding the target rank; the first bucket interpolates from 0
+  /// and the overflow bucket clamps to the last bound (the histogram does
+  /// not know its true maximum). 0 for an empty histogram. Resolution is
+  /// bucket-limited — exact values need finer bounds, not a better
+  /// estimator.
+  double percentile(double q) const;
 };
 
 /// Deep copy of every metric at one instant, sorted by name.

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
 #include <mutex>
 #include <thread>
 
 #include "core/log.h"
+#include "obs/alloc_hook.h"
 #include "obs/metrics.h"
+#include "obs/phase_profiler.h"
 
 namespace ys::runner {
 
@@ -90,6 +93,106 @@ int resolve_jobs(int jobs) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+/// Live progress line for long sweeps (PoolOptions::heartbeat_seconds).
+/// A monitor thread samples a relaxed progress counter on an interval and
+/// prints tasks done, rate, and ETA to stderr; `extra` (when set) appends
+/// caller state such as cache hit-rates. Reads atomics only — the sweep's
+/// results cannot observe it, so determinism is untouched; the stderr
+/// stream itself is wall-clock-driven and outside the contract.
+class Heartbeat {
+ public:
+  Heartbeat(const PoolOptions& opt, std::size_t count,
+            const std::atomic<u64>* progress)
+      : interval_(opt.heartbeat_seconds),
+        extra_(opt.heartbeat_extra),
+        count_(count),
+        progress_(progress) {
+    if (interval_ > 0.0 && count_ > 0) {
+      monitor_ = std::thread([this] { run(); });
+    }
+  }
+
+  ~Heartbeat() {
+    if (!monitor_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_ = true;
+    }
+    cv_.notify_one();
+    monitor_.join();
+  }
+
+ private:
+  void run() {
+    const auto start = Clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (cv_.wait_for(lock,
+                       std::chrono::duration<double>(interval_),
+                       [this] { return done_; })) {
+        return;  // pool drained; no trailing line after the join
+      }
+      const u64 done = progress_->load(std::memory_order_relaxed);
+      const double elapsed = seconds_since(start);
+      const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
+      const double eta =
+          rate > 0.0 ? (static_cast<double>(count_) - done) / rate : 0.0;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "[perf] %llu/%zu trials (%.1f%%) | %.0f/s | eta %.0fs",
+                    static_cast<unsigned long long>(done), count_,
+                    100.0 * done / static_cast<double>(count_), rate, eta);
+      std::string out = line;
+      if (extra_) out += " | " + extra_();
+      out += "\n";
+      std::fputs(out.c_str(), stderr);
+    }
+  }
+
+  const double interval_;
+  const std::function<std::string()> extra_;
+  const std::size_t count_;
+  const std::atomic<u64>* progress_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  std::thread monitor_;
+};
+
+/// Per-worker handles for the allocator-hook sampling
+/// (PoolOptions::track_allocs): nullptr when tracking is off.
+struct AllocPublish {
+  obs::Counter* count = nullptr;
+  obs::Counter* bytes = nullptr;
+};
+
+AllocPublish resolve_alloc_counters(bool track, obs::MetricsRegistry& reg) {
+  AllocPublish p;
+  if (track) {
+    p.count = &reg.counter("perf.alloc.count");
+    p.bytes = &reg.counter("perf.alloc.bytes");
+  }
+  return p;
+}
+
+/// One task: phase-timed, optionally alloc-sampled, crash-isolated. The
+/// alloc delta is this thread's own counters around the task, so it is
+/// exact per-task churn (workers run tasks sequentially).
+void exec_task(const std::function<void(std::size_t, TaskContext&)>& task,
+               std::size_t index, TaskContext& ctx, WorkerStats& ws,
+               const AllocPublish& alloc) {
+  obs::perf::ScopedPhase phase("runner.task");
+  if (alloc.count == nullptr) {
+    run_isolated(task, index, ctx, ws);
+    return;
+  }
+  const obs::perf::AllocCounters before = obs::perf::thread_alloc_counters();
+  run_isolated(task, index, ctx, ws);
+  const obs::perf::AllocCounters after = obs::perf::thread_alloc_counters();
+  alloc.count->inc(after.count - before.count);
+  alloc.bytes->inc(after.bytes - before.bytes);
+}
+
 }  // namespace
 
 double RunnerReport::utilization(std::size_t worker) const {
@@ -160,6 +263,9 @@ RunnerReport run_sharded(
   const auto start = Clock::now();
 
   CancelToken cancel;
+  std::atomic<u64> progress{0};
+  const bool heartbeat_on = opt.heartbeat_seconds > 0.0;
+  Heartbeat heartbeat(opt, count, &progress);
 
   if (jobs == 1 || count <= 1) {
     // Serial reference path: inline on the caller, no threads, no registry
@@ -170,9 +276,12 @@ RunnerReport run_sharded(
     Rng rng(Rng::mix_seed({0x72756e6e6572ULL, 0}));  // "runner"
     TaskContext ctx{0, &obs::MetricsRegistry::current(), &rng, &cancel};
     WorkerStats& ws = report.workers[0];
+    const AllocPublish alloc = resolve_alloc_counters(
+        opt.track_allocs, obs::MetricsRegistry::current());
     for (std::size_t i = 0; i < count && !cancel.cancelled(); ++i) {
-      run_isolated(task, i, ctx, ws);
+      exec_task(task, i, ctx, ws, alloc);
       ++ws.tasks_executed;
+      if (heartbeat_on) progress.fetch_add(1, std::memory_order_relaxed);
     }
     ++ws.shards_served;
     report.wall_seconds = seconds_since(start);
@@ -222,6 +331,13 @@ RunnerReport run_sharded(
     // registry.
     obs::ScopedMetricsRegistry scope(
         worker_registries[static_cast<std::size_t>(worker_id)].get());
+    obs::perf::PhaseProfiler::set_thread_label(
+        "worker " + std::to_string(worker_id));
+    // Resolve the alloc counters up front so the registrations land outside
+    // every per-task sampling window.
+    const AllocPublish alloc = resolve_alloc_counters(
+        opt.track_allocs,
+        *worker_registries[static_cast<std::size_t>(worker_id)]);
     Rng rng(Rng::mix_seed({0x72756e6e6572ULL, static_cast<u64>(worker_id)}));
     TaskContext ctx{worker_id,
                     worker_registries[static_cast<std::size_t>(worker_id)].get(),
@@ -248,8 +364,9 @@ RunnerReport run_sharded(
       }
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         if (cancel.cancelled()) break;
-        run_isolated(task, i, ctx, ws);
+        exec_task(task, i, ctx, ws, alloc);
         ++ws.tasks_executed;
+        if (heartbeat_on) progress.fetch_add(1, std::memory_order_relaxed);
       }
       if (cancel.cancelled()) break;
     }

@@ -45,6 +45,24 @@ struct PoolOptions {
   /// Tasks per shard; 0 picks a size that gives each worker several shards
   /// to serve and others something worth stealing.
   std::size_t shard_size = 0;
+  /// Live progress heartbeat for long sweeps: every `heartbeat_seconds` a
+  /// monitor thread prints tasks done, rate, and ETA to stderr. 0 (the
+  /// default) disables it. The heartbeat only reads a relaxed progress
+  /// counter and writes stderr — results and merged metrics stay
+  /// bit-identical, but its output is wall-clock-driven and therefore
+  /// excluded from the determinism contract.
+  double heartbeat_seconds = 0.0;
+  /// Optional extra heartbeat payload (cache hit-rate, per-phase flow
+  /// counts, ...). Called from the monitor thread, so it must only read
+  /// atomics or otherwise thread-safe state.
+  std::function<std::string()> heartbeat_extra;
+  /// Sample the counting-allocator hook (obs/alloc_hook.h) around every
+  /// task and publish per-task deltas as `perf.alloc.count` /
+  /// `perf.alloc.bytes` counters — the heap-churn trajectory the
+  /// zero-copy arena work tracks. Off by default: totals include one-time
+  /// per-worker setup allocations and thus vary slightly with --jobs=N,
+  /// so determinism digests must exclude perf.alloc.* when this is on.
+  bool track_allocs = false;
 };
 
 /// Cooperative early-stop: any task may cancel; workers finish the task in

@@ -11,6 +11,12 @@
 //   yourstate explain [options]           replay one bench grid coordinate
 //                                         traced: annotated ladder + verdict
 //                                         attribution
+//   yourstate perf --diff OLD NEW         compare two BenchReport JSONs
+//                                         (bench --report=FILE output):
+//                                         regression table; with --check,
+//                                         exit 1 when a gated metric moved
+//                                         outside --tolerance=X (default
+//                                         0.10 = 10%)
 //
 // Common options:
 //   --vp=NAME            vantage point (default aliyun-sh)
@@ -52,6 +58,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "exp/benchdef.h"
 #include "fleet/fleet.h"
@@ -64,6 +71,7 @@
 #include "netsim/pcap.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/trace_export.h"
 #include "runner/runner.h"
 
@@ -191,7 +199,7 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 int usage() {
   std::fprintf(stderr,
                "usage: yourstate <list|trial|probe|dns|tor|stats|fleet|"
-               "explain> [--vp=NAME] "
+               "explain|perf> [--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
                "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
                "[--trace-out=FILE] [--pcap=FILE] [--domain=NAME] "
@@ -200,8 +208,67 @@ int usage() {
                "[--jobs=N]\n"
                "       yourstate explain --bench=NAME --cell=N --vantage=N "
                "--server=N --trial=N [--trials=N] [--servers=N] [--seed=S] "
-               "[--fleet=SPEC] [--trace-out=FILE] [--pcap=FILE]\n");
+               "[--fleet=SPEC] [--trace-out=FILE] [--pcap=FILE]\n"
+               "       yourstate perf --diff OLD.json NEW.json [--check] "
+               "[--tolerance=X]\n");
   return 2;
+}
+
+/// `yourstate perf` — own flag scan: the generic parser would reject
+/// --diff and the positional report paths.
+int cmd_perf(int argc, char** argv) {
+  bool diff = false;
+  bool check = false;
+  double tolerance = 0.10;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--check") {
+      check = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      tolerance = std::atof(arg.c_str() + 12);
+      if (tolerance < 0.0) {
+        std::fprintf(stderr, "--tolerance must be >= 0\n");
+        return 2;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!diff || files.size() != 2) {
+    std::fprintf(stderr,
+                 "perf wants: yourstate perf --diff OLD.json NEW.json "
+                 "[--check] [--tolerance=X]\n");
+    return 2;
+  }
+  std::string error;
+  const auto old_report = obs::perf::BenchReport::load(files[0], &error);
+  if (!old_report) {
+    std::fprintf(stderr, "%s: %s\n", files[0].c_str(), error.c_str());
+    return 2;
+  }
+  const auto new_report = obs::perf::BenchReport::load(files[1], &error);
+  if (!new_report) {
+    std::fprintf(stderr, "%s: %s\n", files[1].c_str(), error.c_str());
+    return 2;
+  }
+  std::printf("perf diff: %s (%s) -> %s (%s), tolerance %.0f%%\n\n",
+              files[0].c_str(), old_report->name.c_str(), files[1].c_str(),
+              new_report->name.c_str(), tolerance * 100.0);
+  if (old_report->name != new_report->name) {
+    std::printf("note: comparing reports from different benches (%s vs %s)\n\n",
+                old_report->name.c_str(), new_report->name.c_str());
+  }
+  const obs::perf::DiffResult result =
+      obs::perf::diff_reports(*old_report, *new_report, tolerance);
+  std::printf("%s", result.render().c_str());
+  if (check && !result.ok()) return 1;
+  return 0;
 }
 
 int cmd_list() {
@@ -598,6 +665,7 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   CliOptions cli;
   cli.command = argv[1];
+  if (cli.command == "perf") return cmd_perf(argc, argv);
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
