@@ -14,8 +14,12 @@
 # Optional:
 #   TOLERANCE    relative regression tolerance (default 0.75: the gate runs
 #                on arbitrary CI hardware, so wall-clock metrics like
-#                flows_per_sec need a wide band; allocs/bytes per trial are
-#                deterministic and catch churn regressions at any tolerance)
+#                flows_per_sec need a wide band)
+#   ALLOC_TOLERANCE  per-metric override for allocs_per_trial /
+#                bytes_per_trial (default 0.02: the allocator hook counts
+#                deterministic per-trial churn, so these move only when the
+#                code's allocation behavior actually changes — gate them
+#                ~40x tighter than the wall-clock band)
 #   JOBS         worker count for the sweep (default 2)
 
 foreach(var BENCH_FLEET YOURSTATE BASELINE OUT)
@@ -25,6 +29,9 @@ foreach(var BENCH_FLEET YOURSTATE BASELINE OUT)
 endforeach()
 if(NOT DEFINED TOLERANCE)
   set(TOLERANCE 0.75)
+endif()
+if(NOT DEFINED ALLOC_TOLERANCE)
+  set(ALLOC_TOLERANCE 0.02)
 endif()
 if(NOT DEFINED JOBS)
   set(JOBS 2)
@@ -44,6 +51,8 @@ endif()
 
 execute_process(
   COMMAND ${YOURSTATE} perf --diff --check --tolerance=${TOLERANCE}
+          "--tolerance-for=allocs_per_trial:${ALLOC_TOLERANCE}"
+          "--tolerance-for=bytes_per_trial:${ALLOC_TOLERANCE}"
           ${BASELINE} ${OUT}
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)

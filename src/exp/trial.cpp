@@ -138,7 +138,9 @@ struct Evasion {
 void setup_evasion(Scenario& sc, bool use_intang,
                    strategy::StrategyId strategy,
                    intang::StrategySelector* shared_selector,
-                   net::IpAddr dns_resolver, Evasion& out) {
+                   net::IpAddr dns_resolver, Evasion& out,
+                   const std::function<std::unique_ptr<strategy::Strategy>()>&
+                       factory = {}) {
   if (use_intang) {
     intang::Intang::Config cfg;
     cfg.knowledge = sc.knowledge();
@@ -147,6 +149,13 @@ void setup_evasion(Scenario& sc, bool use_intang,
       cfg.selector.candidates = {strategy};
     }
     out.intang.emplace(sc.client(), cfg, sc.fork_rng(), shared_selector);
+    return;
+  }
+  if (factory) {
+    out.engine.emplace(sc.client(),
+                       [factory](const net::FourTuple&) { return factory(); },
+                       sc.knowledge(), sc.fork_rng());
+    out.engine->install();
     return;
   }
   if (strategy == strategy::StrategyId::kNone) return;
@@ -182,7 +191,7 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
 
   Evasion evasion;
   setup_evasion(scenario, opt.use_intang, opt.strategy, opt.shared_selector,
-                /*dns_resolver=*/0, evasion);
+                /*dns_resolver=*/0, evasion, opt.strategy_factory);
 
   const Bytes request = app::build_http_get(
       scenario.options().server.host,

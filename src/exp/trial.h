@@ -2,6 +2,8 @@
 // classification (§3.4).
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -57,6 +59,10 @@ struct HttpTrialOptions {
   /// Persistent selector for INTANG mode (strategy knowledge across
   /// trials); optional.
   intang::StrategySelector* shared_selector = nullptr;
+  /// Custom per-connection strategy builder (ys::search candidate
+  /// programs run through this). When set it takes precedence over
+  /// `strategy`; ignored in INTANG mode.
+  std::function<std::unique_ptr<strategy::Strategy>()> strategy_factory;
 };
 
 /// One §3/§7.1 probe: HTTP GET whose query string carries the sensitive

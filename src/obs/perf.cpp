@@ -330,6 +330,13 @@ const char* to_string(DiffStatus s) {
 
 DiffResult diff_reports(const BenchReport& old_report,
                         const BenchReport& new_report, double tolerance) {
+  return diff_reports(old_report, new_report, tolerance, {});
+}
+
+DiffResult diff_reports(
+    const BenchReport& old_report, const BenchReport& new_report,
+    double tolerance,
+    const std::map<std::string, double>& tolerance_overrides) {
   DiffResult res;
   for (const auto& [key, value] : old_report.env) {
     auto it = new_report.env.find(key);
@@ -359,14 +366,19 @@ DiffResult diff_reports(const BenchReport& old_report,
     if (old_m.direction == Direction::kInfo) {
       row.status = DiffStatus::kInfo;
     } else {
+      const auto override_it = tolerance_overrides.find(name);
+      const double band = override_it != tolerance_overrides.end()
+                              ? override_it->second
+                              : tolerance;
+      row.tolerance = band;
       // Signed "goodness": positive = moved in the good direction.
       const double gain = old_m.direction == Direction::kHigherIsBetter
                               ? row.delta
                               : -row.delta;
-      if (gain < -tolerance) {
+      if (gain < -band) {
         row.status = DiffStatus::kRegressed;
         ++res.regressions;
-      } else if (gain > tolerance) {
+      } else if (gain > band) {
         row.status = DiffStatus::kImproved;
         ++res.improvements;
       } else {
@@ -389,6 +401,34 @@ DiffResult diff_reports(const BenchReport& old_report,
   std::sort(res.rows.begin(), res.rows.end(),
             [](const DiffRow& a, const DiffRow& b) { return a.metric < b.metric; });
   return res;
+}
+
+std::string DiffResult::to_json() const {
+  std::string out = "{\n";
+  out += "  \"regressions\": " + std::to_string(regressions) + ",\n";
+  out += "  \"improvements\": " + std::to_string(improvements) + ",\n";
+  out += std::string("  \"ok\": ") + (ok() ? "true" : "false") + ",\n";
+  out += "  \"env_mismatches\": [";
+  for (std::size_t i = 0; i < env_mismatches.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"" + json_escape(env_mismatches[i]) + "\"";
+  }
+  out += "],\n";
+  out += "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const DiffRow& row = rows[i];
+    out += "    {\"metric\": \"" + json_escape(row.metric) + "\", \"unit\": \"" +
+           json_escape(row.unit) + "\", \"direction\": \"" +
+           direction_name(row.direction) + "\", \"old\": " +
+           json_number(row.old_value) + ", \"new\": " +
+           json_number(row.new_value) + ", \"delta\": " +
+           json_number(row.delta) + ", \"tolerance\": " +
+           json_number(row.tolerance) + ", \"status\": \"" +
+           to_string(row.status) + "\"}";
+    out += i + 1 < rows.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n}\n";
+  return out;
 }
 
 std::string DiffResult::render() const {

@@ -106,6 +106,9 @@ struct DiffRow {
   double new_value = 0.0;
   /// Relative change (new - old) / |old|; 0 when old == 0.
   double delta = 0.0;
+  /// The tolerance band this row was gated against (per-metric override or
+  /// the global value; 0 for rows that were never gated).
+  double tolerance = 0.0;
   DiffStatus status = DiffStatus::kOk;
 };
 
@@ -120,6 +123,11 @@ struct DiffResult {
 
   /// Aligned regression table plus the env caveat, ready to print.
   std::string render() const;
+  /// Machine-readable form of the same table (`yourstate perf --diff
+  /// --json`): rows with metric/unit/direction/old/new/delta/tolerance/
+  /// status, plus the summary counts — for CI dashboards that track the
+  /// regression table across commits.
+  std::string to_json() const;
   bool ok() const { return regressions == 0; }
 };
 
@@ -128,6 +136,12 @@ struct DiffResult {
 /// than that in its bad direction, improves when it moves more than that
 /// in its good direction, and is kOk in between. Gated metrics present in
 /// `old_report` but absent from `new_report` count as regressions.
+/// `tolerance_overrides` tightens (or loosens) the band per metric name —
+/// deterministic metrics (e.g. the fleet bench's allocs_per_trial) can be
+/// gated near-exactly while wall-clock metrics keep a generous band.
+DiffResult diff_reports(const BenchReport& old_report,
+                        const BenchReport& new_report, double tolerance,
+                        const std::map<std::string, double>& tolerance_overrides);
 DiffResult diff_reports(const BenchReport& old_report,
                         const BenchReport& new_report, double tolerance);
 

@@ -1,0 +1,472 @@
+#include "search/program.h"
+
+#include <array>
+#include <cstdlib>
+
+namespace ys::search {
+namespace {
+
+using strategy::Discrepancy;
+using Verdict = tcp::Host::Verdict;
+
+constexpr SimTime kSpacing = SimTime::from_ms(2);
+/// Offset that puts an insertion sequence number far outside any plausible
+/// receive window (the desync building block of §5.1).
+constexpr u32 kOutOfWindow = 0x00800000;
+
+bool is_bare_syn(const net::Packet& pkt) {
+  return pkt.tcp->flags.syn && !pkt.tcp->flags.ack;
+}
+
+SimTime spaced(int slot) { return SimTime::from_us(kSpacing.us * slot); }
+
+const std::array<StepKind, 6>& all_kinds() {
+  static const std::array<StepKind, 6> k = {StepKind::kSyn,  StepKind::kSynAck,
+                                            StepKind::kRst,  StepKind::kRstAck,
+                                            StepKind::kFin,  StepKind::kData};
+  return k;
+}
+
+const std::array<Discrepancy, 9>& all_discrepancies() {
+  static const std::array<Discrepancy, 9> d = {
+      Discrepancy::kNone,          Discrepancy::kSmallTtl,
+      Discrepancy::kBadChecksum,   Discrepancy::kBadAckNumber,
+      Discrepancy::kNoFlags,       Discrepancy::kUnsolicitedMd5,
+      Discrepancy::kOldTimestamp,  Discrepancy::kBadIpLength,
+      Discrepancy::kShortTcpHeader};
+  return d;
+}
+
+std::optional<StepKind> kind_from_name(const std::string& name) {
+  for (StepKind k : all_kinds()) {
+    if (name == to_string(k)) return k;
+  }
+  return std::nullopt;
+}
+
+std::optional<Discrepancy> discrepancy_from_name(const std::string& name) {
+  for (Discrepancy d : all_discrepancies()) {
+    if (name == strategy::to_string(d)) return d;
+  }
+  return std::nullopt;
+}
+
+/// Serialize one step canonically: kind [/disc] [*N] [+ow] [=payload].
+std::string step_spec(const Step& s) {
+  std::string out = to_string(s.phase);
+  out += ':';
+  out += to_string(s.kind);
+  if (s.disc != Discrepancy::kNone) {
+    out += '/';
+    out += strategy::to_string(s.disc);
+  }
+  if (s.repeat != 1) {
+    out += '*';
+    out += std::to_string(s.repeat);
+  }
+  if (s.out_of_window) out += "+ow";
+  if (s.kind == StepKind::kData) {
+    out += '=';
+    out += s.payload == 0 ? "full" : std::to_string(s.payload);
+  }
+  return out;
+}
+
+bool parse_int(const std::string& text, int* out) {
+  if (text.empty()) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  *out = std::atoi(text.c_str());
+  return true;
+}
+
+/// Parse one step token. Suffix tokens ('/', '*', '+', '=') are accepted
+/// in any order; spec() re-emits the canonical order.
+std::optional<Step> parse_step(const std::string& text, std::string* error) {
+  const auto fail = [&](const std::string& why) -> std::optional<Step> {
+    *error = "step '" + text + "': " + why;
+    return std::nullopt;
+  };
+
+  const std::size_t colon = text.find(':');
+  if (colon == std::string::npos) return fail("missing ':' after phase");
+  const std::string phase = text.substr(0, colon);
+  Step s;
+  if (phase == "pre") {
+    s.phase = Phase::kPreHandshake;
+  } else if (phase == "data") {
+    s.phase = Phase::kOnData;
+  } else {
+    return fail("unknown phase '" + phase + "' (want pre|data)");
+  }
+
+  // The kind runs until the first suffix delimiter.
+  std::size_t pos = colon + 1;
+  const std::size_t kind_end = text.find_first_of("/*+=", pos);
+  const std::string kind =
+      text.substr(pos, kind_end == std::string::npos ? std::string::npos
+                                                     : kind_end - pos);
+  const auto k = kind_from_name(kind);
+  if (!k) return fail("unknown packet kind '" + kind + "'");
+  s.kind = *k;
+  s.disc = Discrepancy::kNone;
+  pos = kind_end == std::string::npos ? text.size() : kind_end;
+
+  bool saw_disc = false;
+  bool saw_repeat = false;
+  bool saw_ow = false;
+  bool saw_payload = false;
+  while (pos < text.size()) {
+    const char delim = text[pos++];
+    const std::size_t end = text.find_first_of("/*+=", pos);
+    const std::string token =
+        text.substr(pos, end == std::string::npos ? std::string::npos
+                                                  : end - pos);
+    pos = end == std::string::npos ? text.size() : end;
+    switch (delim) {
+      case '/': {
+        if (saw_disc) return fail("duplicate discrepancy");
+        const auto d = discrepancy_from_name(token);
+        if (!d) return fail("unknown discrepancy '" + token + "'");
+        s.disc = *d;
+        saw_disc = true;
+        break;
+      }
+      case '*': {
+        if (saw_repeat) return fail("duplicate repeat");
+        if (!parse_int(token, &s.repeat)) {
+          return fail("bad repeat '" + token + "'");
+        }
+        saw_repeat = true;
+        break;
+      }
+      case '+': {
+        if (saw_ow) return fail("duplicate +ow");
+        if (token != "ow") return fail("unknown flag '+" + token + "'");
+        s.out_of_window = true;
+        saw_ow = true;
+        break;
+      }
+      case '=': {
+        if (saw_payload) return fail("duplicate payload");
+        if (s.kind != StepKind::kData) {
+          return fail("payload only applies to data steps");
+        }
+        if (token == "full") {
+          s.payload = 0;
+        } else if (!parse_int(token, &s.payload) || s.payload == 0) {
+          return fail("bad payload '" + token + "' (want full|1..1460)");
+        }
+        saw_payload = true;
+        break;
+      }
+      default:
+        return fail("unexpected delimiter");
+    }
+  }
+  return s;
+}
+
+/// Executes a program's steps at the strategy hook. Pre-handshake steps
+/// fire once on the bare SYN; data steps fire on the first data packet and
+/// its retransmissions (the DataTrigger loss contract all paper strategies
+/// share).
+class ProgramStrategy final : public strategy::Strategy {
+ public:
+  explicit ProgramStrategy(CandidateProgram prog) : prog_(std::move(prog)) {
+    for (const Step& s : prog_.steps) {
+      (s.phase == Phase::kPreHandshake ? has_pre_ : has_data_) = true;
+    }
+  }
+
+  std::string name() const override { return "search:" + prog_.spec(); }
+
+  Verdict on_egress(strategy::StrategyContext& ctx,
+                    net::Packet& pkt) override {
+    if (has_pre_ && is_bare_syn(pkt)) {
+      int slot = 0;
+      for (const Step& s : prog_.steps) {
+        if (s.phase != Phase::kPreHandshake) continue;
+        emit(ctx, s, /*trigger=*/nullptr, &slot);
+      }
+      ctx.raw_send_after(spaced(slot), pkt);
+      return Verdict::kDrop;
+    }
+    if (has_data_ && trigger_.fires(pkt)) {
+      int slot = 0;
+      for (const Step& s : prog_.steps) {
+        if (s.phase != Phase::kOnData) continue;
+        emit(ctx, s, &pkt, &slot);
+      }
+      ctx.raw_send_after(spaced(slot), pkt);
+      return Verdict::kDrop;
+    }
+    return Verdict::kAccept;
+  }
+
+ private:
+  /// Craft and send one step's packets. `trigger` is the data packet the
+  /// step fires on (null in the pre-handshake phase, where sequence
+  /// numbers are fresh random ISNs instead).
+  void emit(strategy::StrategyContext& ctx, const Step& s,
+            const net::Packet* trigger, int* slot) {
+    for (int copy = 0; copy < s.repeat; ++copy) {
+      net::Packet p = craft(ctx, s, trigger);
+      if (s.disc != Discrepancy::kNone) {
+        strategy::apply_discrepancy(p, s.disc, ctx.tuning());
+      }
+      ctx.raw_send_after(spaced((*slot)++), std::move(p));
+    }
+  }
+
+  net::Packet craft(strategy::StrategyContext& ctx, const Step& s,
+                    const net::Packet* trigger) {
+    if (trigger == nullptr) {
+      // Pre-handshake: no established sequence space yet; SYN/SYN-ACK
+      // forgeries use fresh random numbers (TCB creation / reversal).
+      if (s.kind == StepKind::kSynAck) {
+        return strategy::craft_syn_ack(ctx.tuple, ctx.rng().next_u32(),
+                                       ctx.rng().next_u32());
+      }
+      return strategy::craft_syn(ctx.tuple, ctx.rng().next_u32());
+    }
+    const net::TcpHeader& t = *trigger->tcp;
+    const u32 seq = s.out_of_window ? t.seq + kOutOfWindow : t.seq;
+    switch (s.kind) {
+      case StepKind::kSyn:
+        return strategy::craft_syn(ctx.tuple, seq);
+      case StepKind::kSynAck:
+        return strategy::craft_syn_ack(ctx.tuple, seq, ctx.rcv_nxt);
+      case StepKind::kRst:
+        return strategy::craft_rst(ctx.tuple, seq);
+      case StepKind::kRstAck:
+        return strategy::craft_rst_ack(ctx.tuple, seq, ctx.rcv_nxt);
+      case StepKind::kFin:
+        return strategy::craft_fin(ctx.tuple, seq, ctx.rcv_nxt);
+      case StepKind::kData:
+        break;
+    }
+    const std::size_t size = s.payload == 0
+                                 ? trigger->payload.size()
+                                 : static_cast<std::size_t>(s.payload);
+    return strategy::craft_data(ctx.tuple, seq, t.ack,
+                                strategy::junk_payload(size, ctx.rng()));
+  }
+
+  CandidateProgram prog_;
+  strategy::DataTrigger trigger_;
+  bool has_pre_ = false;
+  bool has_data_ = false;
+};
+
+}  // namespace
+
+const char* to_string(Phase p) {
+  return p == Phase::kPreHandshake ? "pre" : "data";
+}
+
+const char* to_string(StepKind k) {
+  switch (k) {
+    case StepKind::kSyn: return "syn";
+    case StepKind::kSynAck: return "synack";
+    case StepKind::kRst: return "rst";
+    case StepKind::kRstAck: return "rstack";
+    case StepKind::kFin: return "fin";
+    case StepKind::kData: return "data";
+  }
+  return "?";
+}
+
+strategy::PacketKind packet_kind(StepKind k) {
+  switch (k) {
+    case StepKind::kSyn: return strategy::PacketKind::kSyn;
+    case StepKind::kSynAck: return strategy::PacketKind::kSynAck;
+    case StepKind::kRst:
+    case StepKind::kRstAck: return strategy::PacketKind::kRst;
+    case StepKind::kFin: return strategy::PacketKind::kFin;
+    case StepKind::kData: return strategy::PacketKind::kData;
+  }
+  return strategy::PacketKind::kData;
+}
+
+std::string CandidateProgram::spec() const {
+  std::string out;
+  for (const Step& s : steps) {
+    if (!out.empty()) out += ';';
+    out += step_spec(s);
+  }
+  return out;
+}
+
+std::optional<CandidateProgram> CandidateProgram::parse(
+    const std::string& text, std::string* error) {
+  std::string scratch;
+  if (error == nullptr) error = &scratch;
+  error->clear();
+  CandidateProgram prog;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    if (token.empty()) {
+      *error = "empty step";
+      return std::nullopt;
+    }
+    const auto step = parse_step(token, error);
+    if (!step) return std::nullopt;
+    prog.steps.push_back(*step);
+    if (end == text.size()) break;
+    begin = end + 1;
+  }
+  if (!prog.valid(error)) return std::nullopt;
+  return prog;
+}
+
+bool CandidateProgram::valid(std::string* why) const {
+  const auto fail = [&](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (steps.empty()) return fail("program has no steps");
+  if (steps.size() > static_cast<std::size_t>(kMaxSteps)) {
+    return fail("program exceeds " + std::to_string(kMaxSteps) + " steps");
+  }
+  for (const Step& s : steps) {
+    if (s.repeat < 1 || s.repeat > kMaxRepeat) {
+      return fail("repeat out of range [1, " + std::to_string(kMaxRepeat) +
+                  "]");
+    }
+    if (s.phase == Phase::kPreHandshake) {
+      // Before the handshake there is no sequence space to be out of, and
+      // only TCB-creating packet kinds (SYN, SYN/ACK) mean anything to a
+      // censor that has not seen a connection yet.
+      if (s.kind != StepKind::kSyn && s.kind != StepKind::kSynAck) {
+        return fail("pre-handshake steps must be syn or synack");
+      }
+      if (s.out_of_window) return fail("+ow needs an established window");
+    }
+    if (s.kind == StepKind::kData) {
+      if (s.payload < 0 || s.payload > kMaxPayload) {
+        return fail("payload out of range [full, 1.." +
+                    std::to_string(kMaxPayload) + "]");
+      }
+    } else if (s.payload != 0) {
+      return fail("payload only applies to data steps");
+    }
+  }
+  return true;
+}
+
+int CandidateProgram::insertion_cost() const {
+  int cost = 0;
+  for (const Step& s : steps) cost += s.repeat;
+  return cost;
+}
+
+std::unique_ptr<strategy::Strategy> CandidateProgram::make_strategy() const {
+  return std::make_unique<ProgramStrategy>(*this);
+}
+
+const std::vector<SeedProgram>& seed_programs() {
+  // Every paper strategy class expressible over the step grammar, with the
+  // paper's ×3 redundancy where §3.4 applies. Labels are the class names
+  // classify_known() reports.
+  static const std::vector<SeedProgram> kSeeds = {
+      {"tcb-creation", "pre:syn/ttl"},
+      {"tcb-reversal", "pre:synack/ttl"},
+      {"tcb-teardown", "data:rst/ttl*3"},
+      {"in-order-overlap", "data:data/md5*3=full"},
+      {"resync-desync", "data:syn/ttl+ow;data:data+ow=1"},
+      {"improved-tcb-teardown", "data:rst/ttl*3;data:data+ow=1"},
+      {"tcb-creation+resync-desync",
+       "pre:syn/ttl;data:syn/ttl+ow;data:data+ow=1"},
+      {"tcb-teardown+tcb-reversal", "pre:synack/ttl;data:rst/ttl*3"},
+  };
+  return kSeeds;
+}
+
+std::optional<std::string> classify_known(const CandidateProgram& prog) {
+  // Class templates: the seed shapes plus the Table 1 single-step
+  // variants. Matching ignores repeat counts (redundancy tunes loss
+  // robustness, it does not change the mechanism) but is exact on phase,
+  // kind, discrepancy, window anchoring, and payload shape.
+  struct Template {
+    const char* label;
+    const char* spec;
+  };
+  static const std::vector<Template> kTemplates = [] {
+    std::vector<Template> t;
+    for (const SeedProgram& seed : seed_programs()) {
+      t.push_back({seed.label, seed.spec});
+    }
+    // Table 1 rows not covered by the seed list: teardown and in-order
+    // variants over their historical discrepancies.
+    t.push_back({"tcb-creation", "pre:syn/bad-checksum"});
+    t.push_back({"tcb-teardown", "data:rst/bad-checksum*3"});
+    t.push_back({"tcb-teardown", "data:rstack/ttl*3"});
+    t.push_back({"tcb-teardown", "data:rstack/bad-checksum*3"});
+    t.push_back({"tcb-teardown", "data:fin/ttl*3"});
+    t.push_back({"tcb-teardown", "data:fin/bad-checksum*3"});
+    t.push_back({"in-order-overlap", "data:data/ttl*3=full"});
+    t.push_back({"in-order-overlap", "data:data/bad-ack*3=full"});
+    t.push_back({"in-order-overlap", "data:data/bad-checksum*3=full"});
+    t.push_back({"in-order-overlap", "data:data/no-flags*3=full"});
+    return t;
+  }();
+
+  const auto matches = [](const CandidateProgram& a,
+                          const CandidateProgram& b) {
+    if (a.steps.size() != b.steps.size()) return false;
+    for (std::size_t i = 0; i < a.steps.size(); ++i) {
+      Step x = a.steps[i];
+      Step y = b.steps[i];
+      x.repeat = y.repeat = 1;
+      if (x != y) return false;
+    }
+    return true;
+  };
+
+  for (const Template& t : kTemplates) {
+    std::string error;
+    const auto reference = CandidateProgram::parse(t.spec, &error);
+    if (reference && matches(prog, *reference)) return std::string(t.label);
+  }
+  return std::nullopt;
+}
+
+std::vector<Step> primitive_steps() {
+  std::vector<Step> out;
+  for (StepKind kind : all_kinds()) {
+    for (Discrepancy disc : all_discrepancies()) {
+      // Pre-handshake primitives: TCB-creating kinds, in-window only.
+      if (kind == StepKind::kSyn || kind == StepKind::kSynAck) {
+        Step pre;
+        pre.phase = Phase::kPreHandshake;
+        pre.kind = kind;
+        pre.disc = disc;
+        out.push_back(pre);
+      }
+      for (bool ow : {false, true}) {
+        Step s;
+        s.phase = Phase::kOnData;
+        s.kind = kind;
+        s.disc = disc;
+        s.out_of_window = ow;
+        if (kind == StepKind::kData) {
+          for (int payload : {0, 1}) {
+            s.payload = payload;
+            out.push_back(s);
+          }
+          s.payload = 0;
+        } else {
+          out.push_back(s);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ys::search

@@ -1,0 +1,142 @@
+// ys::search — candidate evasion programs over the §3 insertion-packet
+// taxonomy.
+//
+// A CandidateProgram is an ordered list of insertion-packet steps, each a
+// point in the (phase × packet kind × discrepancy × tuning) grid that
+// strategy/insertion.h exposes. Programs have a canonical, round-trippable
+// spec string (serialize → parse → serialize is byte-exact, mirroring the
+// FaultPlan inline-spec idiom), a static insertion-packet cost, and an
+// executable form: make_strategy() returns a first-class
+// strategy::Strategy, so a discovered program runs through the exact same
+// StrategyEngine hook as the paper's hand-written strategies — and
+// `yourstate explain` attributes its wins and losses the same way.
+//
+// Spec grammar (one step per ';'):
+//
+//   step    := phase ':' kind ['/' disc] ['*' repeat] ['+ow'] ['=' payload]
+//   phase   := 'pre'  (fires on the client's bare SYN, before the
+//                      handshake — the TCB-creation/reversal slot)
+//            | 'data' (fires on the first outgoing data packet and its
+//                      retransmissions — the teardown/overlap/resync slot)
+//   kind    := 'syn' | 'synack' | 'rst' | 'rstack' | 'fin' | 'data'
+//   disc    := a strategy::Discrepancy name ('ttl', 'bad-checksum',
+//              'bad-ack', 'no-flags', 'md5', 'old-timestamp',
+//              'bad-ip-length', 'short-tcp-header'); omitted = none
+//   repeat  := 1..9 copies (the §3.4 loss hedge); omitted = 1
+//   '+ow'   := data phase only: anchor the step's sequence number far
+//              outside the receive window (the §5.1 desync offset)
+//   payload := data kind only: 'full' (junk the size of the triggering
+//              request) or 1..1460 junk bytes; always serialized
+//
+// Examples (the paper's Table 4 strategies as programs):
+//
+//   data:rst/ttl*3                        TCB teardown
+//   data:rst/ttl*3;data:data+ow=1         Improved teardown (Fig. §7.1)
+//   data:data/md5*3=full                  Improved in-order overlap
+//   pre:syn/ttl;data:syn/ttl+ow;data:data+ow=1   Fig. 3 combined strategy
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "strategy/strategy.h"
+
+namespace ys::search {
+
+/// When a step fires on the connection.
+enum class Phase {
+  kPreHandshake,  // on the client's bare SYN
+  kOnData,        // on the first outgoing data packet (+ retransmissions)
+};
+
+const char* to_string(Phase p);
+
+/// What the step crafts. Mirrors strategy::PacketKind but splits RST from
+/// RST/ACK — they are distinct crafting factories (and distinct Table 1
+/// rows), and the grammar names them separately.
+enum class StepKind { kSyn, kSynAck, kRst, kRstAck, kFin, kData };
+
+const char* to_string(StepKind k);
+
+/// Table 5 lookup key for a step kind.
+strategy::PacketKind packet_kind(StepKind k);
+
+/// One insertion-packet step of a program.
+struct Step {
+  Phase phase = Phase::kOnData;
+  StepKind kind = StepKind::kRst;
+  strategy::Discrepancy disc = strategy::Discrepancy::kSmallTtl;
+  /// Copies sent, spaced 2 ms apart (§3.4 redundancy). 1..9.
+  int repeat = 1;
+  /// Data phase only: sequence number anchored out of window (§5.1).
+  bool out_of_window = false;
+  /// Data kind only: junk payload bytes; 0 = match the triggering
+  /// packet's payload size ("full").
+  int payload = 0;
+
+  bool operator==(const Step& o) const {
+    return phase == o.phase && kind == o.kind && disc == o.disc &&
+           repeat == o.repeat && out_of_window == o.out_of_window &&
+           payload == o.payload;
+  }
+  bool operator!=(const Step& o) const { return !(*this == o); }
+};
+
+/// Hard bounds of the program space (shared by validation, mutation, and
+/// the property-test sweep).
+constexpr int kMaxSteps = 6;
+constexpr int kMaxRepeat = 9;
+constexpr int kMaxPayload = 1460;
+
+struct CandidateProgram {
+  std::vector<Step> steps;
+
+  /// Canonical spec string; parse(spec()).spec() == spec() byte-exact.
+  std::string spec() const;
+
+  /// Parse a spec. std::nullopt (and a message in *error) on syntax or
+  /// validity problems. Accepts step suffix tokens in any order and
+  /// explicit '/none'; spec() re-emits the canonical form.
+  static std::optional<CandidateProgram> parse(const std::string& text,
+                                               std::string* error);
+
+  /// Structural validity: step count in [1, kMaxSteps], pre-phase steps
+  /// are SYN/SYN-ACK only and in-window, payload tokens on data kinds
+  /// only, repeat in [1, kMaxRepeat]. parse() only returns valid programs.
+  bool valid(std::string* why = nullptr) const;
+
+  /// Static insertion-packet cost: total crafted packets per firing
+  /// (the Pareto cost axis).
+  int insertion_cost() const;
+
+  /// Executable form: a fresh per-connection Strategy running the steps.
+  /// The strategy's name() is "search:" + spec(), so trace kDecision
+  /// events (and explain attributions) carry the full program.
+  std::unique_ptr<strategy::Strategy> make_strategy() const;
+
+  bool operator==(const CandidateProgram& o) const { return steps == o.steps; }
+  bool operator!=(const CandidateProgram& o) const { return !(*this == o); }
+};
+
+/// A named seed program (a paper strategy class expressed as a program).
+struct SeedProgram {
+  const char* label;  // paper class name
+  const char* spec;   // canonical program spec
+};
+
+/// The §3.2/§5.2/§7.1 strategy classes as programs — the search's seed
+/// population and the "rediscovered a known class" reference set.
+const std::vector<SeedProgram>& seed_programs();
+
+/// Name the paper strategy class a program belongs to, ignoring repeat
+/// counts (redundancy is a tuning knob, not a class distinction);
+/// std::nullopt for compositions the paper never wrote down (novel).
+std::optional<std::string> classify_known(const CandidateProgram& prog);
+
+/// Every valid single-step program over the primitive grid (the
+/// property-test sweep and the mutation universe).
+std::vector<Step> primitive_steps();
+
+}  // namespace ys::search

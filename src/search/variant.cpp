@@ -1,0 +1,87 @@
+#include "search/variant.h"
+
+namespace ys::search {
+
+exp::PathProfile GfwVariant::apply(const exp::PathProfile& base) const {
+  exp::PathProfile p = base;
+  p.old_model = old_model;
+  if (rst_established) p.rst_reaction_established = *rst_established;
+  return p;
+}
+
+std::vector<GfwVariant> default_variants() {
+  std::vector<GfwVariant> out;
+  {
+    GfwVariant v;
+    v.name = "evolved";
+    out.push_back(v);
+  }
+  {
+    GfwVariant v;
+    v.name = "prior";
+    v.old_model = true;
+    out.push_back(v);
+  }
+  {
+    GfwVariant v;
+    v.name = "resync-rst";
+    v.rst_established = gfw::RstReaction::kResync;
+    out.push_back(v);
+  }
+  return out;
+}
+
+const std::vector<CensorResponse>& censor_responses() {
+  static const std::vector<CensorResponse> kResponses = [] {
+    std::vector<CensorResponse> out;
+    {
+      CensorResponse r;
+      r.name = "none";
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "validate-checksum";
+      r.harden.validate_checksum = true;
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "reject-md5";
+      r.harden.reject_md5 = true;
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "strict-rst";
+      r.harden.strict_rst = true;
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "require-server-ack";
+      r.harden.require_server_ack = true;
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "resync-on-rst";
+      r.rst_established = gfw::RstReaction::kResync;
+      out.push_back(r);
+    }
+    {
+      CensorResponse r;
+      r.name = "all";
+      r.harden.validate_checksum = true;
+      r.harden.reject_md5 = true;
+      r.harden.strict_rst = true;
+      r.harden.require_server_ack = true;
+      r.rst_established = gfw::RstReaction::kResync;
+      out.push_back(r);
+    }
+    return out;
+  }();
+  return kResponses;
+}
+
+}  // namespace ys::search

@@ -1,0 +1,56 @@
+// ys::search — the controlled GFW-variant axis and the co-evolution
+// censor moves.
+//
+// Search fitness is measured per GFW variant: a variant pins the
+// systematic path draws that decide which censor model a program faces
+// (prior vs evolved TCB machine, resync-on-RST), instead of letting the
+// calibration's population mix average them away. The Pareto archive is
+// kept per variant — a program that only beats the prior model is still
+// archive-worthy there, and the variant axis is what makes that visible.
+//
+// Co-evolution reuses the same shape: a CensorResponse is a variant delta
+// (the §8 hardening knobs plus always-resync), and the censor's move is to
+// pick the response that minimizes the archive's best success rate.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/scenario.h"
+#include "gfw/gfw_types.h"
+
+namespace ys::search {
+
+/// One controlled censor world the search evaluates against.
+struct GfwVariant {
+  std::string name;
+  /// Force every path onto the prior (pre-evolution) GFW model.
+  bool old_model = false;
+  /// Override the established-state RST reaction on every path
+  /// (kResync = the Behavior-3 resync state is always entered).
+  std::optional<gfw::RstReaction> rst_established;
+  /// §8 countermeasure knobs applied to both GFW devices.
+  exp::ScenarioOptions::HardenOptions harden;
+
+  /// Copy of `base` with this variant's overrides applied.
+  exp::PathProfile apply(const exp::PathProfile& base) const;
+};
+
+/// The default search axis: the evolved model, the prior model, and the
+/// evolved model with resync-on-RST always on (the hardened Behavior-3
+/// world the §7.1 improved strategies were built for).
+std::vector<GfwVariant> default_variants();
+
+/// One censor move in the co-evolution loop.
+struct CensorResponse {
+  std::string name;
+  exp::ScenarioOptions::HardenOptions harden;
+  std::optional<gfw::RstReaction> rst_established;
+};
+
+/// The censor's move set, "none" first: each §8 hardening knob alone,
+/// always-resync, and everything at once.
+const std::vector<CensorResponse>& censor_responses();
+
+}  // namespace ys::search

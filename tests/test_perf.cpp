@@ -287,6 +287,88 @@ TEST(PerfDiff, RenderMentionsEveryMetric) {
   EXPECT_NE(table.find("0 regression(s)"), std::string::npos);
 }
 
+TEST(PerfDiff, PerMetricToleranceOverrideTightens) {
+  // A 10% alloc increase sails through the wide wall-clock band but must
+  // trip a 2% per-metric override — and only for the overridden metric.
+  auto oldr = report_with("allocs_per_trial", 1000.0, Direction::kLowerIsBetter);
+  oldr.metrics["flows_per_sec"] =
+      MetricValue{100.0, "flows/s", Direction::kHigherIsBetter};
+  auto newr = report_with("allocs_per_trial", 1100.0, Direction::kLowerIsBetter);
+  newr.metrics["flows_per_sec"] =
+      MetricValue{90.0, "flows/s", Direction::kHigherIsBetter};
+
+  const DiffResult wide = obs::perf::diff_reports(oldr, newr, 0.50);
+  EXPECT_TRUE(wide.ok());
+
+  const DiffResult tight = obs::perf::diff_reports(
+      oldr, newr, 0.50, {{"allocs_per_trial", 0.02}});
+  ASSERT_EQ(tight.rows.size(), 2u);
+  EXPECT_FALSE(tight.ok());
+  EXPECT_EQ(tight.regressions, 1);
+  for (const auto& row : tight.rows) {
+    if (row.metric == "allocs_per_trial") {
+      EXPECT_EQ(row.status, DiffStatus::kRegressed);
+      EXPECT_DOUBLE_EQ(row.tolerance, 0.02);
+    } else {
+      EXPECT_EQ(row.status, DiffStatus::kOk);  // still the global band
+      EXPECT_DOUBLE_EQ(row.tolerance, 0.50);
+    }
+  }
+}
+
+TEST(PerfDiff, OverrideCanLoosenToo) {
+  const auto oldr = report_with("rate", 100.0, Direction::kHigherIsBetter);
+  const auto newr = report_with("rate", 70.0, Direction::kHigherIsBetter);
+  EXPECT_FALSE(obs::perf::diff_reports(oldr, newr, 0.10).ok());
+  EXPECT_TRUE(
+      obs::perf::diff_reports(oldr, newr, 0.10, {{"rate", 0.40}}).ok());
+}
+
+TEST(PerfDiff, ToJsonIsValidAndComplete) {
+  auto oldr = report_with("rate", 100.0, Direction::kHigherIsBetter);
+  oldr.metrics["allocs"] = MetricValue{10.0, "n", Direction::kLowerIsBetter};
+  auto newr = report_with("rate", 50.0, Direction::kHigherIsBetter);
+  newr.metrics["allocs"] = MetricValue{10.0, "n", Direction::kLowerIsBetter};
+  newr.env["compiler"] = "other-compiler 1";
+  const DiffResult d =
+      obs::perf::diff_reports(oldr, newr, 0.10, {{"allocs", 0.02}});
+
+  const auto doc = ys::json::parse(d.to_json());
+  ASSERT_TRUE(doc.has_value()) << d.to_json();
+  EXPECT_DOUBLE_EQ(doc->find("regressions")->number, 1.0);
+  EXPECT_DOUBLE_EQ(doc->find("improvements")->number, 0.0);
+  EXPECT_EQ(doc->find("ok")->boolean, false);
+
+  const auto* mismatches = doc->find("env_mismatches");
+  ASSERT_NE(mismatches, nullptr);
+  ASSERT_EQ(mismatches->array.size(), 1u);
+  EXPECT_NE(mismatches->array[0].string.find("compiler"), std::string::npos);
+
+  const auto* rows = doc->find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_EQ(rows->array.size(), 2u);
+  bool saw_rate = false;
+  bool saw_allocs = false;
+  for (const auto& row : rows->array) {
+    const std::string metric = row.find("metric")->string;
+    if (metric == "rate") {
+      saw_rate = true;
+      EXPECT_EQ(row.find("status")->string, "REGRESSED");
+      EXPECT_DOUBLE_EQ(row.find("old")->number, 100.0);
+      EXPECT_DOUBLE_EQ(row.find("new")->number, 50.0);
+      EXPECT_DOUBLE_EQ(row.find("delta")->number, -0.5);
+      EXPECT_DOUBLE_EQ(row.find("tolerance")->number, 0.10);
+      EXPECT_EQ(row.find("direction")->string, "higher");
+    } else if (metric == "allocs") {
+      saw_allocs = true;
+      EXPECT_EQ(row.find("status")->string, "ok");
+      EXPECT_DOUBLE_EQ(row.find("tolerance")->number, 0.02);
+    }
+  }
+  EXPECT_TRUE(saw_rate);
+  EXPECT_TRUE(saw_allocs);
+}
+
 TEST(PerfDiff, ZeroOldValueDoesNotDivide) {
   const auto oldr = report_with("rate", 0.0, Direction::kHigherIsBetter);
   const auto newr = report_with("rate", 50.0, Direction::kHigherIsBetter);

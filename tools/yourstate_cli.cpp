@@ -11,12 +11,21 @@
 //   yourstate explain [options]           replay one bench grid coordinate
 //                                         traced: annotated ladder + verdict
 //                                         attribution
+//   yourstate search [options]            evolutionary strategy discovery
+//                                         (ys::search): evolve insertion-
+//                                         packet programs against the GFW
+//                                         variants, print the per-variant
+//                                         Pareto archives and the censor
+//                                         co-evolution rounds
 //   yourstate perf --diff OLD NEW         compare two BenchReport JSONs
 //                                         (bench --report=FILE output):
 //                                         regression table; with --check,
 //                                         exit 1 when a gated metric moved
 //                                         outside --tolerance=X (default
-//                                         0.10 = 10%)
+//                                         0.10 = 10%); --tolerance-for=
+//                                         METRIC:X tightens one metric's
+//                                         band; --json emits the table as
+//                                         machine-readable JSON
 //
 // Common options:
 //   --vp=NAME            vantage point (default aliyun-sh)
@@ -43,18 +52,25 @@
 //
 // `explain` options (grid coordinates; --server is the server INDEX here):
 //   --bench=NAME         table1 | table4-inside | table4-intang |
-//                        table6-dns | faults | fleet
+//                        table6-dns | faults | fleet | search
 //   --cell=N --vantage=N --server=N --trial=N   the coordinate
 //   --trials=N --servers=N --seed=S --faults=SPEC  the bench scale (must
 //                        match the run being explained for identical
 //                        replay; for `faults`, cell = plan*2 + intang; for
 //                        table1, cell = row*2 + (keyword ? 0 : 1); for
 //                        table6-dns, cell = resolver; for fleet, pass the
-//                        run's --fleet= and the (vantage, trial) flow)
+//                        run's --fleet= and the (vantage, trial) flow; for
+//                        search, pass --program=SPEC from the archive and
+//                        cell = GFW variant index — the trial re-runs with
+//                        the exact per-trial seed the search grid used)
+//   --program=SPEC       a ys::search program spec; also accepted by
+//                        `trial` to run a discovered program directly
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -74,6 +90,7 @@
 #include "obs/perf.h"
 #include "obs/trace_export.h"
 #include "runner/runner.h"
+#include "search/engine.h"
 
 namespace ys {
 namespace {
@@ -107,6 +124,8 @@ struct CliOptions {
   std::string domain = "www.dropbox.com";
   std::string faults;  // fault plan spec; empty = fault-free
   std::string fleet;   // fleet run spec; empty = FleetConfig defaults
+  std::string program;  // ys::search program spec (trial, explain)
+  int faulted_trials = -1;  // explain --bench=search scale; -1 = default
 };
 
 /// Parse --faults once into storage that outlives every scenario built
@@ -199,18 +218,24 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 int usage() {
   std::fprintf(stderr,
                "usage: yourstate <list|trial|probe|dns|tor|stats|fleet|"
-               "explain|perf> [--vp=NAME] "
-               "[--server=IP] [--strategy=NAME] [--intang] [--keyword=0|1] "
+               "search|explain|perf> [--vp=NAME] "
+               "[--server=IP] [--strategy=NAME] [--program=SPEC] [--intang] "
+               "[--keyword=0|1] "
                "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
                "[--trace-out=FILE] [--pcap=FILE] [--domain=NAME] "
                "[--metrics[=json|table]] [--metrics-out=FILE]\n"
                "       yourstate fleet [--fleet=SPEC|@file.json] [--seed=S] "
                "[--jobs=N]\n"
+               "       yourstate search [--population=N] [--generations=N] "
+               "[--budget=N] [--servers=N] [--trials=N] [--faulted-trials=N] "
+               "[--faults=SPEC] [--coevo-rounds=N] [--seed=S] [--jobs=N] "
+               "[--resume-dir=D] [--report=FILE] [--heartbeat=S]\n"
                "       yourstate explain --bench=NAME --cell=N --vantage=N "
                "--server=N --trial=N [--trials=N] [--servers=N] [--seed=S] "
-               "[--fleet=SPEC] [--trace-out=FILE] [--pcap=FILE]\n"
+               "[--fleet=SPEC] [--program=SPEC] [--trace-out=FILE] "
+               "[--pcap=FILE]\n"
                "       yourstate perf --diff OLD.json NEW.json [--check] "
-               "[--tolerance=X]\n");
+               "[--tolerance=X] [--tolerance-for=METRIC:X] [--json]\n");
   return 2;
 }
 
@@ -219,7 +244,9 @@ int usage() {
 int cmd_perf(int argc, char** argv) {
   bool diff = false;
   bool check = false;
+  bool as_json = false;
   double tolerance = 0.10;
+  std::map<std::string, double> tolerance_overrides;
   std::vector<std::string> files;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -227,6 +254,22 @@ int cmd_perf(int argc, char** argv) {
       diff = true;
     } else if (arg == "--check") {
       check = true;
+    } else if (arg == "--json") {
+      as_json = true;
+    } else if (arg.rfind("--tolerance-for=", 0) == 0) {
+      const std::string spec = arg.substr(16);
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "--tolerance-for wants METRIC:X (got %s)\n",
+                     spec.c_str());
+        return 2;
+      }
+      const double band = std::atof(spec.c_str() + colon + 1);
+      if (band < 0.0) {
+        std::fprintf(stderr, "--tolerance-for band must be >= 0\n");
+        return 2;
+      }
+      tolerance_overrides[spec.substr(0, colon)] = band;
     } else if (arg.rfind("--tolerance=", 0) == 0) {
       tolerance = std::atof(arg.c_str() + 12);
       if (tolerance < 0.0) {
@@ -243,7 +286,8 @@ int cmd_perf(int argc, char** argv) {
   if (!diff || files.size() != 2) {
     std::fprintf(stderr,
                  "perf wants: yourstate perf --diff OLD.json NEW.json "
-                 "[--check] [--tolerance=X]\n");
+                 "[--check] [--tolerance=X] [--tolerance-for=METRIC:X] "
+                 "[--json]\n");
     return 2;
   }
   std::string error;
@@ -257,17 +301,128 @@ int cmd_perf(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", files[1].c_str(), error.c_str());
     return 2;
   }
+  const obs::perf::DiffResult result = obs::perf::diff_reports(
+      *old_report, *new_report, tolerance, tolerance_overrides);
+  if (as_json) {
+    std::printf("%s", result.to_json().c_str());
+    if (check && !result.ok()) return 1;
+    return 0;
+  }
   std::printf("perf diff: %s (%s) -> %s (%s), tolerance %.0f%%\n\n",
               files[0].c_str(), old_report->name.c_str(), files[1].c_str(),
               new_report->name.c_str(), tolerance * 100.0);
+  for (const auto& [metric, band] : tolerance_overrides) {
+    std::printf("  tolerance override: %s at %.2f%%\n", metric.c_str(),
+                band * 100.0);
+  }
   if (old_report->name != new_report->name) {
     std::printf("note: comparing reports from different benches (%s vs %s)\n\n",
                 old_report->name.c_str(), new_report->name.c_str());
   }
-  const obs::perf::DiffResult result =
-      obs::perf::diff_reports(*old_report, *new_report, tolerance);
   std::printf("%s", result.render().c_str());
   if (check && !result.ok()) return 1;
+  return 0;
+}
+
+/// `yourstate search` — own flag scan (search has its own knob set).
+int cmd_search(int argc, char** argv) {
+  search::SearchConfig cfg;
+  std::string report_path;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--population")) {
+      cfg.population = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value("--generations")) {
+      cfg.generations = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value("--budget")) {
+      cfg.budget = static_cast<u64>(std::atoll(v->c_str()));
+    } else if (auto v = value("--servers")) {
+      cfg.servers = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value("--trials")) {
+      cfg.clean_trials = std::max(1, std::atoi(v->c_str()));
+    } else if (auto v = value("--faulted-trials")) {
+      cfg.faulted_trials = std::max(0, std::atoi(v->c_str()));
+    } else if (auto v = value("--faults")) {
+      cfg.fault_spec = *v;
+    } else if (auto v = value("--coevo-rounds")) {
+      cfg.coevo_rounds = std::max(0, std::atoi(v->c_str()));
+    } else if (auto v = value("--seed")) {
+      cfg.seed = static_cast<u64>(std::atoll(v->c_str()));
+    } else if (auto v = value("--jobs")) {
+      cfg.jobs = std::atoi(v->c_str());
+    } else if (auto v = value("--resume-dir")) {
+      cfg.resume_dir = *v;
+    } else if (auto v = value("--heartbeat")) {
+      cfg.heartbeat = std::atof(v->c_str());
+    } else if (auto v = value("--report")) {
+      report_path = *v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    }
+  }
+
+  search::SearchEngine engine(cfg);
+  std::printf(
+      "search: population=%d generations=%d variants=%zu servers=%d "
+      "trials=%d+%d faults=%s seed=%llu jobs=%d\n\n",
+      cfg.population, cfg.generations, cfg.variants.size(), cfg.servers,
+      cfg.clean_trials, cfg.faulted_trials, cfg.fault_spec.c_str(),
+      static_cast<unsigned long long>(cfg.seed), cfg.jobs);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const search::SearchResult result = engine.run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("%s", result.render().c_str());
+  std::printf(
+      "\n%d generation(s), %llu trial evaluations%s, %.2fs wall\n",
+      result.generations_run,
+      static_cast<unsigned long long>(result.evaluations),
+      result.resumed ? " (resumed from checkpoint)" : "", wall);
+
+  if (!report_path.empty()) {
+    obs::perf::BenchReport report = obs::perf::make_report("search");
+    report.config["seed"] = static_cast<double>(cfg.seed);
+    report.config["population"] = cfg.population;
+    report.config["generations"] = cfg.generations;
+    report.config["servers"] = cfg.servers;
+    report.config["jobs"] = cfg.jobs;
+    report.wall_seconds = wall;
+    report.metrics["evaluations"] = {static_cast<double>(result.evaluations),
+                                     "trials", obs::perf::Direction::kInfo};
+    report.metrics["trials_per_sec"] = {
+        wall > 0.0 ? static_cast<double>(result.evaluations) / wall : 0.0,
+        "trials/s", obs::perf::Direction::kHigherIsBetter};
+    for (const search::VariantArchive& archive : result.archives) {
+      report.metrics["archive_size." + archive.variant] = {
+          static_cast<double>(archive.entries.size()), "programs",
+          obs::perf::Direction::kInfo};
+      report.metrics["best_success." + archive.variant] = {
+          archive.entries.empty() ? 0.0
+                                  : archive.entries.front().score.success,
+          "rate", obs::perf::Direction::kHigherIsBetter};
+    }
+    if (!result.coevo.empty()) {
+      report.metrics["coevo_survivors"] = {
+          static_cast<double>(result.coevo.back().survivors.size()),
+          "programs", obs::perf::Direction::kInfo};
+    }
+    report.snapshot = obs::MetricsRegistry::global().snapshot();
+    if (report.write(report_path)) {
+      std::printf("report written to %s\n", report_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --report file %s\n",
+                   report_path.c_str());
+    }
+  }
   return 0;
 }
 
@@ -335,13 +490,25 @@ int cmd_trial(const CliOptions& cli, const VantagePoint& vp) {
   http.with_keyword = cli.keyword;
   http.strategy = cli.strategy;
   http.use_intang = cli.use_intang;
+  std::optional<search::CandidateProgram> program;
+  if (!cli.program.empty()) {
+    std::string error;
+    program = search::CandidateProgram::parse(cli.program, &error);
+    if (!program) {
+      std::fprintf(stderr, "--program: %s\n", error.c_str());
+      return 2;
+    }
+    http.strategy_factory = [&program] { return program->make_strategy(); };
+  }
   const TrialResult result = run_http_trial(sc, http);
 
   if (cli.trace) std::printf("%s\n", sc.trace().render().c_str());
   write_trace_out(sc, cli.trace_out);
   std::printf("vantage=%s server=%s strategy=%s keyword=%d\n",
               vp.name.c_str(), net::ip_to_string(cli.server).c_str(),
-              strategy::to_string(result.strategy_used), cli.keyword ? 1 : 0);
+              program ? ("search:" + program->spec()).c_str()
+                      : strategy::to_string(result.strategy_used),
+              cli.keyword ? 1 : 0);
   std::printf("outcome=%s response=%d gfw_resets=%d other_resets=%d\n",
               to_string(result.outcome), result.response_received,
               result.gfw_reset_seen, result.other_reset_seen);
@@ -492,7 +659,8 @@ int cmd_fleet(const CliOptions& cli) {
 
 /// Replay one bench grid coordinate traced and attribute its verdict.
 int cmd_explain(const CliOptions& cli) {
-  bool known = false;
+  // "search" is CLI-side: ys::exp cannot depend on ys::search.
+  bool known = cli.bench == "search";
   for (const std::string& name : known_benches()) {
     if (name == cli.bench) known = true;
   }
@@ -501,7 +669,7 @@ int cmd_explain(const CliOptions& cli) {
     for (const std::string& name : known_benches()) {
       std::fprintf(stderr, " %s", name.c_str());
     }
-    std::fprintf(stderr, ")\n");
+    std::fprintf(stderr, " search)\n");
     return 2;
   }
 
@@ -521,7 +689,50 @@ int cmd_explain(const CliOptions& cli) {
   std::string vantage_name;
   std::string server_host;
   std::string extra;
-  if (is_faults) {
+  if (cli.bench == "search") {
+    if (cli.program.empty()) {
+      std::fprintf(stderr,
+                   "--bench=search wants --program=SPEC (an archive entry's "
+                   "program column; cell = GFW variant index)\n");
+      return 2;
+    }
+    std::string error;
+    const auto prog = search::CandidateProgram::parse(cli.program, &error);
+    if (!prog) {
+      std::fprintf(stderr, "--program: %s\n", error.c_str());
+      return 2;
+    }
+    // Rebuild the search's evaluation config; the flags must match the run
+    // being explained (same defaults as `yourstate search`).
+    search::SearchConfig cfg;
+    cfg.seed = scale.seed;
+    if (cli.servers_scale > 0) cfg.servers = cli.servers_scale;
+    if (cli.trials != 5) cfg.clean_trials = cli.trials;  // 5 = CLI default
+    if (cli.faulted_trials >= 0) cfg.faulted_trials = cli.faulted_trials;
+    if (!cli.faults.empty()) cfg.fault_spec = cli.faults;
+    const search::SearchEngine engine(cfg);
+    const std::size_t variants = cfg.variants.size();
+    const std::size_t trials = static_cast<std::size_t>(cfg.clean_trials) +
+                               static_cast<std::size_t>(cfg.faulted_trials);
+    if (coord.cell >= variants ||
+        coord.server >= static_cast<std::size_t>(cfg.servers) ||
+        coord.trial >= trials) {
+      std::fprintf(stderr,
+                   "coordinate out of range: grid is variants=%zu servers=%d "
+                   "trials=%zu (cell = GFW variant)\n",
+                   variants, cfg.servers, trials);
+      return 2;
+    }
+    replay = engine.replay(*prog, coord.cell, coord.server, coord.trial,
+                           cli.trace_out, cli.pcap);
+    vantage_name = cfg.variants[coord.cell].name;
+    server_host = engine.server_population()[coord.server].host;
+    extra = " variant=" + cfg.variants[coord.cell].name +
+            (coord.trial >= static_cast<std::size_t>(cfg.clean_trials)
+                 ? " [faulted trial: " + cfg.fault_spec + "]"
+                 : "") +
+            " program=" + prog->spec();
+  } else if (is_faults) {
     const FaultsBench bench(scale);
     const runner::TrialGrid grid = bench.grid();
     if (coord.cell >= grid.cells || coord.vantage >= grid.vantages ||
@@ -666,6 +877,7 @@ int run(int argc, char** argv) {
   CliOptions cli;
   cli.command = argv[1];
   if (cli.command == "perf") return cmd_perf(argc, argv);
+  if (cli.command == "search") return cmd_search(argc, argv);
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -741,6 +953,10 @@ int run(int argc, char** argv) {
       cli.faults = *v;
     } else if (auto v = value("--fleet")) {
       cli.fleet = *v;
+    } else if (auto v = value("--program")) {
+      cli.program = *v;
+    } else if (auto v = value("--faulted-trials")) {
+      cli.faulted_trials = std::max(0, std::atoi(v->c_str()));
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
