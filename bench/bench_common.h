@@ -39,8 +39,16 @@
 //   --phase-trace=F   write the aggregated phase profile as a Chrome
 //                     trace-event JSON (chrome://tracing / Perfetto) to F
 //                     at exit.
+//   --timeline-out=F  record an opt-in virtual-time timeline
+//                     (obs/timeline.h) for the whole run and write it as
+//                     "ys.timeline.v1" JSON at exit — the input of
+//                     `yourstate report`. Off by default so the
+//                     bench_obs_overhead gate path is untouched.
+//   --timeline-csv=F  same, flattened to CSV rows
+//   --timeline-bucket-ms=N  timeline bucket width (default 1000)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +63,8 @@
 #include "obs/export.h"
 #include "obs/perf.h"
 #include "obs/phase_profiler.h"
+#include "obs/timeline.h"
+#include "obs/timeline_export.h"
 #include "runner/runner.h"
 
 namespace ys::bench {
@@ -71,6 +81,9 @@ struct RunConfig {
   std::string report;      // BenchReport JSON path; empty = no report
   double heartbeat = 0.0;  // stderr heartbeat interval; 0 = off
   std::string phase_trace;  // Chrome trace JSON path; empty = off
+  std::string timeline_out;  // "ys.timeline.v1" JSON path; empty = off
+  std::string timeline_csv;  // CSV flattening of the same; empty = off
+  int timeline_bucket_ms = 1000;
 };
 
 // ------------------------------------------------------------ bench report
@@ -165,6 +178,41 @@ inline void write_bench_report() {
   }
 }
 
+/// The bench's opt-in timeline (--timeline-out / --timeline-csv), or
+/// nullptr when recording is off. Installed on the main thread by
+/// parse_args for the whole bench lifetime; the runner pool mirrors it
+/// into worker-private timelines and merges them back after each run, so
+/// the atexit writer sees every producer's points.
+inline obs::Timeline*& bench_timeline() {
+  static obs::Timeline* tl = nullptr;
+  return tl;
+}
+
+inline std::string& timeline_out_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& timeline_csv_path() {
+  static std::string path;
+  return path;
+}
+
+inline void write_timeline_out() {
+  const obs::Timeline* tl = bench_timeline();
+  if (tl == nullptr) return;
+  const std::string& json = timeline_out_path();
+  if (!json.empty() && !obs::write_timeline_json(json, *tl)) {
+    std::fprintf(stderr, "cannot write --timeline-out file %s\n",
+                 json.c_str());
+  }
+  const std::string& csv = timeline_csv_path();
+  if (!csv.empty() && !obs::write_timeline_csv(csv, *tl)) {
+    std::fprintf(stderr, "cannot write --timeline-csv file %s\n",
+                 csv.c_str());
+  }
+}
+
 /// atexit hook for --phase-trace.
 inline std::string& phase_trace_path() {
   static std::string path;
@@ -245,12 +293,20 @@ inline RunConfig parse_args(int argc, char** argv,
       cfg.heartbeat = std::atof(argv[i] + 12);
     } else if (std::strncmp(argv[i], "--phase-trace=", 14) == 0) {
       cfg.phase_trace = argv[i] + 14;
+    } else if (std::strncmp(argv[i], "--timeline-out=", 15) == 0) {
+      cfg.timeline_out = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--timeline-csv=", 15) == 0) {
+      cfg.timeline_csv = argv[i] + 15;
+    } else if (std::strncmp(argv[i], "--timeline-bucket-ms=", 21) == 0) {
+      cfg.timeline_bucket_ms = std::atoi(argv[i] + 21);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trials=N] [--servers=N] [--seed=S]"
                    " [--jobs=N] [--metrics-out=FILE] [--flight-dir=DIR]"
                    " [--faults=SPEC] [--resume-dir=DIR] [--report=FILE]"
-                   " [--heartbeat=SECONDS] [--phase-trace=FILE]\n",
+                   " [--heartbeat=SECONDS] [--phase-trace=FILE]"
+                   " [--timeline-out=FILE] [--timeline-csv=FILE]"
+                   " [--timeline-bucket-ms=N]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -273,6 +329,17 @@ inline RunConfig parse_args(int argc, char** argv,
   if (!cfg.phase_trace.empty()) {
     phase_trace_path() = cfg.phase_trace;
     std::atexit(write_phase_trace_out);
+  }
+  if (!cfg.timeline_out.empty() || !cfg.timeline_csv.empty()) {
+    timeline_out_path() = cfg.timeline_out;
+    timeline_csv_path() = cfg.timeline_csv;
+    static obs::Timeline timeline{
+        SimTime::from_ms(std::max(1, cfg.timeline_bucket_ms))};
+    // Kept installed for the process lifetime; never popped, so the scope
+    // object can live next to the timeline it points at.
+    static obs::ScopedTimeline scope(&timeline);
+    bench_timeline() = &timeline;
+    std::atexit(write_timeline_out);
   }
   return cfg;
 }

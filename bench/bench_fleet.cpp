@@ -23,7 +23,10 @@
 // flows-per-vantage / server-population for quick scaling experiments;
 // --resume-dir=D persists results across invocations.
 #include <filesystem>
+#include <limits>
 #include <memory>
+#include <optional>
+#include <set>
 
 #include "bench_common.h"
 #include "fleet/fleet.h"
@@ -83,9 +86,11 @@ std::string deterministic_digest(const obs::Snapshot& snap) {
 /// selectors, writers) lives per vantage; the runner's chain contract
 /// keeps each state single-threaded even at --jobs=N.
 SweepOut sweep(const fleet::Fleet& fl, runner::PoolOptions pool,
-               runner::ResultsStore* store) {
+               runner::ResultsStore* store, obs::Timeline* tl = nullptr) {
   obs::MetricsRegistry local;
   obs::ScopedMetricsRegistry scope(&local);
+  std::optional<obs::ScopedTimeline> tl_scope;
+  if (tl != nullptr) tl_scope.emplace(tl);
   pool.heartbeat_extra = [&fl] { return fl.heartbeat_line(); };
 
   const runner::TrialGrid grid = fl.grid();
@@ -335,6 +340,79 @@ int run(int argc, char** argv) {
   } else {
     std::printf("determinism: --jobs=2 == --jobs=1 (flow records and merged "
                 "metrics) with the soak schedule active\n");
+  }
+
+  // Timelines ride the same contract: sweeps recording virtual-time
+  // series at --jobs=2 and --jobs=1 must produce identical digests once
+  // the wall-clock runner.* curves are excluded (the runner's worker pool
+  // merges worker-private timelines in worker order, and every other
+  // series is keyed by virtual time, which --jobs never moves).
+  obs::Timeline par_tl{SimTime::from_ms(500)};
+  obs::Timeline ser_tl{SimTime::from_ms(500)};
+  (void)sweep(fl, par_pool, nullptr, &par_tl);
+  (void)sweep(fl, ser_pool, nullptr, &ser_tl);
+  fl.annotate_timeline(&par_tl);
+  fl.annotate_timeline(&ser_tl);
+  const std::vector<std::string> exclude = {"runner."};
+  if (obs::timeline_digest(par_tl, exclude) !=
+      obs::timeline_digest(ser_tl, exclude)) {
+    std::printf("FAIL: --jobs=2 timeline diverges from --jobs=1 "
+                "(virtual-time series should be jobs-invariant)\n");
+    ++failures;
+  } else {
+    std::printf("timeline: --jobs=2 digest == --jobs=1 digest "
+                "(%zu series)\n", ser_tl.series_count());
+  }
+
+  // Timeline soak coverage: every scheduled phase boundary is annotated
+  // at its bucket, and every phase window (clean lead-in included)
+  // contains at least one fleet.flows bucket — a timeline that skips a
+  // phase would make the dashboard silently lie about the flap response.
+  {
+    std::set<i64> flow_buckets;
+    for (const auto& [key, series] : ser_tl.series()) {
+      if (key.name != "fleet.flows") continue;
+      for (const auto& [bucket, value] : series.buckets) {
+        flow_buckets.insert(bucket);
+      }
+    }
+    std::vector<i64> boundaries = {0};
+    for (const auto& phase : fcfg.soak) {
+      boundaries.push_back(ser_tl.bucket_of(phase.at));
+    }
+    bool covered = !flow_buckets.empty();
+    for (std::size_t p = 0; p < fcfg.soak.size(); ++p) {
+      const i64 bucket = ser_tl.bucket_of(fcfg.soak[p].at);
+      bool annotated = false;
+      for (const auto& a : ser_tl.annotations()) {
+        if (a.category == "soak-phase" && a.bucket == bucket) annotated = true;
+      }
+      if (!annotated) {
+        std::printf("FAIL: soak phase %zu has no timeline annotation at "
+                    "bucket %lld\n", p + 1, static_cast<long long>(bucket));
+        ++failures;
+      }
+    }
+    for (std::size_t w = 0; w < boundaries.size(); ++w) {
+      const i64 lo = boundaries[w];
+      const i64 hi = w + 1 < boundaries.size()
+                         ? boundaries[w + 1]
+                         : std::numeric_limits<i64>::max();
+      if (hi == lo) continue;  // boundaries sharing a bucket: empty window
+      const auto it = flow_buckets.lower_bound(lo);
+      if (it == flow_buckets.end() || *it >= hi) {
+        std::printf("FAIL: soak window %zu (buckets [%lld, %lld)) has no "
+                    "fleet.flows bucket\n", w, static_cast<long long>(lo),
+                    static_cast<long long>(hi));
+        ++failures;
+        covered = false;
+      }
+    }
+    if (covered) {
+      std::printf("timeline: soak coverage ok — %zu phase boundaries "
+                  "annotated, flows recorded in every window\n",
+                  fcfg.soak.size());
+    }
   }
 
   // Resumability: record the first half of the chains (simulating a killed

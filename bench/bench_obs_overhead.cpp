@@ -5,8 +5,10 @@
 // which reduces every update to the same predictable branch the
 // -DYS_OBS_DISABLE compile-out leaves behind). The acceptance bar for the
 // observability layer is <5% overhead with tracing off (the default);
-// structured tracing is an opt-in axis whose cost is measured and reported
-// separately but not gated.
+// structured tracing and timeline recording (obs/timeline.h) are opt-in
+// axes whose cost is measured and reported separately but not gated —
+// with no timeline installed their producer sites are the same
+// thread-local read + branch the gate already covers.
 //
 //   bench_obs_overhead [--smoke] [--trials=N] [--reps=K] [--max-overhead=P]
 //                      [--report=FILE]
@@ -23,16 +25,28 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "exp/scenario.h"
 #include "exp/trial.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/timeline.h"
 
 namespace ys {
 namespace {
 
 double run_workload(const gfw::DetectionRules* rules, int trials, u64 seed,
-                    bool tracing) {
+                    bool tracing, bool timeline = false) {
+  // Installed around the timed loop: the measured delta is what every
+  // producer site pays to resolve + fold into buckets during a
+  // --timeline-out run (export cost happens once, at exit).
+  std::optional<obs::Timeline> tl;
+  std::optional<obs::ScopedTimeline> tl_scope;
+  if (timeline) {
+    tl.emplace(SimTime::from_sec(1));
+    tl_scope.emplace(&*tl);
+  }
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < trials; ++i) {
     exp::ScenarioOptions opt;
@@ -85,17 +99,22 @@ int run(int argc, char** argv) {
   obs::set_metrics_enabled(true);
   run_workload(&rules, std::max(1, trials / 10), 999, /*tracing=*/false);
   run_workload(&rules, std::max(1, trials / 10), 999, /*tracing=*/true);
+  run_workload(&rules, std::max(1, trials / 10), 999, /*tracing=*/false,
+               /*timeline=*/true);
   obs::set_metrics_enabled(false);
   run_workload(&rules, std::max(1, trials / 10), 999, /*tracing=*/false);
 
   double best_on = 1e300;
   double best_off = 1e300;
   double best_traced = 1e300;
+  double best_timeline = 1e300;
   for (int r = 0; r < reps; ++r) {
     // Interleave modes so drift (thermal, scheduler) hits both equally.
     obs::set_metrics_enabled(true);
     best_on = std::min(best_on, run_workload(&rules, trials, 1, false));
     best_traced = std::min(best_traced, run_workload(&rules, trials, 1, true));
+    best_timeline = std::min(
+        best_timeline, run_workload(&rules, trials, 1, false, true));
     obs::set_metrics_enabled(false);
     best_off = std::min(best_off, run_workload(&rules, trials, 1, false));
   }
@@ -103,16 +122,22 @@ int run(int argc, char** argv) {
 
   const double overhead_pct = (best_on / best_off - 1.0) * 100.0;
   const double traced_pct = (best_traced / best_off - 1.0) * 100.0;
+  const double timeline_pct = (best_timeline / best_off - 1.0) * 100.0;
   std::printf("bench_obs_overhead: %d http trials per rep, %d reps\n",
               trials, reps);
   std::printf("  metrics enabled : %9.4f s (best of %d)\n", best_on, reps);
   std::printf("  metrics disabled: %9.4f s (best of %d)\n", best_off, reps);
   std::printf("  metrics+tracing : %9.4f s (best of %d)\n", best_traced, reps);
+  std::printf("  metrics+timeline: %9.4f s (best of %d)\n", best_timeline,
+              reps);
   std::printf("  overhead        : %+8.2f %%  (bar: %.1f %%)\n",
               overhead_pct, max_overhead_pct);
   std::printf("  traced overhead : %+8.2f %%  (informational; tracing is "
               "opt-in)\n",
               traced_pct);
+  std::printf("  timeline overhead: %+7.2f %%  (informational; timelines "
+              "are opt-in)\n",
+              timeline_pct);
   const bool ok = overhead_pct <= max_overhead_pct;
   std::printf("  verdict         : %s\n", ok ? "PASS" : "FAIL");
 
@@ -129,6 +154,8 @@ int run(int argc, char** argv) {
         overhead_pct, "%", Direction::kLowerIsBetter};
     rep.metrics["traced_overhead_pct"] = obs::perf::MetricValue{
         traced_pct, "%", Direction::kInfo};
+    rep.metrics["timeline_overhead_pct"] = obs::perf::MetricValue{
+        timeline_pct, "%", Direction::kInfo};
     rep.snapshot = obs::MetricsRegistry::global().snapshot();
     if (!rep.write(report_path)) {
       std::fprintf(stderr, "cannot write --report file %s\n",

@@ -9,6 +9,7 @@
 #include "app/vpn.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "obs/timeline.h"
 #include "strategy/strategy.h"
 
 namespace ys::exp {
@@ -36,7 +37,15 @@ struct TrialCounters {
 };
 
 void count_outcome(const char* kind, Outcome o, strategy::StrategyId used,
-                   SimTime vtime) {
+                   SimTime vtime, SimTime at) {
+  // Timeline twin of the counters below (opt-in), bucketed at the trial's
+  // absolute completion instant so trial density lines up with the fleet
+  // and fault series on one axis.
+  if (obs::Timeline* tl = obs::Timeline::current()) {
+    const obs::TimelineLabels lbl{{"kind", kind}};
+    tl->count("exp.trials", lbl, at);
+    if (o == Outcome::kSuccess) tl->count("exp.trial_success", lbl, at);
+  }
   auto& reg = obs::MetricsRegistry::current();
   TrialCounters& m =
       obs::bind_per_thread<TrialCounters>([](obs::MetricsRegistry& r) {
@@ -239,7 +248,8 @@ TrialResult run_http_trial(Scenario& scenario, const HttpTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("http", result.outcome, result.strategy_used,
-                scenario.loop().now() - scenario.options().start_time);
+                scenario.loop().now() - scenario.options().start_time,
+                scenario.loop().now());
   return result;
 }
 
@@ -310,7 +320,8 @@ DnsTrialResult run_dns_trial(Scenario& scenario, const DnsTrialOptions& opt) {
     result.answered = false;
   }
   count_outcome("dns", result.outcome, opt.strategy,
-                scenario.loop().now() - scenario.options().start_time);
+                scenario.loop().now() - scenario.options().start_time,
+                scenario.loop().now());
   return result;
 }
 
@@ -378,7 +389,8 @@ TorTrialResult run_tor_trial(Scenario& scenario, const TorTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("tor", result.outcome, result.strategy_used,
-                scenario.loop().now() - scenario.options().start_time);
+                scenario.loop().now() - scenario.options().start_time,
+                scenario.loop().now());
   return result;
 }
 
@@ -430,7 +442,8 @@ TrialResult run_vpn_trial(Scenario& scenario, const VpnTrialOptions& opt) {
                                       scenario.loop().now());
   }
   count_outcome("vpn", result.outcome, result.strategy_used,
-                scenario.loop().now() - scenario.options().start_time);
+                scenario.loop().now() - scenario.options().start_time,
+                scenario.loop().now());
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace ys::faults {
@@ -37,6 +38,14 @@ bool active(SimTime at, SimTime duration, SimTime now) {
   return now >= at && now < at + duration;
 }
 
+/// Injected-event density on the shared virtual timeline (opt-in; `at` is
+/// absolute loop time so fault buckets line up with fleet flow buckets).
+void timeline_event(const char* kind, SimTime at) {
+  if (obs::Timeline* tl = obs::Timeline::current()) {
+    tl->count("faults.injected", obs::TimelineLabels{{"kind", kind}}, at);
+  }
+}
+
 }  // namespace
 
 void FaultInjector::arm(net::EventLoop& loop, net::Path& path) {
@@ -47,6 +56,7 @@ void FaultInjector::arm(net::EventLoop& loop, net::Path& path) {
     loop.schedule_at(origin_ + flap.at, [p, delta]() {
       p->shift_route(delta);
       metrics().path_flap.inc();
+      timeline_event("path_flap", p->loop().now());
       if (p->trace() != nullptr) {
         p->trace()->note(p->loop().now(), "faults", obs::TraceKind::kFault,
                          "route flap: " + std::to_string(delta) +
@@ -75,6 +85,7 @@ net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
     // interleaves with TTL inside the path).
     if (rng_.chance(1.0 - std::pow(1.0 - b.p, distance))) {
       metrics().loss_burst_drop.inc();
+      timeline_event("loss_burst_drop", now);
       act.drop = true;
       act.reason = "loss burst";
       return act;
@@ -82,11 +93,13 @@ net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
   }
   if (plan_.duplicate_p > 0 && rng_.chance(plan_.duplicate_p)) {
     metrics().duplicate.inc();
+    timeline_event("duplicate", now);
     act.duplicate = true;
     act.reason = "duplication";
   }
   if (plan_.corrupt_p > 0 && rng_.chance(plan_.corrupt_p)) {
     metrics().corrupt.inc();
+    timeline_event("corrupt", now);
     act.corrupt = true;
     act.reason = "corruption";
   }
@@ -96,6 +109,7 @@ net::FaultHook::LinkAction FaultInjector::on_segment(const net::Packet& pkt,
     act.bypass_fifo = true;
     act.reason = "reorder window";
     metrics().reorder_delay.inc();
+    timeline_event("reorder_delay", now);
     break;
   }
   return act;
@@ -109,11 +123,13 @@ net::FaultHook::InjectAction FaultInjector::on_inject(const std::string& actor,
     if (!active(f.at, f.duration, now - origin_)) continue;
     if (f.outage) {
       metrics().gfw_suppressed.inc();
+      timeline_event("gfw_suppressed", now);
       act.suppress = true;
       act.reason = "gfw outage flap";
       return act;
     }
     metrics().gfw_delayed.inc();
+    timeline_event("gfw_delayed", now);
     act.extra_delay_us += f.extra_latency_us;
     act.reason = "gfw latency flap";
   }
@@ -133,6 +149,7 @@ void ChaosBox::process(net::Packet pkt, net::Dir dir, net::Forwarder& fwd) {
           net::make_tcp_packet(pkt.tuple().reversed(),
                                net::TcpFlags::only_rst(), pkt.tcp->ack, 0);
       metrics().rst_injected.inc();
+      timeline_event("rst_injected", fwd.now());
       fwd.inject_caused_by(std::move(rst), net::Dir::kS2C,
                            SimTime::from_us(200), pkt.trace_id);
       break;

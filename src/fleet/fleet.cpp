@@ -7,6 +7,7 @@
 #include "netsim/pcap.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 
@@ -103,6 +104,8 @@ std::unique_ptr<Fleet::VantageState> Fleet::make_vantage_state(
   state->cfg = &cfg_;
   state->schedule = build_flow_schedule(cfg_, vps_[vantage].name);
   state->writer.assign(servers_.size(), -1);
+  state->timeline_labels = {{"vantage", vps_[vantage].name},
+                            {"vantage_index", std::to_string(vantage)}};
   if (cfg_.share != ShareMode::kCold) {
     state->selectors.reserve(static_cast<std::size_t>(cfg_.clients));
     for (int i = 0; i < cfg_.clients; ++i) {
@@ -262,6 +265,32 @@ Fleet::FlowRecord Fleet::run_flow_impl(const runner::GridCoord& c,
       static_cast<std::size_t>(flow.soak_phase), kMaxLivePhases - 1);
   live_.phase_flows[live_phase].fetch_add(1, std::memory_order_relaxed);
 
+  // Timeline producers (opt-in): the same outcomes, bucketed at the flow's
+  // virtual arrival instant per vantage. flow.at and the record are pure
+  // functions of the grid coordinates, so these series are bit-identical
+  // under --jobs=N.
+  if (obs::Timeline* tl = obs::Timeline::current()) {
+    const obs::TimelineLabels& lbl = state.timeline_labels;
+    tl->count("fleet.flows", lbl, flow.at);
+    if (rec.outcome == exp::Outcome::kSuccess) {
+      tl->count("fleet.flow_success", lbl, flow.at);
+    }
+    if (is_cache_source(rec.source)) tl->count("fleet.cache_hit", lbl, flow.at);
+    if (rec.supplier >= 0 &&
+        state.schedule[static_cast<std::size_t>(rec.supplier)].client !=
+            flow.client) {
+      tl->count("fleet.cross_client_supply", lbl, flow.at);
+    }
+    if (rec.source ==
+        static_cast<int>(StrategySelector::Choice::Source::kSafeMode)) {
+      tl->count("fleet.safe_mode", lbl, flow.at);
+    }
+    // Gauge, not counter: its per-bucket max is the newest flow index in
+    // the bucket — the `--trial=` coordinate `yourstate report` prints
+    // for anomalous buckets.
+    tl->sample("fleet.flow_index", lbl, flow.at, flow.index);
+  }
+
   if (tracing && replay != nullptr) {
     // Attribute the pick to its supplier in the trace, causally linked to
     // the selector's decision event so `yourstate explain` renders the
@@ -327,6 +356,16 @@ std::string Fleet::heartbeat_line() const {
     out += buf;
   }
   return out;
+}
+
+void Fleet::annotate_timeline(obs::Timeline* tl) const {
+  if (tl == nullptr) return;
+  for (std::size_t p = 0; p < cfg_.soak.size(); ++p) {
+    // Same numbering as the fleet.share.pN counters: soak[p] starts the
+    // phase whose flows count under p{p+1} (p0 precedes every boundary).
+    tl->annotate(cfg_.soak[p].at, "soak-phase",
+                 "p" + std::to_string(p + 1) + ": " + cfg_.soak[p].spec);
+  }
 }
 
 Fleet::Report Fleet::analyze(const std::vector<i64>& slots) const {

@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,10 @@
 #include "fleet/fleet_config.h"
 #include "intang/kv_store.h"
 #include "intang/selector.h"
+
+namespace ys::obs {
+class Timeline;
+}
 
 namespace ys::fleet {
 
@@ -62,6 +67,10 @@ class Fleet {
     /// Per server: index of the last flow whose success wrote the
     /// known-good record (-1 = none yet) — the supplier of later hits.
     std::vector<int> writer;
+    /// Series labels for the vantage's timeline producers (vantage name
+    /// plus its grid index, so `yourstate report` can emit exact
+    /// `explain --vantage=N` coordinates). Built once per chain.
+    std::map<std::string, std::string> timeline_labels;
   };
 
   explicit Fleet(FleetConfig cfg);
@@ -152,6 +161,11 @@ class Fleet {
   /// One-line summary of live(), e.g. "ok 61.8% | cache 40.2% | p1:120
   /// p2:240" — the heartbeat_extra payload for PoolOptions.
   std::string heartbeat_line() const;
+
+  /// Mark the sweep's soak-phase boundaries on a timeline ("soak-phase"
+  /// annotations at each phase's start instant). Idempotent (annotations
+  /// dedup), no-op on nullptr or a soak-free config.
+  void annotate_timeline(obs::Timeline* tl) const;
 
  private:
   FlowRecord run_flow_impl(const runner::GridCoord& c, VantageState& state,

@@ -1,0 +1,43 @@
+// Self-contained HTML dashboard for a timeline export.
+//
+// render_timeline_html() turns a parsed "ys.timeline.v1" document into a
+// single HTML file with inline SVG charts and zero external dependencies
+// (no scripts, no fonts, no CSS fetches) so the artifact can be archived
+// next to the bench JSON it was built from and opened anywhere:
+//   - fleet convergence: cumulative success-rate and cache-hit-rate per
+//     vantage over virtual time;
+//   - flap response: per-bucket success rate with injected-fault density
+//     and soak-phase boundaries overlaid;
+//   - search-front progress: best/mean objective per variant over
+//     generations, lineage edges listed per generation;
+//   - every remaining series as a generic chart, so nothing recorded is
+//     invisible;
+//   - anomalous buckets (success rate well below the run's final rate)
+//     with ready-to-run `yourstate explain` commands.
+//
+// Machine-readable hooks for timeline_lint and the acceptance check:
+//   <script type="application/json" id="timeline-manifest"> — the series
+//     names the report was built from;
+//   <script type="application/json" id="timeline-totals"> — whole-run
+//     counter totals, which must equal the aggregate `fleet.*` metrics.
+#pragma once
+
+#include <string>
+
+#include "obs/timeline_export.h"
+
+namespace ys::obs {
+
+struct ReportOptions {
+  std::string title = "yourstate timeline report";
+  /// Shown in the header as the data source (input filename).
+  std::string source;
+  /// When set, `explain` hints include `--fleet=<spec>` so they are
+  /// directly runnable.
+  std::string fleet_spec;
+};
+
+std::string render_timeline_html(const TimelineDoc& doc,
+                                 const ReportOptions& opt);
+
+}  // namespace ys::obs

@@ -1,0 +1,183 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ys::obs {
+
+namespace {
+
+thread_local Timeline* t_current = nullptr;
+
+}  // namespace
+
+const char* to_string(TimelineKind kind) {
+  switch (kind) {
+    case TimelineKind::kCounter: return "counter";
+    case TimelineKind::kGauge: return "gauge";
+  }
+  return "?";
+}
+
+void TimelineValue::fold(const TimelineValue& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  sum += other.sum;
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+Timeline::Timeline(SimTime bucket_width) : bucket_width_(bucket_width) {
+  if (bucket_width_.us <= 0) {
+    throw std::logic_error("Timeline: bucket width must be positive");
+  }
+}
+
+Timeline* Timeline::current() { return t_current; }
+
+i64 Timeline::bucket_of(SimTime at) const {
+  const i64 w = bucket_width_.us;
+  i64 q = at.us / w;
+  if (at.us % w != 0 && at.us < 0) --q;
+  return q;
+}
+
+TimelineSeries& Timeline::resolve(const std::string& name,
+                                  const TimelineLabels& labels,
+                                  TimelineKind kind) {
+  auto [it, inserted] =
+      series_.try_emplace(TimelineSeriesKey{name, labels});
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("Timeline: series '" + name +
+                           "' recorded as both counter and gauge");
+  }
+  return it->second;
+}
+
+void Timeline::count(const std::string& name, const TimelineLabels& labels,
+                     SimTime at, i64 delta) {
+  count_at(name, labels, bucket_of(at), delta);
+}
+
+void Timeline::count_at(const std::string& name, const TimelineLabels& labels,
+                        i64 bucket, i64 delta) {
+  TimelineValue& v =
+      resolve(name, labels, TimelineKind::kCounter).buckets[bucket];
+  TimelineValue d;
+  d.sum = delta;
+  d.count = 1;
+  d.min = delta;
+  d.max = delta;
+  v.fold(d);
+}
+
+void Timeline::sample(const std::string& name, const TimelineLabels& labels,
+                      SimTime at, i64 value) {
+  sample_at(name, labels, bucket_of(at), value);
+}
+
+void Timeline::sample_at(const std::string& name, const TimelineLabels& labels,
+                         i64 bucket, i64 value) {
+  TimelineValue& v =
+      resolve(name, labels, TimelineKind::kGauge).buckets[bucket];
+  TimelineValue d;
+  d.sum = value;
+  d.count = 1;
+  d.min = value;
+  d.max = value;
+  v.fold(d);
+}
+
+void Timeline::annotate(SimTime at, const std::string& category,
+                        const std::string& text) {
+  annotate_bucket(bucket_of(at), category, text);
+}
+
+void Timeline::annotate_bucket(i64 bucket, const std::string& category,
+                               const std::string& text) {
+  annotations_.insert(TimelineAnnotation{bucket, category, text});
+}
+
+void Timeline::merge_from(const Timeline& other) {
+  if (other.bucket_width_ != bucket_width_) {
+    throw std::logic_error("Timeline: cannot merge different bucket widths");
+  }
+  for (const auto& [key, src] : other.series_) {
+    auto [it, inserted] = series_.try_emplace(key);
+    TimelineSeries& dst = it->second;
+    if (inserted) {
+      dst.kind = src.kind;
+    } else if (dst.kind != src.kind) {
+      throw std::logic_error("Timeline: merge kind mismatch for series '" +
+                             key.name + "'");
+    }
+    for (const auto& [bucket, value] : src.buckets) {
+      dst.buckets[bucket].fold(value);
+    }
+  }
+  annotations_.insert(other.annotations_.begin(), other.annotations_.end());
+}
+
+ScopedTimeline::ScopedTimeline(Timeline* timeline) : previous_(t_current) {
+  t_current = timeline;
+}
+
+ScopedTimeline::~ScopedTimeline() { t_current = previous_; }
+
+u64 timeline_digest(const Timeline& tl,
+                    const std::vector<std::string>& exclude_prefixes) {
+  constexpr u64 kOffset = 1469598103934665603ull;
+  constexpr u64 kPrime = 1099511628211ull;
+  u64 h = kOffset;
+  auto mix = [&h](const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= kPrime;
+    }
+  };
+  auto mix_str = [&mix](const std::string& s) {
+    mix(s.data(), s.size());
+    const char sep = '\x1f';
+    mix(&sep, 1);
+  };
+  auto mix_i64 = [&mix](i64 v) { mix(&v, sizeof(v)); };
+
+  mix_i64(tl.bucket_width().us);
+  for (const auto& [key, series] : tl.series()) {
+    const auto excluded = [&key](const std::string& prefix) {
+      return key.name.rfind(prefix, 0) == 0;
+    };
+    if (std::any_of(exclude_prefixes.begin(), exclude_prefixes.end(),
+                    excluded)) {
+      continue;
+    }
+    mix_str(key.name);
+    for (const auto& [k, v] : key.labels) {
+      mix_str(k);
+      mix_str(v);
+    }
+    mix_i64(static_cast<i64>(series.kind));
+    for (const auto& [bucket, value] : series.buckets) {
+      mix_i64(bucket);
+      mix_i64(value.sum);
+      mix_i64(static_cast<i64>(value.count));
+      mix_i64(value.min);
+      mix_i64(value.max);
+    }
+  }
+  for (const auto& a : tl.annotations()) {
+    mix_i64(a.bucket);
+    mix_str(a.category);
+    mix_str(a.text);
+  }
+  return h;
+}
+
+}  // namespace ys::obs

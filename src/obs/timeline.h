@@ -1,0 +1,181 @@
+// ys::obs — virtual-time bucketed time-series ("timelines").
+//
+// The metrics registry answers "how much, in total"; a Timeline answers
+// "how much, when" on the *virtual* time axis every sweep already shares:
+// counter deltas and sampled gauges fall into fixed-width SimTime buckets,
+// per series, where a series is a (name, labels) pair — labels carry the
+// vantage / phase / variant breakdown a dashboard needs.
+//
+// Design rules, mirroring obs::MetricsRegistry:
+//   1. Opt-in. Nothing records unless a Timeline is installed for the
+//      thread (ScopedTimeline); every producer site is a thread-local read
+//      plus a null check when recording is off, so fleet throughput and
+//      the bench_obs_overhead gate are untouched.
+//   2. One timeline per thread. A Timeline is NOT internally synchronized.
+//      Producers resolve through Timeline::current(); the ys::runner
+//      worker pool installs a worker-private Timeline per worker whenever
+//      the orchestrating thread has one, and folds them back with
+//      merge_from() after the join.
+//   3. Deterministic. All bucket values are integers (callers scale rates
+//      by kRatioScale), so merging worker timelines is associative and
+//      commutative in exact arithmetic — `--jobs=N` stays bit-identical
+//      no matter which worker contributed to which bucket. The only
+//      exception is wall-clock-derived series (the runner's own
+//      `runner.*` progress curves), which digests exclude by prefix,
+//      exactly like the wall-clock metrics the benches already skip.
+//
+// Bucket semantics: bucket k covers virtual time [k*width, (k+1)*width) —
+// an event exactly on a boundary opens the next bucket. Annotations are a
+// deduplicated set of (bucket, category, text) markers (soak-phase
+// boundaries, search lineage edges) and merge by set union.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/clock.h"
+#include "core/types.h"
+
+namespace ys::obs {
+
+/// Per-series breakdown labels (vantage, phase, variant, ...). Kept
+/// sorted by the map so series identity and every export are canonical.
+using TimelineLabels = std::map<std::string, std::string>;
+
+enum class TimelineKind : u8 { kCounter, kGauge };
+
+const char* to_string(TimelineKind kind);
+
+/// One bucket's accumulated contributions. Counters fold deltas into
+/// `sum`; gauges fold samples into sum/min/max (consumers read
+/// mean = sum / count, or the extremes). All-integer on purpose: integer
+/// addition is exact, so the fold is associative and commutative.
+struct TimelineValue {
+  i64 sum = 0;
+  u64 count = 0;
+  i64 min = 0;
+  i64 max = 0;
+
+  void fold(const TimelineValue& other);
+};
+
+struct TimelineSeriesKey {
+  std::string name;
+  TimelineLabels labels;
+
+  bool operator<(const TimelineSeriesKey& o) const {
+    if (name != o.name) return name < o.name;
+    return labels < o.labels;
+  }
+};
+
+struct TimelineSeries {
+  TimelineKind kind = TimelineKind::kCounter;
+  /// bucket index -> accumulated value, sorted (deterministic export).
+  std::map<i64, TimelineValue> buckets;
+};
+
+/// A point marker on the time axis: soak-phase boundary, search lineage
+/// edge ("spec <- crossover of a x b"), ... Deduplicated by full content,
+/// so re-annotating (e.g. from several sweeps of one config) is idempotent.
+struct TimelineAnnotation {
+  i64 bucket = 0;
+  std::string category;
+  std::string text;
+
+  bool operator<(const TimelineAnnotation& o) const {
+    if (bucket != o.bucket) return bucket < o.bucket;
+    if (category != o.category) return category < o.category;
+    return text < o.text;
+  }
+};
+
+class Timeline {
+ public:
+  /// Fixed-point scale for rate-valued samples (success rates, objective
+  /// scores): store llround(rate * kRatioScale), divide on display.
+  static constexpr i64 kRatioScale = 1'000'000;
+
+  explicit Timeline(SimTime bucket_width = SimTime::from_sec(1));
+
+  /// The timeline this thread records into, or nullptr when recording is
+  /// off (the default). Producers null-check and skip — the opt-in gate.
+  static Timeline* current();
+
+  SimTime bucket_width() const { return bucket_width_; }
+
+  /// Bucket index covering `at` (floor division; a boundary instant opens
+  /// the next bucket).
+  i64 bucket_of(SimTime at) const;
+  /// Start instant of bucket `bucket`.
+  SimTime bucket_start(i64 bucket) const {
+    return SimTime{bucket * bucket_width_.us};
+  }
+
+  /// Counter delta at a virtual instant / an explicit bucket (the
+  /// explicit form serves non-time axes such as search generations).
+  void count(const std::string& name, const TimelineLabels& labels,
+             SimTime at, i64 delta = 1);
+  void count_at(const std::string& name, const TimelineLabels& labels,
+                i64 bucket, i64 delta = 1);
+
+  /// Gauge sample (queue depth, flow index, scaled rate).
+  void sample(const std::string& name, const TimelineLabels& labels,
+              SimTime at, i64 value);
+  void sample_at(const std::string& name, const TimelineLabels& labels,
+                 i64 bucket, i64 value);
+
+  void annotate(SimTime at, const std::string& category,
+                const std::string& text);
+  void annotate_bucket(i64 bucket, const std::string& category,
+                       const std::string& text);
+
+  /// Fold another timeline in: bucket values add (counters) / accumulate
+  /// (gauges), annotations union. Associative and commutative. Bucket
+  /// widths must match and a series may not change kind — both are
+  /// programming errors and throw std::logic_error.
+  void merge_from(const Timeline& other);
+
+  bool empty() const { return series_.empty() && annotations_.empty(); }
+  std::size_t series_count() const { return series_.size(); }
+  const std::map<TimelineSeriesKey, TimelineSeries>& series() const {
+    return series_;
+  }
+  const std::set<TimelineAnnotation>& annotations() const {
+    return annotations_;
+  }
+
+ private:
+  TimelineSeries& resolve(const std::string& name,
+                          const TimelineLabels& labels, TimelineKind kind);
+
+  SimTime bucket_width_;
+  std::map<TimelineSeriesKey, TimelineSeries> series_;
+  std::set<TimelineAnnotation> annotations_;
+};
+
+/// RAII thread-local recording scope: while alive, Timeline::current() on
+/// this thread resolves to `timeline`. Nests; restores the previous scope
+/// on destruction. The runner workers wrap each worker's lifetime in one.
+class ScopedTimeline {
+ public:
+  explicit ScopedTimeline(Timeline* timeline);
+  ~ScopedTimeline();
+
+  ScopedTimeline(const ScopedTimeline&) = delete;
+  ScopedTimeline& operator=(const ScopedTimeline&) = delete;
+
+ private:
+  Timeline* previous_;
+};
+
+/// FNV-1a digest of the canonical timeline content, for determinism
+/// checks. Series whose name starts with any of `exclude_prefixes` are
+/// skipped — used to drop the wall-clock `runner.*` progress curves the
+/// same way bench digests drop wall/per_sec metrics.
+u64 timeline_digest(const Timeline& tl,
+                    const std::vector<std::string>& exclude_prefixes = {});
+
+}  // namespace ys::obs

@@ -1,0 +1,78 @@
+// Exporters and loader for ys::obs::Timeline.
+//
+// JSON schema "ys.timeline.v1":
+//   {
+//     "schema": "ys.timeline.v1",
+//     "bucket_us": 1000000,
+//     "series": [
+//       { "name": "fleet.flows", "labels": {"vantage": "beijing"},
+//         "kind": "counter",
+//         "points": [ {"bucket": 0, "sum": 12, "count": 12,
+//                      "min": 1, "max": 1}, ... ] }
+//     ],
+//     "annotations": [ {"bucket": 2, "category": "soak-phase",
+//                       "text": "p1: rst-storm"}, ... ]
+//   }
+// Everything numeric is an integer (see timeline.h on determinism); the
+// file is canonical — series sorted by (name, labels), points by bucket —
+// so byte-comparing two exports is a determinism check.
+//
+// The CSV flattens to one row per (series, bucket):
+//   name,labels,kind,bucket,bucket_start_us,sum,count,min,max
+//
+// TimelineDoc is the parsed form consumed by `yourstate report`,
+// timeline_lint, and the tests.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/timeline.h"
+
+namespace ys::obs {
+
+std::string timeline_to_json(const Timeline& tl);
+std::string timeline_to_csv(const Timeline& tl);
+
+bool write_timeline_json(const std::string& path, const Timeline& tl);
+bool write_timeline_csv(const std::string& path, const Timeline& tl);
+
+struct TimelineDoc {
+  struct Point {
+    i64 bucket = 0;
+    i64 sum = 0;
+    u64 count = 0;
+    i64 min = 0;
+    i64 max = 0;
+  };
+  struct Series {
+    std::string name;
+    std::map<std::string, std::string> labels;
+    std::string kind;  // "counter" | "gauge"
+    std::vector<Point> points;
+  };
+  struct Annotation {
+    i64 bucket = 0;
+    std::string category;
+    std::string text;
+  };
+
+  i64 bucket_us = 0;
+  std::vector<Series> series;
+  std::vector<Annotation> annotations;
+
+  /// Sum of `sum` across every bucket of every series with this name
+  /// (all label sets) — the aggregate a counter's metrics twin reports.
+  i64 total(const std::string& name) const;
+};
+
+/// Parse a "ys.timeline.v1" JSON document; on failure returns nullopt and,
+/// when `error` is non-null, a one-line reason.
+std::optional<TimelineDoc> parse_timeline_json(const std::string& text,
+                                               std::string* error);
+std::optional<TimelineDoc> load_timeline_file(const std::string& path,
+                                              std::string* error);
+
+}  // namespace ys::obs

@@ -6,12 +6,14 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 
 #include "core/log.h"
 #include "obs/alloc_hook.h"
 #include "obs/metrics.h"
 #include "obs/phase_profiler.h"
+#include "obs/timeline.h"
 
 namespace ys::runner {
 
@@ -75,7 +77,29 @@ struct ShardDeque {
     shards.erase(shards.begin());
     return true;
   }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> lock(mu);
+    return shards.size();
+  }
 };
+
+/// Wall-clock-derived runner progress series. These exist so `yourstate
+/// report` can chart trials/s, steals, and queue depth over a run, but
+/// they are inherently not jobs-invariant (there are no steals at
+/// jobs=1), so determinism digests exclude the "runner." prefix — the
+/// `axis=wall` label marks them as off the virtual-time axis.
+const obs::TimelineLabels& wall_labels() {
+  static const obs::TimelineLabels labels{{"axis", "wall"}};
+  return labels;
+}
+
+i64 wall_bucket(const obs::Timeline& tl, Clock::time_point start) {
+  const i64 us = std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - start)
+                     .count();
+  return tl.bucket_of(SimTime::from_us(us));
+}
 
 std::size_t pick_shard_size(const PoolOptions& opt, std::size_t count,
                             int jobs) {
@@ -112,7 +136,13 @@ class Heartbeat {
     }
   }
 
-  ~Heartbeat() {
+  ~Heartbeat() { stop(); }
+
+  /// Join the monitor thread. Idempotent; run_sharded calls this as soon
+  /// as the workers have drained, so no heartbeat line can interleave
+  /// with anything the caller prints after the pool returns — the
+  /// destructor is only the safety net for early exits.
+  void stop() {
     if (!monitor_.joinable()) return;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -120,6 +150,7 @@ class Heartbeat {
     }
     cv_.notify_one();
     monitor_.join();
+    std::fflush(stderr);
   }
 
  private:
@@ -278,12 +309,18 @@ RunnerReport run_sharded(
     WorkerStats& ws = report.workers[0];
     const AllocPublish alloc = resolve_alloc_counters(
         opt.track_allocs, obs::MetricsRegistry::current());
+    obs::Timeline* tl = obs::Timeline::current();
     for (std::size_t i = 0; i < count && !cancel.cancelled(); ++i) {
       exec_task(task, i, ctx, ws, alloc);
       ++ws.tasks_executed;
       if (heartbeat_on) progress.fetch_add(1, std::memory_order_relaxed);
+      if (tl != nullptr) {
+        tl->count_at("runner.tasks_done", wall_labels(),
+                     wall_bucket(*tl, start));
+      }
     }
     ++ws.shards_served;
+    heartbeat.stop();
     report.wall_seconds = seconds_since(start);
     ws.busy_seconds = report.wall_seconds;
     report.tasks_executed = ws.tasks_executed;
@@ -324,6 +361,20 @@ RunnerReport run_sharded(
     worker_registries.push_back(std::make_unique<obs::MetricsRegistry>());
   }
 
+  // When the orchestrating thread is recording a timeline, every worker
+  // gets a private one (same bucket width) and the pool folds them back
+  // after the join — bucket values are integers, so the fold is exact and
+  // `--jobs=N` stays bit-identical on the virtual-time axis.
+  obs::Timeline* parent_tl = obs::Timeline::current();
+  std::vector<std::unique_ptr<obs::Timeline>> worker_timelines;
+  if (parent_tl != nullptr) {
+    worker_timelines.reserve(static_cast<std::size_t>(jobs));
+    for (int w = 0; w < jobs; ++w) {
+      worker_timelines.push_back(
+          std::make_unique<obs::Timeline>(parent_tl->bucket_width()));
+    }
+  }
+
   auto worker_main = [&](int worker_id) {
     // All instrumentation on this thread — including the components'
     // obs::bind_per_thread metric caches, which rebind whenever the
@@ -344,11 +395,18 @@ RunnerReport run_sharded(
                     &rng, &cancel};
     WorkerStats& ws = report.workers[static_cast<std::size_t>(worker_id)];
     ShardDeque& own = deques[static_cast<std::size_t>(worker_id)];
+    obs::Timeline* tl =
+        parent_tl != nullptr
+            ? worker_timelines[static_cast<std::size_t>(worker_id)].get()
+            : nullptr;
+    std::optional<obs::ScopedTimeline> tl_scope;
+    if (tl != nullptr) tl_scope.emplace(tl);
 
     const auto worker_start = Clock::now();
     Shard shard;
     for (;;) {
       bool have = own.pop_back(&shard);
+      bool stolen = false;
       if (have) {
         ++ws.shards_served;
       } else {
@@ -361,12 +419,23 @@ RunnerReport run_sharded(
         }
         if (!have) break;  // every deque empty: the grid is drained
         ++ws.shards_stolen;
+        stolen = true;
       }
+      u64 executed = 0;
       for (std::size_t i = shard.begin; i < shard.end; ++i) {
         if (cancel.cancelled()) break;
         exec_task(task, i, ctx, ws, alloc);
         ++ws.tasks_executed;
+        ++executed;
         if (heartbeat_on) progress.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (tl != nullptr) {
+        const i64 bucket = wall_bucket(*tl, start);
+        tl->count_at("runner.tasks_done", wall_labels(), bucket,
+                     static_cast<i64>(executed));
+        if (stolen) tl->count_at("runner.steals", wall_labels(), bucket);
+        tl->sample_at("runner.queue_depth", wall_labels(), bucket,
+                      static_cast<i64>(own.size()));
       }
       if (cancel.cancelled()) break;
     }
@@ -377,6 +446,7 @@ RunnerReport run_sharded(
   threads.reserve(static_cast<std::size_t>(jobs));
   for (int w = 0; w < jobs; ++w) threads.emplace_back(worker_main, w);
   for (auto& t : threads) t.join();
+  heartbeat.stop();
 
   report.wall_seconds = seconds_since(start);
   report.cancelled = cancel.cancelled();
@@ -396,6 +466,11 @@ RunnerReport run_sharded(
   obs::MetricsRegistry& target = obs::MetricsRegistry::current();
   for (const auto& reg : worker_registries) {
     target.merge_from(reg->snapshot());
+  }
+  if (parent_tl != nullptr) {
+    for (const auto& wt : worker_timelines) {
+      parent_tl->merge_from(*wt);
+    }
   }
   return report;
 }

@@ -6,9 +6,12 @@
 #include <set>
 #include <utility>
 
+#include <cmath>
+
 #include "exp/stats.h"
 #include "exp/table.h"
 #include "netsim/pcap.h"
+#include "obs/timeline.h"
 #include "obs/trace_export.h"
 #include "runner/results_store.h"
 
@@ -364,6 +367,16 @@ SearchResult SearchEngine::run() {
   std::vector<CandidateProgram> population = initial_population();
   u64 evals = 0;
 
+  // Archive lineage: how each spec was first produced ("init",
+  // "crossover(a x b)+mutate", ...). First writer wins — a spec
+  // rediscovered by a different operator keeps its original edge — and
+  // specs that reach an archive are emitted as per-generation timeline
+  // annotations below.
+  std::map<std::string, std::string> lineage;
+  for (const CandidateProgram& p : population) {
+    lineage.emplace(p.spec(), "init");
+  }
+
   for (int gen = 0; gen < cfg_.generations; ++gen) {
     std::vector<CandidateProgram> fresh;
     std::set<std::string> fresh_specs;
@@ -406,6 +419,44 @@ SearchResult SearchEngine::run() {
       }
     }
     res.generations_run = gen + 1;
+
+    // Timeline producers (opt-in): the search front on a generation axis.
+    // Everything here is derived from memo'd scores on the orchestrator
+    // thread, so the series are bit-identical under --jobs=N.
+    if (obs::Timeline* tl = obs::Timeline::current()) {
+      constexpr double kScale =
+          static_cast<double>(obs::Timeline::kRatioScale);
+      for (std::size_t v = 0; v < cfg_.variants.size(); ++v) {
+        const obs::TimelineLabels lbl{{"variant", cfg_.variants[v].name}};
+        double best = 0.0, best_rob = 0.0, sum = 0.0;
+        for (const CandidateProgram& p : population) {
+          const Score& s = memo.at(p.spec()).first[v];
+          best = std::max(best, s.success);
+          best_rob = std::max(best_rob, s.robustness);
+          sum += s.success;
+        }
+        const double mean =
+            population.empty() ? 0.0 : sum / static_cast<double>(population.size());
+        tl->sample_at("search.best_success", lbl, gen,
+                      std::llround(best * kScale));
+        tl->sample_at("search.mean_success", lbl, gen,
+                      std::llround(mean * kScale));
+        tl->sample_at("search.best_robustness", lbl, gen,
+                      std::llround(best_rob * kScale));
+        tl->sample_at("search.archive_size", lbl, gen,
+                      static_cast<i64>(res.archives[v].entries.size()));
+        // Lineage edges for this generation's new survivors (entries are
+        // stamped with the generation that first evaluated them).
+        for (const ArchiveEntry& e : res.archives[v].entries) {
+          if (e.generation != gen) continue;
+          const auto it = lineage.find(e.program.spec());
+          tl->annotate_bucket(
+              gen, "lineage",
+              cfg_.variants[v].name + ": " + e.program.spec() + " <- " +
+                  (it != lineage.end() ? it->second : "unknown"));
+        }
+      }
+    }
 
     if (cfg_.heartbeat > 0.0) {
       std::fprintf(stderr,
@@ -460,12 +511,23 @@ SearchResult SearchEngine::run() {
     };
 
     while (static_cast<int>(next.size()) < cfg_.population) {
-      CandidateProgram child = tournament_pick();
+      // Same draw order as always (pick, crossover?, pick, mutate?); the
+      // lineage strings only observe it.
+      const CandidateProgram& p1 = tournament_pick();
+      CandidateProgram child = p1;
+      std::string how;
       if (rng.chance(cfg_.crossover_p)) {
-        child = crossover(child, tournament_pick(), rng);
+        const CandidateProgram& p2 = tournament_pick();
+        child = crossover(child, p2, rng);
+        how = "crossover(" + p1.spec() + " x " + p2.spec() + ")";
       }
-      if (rng.chance(cfg_.mutation_p)) child = mutate(std::move(child), rng);
+      if (rng.chance(cfg_.mutation_p)) {
+        child = mutate(std::move(child), rng);
+        how = how.empty() ? "mutate(" + p1.spec() + ")" : how + "+mutate";
+      }
       if (!child.valid()) continue;
+      if (how.empty()) how = "reselected " + p1.spec();
+      lineage.emplace(child.spec(), how);
       next.push_back(std::move(child));
     }
     population = std::move(next);

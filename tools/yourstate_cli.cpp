@@ -17,6 +17,15 @@
 //                                         variants, print the per-variant
 //                                         Pareto archives and the censor
 //                                         co-evolution rounds
+//   yourstate report TIMELINE.json        render a --timeline-out export
+//                                         as a self-contained HTML
+//                                         dashboard (inline SVG): fleet
+//                                         convergence, flap response,
+//                                         search-front progress, explain
+//                                         hints for anomalous buckets;
+//                                         --metrics=FILE cross-checks the
+//                                         timeline's whole-run totals
+//                                         against a --metrics-out snapshot
 //   yourstate perf --diff OLD NEW         compare two BenchReport JSONs
 //                                         (bench --report=FILE output):
 //                                         regression table; with --check,
@@ -43,6 +52,11 @@
 //   --pcap=FILE          capture the client's wire to a pcap file
 //   --metrics[=json|table]  dump the obs registry after any command
 //   --metrics-out=FILE   write the metrics snapshot to FILE as JSON on exit
+//   --timeline-out=FILE  (fleet, search) record a virtual-time timeline
+//                        during the run and write it as "ys.timeline.v1"
+//                        JSON — the input of `yourstate report`
+//   --timeline-csv=FILE  same, flattened to CSV rows
+//   --timeline-bucket-ms=N  timeline bucket width (default 1000)
 //   --faults=SPEC        run under a deterministic fault plan: a shipped
 //                        plan name, inline clauses ("loss:at=50ms,dur=2s,
 //                        p=0.25"), or @plan.json — see EXPERIMENTS.md
@@ -76,6 +90,7 @@
 #include <string>
 #include <vector>
 
+#include "core/json.h"
 #include "exp/benchdef.h"
 #include "fleet/fleet.h"
 #include "exp/explain.h"
@@ -88,6 +103,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/report.h"
+#include "obs/timeline.h"
+#include "obs/timeline_export.h"
 #include "obs/trace_export.h"
 #include "runner/runner.h"
 #include "search/engine.h"
@@ -126,6 +144,9 @@ struct CliOptions {
   std::string fleet;   // fleet run spec; empty = FleetConfig defaults
   std::string program;  // ys::search program spec (trial, explain)
   int faulted_trials = -1;  // explain --bench=search scale; -1 = default
+  std::string timeline_out;   // fleet: write the run's timeline as JSON
+  std::string timeline_csv;   // fleet: same, flattened to CSV
+  int timeline_bucket_ms = 1000;
 };
 
 /// Parse --faults once into storage that outlives every scenario built
@@ -173,6 +194,39 @@ void write_metrics_out(const CliOptions& cli) {
   std::fclose(f);
 }
 
+/// Write a recorded timeline to the --timeline-out / --timeline-csv paths
+/// (either may be empty). Shared by `fleet` and `search`.
+void write_timeline_files(const obs::Timeline& tl, const std::string& json,
+                          const std::string& csv) {
+  if (!json.empty()) {
+    if (obs::write_timeline_json(json, tl)) {
+      std::printf("timeline written to %s (%zu series)\n", json.c_str(),
+                  tl.series_count());
+    } else {
+      std::fprintf(stderr, "cannot write --timeline-out file %s\n",
+                   json.c_str());
+    }
+  }
+  if (!csv.empty()) {
+    if (obs::write_timeline_csv(csv, tl)) {
+      std::printf("timeline CSV written to %s\n", csv.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --timeline-csv file %s\n",
+                   csv.c_str());
+    }
+  }
+}
+
+bool read_text_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
 /// Per-strategy success-time profile from the exp.vtime.success.* virtual
 /// time histograms collected during the session.
 void print_vtime_profile() {
@@ -218,18 +272,23 @@ std::optional<VantagePoint> find_vp(const std::string& name) {
 int usage() {
   std::fprintf(stderr,
                "usage: yourstate <list|trial|probe|dns|tor|stats|fleet|"
-               "search|explain|perf> [--vp=NAME] "
+               "search|explain|report|perf> [--vp=NAME] "
                "[--server=IP] [--strategy=NAME] [--program=SPEC] [--intang] "
                "[--keyword=0|1] "
                "[--seed=N] [--path-seed=N] [--trials=N] [--jobs=N] [--trace] "
                "[--trace-out=FILE] [--pcap=FILE] [--domain=NAME] "
                "[--metrics[=json|table]] [--metrics-out=FILE]\n"
                "       yourstate fleet [--fleet=SPEC|@file.json] [--seed=S] "
-               "[--jobs=N]\n"
+               "[--jobs=N] [--timeline-out=FILE] [--timeline-csv=FILE] "
+               "[--timeline-bucket-ms=N]\n"
                "       yourstate search [--population=N] [--generations=N] "
                "[--budget=N] [--servers=N] [--trials=N] [--faulted-trials=N] "
                "[--faults=SPEC] [--coevo-rounds=N] [--seed=S] [--jobs=N] "
-               "[--resume-dir=D] [--report=FILE] [--heartbeat=S]\n"
+               "[--resume-dir=D] [--report=FILE] [--heartbeat=S] "
+               "[--metrics-out=FILE] [--timeline-out=FILE] "
+               "[--timeline-csv=FILE]\n"
+               "       yourstate report TIMELINE.json [--out=FILE] "
+               "[--title=TEXT] [--fleet=SPEC] [--metrics=FILE]\n"
                "       yourstate explain --bench=NAME --cell=N --vantage=N "
                "--server=N --trial=N [--trials=N] [--servers=N] [--seed=S] "
                "[--fleet=SPEC] [--program=SPEC] [--trace-out=FILE] "
@@ -324,10 +383,110 @@ int cmd_perf(int argc, char** argv) {
   return 0;
 }
 
+/// `yourstate report` — own flag scan (positional timeline file). Renders
+/// a "ys.timeline.v1" export as a self-contained HTML dashboard; with
+/// --metrics=FILE it first cross-checks the timeline's whole-run counter
+/// totals against the aggregate metrics snapshot of the same run (the
+/// acceptance bar: time-resolved and aggregate views must agree).
+int cmd_report(int argc, char** argv) {
+  std::string out = "report.html";
+  std::string metrics_path;
+  obs::ReportOptions opt;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* key) -> std::optional<std::string> {
+      const std::string prefix = std::string(key) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      return std::nullopt;
+    };
+    if (auto v = value("--out")) {
+      out = *v;
+    } else if (auto v = value("--title")) {
+      opt.title = *v;
+    } else if (auto v = value("--fleet")) {
+      opt.fleet_spec = *v;
+    } else if (auto v = value("--metrics")) {
+      metrics_path = *v;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 1) {
+    std::fprintf(stderr,
+                 "report wants: yourstate report TIMELINE.json [--out=FILE] "
+                 "[--title=TEXT] [--fleet=SPEC] [--metrics=FILE]\n");
+    return 2;
+  }
+
+  std::string error;
+  const auto doc = obs::load_timeline_file(files[0], &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: %s\n", files[0].c_str(), error.c_str());
+    return 2;
+  }
+  opt.source = files[0];
+
+  if (!metrics_path.empty()) {
+    std::string text;
+    if (!read_text_file(metrics_path, text)) {
+      std::fprintf(stderr, "cannot read --metrics file %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    const auto snap = json::parse(text);
+    const json::Value* counters =
+        snap.has_value() && snap->is_object() ? snap->find("counters")
+                                              : nullptr;
+    if (counters == nullptr || !counters->is_object()) {
+      std::fprintf(stderr, "%s: no \"counters\" object (want a "
+                   "--metrics-out snapshot)\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    int mismatches = 0;
+    for (const char* name : {"fleet.flows", "fleet.flow_success",
+                             "fleet.cache_hit", "fleet.cross_client_supply"}) {
+      const json::Value* c = counters->find(name);
+      if (c == nullptr || !c->is_number()) continue;  // not a fleet run
+      const i64 want = static_cast<i64>(c->number);
+      const i64 got = doc->total(name);
+      if (got != want) {
+        std::fprintf(stderr,
+                     "%s: timeline total %lld != metrics counter %lld\n",
+                     name, static_cast<long long>(got),
+                     static_cast<long long>(want));
+        ++mismatches;
+      }
+    }
+    if (mismatches > 0) return 1;
+    std::printf("metrics cross-check: timeline totals match %s\n",
+                metrics_path.c_str());
+  }
+
+  const std::string html = obs::render_timeline_html(*doc, opt);
+  std::FILE* f = std::fopen(out.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write --out file %s\n", out.c_str());
+    return 2;
+  }
+  std::fwrite(html.data(), 1, html.size(), f);
+  std::fclose(f);
+  std::printf("report written to %s (%zu series, %zu annotations)\n",
+              out.c_str(), doc->series.size(), doc->annotations.size());
+  return 0;
+}
+
 /// `yourstate search` — own flag scan (search has its own knob set).
 int cmd_search(int argc, char** argv) {
   search::SearchConfig cfg;
   std::string report_path;
+  std::string metrics_out;
+  std::string timeline_out;
+  std::string timeline_csv;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     auto value = [&arg](const char* key) -> std::optional<std::string> {
@@ -361,10 +520,26 @@ int cmd_search(int argc, char** argv) {
       cfg.heartbeat = std::atof(v->c_str());
     } else if (auto v = value("--report")) {
       report_path = *v;
+    } else if (auto v = value("--metrics-out")) {
+      metrics_out = *v;
+    } else if (auto v = value("--timeline-out")) {
+      timeline_out = *v;
+    } else if (auto v = value("--timeline-csv")) {
+      timeline_csv = *v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
     }
+  }
+
+  // Opt-in timeline: the engine buckets its search.* series by generation
+  // (sample_at), so the bucket width only matters for the exp.* trial
+  // series the evaluations record alongside.
+  std::optional<obs::Timeline> timeline;
+  std::optional<obs::ScopedTimeline> timeline_scope;
+  if (!timeline_out.empty() || !timeline_csv.empty()) {
+    timeline.emplace(SimTime::from_sec(1));
+    timeline_scope.emplace(&*timeline);
   }
 
   search::SearchEngine engine(cfg);
@@ -422,6 +597,15 @@ int cmd_search(int argc, char** argv) {
       std::fprintf(stderr, "cannot write --report file %s\n",
                    report_path.c_str());
     }
+  }
+  if (timeline.has_value()) {
+    timeline_scope.reset();
+    write_timeline_files(*timeline, timeline_out, timeline_csv);
+  }
+  if (!metrics_out.empty()) {
+    CliOptions cli;
+    cli.metrics_out = metrics_out;
+    write_metrics_out(cli);
   }
   return 0;
 }
@@ -645,12 +829,27 @@ int cmd_fleet(const CliOptions& cli) {
   }
   runner::PoolOptions pool;
   pool.jobs = cli.jobs;
+
+  // Opt-in timeline: installed on this thread, propagated to workers by
+  // the pool (worker-private copies merged back after the join).
+  std::optional<obs::Timeline> timeline;
+  std::optional<obs::ScopedTimeline> timeline_scope;
+  if (!cli.timeline_out.empty() || !cli.timeline_csv.empty()) {
+    timeline.emplace(SimTime::from_ms(
+        std::max(1, cli.timeline_bucket_ms)));
+    timeline_scope.emplace(&*timeline);
+  }
   auto out = runner::collect_grid_or(
       grid, pool, static_cast<i64>(-1),
       [&](const runner::GridCoord& c, runner::TaskContext&) {
         return fl.run_flow(c, *states[grid.chain(c)]).encode();
       });
   out.report.publish(obs::MetricsRegistry::global());
+  if (timeline.has_value()) {
+    fl.annotate_timeline(&*timeline);
+    timeline_scope.reset();
+    write_timeline_files(*timeline, cli.timeline_out, cli.timeline_csv);
+  }
 
   std::printf("%s", fl.analyze(out.slots).render().c_str());
   std::printf("\n%s\n", out.report.to_string().c_str());
@@ -878,6 +1077,7 @@ int run(int argc, char** argv) {
   cli.command = argv[1];
   if (cli.command == "perf") return cmd_perf(argc, argv);
   if (cli.command == "search") return cmd_search(argc, argv);
+  if (cli.command == "report") return cmd_report(argc, argv);
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -933,6 +1133,12 @@ int run(int argc, char** argv) {
       cli.jobs = std::atoi(v->c_str());
     } else if (auto v = value("--metrics-out")) {
       cli.metrics_out = *v;
+    } else if (auto v = value("--timeline-out")) {
+      cli.timeline_out = *v;
+    } else if (auto v = value("--timeline-csv")) {
+      cli.timeline_csv = *v;
+    } else if (auto v = value("--timeline-bucket-ms")) {
+      cli.timeline_bucket_ms = std::atoi(v->c_str());
     } else if (arg == "--trace") {
       cli.trace = true;
     } else if (arg == "--metrics") {
