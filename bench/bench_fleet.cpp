@@ -22,6 +22,8 @@
 // @file.json; see src/fleet/fleet_config.h). --trials/--servers override
 // flows-per-vantage / server-population for quick scaling experiments;
 // --resume-dir=D persists results across invocations.
+#include <unistd.h>
+
 #include <filesystem>
 #include <limits>
 #include <memory>
@@ -29,8 +31,11 @@
 #include <set>
 
 #include "bench_common.h"
+#include "faults/fault_plan.h"
 #include "fleet/fleet.h"
 #include "runner/results_store.h"
+#include "supervisor/shard_child.h"
+#include "supervisor/supervisor.h"
 
 namespace ys {
 namespace {
@@ -143,12 +148,43 @@ u64 store_signature(const fleet::FleetConfig& cfg) {
   return runner::ResultsStore::signature_of({"fleet", cfg.signature()});
 }
 
+/// Keep only the fleet.* lines of a deterministic_digest() string. The
+/// supervised-shard check rebuilds telemetry from merged slots, which
+/// reproduces every fleet.* series exactly but cannot reproduce lower-layer
+/// counters (exp.*, gfw.*, ...) — those die with the child processes and
+/// are not a function of the slots.
+std::string fleet_digest_lines(const std::string& digest) {
+  std::string out;
+  std::size_t pos = 0;
+  while (pos < digest.size()) {
+    std::size_t eol = digest.find('\n', pos);
+    if (eol == std::string::npos) eol = digest.size();
+    const std::string line = digest.substr(pos, eol - pos);
+    const std::size_t space = line.find(' ');
+    if (space != std::string::npos &&
+        line.compare(space + 1, 6, "fleet.") == 0) {
+      out += line;
+      out += '\n';
+    }
+    pos = eol + 1;
+  }
+  return out;
+}
+
 int run(int argc, char** argv) {
-  // Peel --smoke and --fleet= off before handing the rest to the shared
-  // parser (which rejects flags it does not know).
+  // Peel --smoke, --fleet=, and the hidden shard-child protocol flags off
+  // before handing the rest to the shared parser (which rejects flags it
+  // does not know). The shard-child flags exist so the supervised smoke
+  // scenario can re-exec this binary as its own shard workers.
   bool smoke = false;
   std::string fleet_spec;
   bool fleet_spec_given = false;
+  std::string shard_child;  // "i/N"; non-empty switches to child mode
+  std::string shard_dir;
+  std::string chaos_spec;
+  int status_fd = -1;
+  int shard_attempt = 0;
+  double status_interval = 0.05;
   std::vector<char*> passthrough = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg(argv[i]);
@@ -157,6 +193,18 @@ int run(int argc, char** argv) {
     } else if (arg.rfind("--fleet=", 0) == 0) {
       fleet_spec = arg.substr(8);
       fleet_spec_given = true;
+    } else if (arg.rfind("--shard-child=", 0) == 0) {
+      shard_child = arg.substr(14);
+    } else if (arg.rfind("--shard-dir=", 0) == 0) {
+      shard_dir = arg.substr(12);
+    } else if (arg.rfind("--chaos=", 0) == 0) {
+      chaos_spec = arg.substr(8);
+    } else if (arg.rfind("--status-fd=", 0) == 0) {
+      status_fd = std::atoi(arg.c_str() + 12);
+    } else if (arg.rfind("--shard-attempt=", 0) == 0) {
+      shard_attempt = std::atoi(arg.c_str() + 16);
+    } else if (arg.rfind("--status-interval=", 0) == 0) {
+      status_interval = std::atof(arg.c_str() + 18);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -187,6 +235,37 @@ int run(int argc, char** argv) {
                  "--faults is not supported here; use the soak= field of "
                  "--fleet to schedule fault plans\n");
     return 2;
+  }
+
+  // Shard-child mode: sweep one vantage slice into a checkpoint store and
+  // exit — no banner, no report; the parent owns all output.
+  if (!shard_child.empty()) {
+    int shard = -1;
+    int shards = 0;
+    if (std::sscanf(shard_child.c_str(), "%d/%d", &shard, &shards) != 2 ||
+        shard < 0 || shards <= 0 || shard >= shards || shard_dir.empty()) {
+      std::fprintf(stderr, "bad --shard-child=%s / --shard-dir=%s\n",
+                   shard_child.c_str(), shard_dir.c_str());
+      return 2;
+    }
+    supervisor::FleetShardOptions sopt;
+    sopt.cfg = fcfg;
+    sopt.resume_dir = shard_dir;
+    sopt.shard = shard;
+    sopt.shards = shards;
+    sopt.status_fd = status_fd;
+    sopt.attempt = shard_attempt;
+    sopt.jobs = 1;
+    sopt.heartbeat_seconds = status_interval;
+    if (!chaos_spec.empty()) {
+      std::string chaos_err;
+      sopt.chaos = faults::parse_fault_plan(chaos_spec, chaos_err);
+      if (!chaos_err.empty()) {
+        std::fprintf(stderr, "--chaos: %s\n", chaos_err.c_str());
+        return 2;
+      }
+    }
+    return supervisor::run_shard_child(sopt);
   }
 
   const fleet::Fleet fl(fcfg);
@@ -445,6 +524,184 @@ int run(int argc, char** argv) {
                 grid.chains() / 2, grid.chains());
   }
   std::filesystem::remove_all(dir, ec);
+
+  // Resume-dir ownership: a second sweep opening a store another live
+  // process (here: ourselves) holds must fail fast, not corrupt it.
+  {
+    const std::string cdir = "bench_fleet_smoke_conflict.tmp";
+    std::filesystem::remove_all(cdir, ec);
+    runner::ResultsStore owner(cdir, "fleet", sig, grid.total());
+    runner::ResultsStore intruder(cdir, "fleet", sig, grid.total());
+    if (owner.conflict() || !intruder.conflict()) {
+      std::printf("FAIL: resume-dir collision not detected (owner=%d "
+                  "intruder=%d)\n", owner.conflict(), intruder.conflict());
+      ++failures;
+    } else {
+      std::printf("resume lock: second opener refused (owner pid %ld "
+                  "holds %s)\n", intruder.conflict_pid(),
+                  owner.lock_path().c_str());
+    }
+    std::filesystem::remove_all(cdir, ec);
+  }
+
+  // ---- supervised shards ----
+  // Re-exec this binary as shard children under ys::supervisor. Scenario
+  // A: chaos kills shard 1 after 30 checkpointed flows and stalls shard 0
+  // (heartbeat muted) after 40 — the supervisor must see one crash and one
+  // hang, restart both from their checkpoints, and the merged sweep must
+  // be byte-identical to the uninterrupted serial reference: slots, every
+  // fleet.* metric, and the timeline digest (minus the wall-clock
+  // runner./supervisor. series and the exp.* trial series, whose bucket
+  // instants are not a function of the slots).
+  char exe_buf[4096];
+  const ssize_t exe_len =
+      ::readlink("/proc/self/exe", exe_buf, sizeof(exe_buf) - 1);
+  const std::string self_exe =
+      exe_len > 0 ? std::string(exe_buf, static_cast<std::size_t>(exe_len))
+                  : std::string(argv[0]);
+  const auto parts = supervisor::partition_vantages(grid.vantages, 2);
+  const int nshards = static_cast<int>(parts.size());
+  auto shard_command = [&](const std::string& sdir, const std::string& chaos) {
+    return [&, sdir, chaos](const supervisor::ShardPartition& part,
+                            int attempt, int fd) {
+      std::vector<std::string> args{
+          self_exe,
+          "--fleet=" + fleet_spec,
+          "--shard-child=" + std::to_string(part.shard) + "/" +
+              std::to_string(nshards),
+          "--shard-dir=" + sdir,
+          "--status-fd=" + std::to_string(fd),
+          "--shard-attempt=" + std::to_string(attempt),
+          "--status-interval=0.05",
+          "--seed=" + std::to_string(cfg.seed)};
+      if (cfg.trials > 0) args.push_back("--trials=" + std::to_string(cfg.trials));
+      if (cfg.servers > 0) {
+        args.push_back("--servers=" + std::to_string(cfg.servers));
+      }
+      if (!chaos.empty()) args.push_back("--chaos=" + chaos);
+      return args;
+    };
+  };
+
+  // Both scenarios need a real partition (a --fleet override with one
+  // vantage cannot shard).
+  if (nshards >= 2) {
+    const std::string sdir = "bench_fleet_smoke_shards.tmp";
+    std::filesystem::remove_all(sdir, ec);
+    std::filesystem::create_directories(sdir, ec);
+    supervisor::SupervisorOptions sopt;
+    sopt.max_restarts = 3;
+    sopt.heartbeat_seconds = 0.05;
+    sopt.resume_dir = sdir;
+    const supervisor::SupervisorResult sres = supervisor::supervise(
+        parts, sopt,
+        shard_command(sdir,
+                      "shard-kill:shard=1,after=30;shard-stall:shard=0,"
+                      "after=40"));
+    bool crash_seen = false;
+    bool hang_seen = false;
+    for (const auto& e : sres.events) {
+      if (e.kind == supervisor::ShardEvent::Kind::kCrash) crash_seen = true;
+      if (e.kind == supervisor::ShardEvent::Kind::kHang) hang_seen = true;
+    }
+    const supervisor::ShardMerge merge =
+        supervisor::merge_shard_stores(fl, sdir, nshards);
+
+    obs::MetricsRegistry rebuilt;
+    obs::Timeline sup_tl{SimTime::from_ms(500)};
+    {
+      obs::ScopedMetricsRegistry scope(&rebuilt);
+      fl.rebuild_telemetry(merge.slots, &sup_tl);
+    }
+    fl.annotate_timeline(&sup_tl);
+    supervisor::annotate_coverage(merge, &sup_tl);  // no-op: full coverage
+    // The digest covers the fleet.* series and the annotations. Excluded:
+    // wall-clock runner./supervisor. curves, and the exp./faults. series
+    // whose bucket instants are packet/trial-level events inside the child
+    // scenarios — reproducible only by re-running flows, not from slots.
+    const std::vector<std::string> sup_exclude = {"runner.", "supervisor.",
+                                                  "exp.", "faults."};
+
+    if (!sres.all_complete() || sres.degraded_count() != 0) {
+      std::printf("FAIL: supervised sweep did not complete (%d degraded)\n",
+                  sres.degraded_count());
+      ++failures;
+    } else if (!crash_seen || !hang_seen || sres.restart_count() < 2) {
+      std::printf("FAIL: chaos not exercised (crash=%d hang=%d "
+                  "restarts=%d)\n", crash_seen, hang_seen,
+                  sres.restart_count());
+      ++failures;
+    } else if (merge.missing != 0 || merge.slots != ser.slots) {
+      std::printf("FAIL: merged shard stores diverge from the uninterrupted "
+                  "run (%zu missing)\n", merge.missing);
+      ++failures;
+    } else if (fleet_digest_lines(deterministic_digest(rebuilt.snapshot())) !=
+               fleet_digest_lines(ser.metrics_digest)) {
+      std::printf("FAIL: rebuilt fleet.* metrics diverge from the "
+                  "uninterrupted run\n");
+      ++failures;
+    } else if (obs::timeline_digest(sup_tl, sup_exclude) !=
+               obs::timeline_digest(ser_tl, sup_exclude)) {
+      std::printf("FAIL: supervised timeline digest diverges from the "
+                  "uninterrupted run\n");
+      ++failures;
+    } else {
+      std::printf("supervisor: kill + stall recovered (%d restarts); merged "
+                  "slots, fleet.* metrics, and timeline digest match the "
+                  "uninterrupted run\n", sres.restart_count());
+    }
+    std::filesystem::remove_all(sdir, ec);
+  }
+
+  // Scenario B: a shard that dies on every attempt with a zero retry
+  // budget must degrade — the sweep still completes, holes stay confined
+  // to the degraded shard's vantage range, and analyze() reports the
+  // partial coverage honestly.
+  if (nshards >= 2) {
+    const std::string sdir = "bench_fleet_smoke_degraded.tmp";
+    std::filesystem::remove_all(sdir, ec);
+    std::filesystem::create_directories(sdir, ec);
+    supervisor::SupervisorOptions sopt;
+    sopt.max_restarts = 0;
+    sopt.heartbeat_seconds = 0.05;
+    sopt.resume_dir = sdir;
+    const supervisor::SupervisorResult sres = supervisor::supervise(
+        parts, sopt, shard_command(sdir, "shard-kill:shard=1,after=10,attempts=99"));
+    const supervisor::ShardMerge merge =
+        supervisor::merge_shard_stores(fl, sdir, nshards);
+    bool holes_confined = true;
+    for (std::size_t v = 0; v < grid.vantages; ++v) {
+      const bool degraded_range = v >= parts[1].vantage_begin;
+      for (std::size_t t = 0; t < grid.trials; ++t) {
+        const bool hole = merge.slots[v * grid.trials + t] < 0;
+        if (hole && !degraded_range) holes_confined = false;
+      }
+    }
+    const fleet::Fleet::Report partial = fl.analyze(merge.slots);
+    if (sres.degraded_count() != 1 || sres.all_complete()) {
+      std::printf("FAIL: zero-budget shard did not degrade (%d degraded)\n",
+                  sres.degraded_count());
+      ++failures;
+    } else if (merge.missing == 0 || !holes_confined) {
+      std::printf("FAIL: degraded-shard holes wrong (%zu missing, "
+                  "confined=%d)\n", merge.missing, holes_confined);
+      ++failures;
+    } else if (partial.missing_flows != merge.missing ||
+               partial.coverage() >= 1.0 ||
+               partial.render().find("PARTIAL COVERAGE") ==
+                   std::string::npos) {
+      std::printf("FAIL: analyze() did not report partial coverage "
+                  "(%zu missing, coverage %.3f)\n", partial.missing_flows,
+                  partial.coverage());
+      ++failures;
+    } else {
+      std::printf("supervisor: zero-budget shard degraded honestly "
+                  "(%zu/%zu flows recorded, coverage %.1f%%)\n",
+                  merge.slots.size() - merge.missing, merge.slots.size(),
+                  partial.coverage() * 100.0);
+    }
+    std::filesystem::remove_all(sdir, ec);
+  }
 
   if (failures > 0) {
     std::printf("\nFAIL: %d smoke assertion(s) failed\n", failures);

@@ -228,6 +228,22 @@ bool apply_clause(const Clause& c, FaultPlan& plan, std::string& error) {
     plan.path_flaps.push_back(f);
     return true;
   }
+  if (c.kind == "shard-kill" || c.kind == "shard-stall" ||
+      c.kind == "shard-slow-heartbeat") {
+    ShardChaos s;
+    s.kind = c.kind == "shard-kill"
+                 ? ShardChaos::Kind::kKill
+                 : (c.kind == "shard-stall" ? ShardChaos::Kind::kStall
+                                            : ShardChaos::Kind::kSlowHeartbeat);
+    if (!clause_int(c, "shard", 0, s.shard, error) ||
+        !clause_int(c, "after", -1, s.after, error) ||
+        !clause_int(c, "attempts", 1, s.attempts, error) ||
+        !clause_double(c, "factor", 4.0, s.factor, error)) {
+      return false;
+    }
+    plan.shard_chaos.push_back(s);
+    return true;
+  }
   error = "fault plan: unknown clause kind '" + c.kind + "'";
   return false;
 }
@@ -359,6 +375,36 @@ FaultPlan parse_json(const std::string& path, std::string& error) {
       plan.path_flaps.push_back(f);
     }
   }
+  if (const json::Value* arr = doc->find("shard_chaos");
+      arr != nullptr && arr->is_array()) {
+    for (const json::Value& e : arr->array) {
+      ShardChaos s;
+      const json::Value* kv = e.find("kind");
+      const std::string kind =
+          kv != nullptr && kv->is_string() ? kv->string : "kill";
+      if (kind == "kill") {
+        s.kind = ShardChaos::Kind::kKill;
+      } else if (kind == "stall") {
+        s.kind = ShardChaos::Kind::kStall;
+      } else if (kind == "slow-heartbeat") {
+        s.kind = ShardChaos::Kind::kSlowHeartbeat;
+      } else {
+        error = "fault plan json: bad shard_chaos kind '" + kind + "'";
+        return FaultPlan{};
+      }
+      if (const json::Value* v = e.find("shard");
+          v != nullptr && v->is_number())
+        s.shard = static_cast<int>(v->number);
+      if (const json::Value* v = e.find("after");
+          v != nullptr && v->is_number())
+        s.after = static_cast<int>(v->number);
+      if (const json::Value* v = e.find("attempts");
+          v != nullptr && v->is_number())
+        s.attempts = static_cast<int>(v->number);
+      json_double(e, "factor", 4.0, s.factor);
+      plan.shard_chaos.push_back(s);
+    }
+  }
   if (plan.empty()) {
     error = "fault plan: '" + path + "' defines no faults";
     return FaultPlan{};
@@ -431,6 +477,20 @@ std::string FaultPlan::summary() const {
   for (const PathFlap& f : path_flaps) {
     out += " pathflap@" + time_str(f.at) +
            " delta=" + std::to_string(f.delta);
+  }
+  for (const ShardChaos& s : shard_chaos) {
+    const char* kind = s.kind == ShardChaos::Kind::kKill
+                           ? "shard-kill"
+                           : (s.kind == ShardChaos::Kind::kStall
+                                  ? "shard-stall"
+                                  : "shard-slow-heartbeat");
+    out += std::string(" ") + kind + "[shard=" + std::to_string(s.shard) +
+           " after=" + (s.after < 0 ? "seeded" : std::to_string(s.after)) +
+           " x" + std::to_string(s.attempts);
+    if (s.kind == ShardChaos::Kind::kSlowHeartbeat) {
+      out += " factor=" + prob_str(s.factor);
+    }
+    out += "]";
   }
   return out;
 }

@@ -65,6 +65,32 @@ struct PathFlap {
   int delta = 0;
 };
 
+/// Process-level chaos for supervised shard sweeps (the operational layer
+/// above the network faults): a shard child self-inflicts a crash, a hang,
+/// or a starved heartbeat so the supervisor's detection and recovery paths
+/// are deterministically testable. The netsim injector ignores these —
+/// they are consumed by runner/supervisor code.
+struct ShardChaos {
+  enum class Kind : u8 {
+    kKill,           // SIGKILL self after `after` flows (crash detection)
+    kStall,          // stop making progress after `after` flows (hang)
+    kSlowHeartbeat,  // stretch the heartbeat interval by `factor`
+  };
+  Kind kind = Kind::kKill;
+  /// Which shard index the clause targets (children filter to their own).
+  int shard = 0;
+  /// Trigger after this many flows executed in the attempt; < 0 means
+  /// derive a seeded point from the plan's Rng lineage (like every other
+  /// clause, the trigger is then a pure function of the sweep seed).
+  int after = -1;
+  /// Inflict the fault on attempts [0, attempts); a restart past the
+  /// budget runs clean. attempts=99 with a retry budget of 0 models a
+  /// permanently broken shard (the degraded-coverage path).
+  int attempts = 1;
+  /// kSlowHeartbeat: multiply the child's heartbeat interval by this.
+  double factor = 4.0;
+};
+
 struct FaultPlan {
   std::string name;  // shipped name, "inline", or "file:<path>"
   std::vector<LossBurst> loss_bursts;
@@ -74,11 +100,12 @@ struct FaultPlan {
   std::vector<RstStorm> rst_storms;
   std::vector<GfwFlap> gfw_flaps;
   std::vector<PathFlap> path_flaps;
+  std::vector<ShardChaos> shard_chaos;
 
   bool empty() const {
     return loss_bursts.empty() && duplicate_p <= 0.0 && corrupt_p <= 0.0 &&
            reorder_windows.empty() && rst_storms.empty() &&
-           gfw_flaps.empty() && path_flaps.empty();
+           gfw_flaps.empty() && path_flaps.empty() && shard_chaos.empty();
   }
 
   /// Compact one-line description ("loss-burst: loss@50ms+2000ms p=0.25"),

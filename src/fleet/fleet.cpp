@@ -401,7 +401,16 @@ Fleet::Report Fleet::analyze(const std::vector<i64>& slots) const {
     std::vector<char> touched(servers_.size(), 0);
 
     for (std::size_t t = 0; t < g.trials; ++t) {
-      const FlowRecord rec = FlowRecord::decode(slots[v * g.trials + t]);
+      const i64 slot = slots[v * g.trials + t];
+      if (slot < 0) {
+        // Hole: the flow never ran (degraded shard / cancelled sweep).
+        // Nothing is known about it — keep it out of every rate and out
+        // of the convergence state machine.
+        ++vr.missing;
+        ++report.missing_flows;
+        continue;
+      }
+      const FlowRecord rec = FlowRecord::decode(slot);
       const FlowSpec& flow = schedule[t];
       const auto srv = static_cast<std::size_t>(flow.server);
       touched[srv] = 1;
@@ -438,10 +447,11 @@ Fleet::Report Fleet::analyze(const std::vector<i64>& slots) const {
         converge_sum += static_cast<double>(last_explore[s] + 1);
       }
     }
+    const std::size_t executed = vr.flows - vr.missing;
     vr.success_rate =
-        vr.flows > 0 ? static_cast<double>(success) / vr.flows : 0.0;
+        executed > 0 ? static_cast<double>(success) / executed : 0.0;
     vr.cache_hit_rate =
-        vr.flows > 0 ? static_cast<double>(cache_hits) / vr.flows : 0.0;
+        executed > 0 ? static_cast<double>(cache_hits) / executed : 0.0;
     vr.mean_flows_to_converge =
         vr.servers_converged > 0 ? converge_sum / vr.servers_converged : 0.0;
     total_success += success;
@@ -449,13 +459,14 @@ Fleet::Report Fleet::analyze(const std::vector<i64>& slots) const {
     report.vantages.push_back(std::move(vr));
   }
 
+  const std::size_t total_executed = report.total_flows - report.missing_flows;
   report.success_rate =
-      report.total_flows > 0
-          ? static_cast<double>(total_success) / report.total_flows
+      total_executed > 0
+          ? static_cast<double>(total_success) / total_executed
           : 0.0;
   report.cache_hit_rate =
-      report.total_flows > 0
-          ? static_cast<double>(total_cache_hits) / report.total_flows
+      total_executed > 0
+          ? static_cast<double>(total_cache_hits) / total_executed
           : 0.0;
   for (std::size_t s = 0; s < strat_ids.size(); ++s) {
     StrategyShare share;
@@ -483,8 +494,14 @@ std::string Fleet::Report::render() const {
                   vr.servers_touched);
     char mean[32];
     std::snprintf(mean, sizeof(mean), "%.1f", vr.mean_flows_to_converge);
-    per_vantage.add_row({vr.name, std::to_string(vr.flows),
-                         exp::pct(vr.success_rate),
+    // Full-coverage vantages render exactly as before; a vantage with
+    // holes shows executed/scheduled so partial coverage is visible in
+    // the table itself.
+    const std::string flows_cell =
+        vr.missing == 0 ? std::to_string(vr.flows)
+                        : std::to_string(vr.flows - vr.missing) + "/" +
+                              std::to_string(vr.flows);
+    per_vantage.add_row({vr.name, flows_cell, exp::pct(vr.success_rate),
                          exp::pct(vr.cache_hit_rate), conv, mean});
   }
   out += per_vantage.render();
@@ -509,7 +526,98 @@ std::string Fleet::Report::render() const {
                 total_flows, success_rate * 100.0, cache_hit_rate * 100.0,
                 cross_client_supplies);
   out += tail;
+  if (missing_flows > 0) {
+    std::snprintf(tail, sizeof(tail),
+                  "PARTIAL COVERAGE: %zu/%zu flows recorded (%zu missing; "
+                  "rates are over executed flows only)\n",
+                  total_flows - missing_flows, total_flows, missing_flows);
+    out += tail;
+  }
   return out;
+}
+
+void Fleet::rebuild_telemetry(const std::vector<i64>& slots,
+                              obs::Timeline* tl) const {
+  const runner::TrialGrid g = grid();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::current();
+  // run_flow_impl's FleetMetrics binding creates the whole counter family
+  // on its first flow, zero-valued members included; a metrics snapshot of
+  // the rebuilt registry must list the same names to be byte-identical.
+  bool any_recorded = false;
+  for (const i64 slot : slots) any_recorded = any_recorded || slot >= 0;
+  if (any_recorded) {
+    for (const char* name :
+         {"fleet.flows", "fleet.flow_success", "fleet.flow_failure1",
+          "fleet.flow_failure2", "fleet.flow_trial_error", "fleet.cache_hit",
+          "fleet.cross_client_supply", "fleet.fresh_session"}) {
+      reg.counter(name);
+    }
+  }
+  for (std::size_t v = 0; v < vps_.size(); ++v) {
+    const std::vector<FlowSpec> schedule =
+        build_flow_schedule(cfg_, vps_[v].name);
+    const obs::TimelineLabels labels{{"vantage", vps_[v].name},
+                                     {"vantage_index", std::to_string(v)}};
+    for (std::size_t t = 0; t < g.trials && t < schedule.size(); ++t) {
+      const i64 slot = slots[v * g.trials + t];
+      if (slot < 0) continue;  // hole: nothing was published for it
+      const FlowRecord rec = FlowRecord::decode(slot);
+      const FlowSpec& flow = schedule[t];
+
+      // Mirror of run_flow_impl's metrics block, driven by the record
+      // alone (the slots are a sufficient statistic for all of fleet.*).
+      reg.counter("fleet.flows").inc();
+      switch (rec.outcome) {
+        case exp::Outcome::kSuccess:
+          reg.counter("fleet.flow_success").inc();
+          break;
+        case exp::Outcome::kFailure1:
+          reg.counter("fleet.flow_failure1").inc();
+          break;
+        case exp::Outcome::kFailure2:
+          reg.counter("fleet.flow_failure2").inc();
+          break;
+        case exp::Outcome::kTrialError:
+          reg.counter("fleet.flow_trial_error").inc();
+          break;
+      }
+      if (cfg_.share != ShareMode::kCold && flow.fresh_session) {
+        reg.counter("fleet.fresh_session").inc();
+      }
+      const bool cache_hit = is_cache_source(rec.source);
+      if (cache_hit) reg.counter("fleet.cache_hit").inc();
+      const bool cross_client =
+          rec.supplier >= 0 &&
+          schedule[static_cast<std::size_t>(rec.supplier)].client !=
+              flow.client;
+      if (cross_client) reg.counter("fleet.cross_client_supply").inc();
+      if (rec.source >= 0) {
+        reg.counter(std::string("fleet.pick.") +
+                    to_string(static_cast<StrategySelector::Choice::Source>(
+                        rec.source)))
+            .inc();
+      }
+      reg.counter("fleet.share.p" + std::to_string(flow.soak_phase + 1) +
+                  "." + strategy::to_string(rec.strategy))
+          .inc();
+
+      if (tl != nullptr) {
+        tl->count("fleet.flows", labels, flow.at);
+        if (rec.outcome == exp::Outcome::kSuccess) {
+          tl->count("fleet.flow_success", labels, flow.at);
+        }
+        if (cache_hit) tl->count("fleet.cache_hit", labels, flow.at);
+        if (cross_client) {
+          tl->count("fleet.cross_client_supply", labels, flow.at);
+        }
+        if (rec.source ==
+            static_cast<int>(StrategySelector::Choice::Source::kSafeMode)) {
+          tl->count("fleet.safe_mode", labels, flow.at);
+        }
+        tl->sample("fleet.flow_index", labels, flow.at, flow.index);
+      }
+    }
+  }
 }
 
 }  // namespace ys::fleet

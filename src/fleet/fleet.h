@@ -104,6 +104,10 @@ class Fleet {
   struct VantageReport {
     std::string name;
     std::size_t flows = 0;
+    /// Scheduled flows with no recorded slot (a degraded shard's holes).
+    /// Rates below are over *executed* flows, so partial coverage never
+    /// deflates them.
+    std::size_t missing = 0;
     double success_rate = 0.0;
     /// Fraction of flows whose pick was a cache or store hit.
     double cache_hit_rate = 0.0;
@@ -128,17 +132,40 @@ class Fleet {
     std::vector<StrategyShare> shares;
     std::size_t phases = 1;
     std::size_t total_flows = 0;
+    /// Holes across every vantage (slot value < 0). 0 for a full sweep.
+    std::size_t missing_flows = 0;
     double success_rate = 0.0;
     double cache_hit_rate = 0.0;
     int cross_client_supplies = 0;
+
+    /// executed / scheduled; 1.0 for a full sweep.
+    double coverage() const {
+      return total_flows > 0 ? static_cast<double>(total_flows -
+                                                   missing_flows) /
+                                   static_cast<double>(total_flows)
+                             : 1.0;
+    }
 
     std::string render() const;
   };
 
   /// Decode a full sweep's slots (grid().total() entries) into the
   /// convergence report. Pure function of the slots — callable on resumed
-  /// or freshly-run results alike.
+  /// or freshly-run results alike. A negative slot is a hole (flow never
+  /// recorded, e.g. a degraded shard): it is counted as missing and
+  /// excluded from every rate, and render() labels the partial coverage.
   Report analyze(const std::vector<i64>& slots) const;
+
+  /// Rebuild the sweep's deterministic telemetry — every pure `fleet.*`
+  /// counter and virtual-time timeline series run_flow() publishes — from
+  /// recorded slots alone, into the current MetricsRegistry and `tl`.
+  /// Holes (negative slots) are skipped. Used by the supervisor's merge
+  /// path: the children's registries die with their processes, but the
+  /// slots are a sufficient statistic for all of fleet.*, so a supervised
+  /// run's merged metrics and timeline digests are byte-identical to an
+  /// unsharded run's.
+  void rebuild_telemetry(const std::vector<i64>& slots,
+                         obs::Timeline* tl = nullptr) const;
 
   // ------------------------------------------------------- live telemetry
   /// Soak phases the live stats break flows down by (phase indices beyond

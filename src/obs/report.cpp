@@ -241,6 +241,8 @@ std::string render_timeline_html(const TimelineDoc& doc,
          "td,th{border:1px solid #d4d4d8;padding:3px 10px;text-align:right}\n"
          "th{background:#f4f4f5}td:first-child,th:first-child{text-align:left}\n"
          "pre{background:#f4f4f5;padding:8px;font-size:12px;overflow-x:auto}\n"
+         ".coverage{background:#fef3c7;border:1px solid #f59e0b;"
+         "border-radius:4px;padding:8px 12px;font-weight:600}\n"
          "</style></head><body>\n";
   out << "<h1>" << html_escape(opt.title) << "</h1>\n";
   out << "<p class=\"meta\">schema ys.timeline.v1 · bucket "
@@ -249,6 +251,14 @@ std::string render_timeline_html(const TimelineDoc& doc,
       << " annotations";
   if (!opt.source.empty()) out << " · source " << html_escape(opt.source);
   out << "</p>\n";
+
+  // A "coverage" annotation means a degraded shard left holes: banner it
+  // up front so no chart below is mistaken for a complete sweep.
+  for (const auto& a : doc.annotations) {
+    if (a.category != "coverage") continue;
+    out << "<p class=\"coverage\">&#9888; " << html_escape(a.text)
+        << "</p>\n";
+  }
 
   // Soak-phase boundaries overlay every virtual-time chart.
   std::vector<VLine> phase_lines;
@@ -470,6 +480,57 @@ std::string render_timeline_html(const TimelineDoc& doc,
       out << "</pre>\n";
     }
     consumed.insert("fleet.flow_index");
+  }
+
+  // ---- Shard lifecycle (supervised sweeps). ----------------------------
+  std::set<std::string> super_names;
+  for (const auto& s : doc.series) {
+    if (s.name.rfind("supervisor.", 0) == 0) super_names.insert(s.name);
+  }
+  if (!super_names.empty()) {
+    out << "<h2>Shard lifecycle</h2>\n";
+    if (super_names.count("supervisor.shard_done") > 0) {
+      Chart prog{"Shard progress (tasks done, per heartbeat)",
+                 "wall time (s)", "tasks", {}, {}, false};
+      for (const auto& s : doc.series) {
+        if (s.name != "supervisor.shard_done") continue;
+        auto it = s.labels.find("shard");
+        ChartLine line{"shard " + (it == s.labels.end() ? std::string("?")
+                                                        : it->second),
+                       {}};
+        for (const auto& p : s.points) {
+          line.points.emplace_back(bucket_seconds(doc, p.bucket),
+                                   static_cast<double>(p.max));
+        }
+        prog.lines.push_back(std::move(line));
+      }
+      out << render_chart(prog);
+    }
+    Chart events{"Lifecycle events (spawn / gap / restart / degraded)",
+                 "wall time (s)", "events/bucket", {}, {}, false};
+    for (const std::string& name : super_names) {
+      if (name == "supervisor.shard_done") continue;
+      ChartLine line{name.substr(std::string("supervisor.").size()), {}};
+      for (const auto& [bucket, n] : bucket_sums(doc, name)) {
+        line.points.emplace_back(bucket_seconds(doc, bucket),
+                                 static_cast<double>(n));
+      }
+      events.lines.push_back(std::move(line));
+    }
+    if (!events.lines.empty()) out << render_chart(events);
+
+    std::vector<const TimelineDoc::Annotation*> shard_notes;
+    for (const auto& a : doc.annotations) {
+      if (a.category == "shard") shard_notes.push_back(&a);
+    }
+    if (!shard_notes.empty()) {
+      out << "<h3>Event log (" << shard_notes.size() << " events)</h3>\n<pre>";
+      for (const auto* a : shard_notes) {
+        out << "bucket " << a->bucket << ": " << html_escape(a->text) << "\n";
+      }
+      out << "</pre>\n";
+    }
+    consumed.insert(super_names.begin(), super_names.end());
   }
 
   // ---- Everything else, so no recorded series is invisible. ------------

@@ -15,6 +15,22 @@
 // slot type (e.g. static_cast of an exp::Outcome) — the store does not
 // interpret them.
 //
+// Crash hardening: a store file may end (or be interrupted) mid-line when
+// its writer was killed. load() parses records strictly — every record
+// must be a complete `<slot> <value>` line with a trailing newline and a
+// slot inside the grid — and on the first malformed record drops it *and
+// everything after it*, then rewrites the file so only verified records
+// remain. The dropped slots simply re-run; a torn tail can never poison a
+// resume.
+//
+// Ownership: a writable store stamps `<file>.lock` with its pid. A second
+// process opening the same bench in the same directory sees a live owner
+// and the store reports conflict() — callers fail fast instead of letting
+// two sweeps silently interleave appends. A lock whose pid is dead is
+// stale (the previous owner crashed) and is stolen. Mode::kReadOnly skips
+// locking and never writes — the supervisor's merge pass uses it to read
+// shard checkpoints while the shards may still own their locks.
+//
 // Granularity note for chained grids: because a chain's trials share
 // selector state, a partially-recorded chain cannot be resumed mid-way —
 // chain_complete() only reports true when *every* trial slot of the chain
@@ -25,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/types.h"
@@ -33,13 +50,22 @@ namespace ys::runner {
 
 class ResultsStore {
  public:
+  enum class Mode {
+    kWrite,     // lock the file, load, append on put()
+    kReadOnly,  // load without locking; put() is memory-only
+  };
+
   /// Open (creating the directory if needed) the store for `bench` under
   /// `dir`. `signature` must cover every input that shapes the results.
   /// `total` is the grid's slot count. An existing file with a matching
   /// header is loaded; a mismatched one is ignored and overwritten on the
   /// first put().
   ResultsStore(std::string dir, std::string bench, u64 signature,
-               std::size_t total);
+               std::size_t total, Mode mode = Mode::kWrite);
+  ~ResultsStore();
+
+  ResultsStore(const ResultsStore&) = delete;
+  ResultsStore& operator=(const ResultsStore&) = delete;
 
   /// Build a signature by FNV-1a-mixing the parts (dimension sizes, plan
   /// summary, seed, ...). Order matters; keep call sites stable.
@@ -56,11 +82,23 @@ class ResultsStore {
   bool range_complete(std::size_t begin, std::size_t end) const;
 
   std::size_t recorded() const;
+  /// Every recorded (slot, value), sorted by slot — the merge interface
+  /// for readers that fold several shard stores into one result vector.
+  std::vector<std::pair<std::size_t, i64>> entries() const;
+
   const std::string& path() const { return path_; }
+  std::string lock_path() const { return path_ + ".lock"; }
   /// True when an existing file was loaded (signature matched).
   bool resumed() const { return resumed_; }
+  /// True when another live process owns this store's lockfile. The store
+  /// is inert (nothing loaded, nothing written); callers must treat this
+  /// as a hard configuration error.
+  bool conflict() const { return conflict_; }
+  /// Pid of the live owner when conflict() is true.
+  long conflict_pid() const { return conflict_pid_; }
 
  private:
+  void acquire_lock();
   void load();
   void rewrite_locked();
 
@@ -68,8 +106,12 @@ class ResultsStore {
   std::string bench_;
   u64 signature_ = 0;
   std::size_t total_ = 0;
+  Mode mode_ = Mode::kWrite;
   bool resumed_ = false;
   bool header_written_ = false;
+  bool conflict_ = false;
+  bool lock_owned_ = false;
+  long conflict_pid_ = 0;
   mutable std::mutex mu_;
   std::unordered_map<std::size_t, i64> slots_;
 };

@@ -129,6 +129,8 @@ class Heartbeat {
             const std::atomic<u64>* progress)
       : interval_(opt.heartbeat_seconds),
         extra_(opt.heartbeat_extra),
+        sink_(opt.heartbeat_sink),
+        quiet_(opt.heartbeat_quiet),
         count_(count),
         progress_(progress) {
     if (interval_ > 0.0 && count_ > 0) {
@@ -164,6 +166,8 @@ class Heartbeat {
         return;  // pool drained; no trailing line after the join
       }
       const u64 done = progress_->load(std::memory_order_relaxed);
+      if (sink_) sink_(done, count_);
+      if (quiet_) continue;
       const double elapsed = seconds_since(start);
       const double rate = elapsed > 0.0 ? done / elapsed : 0.0;
       const double eta =
@@ -182,6 +186,8 @@ class Heartbeat {
 
   const double interval_;
   const std::function<std::string()> extra_;
+  const std::function<void(u64, std::size_t)> sink_;
+  const bool quiet_ = false;
   const std::size_t count_;
   const std::atomic<u64>* progress_;
   std::mutex mu_;

@@ -56,6 +56,15 @@ struct PoolOptions {
   /// counts, ...). Called from the monitor thread, so it must only read
   /// atomics or otherwise thread-safe state.
   std::function<std::string()> heartbeat_extra;
+  /// Structured heartbeat consumer, fired on the same cadence as the
+  /// stderr line with (tasks done, tasks total). Shard children use this
+  /// to feed the supervisor's pipe protocol. Called from the monitor
+  /// thread — same thread-safety rules as heartbeat_extra.
+  std::function<void(u64, std::size_t)> heartbeat_sink;
+  /// Suppress the human-readable stderr heartbeat line (the sink still
+  /// fires). Shard children run quiet so N children don't interleave
+  /// progress lines on the parent's terminal.
+  bool heartbeat_quiet = false;
   /// Sample the counting-allocator hook (obs/alloc_hook.h) around every
   /// task and publish per-task deltas as `perf.alloc.count` /
   /// `perf.alloc.bytes` counters — the heap-churn trajectory the

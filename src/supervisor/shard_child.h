@@ -1,0 +1,80 @@
+// Shard-side glue between ys::supervisor and ys::fleet.
+//
+// A shard child is one `yourstate fleet --shard=i/N` (or `bench_fleet
+// --shard-child=i/N`) process: it rebuilds the full Fleet from the same
+// config the parent holds, takes the i-th contiguous vantage range from
+// partition_vantages(), and sweeps only those chains — writing every slot
+// under its *global* grid index into a shard-private, signature-keyed
+// ResultsStore. Global indices make the merge trivial (shard stores are
+// sparse views of one slot space) and keep a restarted shard bit-identical
+// to an uninterrupted one: per-flow seeds derive from global coordinates,
+// never from which process ran them.
+//
+// Chaos clauses (faults::ShardChaos) are self-inflicted here, not by the
+// parent: a kill clause SIGKILLs the child after N checkpointed flows, a
+// stall clause stops progress (and mutes the heartbeat) so the parent's
+// hang deadline fires, a slow-heartbeat clause stretches the cadence. All
+// trigger points are pure functions of the sweep seed, so supervised
+// recovery is as reproducible as the sweep itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "faults/fault_plan.h"
+#include "fleet/fleet.h"
+
+namespace ys::obs {
+class Timeline;
+}
+
+namespace ys::supervisor {
+
+/// Store file name for shard `i` ("fleet-shard-<i>.results" under the
+/// resume dir).
+std::string shard_bench_name(int shard);
+
+/// Shard store signature: the fleet signature plus the shard coordinates,
+/// so shard i/N can never resume from shard j/M's checkpoint.
+u64 shard_signature(const fleet::FleetConfig& cfg, int shard, int shards);
+
+struct FleetShardOptions {
+  fleet::FleetConfig cfg;
+  std::string resume_dir;
+  int shard = 0;
+  int shards = 1;
+  /// Write end of the supervisor's heartbeat pipe; -1 = no status stream
+  /// (running a shard standalone for debugging).
+  int status_fd = -1;
+  /// Which attempt this is (the supervisor increments per restart); chaos
+  /// clauses use it to stop misbehaving once their budget is spent.
+  int attempt = 0;
+  /// Plan whose shard_chaos clauses this child self-inflicts.
+  faults::FaultPlan chaos;
+  int jobs = 1;
+  double heartbeat_seconds = 0.05;
+};
+
+/// Run one shard sweep to completion. Returns a process exit code:
+/// 0 = shard complete, 2 = bad shard spec, 3 = resume-dir conflict
+/// (another live process owns this shard's store).
+int run_shard_child(const FleetShardOptions& opt);
+
+/// Merged view of every shard store under `resume_dir`: slots is
+/// grid().total() long with -1 holes where no shard recorded a value.
+struct ShardMerge {
+  std::vector<i64> slots;
+  std::vector<std::size_t> missing_per_shard;
+  std::size_t missing = 0;
+};
+
+ShardMerge merge_shard_stores(const fleet::Fleet& fl,
+                              const std::string& resume_dir, int shards);
+
+/// Mark partial coverage on a timeline (a "coverage" annotation at bucket
+/// 0 naming the hole count). No-op when the merge is complete or tl is
+/// null — a full recovery leaves the timeline byte-identical to an
+/// unsharded run's.
+void annotate_coverage(const ShardMerge& merge, obs::Timeline* tl);
+
+}  // namespace ys::supervisor

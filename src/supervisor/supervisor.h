@@ -1,0 +1,136 @@
+// ys::supervisor — multi-process shard supervision for fleet sweeps.
+//
+// The parent partitions a sweep's vantage axis into contiguous shard
+// ranges, launches one child process per shard, and watches them over a
+// pipe-based heartbeat protocol: each child writes `HB <done> <total>`
+// lines on the worker pool's heartbeat cadence (PoolOptions::
+// heartbeat_sink). The parent detects
+//   - hangs, via missed-heartbeat deadlines (grace × heartbeat interval),
+//   - crashes, via nonzero exit status on pipe EOF,
+// and restarts the failed shard with capped exponential backoff. Because
+// every shard checkpoints into its own signature-keyed ResultsStore, a
+// killed-then-restarted shard resumes from its last flushed slot and the
+// merged sweep is bit-identical to an uninterrupted one.
+//
+// When a shard exhausts its retry budget it is marked degraded and the
+// sweep continues: the merge keeps whatever the shard's store holds and
+// downstream consumers (Fleet::analyze, timelines, the HTML report) label
+// the partial coverage honestly instead of miscounting.
+//
+// The loop is single-threaded (poll(2) over the heartbeat pipes), so the
+// parent itself has no shared state to corrupt when a child dies mid-line.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace ys::obs {
+class Timeline;
+}
+
+namespace ys::supervisor {
+
+/// One shard's slice of the vantage axis: [vantage_begin, vantage_end).
+struct ShardPartition {
+  int shard = 0;
+  std::size_t vantage_begin = 0;
+  std::size_t vantage_end = 0;
+};
+
+/// Split `vantages` chains into at most `shards` contiguous, non-empty,
+/// near-equal ranges (fewer when vantages < shards).
+std::vector<ShardPartition> partition_vantages(std::size_t vantages,
+                                               int shards);
+
+struct SupervisorOptions {
+  /// Restarts allowed per shard after its first attempt; 0 = one attempt,
+  /// then degrade.
+  int max_restarts = 3;
+  /// Expected child heartbeat cadence. The parent flags a gap at 2×, and
+  /// declares a hang (SIGKILL + restart) at grace× this interval.
+  double heartbeat_seconds = 0.25;
+  double grace = 8.0;
+  /// Capped exponential backoff between restarts of one shard.
+  double backoff_base_seconds = 0.1;
+  double backoff_cap_seconds = 2.0;
+  /// When non-empty, a `supervisor-state.json` manifest is kept here
+  /// (rewritten on every lifecycle event) for `yourstate shard-status`.
+  std::string resume_dir;
+};
+
+/// Builds the argv for one shard attempt. `status_fd` is the write end of
+/// the heartbeat pipe, already open in the parent; it stays open across
+/// the child's exec at the same fd number, so the builder embeds it in the
+/// command line (e.g. --status-fd=7).
+using CommandBuilder = std::function<std::vector<std::string>(
+    const ShardPartition& part, int attempt, int status_fd)>;
+
+struct ShardEvent {
+  enum class Kind : u8 {
+    kSpawn,
+    kHeartbeatGap,  // > 2 intervals without a heartbeat (informational)
+    kHang,          // missed the hard deadline; child was SIGKILLed
+    kCrash,         // pipe EOF with nonzero / signaled exit status
+    kRestart,       // shard rescheduled after a hang or crash
+    kDone,          // clean exit 0
+    kDegraded,      // retry budget exhausted; shard abandoned
+  };
+  Kind kind = Kind::kSpawn;
+  int shard = 0;
+  int attempt = 0;
+  double at = 0.0;  // seconds since supervise() started (wall clock)
+  std::string detail;
+};
+
+const char* to_string(ShardEvent::Kind kind);
+
+struct ShardStatus {
+  enum class State : u8 { kPending, kRunning, kDone, kDegraded };
+  State state = State::kPending;
+  ShardPartition part;
+  int attempts = 0;  // spawns so far
+  int restarts = 0;  // spawns beyond the first
+  u64 done = 0;      // last heartbeat's progress
+  u64 total = 0;     // last heartbeat's task count
+  int exit_status = 0;  // raw waitpid status of the last exit
+  /// (seconds since start, done) samples from the heartbeat stream — the
+  /// shard's progress trajectory for the report's lifecycle panel.
+  std::vector<std::pair<double, u64>> progress;
+};
+
+const char* to_string(ShardStatus::State state);
+
+struct SupervisorResult {
+  std::vector<ShardStatus> shards;
+  std::vector<ShardEvent> events;
+  double wall_seconds = 0.0;
+
+  bool all_complete() const;
+  int degraded_count() const;
+  int restart_count() const;
+};
+
+/// Run every partition to completion (or degradation). Blocks; returns
+/// once no shard is pending or running.
+SupervisorResult supervise(const std::vector<ShardPartition>& parts,
+                           const SupervisorOptions& opt,
+                           const CommandBuilder& build_command);
+
+/// Fold the supervision lifecycle into a timeline: one `supervisor.<event>`
+/// wall-axis counter per event kind (labelled by shard), `supervisor.
+/// shard_done` progress gauges, and a "shard" annotation per event. Like
+/// every runner.* series these ride the wall clock, so timeline digests
+/// exclude the "supervisor." prefix.
+void record_timeline(const SupervisorResult& result, obs::Timeline* tl);
+
+/// Human-readable lifecycle table (one line per shard + event log tail).
+std::string render_summary(const SupervisorResult& result);
+
+/// Serialize the manifest `supervise()` maintains under resume_dir; exposed
+/// for `yourstate shard-status` and tests.
+std::string manifest_json(const SupervisorResult& result);
+
+}  // namespace ys::supervisor

@@ -8,6 +8,15 @@
 //   yourstate stats  [options]            simulated session + metrics dump
 //   yourstate fleet  [options]            multi-client deployment sweep:
 //                                         convergence + cache-sharing report
+//                                         --shards=N --supervise partitions
+//                                         the sweep into N child processes
+//                                         with crash/hang detection and
+//                                         checkpointed restarts (see
+//                                         EXPERIMENTS.md "Sharded &
+//                                         supervised sweeps")
+//   yourstate shard-status --resume-dir=D  inspect a supervised sweep's
+//                                         manifest: per-shard state,
+//                                         attempts, progress, lock liveness
 //   yourstate explain [options]           replay one bench grid coordinate
 //                                         traced: annotated ladder + verdict
 //                                         attribution
@@ -79,7 +88,11 @@
 //                        the exact per-trial seed the search grid used)
 //   --program=SPEC       a ys::search program spec; also accepted by
 //                        `trial` to run a discovered program directly
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -109,6 +122,8 @@
 #include "obs/trace_export.h"
 #include "runner/runner.h"
 #include "search/engine.h"
+#include "supervisor/shard_child.h"
+#include "supervisor/supervisor.h"
 
 namespace ys {
 namespace {
@@ -147,6 +162,17 @@ struct CliOptions {
   std::string timeline_out;   // fleet: write the run's timeline as JSON
   std::string timeline_csv;   // fleet: same, flattened to CSV
   int timeline_bucket_ms = 1000;
+  // Supervised fleet sharding (`fleet --shards=N --supervise`) plus the
+  // shard-child protocol flags the parent passes to its children.
+  std::string resume_dir;  // shard checkpoints + supervisor manifest
+  int shards = 1;
+  bool supervise = false;
+  std::string shard;       // child mode: "i/N" slice of the vantage axis
+  int status_fd = -1;      // child: heartbeat pipe write end (from parent)
+  int shard_attempt = 0;   // child: which spawn of this shard we are
+  double status_interval = 0.05;  // heartbeat cadence, seconds
+  int max_restarts = 3;    // retry budget per shard before degrading
+  std::string chaos;       // fault plan spec with shard-* chaos clauses
 };
 
 /// Parse --faults once into storage that outlives every scenario built
@@ -281,6 +307,11 @@ int usage() {
                "       yourstate fleet [--fleet=SPEC|@file.json] [--seed=S] "
                "[--jobs=N] [--timeline-out=FILE] [--timeline-csv=FILE] "
                "[--timeline-bucket-ms=N]\n"
+               "       yourstate fleet --shards=N --supervise "
+               "--resume-dir=DIR [--max-restarts=N] [--status-interval=S] "
+               "[--chaos=SPEC] [--fleet=SPEC] [--seed=S] [--jobs=N] "
+               "[--timeline-out=FILE]\n"
+               "       yourstate shard-status --resume-dir=DIR\n"
                "       yourstate search [--population=N] [--generations=N] "
                "[--budget=N] [--servers=N] [--trials=N] [--faulted-trials=N] "
                "[--faults=SPEC] [--coevo-rounds=N] [--seed=S] [--jobs=N] "
@@ -477,6 +508,109 @@ int cmd_report(int argc, char** argv) {
   std::fclose(f);
   std::printf("report written to %s (%zu series, %zu annotations)\n",
               out.c_str(), doc->series.size(), doc->annotations.size());
+  return 0;
+}
+
+/// `yourstate shard-status` — own flag scan (no generic options apply).
+/// Pretty-prints the supervisor-state.json manifest a supervised fleet run
+/// keeps under its resume dir, plus the liveness of each shard's store
+/// lock (is the sweep still running, finished, or dead mid-flight?).
+int cmd_shard_status(int argc, char** argv) {
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--resume-dir=", 0) == 0) {
+      dir = arg.substr(13);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return usage();
+    } else {
+      dir = arg;  // positional directory
+    }
+  }
+  if (dir.empty()) {
+    std::fprintf(stderr, "shard-status wants --resume-dir=DIR\n");
+    return 2;
+  }
+  std::string text;
+  if (!read_text_file(dir + "/supervisor-state.json", text)) {
+    std::fprintf(stderr,
+                 "%s: no supervisor-state.json (not a --supervise resume "
+                 "dir, or the sweep has not started)\n",
+                 dir.c_str());
+    return 2;
+  }
+  const auto doc = json::parse(text);
+  const json::Value* shards =
+      doc.has_value() && doc->is_object() ? doc->find("shards") : nullptr;
+  if (shards == nullptr || !shards->is_array()) {
+    std::fprintf(stderr, "%s: malformed supervisor manifest\n", dir.c_str());
+    return 2;
+  }
+
+  std::printf("shard  vantages  state     attempts  progress      lock\n");
+  for (const json::Value& s : shards->array) {
+    if (!s.is_object()) continue;
+    auto num = [&s](const char* key) -> long long {
+      const json::Value* v = s.find(key);
+      return v != nullptr && v->is_number() ? static_cast<long long>(v->number)
+                                           : 0;
+    };
+    const json::Value* state = s.find("state");
+    const long long shard = num("shard");
+
+    // Lock liveness: the shard's store lock names the owning pid.
+    std::string lock = "-";
+    std::string lock_text;
+    if (read_text_file(
+            dir + "/" + supervisor::shard_bench_name(static_cast<int>(shard)) +
+                ".results.lock",
+            lock_text)) {
+      long pid = 0;
+      if (std::sscanf(lock_text.c_str(), "pid %ld", &pid) == 1 && pid > 0) {
+        const bool live = ::kill(static_cast<pid_t>(pid), 0) == 0 ||
+                          errno == EPERM;
+        lock = (live ? "pid " : "stale pid ") + std::to_string(pid);
+      } else {
+        lock = "garbled";
+      }
+    }
+    char range[32];
+    std::snprintf(range, sizeof(range), "[%lld,%lld)", num("vantage_begin"),
+                  num("vantage_end"));
+    char progress[32];
+    std::snprintf(progress, sizeof(progress), "%lld/%lld", num("done"),
+                  num("total"));
+    std::printf("%5lld  %-8s  %-9s %8lld  %-12s  %s\n", shard, range,
+                state != nullptr && state->is_string() ? state->string.c_str()
+                                                       : "?",
+                num("attempts"), progress, lock.c_str());
+  }
+
+  const json::Value* events = doc->find("events");
+  if (events != nullptr && events->is_array() && !events->array.empty()) {
+    std::printf("\nrecent events:\n");
+    const std::size_t begin =
+        events->array.size() > 12 ? events->array.size() - 12 : 0;
+    for (std::size_t i = begin; i < events->array.size(); ++i) {
+      const json::Value& e = events->array[i];
+      if (!e.is_object()) continue;
+      const json::Value* kind = e.find("kind");
+      const json::Value* at = e.find("at");
+      const json::Value* shard = e.find("shard");
+      const json::Value* detail = e.find("detail");
+      std::printf("  %8.3fs  shard %lld  %-13s %s\n",
+                  at != nullptr && at->is_number() ? at->number : 0.0,
+                  shard != nullptr && shard->is_number()
+                      ? static_cast<long long>(shard->number)
+                      : 0,
+                  kind != nullptr && kind->is_string() ? kind->string.c_str()
+                                                       : "?",
+                  detail != nullptr && detail->is_string()
+                      ? detail->string.c_str()
+                      : "");
+    }
+  }
   return 0;
 }
 
@@ -798,6 +932,104 @@ int cmd_tor(const CliOptions& cli, const VantagePoint& vp) {
   return result.outcome == Outcome::kSuccess ? 0 : 1;
 }
 
+/// Supervised parent: partition the sweep's vantage axis into shards, run
+/// each as a `yourstate fleet --shard=i/N` child under ys::supervisor, then
+/// merge the shard checkpoints and rebuild the unsharded run's telemetry
+/// from the slots (the children's registries died with their processes, but
+/// the slots are a sufficient statistic for every fleet.* series, so the
+/// merged metrics/timeline are byte-identical to an unsupervised sweep).
+int cmd_fleet_supervised(const CliOptions& cli,
+                         const fleet::FleetConfig& cfg) {
+  if (cli.resume_dir.empty()) {
+    std::fprintf(stderr,
+                 "fleet --supervise wants --resume-dir=DIR (shard "
+                 "checkpoints + the supervisor manifest live there)\n");
+    return 2;
+  }
+  faults::FaultPlan chaos;
+  if (!cli.chaos.empty()) {
+    std::string error;
+    chaos = faults::parse_fault_plan(cli.chaos, error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "--chaos: %s\n", error.c_str());
+      return 2;
+    }
+  }
+
+  const fleet::Fleet fl(cfg);
+  const runner::TrialGrid grid = fl.grid();
+  const std::vector<supervisor::ShardPartition> parts =
+      supervisor::partition_vantages(grid.vantages, cli.shards);
+  // partition_vantages drops empty slices when vantages < N; the dense
+  // count is the N the children and the merge must agree on (it keys the
+  // shard store signatures).
+  const int nshards = static_cast<int>(parts.size());
+
+  char exe[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", exe, sizeof(exe) - 1);
+  const std::string self =
+      len > 0 ? std::string(exe, static_cast<std::size_t>(len))
+              : "/proc/self/exe";
+
+  supervisor::SupervisorOptions opt;
+  opt.max_restarts = cli.max_restarts;
+  opt.heartbeat_seconds = cli.status_interval;
+  opt.resume_dir = cli.resume_dir;
+
+  std::printf("fleet: %s\nsupervising %d shard(s) over %zu vantage(s), "
+              "resume dir %s\n\n",
+              cfg.summary().c_str(), nshards, grid.vantages,
+              cli.resume_dir.c_str());
+
+  const supervisor::SupervisorResult result = supervisor::supervise(
+      parts, opt,
+      [&](const supervisor::ShardPartition& part, int attempt,
+          int status_fd) {
+        std::vector<std::string> args{self, "fleet"};
+        if (!cli.fleet.empty()) args.push_back("--fleet=" + cli.fleet);
+        if (cli.seed != 1) args.push_back("--seed=" + std::to_string(cli.seed));
+        args.push_back("--jobs=" + std::to_string(cli.jobs));
+        args.push_back("--shard=" + std::to_string(part.shard) + "/" +
+                       std::to_string(nshards));
+        args.push_back("--resume-dir=" + cli.resume_dir);
+        args.push_back("--status-fd=" + std::to_string(status_fd));
+        args.push_back("--shard-attempt=" + std::to_string(attempt));
+        char hb[32];
+        std::snprintf(hb, sizeof(hb), "--status-interval=%g",
+                      cli.status_interval);
+        args.push_back(hb);
+        if (!cli.chaos.empty()) args.push_back("--chaos=" + cli.chaos);
+        return args;
+      });
+
+  const supervisor::ShardMerge merge =
+      supervisor::merge_shard_stores(fl, cli.resume_dir, nshards);
+
+  std::optional<obs::Timeline> timeline;
+  if (!cli.timeline_out.empty() || !cli.timeline_csv.empty()) {
+    timeline.emplace(SimTime::from_ms(std::max(1, cli.timeline_bucket_ms)));
+  }
+  fl.rebuild_telemetry(merge.slots, timeline ? &*timeline : nullptr);
+  if (timeline.has_value()) {
+    fl.annotate_timeline(&*timeline);
+    supervisor::record_timeline(result, &*timeline);
+    supervisor::annotate_coverage(merge, &*timeline);
+    write_timeline_files(*timeline, cli.timeline_out, cli.timeline_csv);
+  }
+
+  std::printf("%s\n", supervisor::render_summary(result).c_str());
+  std::printf("%s", fl.analyze(merge.slots).render().c_str());
+  if (result.degraded_count() > 0) {
+    std::printf(
+        "\nwarning: %d shard(s) degraded after the retry budget; the "
+        "report above covers only recorded flows (%zu missing)\n",
+        result.degraded_count(), merge.missing);
+  }
+  // Degraded shards are an honest partial result, not a failure: the
+  // sweep completed and said so. Callers gate on shard-status instead.
+  return 0;
+}
+
 /// Run a full multi-client fleet sweep (src/fleet/) from --fleet= and
 /// print the convergence report. Same grid + chain-state shape as
 /// bench_fleet's sweep, minus the results store (use bench_fleet
@@ -817,6 +1049,42 @@ int cmd_fleet(const CliOptions& cli) {
                  cli.faults.c_str());
     return 2;
   }
+
+  // Shard child: sweep one vantage slice into a checkpoint store and exit.
+  // Spawned by the supervised parent; also runnable by hand for debugging.
+  if (!cli.shard.empty()) {
+    int shard = -1;
+    int shards = 0;
+    if (std::sscanf(cli.shard.c_str(), "%d/%d", &shard, &shards) != 2 ||
+        shard < 0 || shards <= 0 || shard >= shards) {
+      std::fprintf(stderr, "bad --shard=%s (want i/N with 0 <= i < N)\n",
+                   cli.shard.c_str());
+      return 2;
+    }
+    if (cli.resume_dir.empty()) {
+      std::fprintf(stderr, "fleet --shard wants --resume-dir=DIR\n");
+      return 2;
+    }
+    supervisor::FleetShardOptions sopt;
+    sopt.cfg = cfg;
+    sopt.resume_dir = cli.resume_dir;
+    sopt.shard = shard;
+    sopt.shards = shards;
+    sopt.status_fd = cli.status_fd;
+    sopt.attempt = cli.shard_attempt;
+    sopt.jobs = cli.jobs;
+    sopt.heartbeat_seconds = cli.status_interval;
+    if (!cli.chaos.empty()) {
+      std::string chaos_error;
+      sopt.chaos = faults::parse_fault_plan(cli.chaos, chaos_error);
+      if (!chaos_error.empty()) {
+        std::fprintf(stderr, "--chaos: %s\n", chaos_error.c_str());
+        return 2;
+      }
+    }
+    return supervisor::run_shard_child(sopt);
+  }
+  if (cli.supervise || cli.shards > 1) return cmd_fleet_supervised(cli, cfg);
 
   const fleet::Fleet fl(cfg);
   const runner::TrialGrid grid = fl.grid();
@@ -1078,6 +1346,7 @@ int run(int argc, char** argv) {
   if (cli.command == "perf") return cmd_perf(argc, argv);
   if (cli.command == "search") return cmd_search(argc, argv);
   if (cli.command == "report") return cmd_report(argc, argv);
+  if (cli.command == "shard-status") return cmd_shard_status(argc, argv);
 
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1163,6 +1432,24 @@ int run(int argc, char** argv) {
       cli.program = *v;
     } else if (auto v = value("--faulted-trials")) {
       cli.faulted_trials = std::max(0, std::atoi(v->c_str()));
+    } else if (auto v = value("--resume-dir")) {
+      cli.resume_dir = *v;
+    } else if (auto v = value("--shards")) {
+      cli.shards = std::max(1, std::atoi(v->c_str()));
+    } else if (arg == "--supervise") {
+      cli.supervise = true;
+    } else if (auto v = value("--shard")) {
+      cli.shard = *v;
+    } else if (auto v = value("--status-fd")) {
+      cli.status_fd = std::atoi(v->c_str());
+    } else if (auto v = value("--shard-attempt")) {
+      cli.shard_attempt = std::max(0, std::atoi(v->c_str()));
+    } else if (auto v = value("--status-interval")) {
+      cli.status_interval = std::atof(v->c_str());
+    } else if (auto v = value("--max-restarts")) {
+      cli.max_restarts = std::max(0, std::atoi(v->c_str()));
+    } else if (auto v = value("--chaos")) {
+      cli.chaos = *v;
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       return usage();
